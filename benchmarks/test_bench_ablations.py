@@ -1,0 +1,69 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+* hazard handling (forward/stall/stale) — cycle cost of each strategy on
+  a hazard-heavy workload;
+* Qmax maintenance (monotonic/follow/exact) — per-sample cost of each
+  write-path rule;
+* fixed-point word length — datapath kernel cost across widths.
+"""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.functional import FunctionalSimulator
+from repro.core.pipeline import QTAccelPipeline
+from repro.envs.random_mdp import random_dense_mdp
+from repro.experiments import run_experiment
+from repro.fixedpoint.format import FxpFormat
+
+from .conftest import emit_once
+
+SAMPLES = 3_000
+LOOPY = random_dense_mdp(64, 4, seed=42, self_loop_bias=0.6)
+
+
+@pytest.mark.parametrize("mode", ["forward", "stall", "stale"])
+def test_hazard_mode_cycle_cost(benchmark, mode):
+    cfg = QTAccelConfig.qlearning(seed=43, hazard_mode=mode)
+
+    def run():
+        pipe = QTAccelPipeline(LOOPY, cfg)
+        pipe.run(SAMPLES)
+        return pipe.stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["cycles_per_sample"] = round(stats.cycles_per_sample, 3)
+    if mode == "forward":
+        assert stats.cycles_per_sample < 1.01
+    if mode == "stall":
+        assert stats.cycles_per_sample > 1.5
+    emit_once("ablation_hazards", run_experiment("ablation_hazards", quick=True).format())
+
+
+@pytest.mark.parametrize("qmax_mode", ["monotonic", "follow", "exact"])
+def test_qmax_mode_cost(benchmark, qmax_mode):
+    cfg = QTAccelConfig.qlearning(seed=7, qmax_mode=qmax_mode)
+
+    def run():
+        sim = FunctionalSimulator(LOOPY, cfg)
+        sim.run(SAMPLES)
+        return sim.stats
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES
+    emit_once("ablation_qmax", run_experiment("ablation_qmax", quick=True).format())
+
+
+@pytest.mark.parametrize("wordlen,frac", [(8, 2), (16, 6), (32, 20)])
+def test_wordlen_datapath_cost(benchmark, wordlen, frac):
+    fmt = FxpFormat(wordlen=wordlen, frac=frac)
+    cfg = QTAccelConfig.qlearning(seed=7, q_format=fmt)
+
+    def run():
+        sim = FunctionalSimulator(LOOPY, cfg)
+        sim.run(SAMPLES)
+        return sim.stats
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES
+    emit_once("ablation_wordlen", run_experiment("ablation_wordlen", quick=True).format())

@@ -1,0 +1,46 @@
+"""§VII-B bench: bandit accelerators on the 5G channel scenario.
+
+Times e-greedy and EXP3 round processing (including LFSR reward
+synthesis and, for EXP3, the quantised probability-table resampling) and
+prints the MAB artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bandit_accel import (
+    EpsilonGreedyBanditAccelerator,
+    Exp3Accelerator,
+)
+from repro.envs.bandits import channel_selection_env
+from repro.experiments import run_experiment
+
+from .conftest import emit_once
+
+PULLS = 3_000
+
+
+@pytest.mark.parametrize("arms", [4, 8, 16])
+def test_egreedy_bandit(benchmark, arms):
+    def run():
+        env = channel_selection_env(arms, seed=7)
+        acc = EpsilonGreedyBanditAccelerator(env, epsilon=0.1, seed=7)
+        return acc.run(PULLS), env
+
+    (res, env) = benchmark(run)
+    late = res.chosen[PULLS // 2 :]
+    benchmark.extra_info["late_best_arm_rate"] = float(np.mean(late == env.best_arm))
+    emit_once("mab", run_experiment("mab", quick=True).format())
+
+
+@pytest.mark.parametrize("arms", [4, 8, 16])
+def test_exp3_bandit(benchmark, arms):
+    def run():
+        env = channel_selection_env(arms, seed=7)
+        acc = Exp3Accelerator(env, gamma_exp=0.15, reward_range=(0.0, 8.0), seed=7)
+        return acc.run(PULLS), acc
+
+    (res, acc) = benchmark(run)
+    p = acc.probabilities()
+    assert p.sum() == pytest.approx(1.0)
+    benchmark.extra_info["selection_cycles_per_sample"] = acc.selection_cycles

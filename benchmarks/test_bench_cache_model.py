@@ -1,0 +1,33 @@
+"""Cache-model bench: the trace-driven hierarchy replay (table2_cache).
+
+Times the set-associative L1/L2/L3 replay of the dict baseline's access
+pattern at small and large working sets, and prints the cache analysis
+of Table II's CPU decline.
+"""
+
+import pytest
+
+from repro.envs.gridworld import GridWorld
+from repro.experiments import run_experiment
+from repro.experiments.cases import grid_side
+from repro.reference.cache_model import CacheHierarchy, qlearning_trace_cycles
+
+from .conftest import emit_once
+
+TRACE = 6_000
+
+
+@pytest.mark.parametrize("num_states", [64, 16384, 262144])
+def test_trace_replay(benchmark, num_states):
+    mdp = GridWorld.empty(grid_side(num_states), 4).to_mdp()
+
+    def run():
+        return qlearning_trace_cycles(mdp, TRACE, hierarchy=CacheHierarchy.paper_i5())
+
+    cycles = benchmark(run)
+    benchmark.extra_info["mem_cycles_per_sample"] = round(cycles, 1)
+    if num_states == 64:
+        assert cycles < 100  # fully cache-resident
+    if num_states == 262144:
+        assert cycles > 200  # capacity misses bite
+    emit_once("table2_cache", run_experiment("table2_cache", quick=True).format())

@@ -1,0 +1,37 @@
+"""Table I bench: environment construction across the paper's case sizes.
+
+Measures how fast the grid-world substrate builds the on-chip table
+inputs (transition + reward tables) for each Table I case, and prints the
+regenerated Table I.
+"""
+
+import pytest
+
+from repro.envs.gridworld import GridWorld
+from repro.experiments import run_experiment
+from repro.experiments.cases import STATE_SIZES, grid_side
+
+from .conftest import emit_once
+
+
+@pytest.mark.parametrize("num_states", STATE_SIZES)
+def test_grid_build(benchmark, num_states):
+    side = grid_side(num_states)
+
+    def build():
+        return GridWorld.empty(side, 8).to_mdp()
+
+    mdp = benchmark(build)
+    assert mdp.num_states == num_states
+    benchmark.extra_info["pairs"] = mdp.num_pairs
+    emit_once("table1", run_experiment("table1", quick=True).format())
+
+
+def test_table_quantisation(benchmark, grid64_mdp):
+    """Loading the reward table = one bulk quantisation pass."""
+    from repro.core.config import QTAccelConfig
+    from repro.fixedpoint import ops
+
+    cfg = QTAccelConfig.qlearning()
+    raw = benchmark(ops.quantize_array, grid64_mdp.rewards, cfg.q_format)
+    assert raw.shape == grid64_mdp.rewards.shape

@@ -1,0 +1,50 @@
+"""Figs. 8/9 bench: multi-agent deployments.
+
+Times the state-sharing dual pipeline (cycle-accurate, shared dual-port
+tables with collision arbitration) and the N-tile independent learners,
+asserting the paper's throughput-scaling claims and printing both
+figures' artifacts.
+"""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.multi_pipeline import IndependentPipelines, SharedPipelines
+from repro.envs.gridworld import GridWorld
+from repro.envs.multi_agent import partition_grid
+from repro.experiments import run_experiment
+
+from .conftest import emit_once
+
+SAMPLES = 3_000
+
+
+def test_shared_dual_pipeline(benchmark):
+    mdp = GridWorld.empty(16, 4).to_mdp()
+    cfg = QTAccelConfig.qlearning(seed=21)
+
+    def run():
+        sp = SharedPipelines(mdp, cfg)
+        return sp.run(SAMPLES)
+
+    stats = benchmark(run)
+    assert stats.samples_per_cycle > 1.99  # the Fig. 8 doubling
+    benchmark.extra_info["samples_per_cycle"] = stats.samples_per_cycle
+    benchmark.extra_info["write_collisions"] = stats.write_collisions
+    emit_once("fig8", run_experiment("fig8", quick=True).format())
+
+
+@pytest.mark.parametrize("n_tiles", [1, 4, 16])
+def test_independent_pipelines(benchmark, n_tiles):
+    tiles = partition_grid(32, n_tiles, 4)
+    cfg = QTAccelConfig.qlearning(seed=31)
+
+    def run():
+        pipes = IndependentPipelines(tiles, cfg)
+        return pipes.run(SAMPLES)
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES * n_tiles
+    est = IndependentPipelines(tiles, cfg).throughput_estimate()
+    benchmark.extra_info["model_aggregate_msps"] = round(est.msps, 1)
+    emit_once("fig9", run_experiment("fig9", quick=True).format())

@@ -1,0 +1,38 @@
+"""Figs. 3/4/5 bench: the analytical resource/power model.
+
+The model itself is what regenerates three paper figures; the benchmark
+times a full Table-I sweep of it (it must stay interactive-fast since
+experiment harnesses call it in loops) and prints the three artifacts.
+"""
+
+from repro.core.config import QTAccelConfig
+from repro.device.power import power_mw
+from repro.device.resources import estimate_resources
+from repro.experiments import run_experiment
+from repro.experiments.cases import STATE_SIZES
+
+from .conftest import emit_once
+
+
+def full_sweep():
+    out = []
+    for cfg in (QTAccelConfig.qlearning(), QTAccelConfig.sarsa()):
+        for s in STATE_SIZES:
+            rep = estimate_resources(s, 8, cfg)
+            out.append((rep.bram_blocks, rep.dsp, power_mw(rep)))
+    return out
+
+def test_resource_model_sweep(benchmark):
+    rows = benchmark(full_sweep)
+    assert len(rows) == 2 * len(STATE_SIZES)
+    # Constant-DSP claim across the whole sweep
+    assert {dsp for _, dsp, _ in rows} == {4}
+    for exp in ("fig3", "fig4", "fig5"):
+        emit_once(exp, run_experiment(exp, quick=True).format())
+
+
+def test_fig4_peak_allocation(benchmark):
+    """Block allocation of the largest table set (the 78 % point)."""
+    cfg = QTAccelConfig.qlearning()
+    rep = benchmark(estimate_resources, 262144, 8, cfg)
+    assert rep.bram_blocks == 2176

@@ -1,0 +1,50 @@
+"""Fig. 7 / §VI-F bench: QTAccel vs the baseline design [11].
+
+Times the baseline's behavioural simulator against QTAccel's functional
+engine on the same workload (like-for-like sample processing), checks
+the modelled resource/throughput ratios, and prints Fig. 7 plus the
+scalability comparison.
+"""
+
+from repro.baseline import FsmQLearningAccelerator, baseline_multipliers
+from repro.core.config import QTAccelConfig
+from repro.core.functional import FunctionalSimulator
+from repro.envs.gridworld import GridWorld
+from repro.experiments import run_experiment
+
+from .conftest import emit_once
+
+SAMPLES = 10_000
+
+
+def test_baseline_behavioural(benchmark, grid16_mdp):
+    cfg = QTAccelConfig.qlearning(seed=5)
+
+    def run():
+        acc = FsmQLearningAccelerator(grid16_mdp, cfg)
+        acc.run(SAMPLES)
+        return acc.stats
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES
+    benchmark.extra_info["fsm_cycles"] = stats.cycles
+    emit_once("fig7", run_experiment("fig7", quick=True).format())
+    emit_once("sota", run_experiment("sota", quick=True).format())
+
+
+def test_qtaccel_same_workload(benchmark, grid16_mdp):
+    cfg = QTAccelConfig.qlearning(seed=5)
+
+    def run():
+        sim = FunctionalSimulator(grid16_mdp, cfg)
+        sim.run(SAMPLES)
+        return sim.stats
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES
+
+
+def test_multiplier_scaling_model(benchmark):
+    cases = [(12, 4), (12, 8), (56, 4), (56, 8), (132, 4)]
+    rows = benchmark(lambda: [baseline_multipliers(s, a) for s, a in cases])
+    assert rows == [48, 96, 224, 448, 528]

@@ -1,0 +1,48 @@
+"""Fig. 6 bench: cycle-accurate pipeline throughput.
+
+Times the cycle-accurate simulator retiring samples for both algorithms,
+verifies the one-sample-per-cycle property that Fig. 6's MS/s numbers
+rest on, and prints the regenerated figure.
+"""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.pipeline import QTAccelPipeline
+from repro.experiments import run_experiment
+
+from .conftest import emit_once
+
+SAMPLES = 5_000
+
+
+@pytest.mark.parametrize("algorithm", ["qlearning", "sarsa"])
+def test_cycle_pipeline_rate(benchmark, grid16_mdp, algorithm):
+    preset = QTAccelConfig.qlearning if algorithm == "qlearning" else QTAccelConfig.sarsa
+    cfg = preset(seed=11, qmax_mode="follow")
+
+    def run():
+        pipe = QTAccelPipeline(grid16_mdp, cfg)
+        pipe.run(SAMPLES)
+        return pipe.stats
+
+    stats = benchmark(run)
+    assert stats.cycles_per_sample < 1.01  # the paper's headline property
+    benchmark.extra_info["cycles_per_sample"] = stats.cycles_per_sample
+    benchmark.extra_info["modelled_msps_at_189MHz"] = 189.0 / stats.cycles_per_sample
+    emit_once("fig6", run_experiment("fig6", quick=True).format())
+
+
+def test_functional_engine_rate(benchmark, grid64_mdp):
+    """The fast path that convergence studies run on."""
+    from repro.core.functional import FunctionalSimulator
+
+    cfg = QTAccelConfig.qlearning(seed=11)
+
+    def run():
+        sim = FunctionalSimulator(grid64_mdp, cfg)
+        sim.run(SAMPLES)
+        return sim.stats
+
+    stats = benchmark(run)
+    assert stats.samples == SAMPLES

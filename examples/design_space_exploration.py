@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the calibrated device models.
+
+Answers the questions a deployer of QTAccel would ask before synthesis:
+
+* How large a world fits each device, with and without URAM spill?
+* What does the Q-word width buy (precision vs BRAM vs policy quality)?
+* Where does the clock/throughput land across the whole Table I sweep?
+* How does the design compare against the prior FSM-per-pair design?
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.baseline import baseline_max_states, baseline_throughput_msps
+from repro.core import FunctionalSimulator, QTAccelConfig
+from repro.core.metrics import convergence_report
+from repro.device import (
+    PARTS,
+    estimate_resources,
+    max_supported_states,
+    power_mw,
+    throughput,
+)
+from repro.envs import GridWorld
+from repro.fixedpoint import FxpFormat
+
+
+def capacity_table() -> None:
+    print("-- capacity: largest |S| per device (4 actions) --")
+    cfg = QTAccelConfig.qlearning()
+    print(f"{'device':12s} {'QTAccel (BRAM)':>16s} {'QTAccel (+URAM)':>16s} "
+          f"{'baseline [11]':>14s}")
+    for name, part in PARTS.items():
+        qt = max_supported_states(4, cfg, part=part)
+        qt_uram = (
+            max_supported_states(4, cfg, part=part, spill_to_uram=True)
+            if part.uram
+            else qt
+        )
+        base = baseline_max_states(4, part=part)
+        print(f"{name:12s} {qt:16,d} {qt_uram:16,d} {base:14,d}")
+    print(f"baseline throughput (any size): {baseline_throughput_msps():.1f} MS/s")
+    print()
+
+
+def sweep_table() -> None:
+    print("-- Table I sweep on xcvu13p (8 actions) --")
+    cfg = QTAccelConfig.qlearning()
+    print(f"{'|S|':>8s} {'BRAM %':>8s} {'clock MHz':>10s} {'MS/s':>7s} {'mW':>6s}")
+    for s in (64, 1024, 16384, 262144):
+        rep = estimate_resources(s, 8, cfg)
+        est = throughput(rep)
+        print(f"{s:8,d} {rep.bram_pct:8.2f} {est.clock_mhz:10.1f} "
+              f"{est.msps:7.1f} {power_mw(rep):6.1f}")
+    print()
+
+
+def wordlen_study() -> None:
+    print("-- Q-word width: quality vs memory (8x8 world, 150k samples) --")
+    mdp = GridWorld.random(8, 4, obstacle_density=0.15, seed=2).to_mdp()
+    print(f"{'format':>8s} {'lsb':>9s} {'success':>8s} {'BRAM % @262144x8':>17s}")
+    for wordlen, frac in ((8, 2), (12, 4), (16, 6), (24, 12)):
+        fmt = FxpFormat(wordlen=wordlen, frac=frac)
+        cfg = QTAccelConfig.qlearning(seed=7, q_format=fmt)
+        sim = FunctionalSimulator(mdp, cfg)
+        sim.run(150_000)
+        rep = convergence_report(mdp, sim.q_float(), gamma=cfg.gamma, samples=150_000)
+        big = estimate_resources(262144, 8, cfg)
+        print(f"  s{wordlen}.{frac:<4d} {fmt.resolution:9.5f} {rep.success:8.3f} "
+              f"{big.bram_pct:17.1f}")
+
+
+if __name__ == "__main__":
+    capacity_table()
+    sweep_table()
+    wordlen_study()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: train a Q-Learning agent on QTAccel and inspect the design.
+
+Builds the paper's grid-world application, runs the accelerator's fast
+functional engine until the policy converges, then asks the device model
+what this design would cost on the paper's FPGA.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import QLearningAccelerator
+from repro.envs import GridWorld
+
+def main() -> None:
+    # An 8x8 world with random obstacles; +255 at the goal, -255 on walls.
+    world = GridWorld.random(8, num_actions=4, obstacle_density=0.15, seed=2)
+    mdp = world.to_mdp()
+    print(f"environment: {world}")
+    print(world.render())
+    print()
+
+    acc = QLearningAccelerator(mdp, alpha=0.5, gamma=0.9, seed=7)
+    acc.run(200_000)
+
+    report = acc.convergence()
+    print(f"after {acc.samples_processed:,} samples "
+          f"({acc.episodes_completed:,} episodes): {report}")
+    print()
+    print("learned greedy policy:")
+    print(world.render(acc.policy()))
+    print()
+
+    res = acc.resource_report()
+    thr = acc.throughput_estimate()
+    print(res.format())
+    print(f"modelled clock {thr.clock_mhz:.1f} MHz -> {thr.msps:.1f} MS/s "
+          f"at {thr.cycles_per_sample:.3f} cycles/sample; "
+          f"~{acc.power_estimate_mw():.0f} mW")
+
+
+if __name__ == "__main__":
+    main()

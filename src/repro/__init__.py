@@ -1,0 +1,43 @@
+"""repro — a cycle-level Python reproduction of QTAccel.
+
+QTAccel (Meng et al., IPDPS 2020) is a generic pipelined FPGA
+architecture for Q-Table based reinforcement learning that retires one
+Q-value update per clock cycle while using a constant number of
+multipliers.  This package rebuilds the full system in Python:
+
+* :mod:`repro.core` — the 4-stage pipeline (cycle-accurate and fast
+  functional simulators, bit-identical), Q-Learning/SARSA accelerators,
+  multi-agent modes, bandit customisations;
+* :mod:`repro.rtl` — LFSRs, block-RAM models, pipeline registers;
+* :mod:`repro.fixedpoint` — the fixed-point datapath;
+* :mod:`repro.device` — resource / clock / power models of the paper's
+  FPGAs, calibrated against its figures;
+* :mod:`repro.envs` — grid worlds, synthetic MDPs, bandit problems;
+* :mod:`repro.reference` — the paper's CPU baselines;
+* :mod:`repro.baseline` — the prior state-of-the-art design [11];
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro.envs import GridWorld
+    from repro.core import QLearningAccelerator
+
+    mdp = GridWorld.random(16, 4, obstacle_density=0.1, seed=1).to_mdp()
+    acc = QLearningAccelerator(mdp, alpha=0.5, gamma=0.9, seed=1)
+    acc.run(500_000)
+    print(acc.convergence())
+    print(acc.throughput_estimate().msps, "MS/s")
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "rtl",
+    "fixedpoint",
+    "device",
+    "envs",
+    "reference",
+    "baseline",
+    "experiments",
+]

@@ -1,0 +1,27 @@
+"""Model of the state-of-the-art comparator: the FSM-per-state-action-pair
+Q-Learning accelerator of Da Silva et al. (IEEE Access 2019), ref. [11]
+of the paper.  Behavioural simulator plus resource/throughput scaling
+model, for Fig. 7 and the §VI-F comparison.
+"""
+
+from .fsm_accelerator import FSM_CYCLES_PER_UPDATE, FsmQLearningAccelerator, FsmStats
+from .model import (
+    BASELINE_CLOCK_MHZ,
+    BaselineReport,
+    baseline_max_states,
+    baseline_multipliers,
+    baseline_report,
+    baseline_throughput_msps,
+)
+
+__all__ = [
+    "FsmQLearningAccelerator",
+    "FsmStats",
+    "FSM_CYCLES_PER_UPDATE",
+    "BaselineReport",
+    "baseline_report",
+    "baseline_multipliers",
+    "baseline_throughput_msps",
+    "baseline_max_states",
+    "BASELINE_CLOCK_MHZ",
+]

@@ -1,0 +1,103 @@
+"""Behavioural model of the baseline accelerator (Da Silva et al. [11]).
+
+The state-of-the-art design QTAccel compares against instantiates one
+finite-state machine — with its own multiplier — *per state-action pair*,
+plus a comparator tree over the ``|A|`` Q-values of the next state to
+find the greedy maximum.  In any iteration only one pair's FSM performs a
+useful update (the paper's "wasted computation" critique), and each
+update takes the FSM several cycles.
+
+Behaviourally the design is plain Q-Learning with a true row maximum
+(no Qmax cache — the comparator tree reads the actual entries), which we
+model with the same fixed-point datapath as QTAccel so the two designs'
+learning outcomes are comparable like for like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+from ..fixedpoint import ops
+from ..core.config import QTAccelConfig
+from ..core.policies import PolicyDraws, draw_start_state
+
+#: FSM cycles per Q-value update in the baseline design (idle ->
+#: read -> compare tree -> multiply-accumulate -> write), the §VI-F
+#: calibration that yields QTAccel's reported >15x throughput edge at the
+#: two devices' achievable clocks.
+FSM_CYCLES_PER_UPDATE = 8
+
+
+@dataclass
+class FsmStats:
+    """Counters of a baseline run."""
+
+    samples: int = 0
+    episodes: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.samples * FSM_CYCLES_PER_UPDATE
+
+
+class FsmQLearningAccelerator:
+    """Functional simulator of the FSM-per-pair baseline design."""
+
+    def __init__(self, mdp: DenseMdp, config: Optional[QTAccelConfig] = None):
+        self.mdp = mdp
+        self.config = config if config is not None else QTAccelConfig.qlearning()
+        if self.config.update_policy != "greedy":
+            raise ValueError("the baseline design implements greedy Q-Learning only")
+        qf = self.config.q_format
+        self.q = np.full(
+            (mdp.num_states, mdp.num_actions), qf.quantize(self.config.q_init), dtype=np.int64
+        )
+        self.rewards = ops.quantize_array(mdp.rewards, qf)
+        self.draws = PolicyDraws.from_config(self.config)
+        (_, _, self._one_minus_alpha, self._alpha_gamma) = self.config.coefficients()
+        self._alpha = self.config.coefficients()[0]
+        self.stats = FsmStats()
+        self._state: Optional[int] = None
+
+    def run(self, num_samples: int) -> FsmStats:
+        """Process ``num_samples`` updates (each costing
+        :data:`FSM_CYCLES_PER_UPDATE` cycles in the timing model)."""
+        mdp = self.mdp
+        cfg = self.config
+        q = self.q
+        state = self._state
+        episodes0 = self.stats.episodes
+        for _ in range(num_samples):
+            if state is None:
+                state = draw_start_state(self.draws, mdp.start_states)
+            action = self.draws.action.below(mdp.num_actions)
+            nxt = int(mdp.next_state[state, action])
+            r = int(self.rewards[state, action])
+            # Comparator tree: the true maximum over the next state's row.
+            q_next = 0 if mdp.terminal[nxt] else int(q[nxt].max())
+            q[state, action] = ops.q_update(
+                int(q[state, action]),
+                r,
+                q_next,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+            if mdp.terminal[nxt]:
+                state = None
+                self.stats.episodes += 1
+            else:
+                state = nxt
+        self._state = state
+        self.stats.samples += num_samples
+        return self.stats
+
+    def q_float(self) -> np.ndarray:
+        """Learned Q table as floats."""
+        return ops.to_float_array(self.q, self.config.q_format)

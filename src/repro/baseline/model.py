@@ -1,0 +1,100 @@
+"""Resource and throughput scaling model of the baseline design [11].
+
+§VI-F fully specifies the scaling law: "the number of multipliers
+required by their design is equal to the number of state-action pairs",
+and per-pair FSM logic consumes LUTs/FFs proportionally.  The per-pair
+logic constants are calibrated so that (132 states, 4 actions) — the
+largest configuration [11] reports — saturates the Virtex-6 LX240T's
+logic, matching the paper's "fully utilized the DSP and logic" remark.
+
+Throughput: one update takes :data:`FSM_CYCLES_PER_UPDATE` FSM cycles at
+a clock that does not benefit from deep pipelining; with the calibrated
+100 MHz clock the model lands at ~12.5 MS/s, which is the ">15x" deficit
+§VI-F reports against QTAccel's 180+ MS/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.parts import FpgaPart, XC6VLX240T
+from .fsm_accelerator import FSM_CYCLES_PER_UPDATE
+
+#: Per state-action pair logic of one update FSM (calibrated; see module
+#: docstring).
+LUT_PER_PAIR = 280
+FF_PER_PAIR = 120
+#: One multiplier (DSP) per pair (§VI-F, explicit).
+DSP_PER_PAIR = 1
+#: Achievable clock of the unpipelined FSM design (MHz).
+BASELINE_CLOCK_MHZ = 100.0
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Resource usage of the baseline design for one problem size."""
+
+    part: FpgaPart
+    num_states: int
+    num_actions: int
+
+    @property
+    def pairs(self) -> int:
+        return self.num_states * self.num_actions
+
+    @property
+    def dsp(self) -> int:
+        return DSP_PER_PAIR * self.pairs
+
+    @property
+    def lut(self) -> int:
+        return LUT_PER_PAIR * self.pairs
+
+    @property
+    def ff(self) -> int:
+        return FF_PER_PAIR * self.pairs
+
+    @property
+    def dsp_pct(self) -> float:
+        return 100.0 * self.dsp / self.part.dsp
+
+    @property
+    def lut_pct(self) -> float:
+        return 100.0 * self.lut / self.part.luts
+
+    @property
+    def fits(self) -> bool:
+        return (
+            self.dsp <= self.part.dsp
+            and self.lut <= self.part.luts
+            and self.ff <= self.part.ffs
+        )
+
+
+def baseline_report(
+    num_states: int, num_actions: int, *, part: FpgaPart = XC6VLX240T
+) -> BaselineReport:
+    """Resource report of the baseline design on ``part``."""
+    return BaselineReport(part=part, num_states=num_states, num_actions=num_actions)
+
+
+def baseline_multipliers(num_states: int, num_actions: int) -> int:
+    """Fig. 7's baseline bar: multipliers = state-action pairs."""
+    return DSP_PER_PAIR * num_states * num_actions
+
+
+def baseline_throughput_msps(*, clock_mhz: float = BASELINE_CLOCK_MHZ) -> float:
+    """Modelled baseline throughput in MS/s (size-independent: only one
+    FSM is active per update regardless of how many are instantiated)."""
+    return clock_mhz / FSM_CYCLES_PER_UPDATE
+
+
+def baseline_max_states(num_actions: int, *, part: FpgaPart = XC6VLX240T) -> int:
+    """Largest ``|S|`` the baseline fits on ``part`` (§VI-F scalability).
+
+    The binding constraint is whichever of DSPs and LUTs runs out first.
+    """
+    by_dsp = part.dsp // (DSP_PER_PAIR * num_actions)
+    by_lut = part.luts // (LUT_PER_PAIR * num_actions)
+    by_ff = part.ffs // (FF_PER_PAIR * num_actions)
+    return max(0, min(by_dsp, by_lut, by_ff))

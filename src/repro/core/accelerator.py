@@ -1,0 +1,211 @@
+"""User-facing accelerator API.
+
+:class:`QLearningAccelerator` and :class:`SarsaAccelerator` bundle an
+environment, a :class:`QTAccelConfig` and a device into one object with
+two interchangeable engines:
+
+* ``engine="functional"`` (default) — the fast sequential-semantics
+  simulator, for training runs and convergence studies;
+* ``engine="cycle"`` — the cycle-accurate pipeline, for per-cycle
+  throughput and hazard behaviour.
+
+Both engines share semantics (the equivalence the test suite asserts),
+but each owns its state: switching engines mid-run would mix two
+diverging copies of the Q table, so it is rejected unless ``reset()`` is
+called in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..device.parts import FpgaPart, XCVU13P
+from ..device.power import power_mw
+from ..device.resources import ResourceReport, estimate_resources
+from ..device.timing import ThroughputEstimate, throughput
+from ..envs.base import DenseMdp
+from .config import QTAccelConfig
+from .functional import FunctionalSimulator
+from .metrics import ConvergenceReport, convergence_report
+from .pipeline import QTAccelPipeline
+from .tables import AcceleratorTables
+
+ENGINES = ("functional", "cycle")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`QTAccelAccelerator.run` call."""
+
+    engine: str
+    samples: int
+    episodes: int
+    cycles: Optional[int] = None
+    stall_cycles: Optional[int] = None
+
+    @property
+    def cycles_per_sample(self) -> Optional[float]:
+        if self.cycles is None or self.samples == 0:
+            return None
+        return self.cycles / self.samples
+
+
+class QTAccelAccelerator:
+    """One QTAccel instance: environment + config + device model."""
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        config: QTAccelConfig,
+        *,
+        part: FpgaPart = XCVU13P,
+    ):
+        self.mdp = mdp
+        self.config = config
+        self.part = part
+        self._engine: Optional[str] = None
+        self._functional: Optional[FunctionalSimulator] = None
+        self._pipeline: Optional[QTAccelPipeline] = None
+        self._samples = 0
+        self._episodes = 0
+
+    # ------------------------------------------------------------------ #
+    # Engines
+    # ------------------------------------------------------------------ #
+
+    def _bind(self, engine: str):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+        if self._engine is not None and engine != self._engine:
+            raise RuntimeError(
+                f"engine already bound to {self._engine!r}; call reset() "
+                "before switching engines"
+            )
+        self._engine = engine
+        if engine == "functional":
+            if self._functional is None:
+                self._functional = FunctionalSimulator(self.mdp, self.config)
+            return self._functional
+        if self._pipeline is None:
+            self._pipeline = QTAccelPipeline(self.mdp, self.config)
+        return self._pipeline
+
+    def run(self, num_samples: int, *, engine: str = "functional") -> RunResult:
+        """Process ``num_samples`` Q-value updates on the chosen engine."""
+        sim = self._bind(engine)
+        if engine == "functional":
+            before = sim.stats.episodes
+            sim.run(num_samples)
+            self._samples += num_samples
+            self._episodes = sim.stats.episodes
+            return RunResult(
+                engine=engine,
+                samples=num_samples,
+                episodes=sim.stats.episodes - before,
+            )
+        before = sim.stats.episodes
+        cyc0, stall0 = sim.stats.cycles, sim.stats.stall_cycles
+        sim.run(num_samples)
+        self._samples += num_samples
+        self._episodes = sim.stats.episodes
+        return RunResult(
+            engine=engine,
+            samples=num_samples,
+            episodes=sim.stats.episodes - before,
+            cycles=sim.stats.cycles - cyc0,
+            stall_cycles=sim.stats.stall_cycles - stall0,
+        )
+
+    def reset(self) -> None:
+        """Drop all learned state and unbind the engine."""
+        self._engine = None
+        self._functional = None
+        self._pipeline = None
+        self._samples = 0
+        self._episodes = 0
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tables(self) -> Optional[AcceleratorTables]:
+        if self._engine == "functional" and self._functional is not None:
+            return self._functional.tables
+        if self._engine == "cycle" and self._pipeline is not None:
+            return self._pipeline.tables
+        return None
+
+    @property
+    def samples_processed(self) -> int:
+        return self._samples
+
+    @property
+    def episodes_completed(self) -> int:
+        return self._episodes
+
+    def q_values(self) -> np.ndarray:
+        """Learned Q table as floats, ``(S, A)``; zeros before any run."""
+        t = self.tables
+        if t is None:
+            return np.zeros((self.mdp.num_states, self.mdp.num_actions))
+        return t.q_float_matrix()
+
+    def policy(self) -> np.ndarray:
+        """Greedy policy (argmax action per state) of the learned table."""
+        return np.argmax(self.q_values(), axis=1).astype(np.int32)
+
+    def convergence(self, *, q_star: np.ndarray | None = None) -> ConvergenceReport:
+        """Compare the learned table against the value-iteration oracle."""
+        return convergence_report(
+            self.mdp,
+            self.q_values(),
+            gamma=self.config.gamma,
+            samples=self._samples,
+            q_star=q_star,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Device-model views
+    # ------------------------------------------------------------------ #
+
+    def resource_report(self, **kw) -> ResourceReport:
+        """Analytical resource usage on the bound device."""
+        return estimate_resources(
+            self.mdp.num_states, self.mdp.num_actions, self.config, part=self.part, **kw
+        )
+
+    def throughput_estimate(
+        self, *, cycles_per_sample: float | None = None
+    ) -> ThroughputEstimate:
+        """Modelled throughput; cycles/sample defaults to the measured
+        value when the cycle engine has run, else the design's 1.0."""
+        if cycles_per_sample is None:
+            if self._engine == "cycle" and self._pipeline is not None and self._pipeline.stats.retired:
+                cycles_per_sample = self._pipeline.stats.cycles_per_sample
+            else:
+                cycles_per_sample = 1.0
+        return throughput(self.resource_report(), cycles_per_sample=cycles_per_sample)
+
+    def power_estimate_mw(self) -> float:
+        """Modelled power draw in mW."""
+        return power_mw(self.resource_report())
+
+
+class QLearningAccelerator(QTAccelAccelerator):
+    """QTAccel customised for Q-Learning (§V-A): random behaviour policy,
+    greedy update policy served by the Qmax table."""
+
+    def __init__(self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, **config_kw):
+        super().__init__(mdp, QTAccelConfig.qlearning(**config_kw), part=part)
+
+
+class SarsaAccelerator(QTAccelAccelerator):
+    """QTAccel customised for SARSA (§V-B): e-greedy on-policy selection
+    with the stage-2 action forwarded to stage 1."""
+
+    def __init__(self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, **config_kw):
+        super().__init__(mdp, QTAccelConfig.sarsa(**config_kw), part=part)

@@ -1,0 +1,334 @@
+"""Multi-armed bandit customisations of QTAccel (paper §VII-B).
+
+Three accelerator variants, each a small specialisation of the same
+datapath:
+
+* :class:`EpsilonGreedyBanditAccelerator` — a *stateless* bandit: the Q
+  table degenerates to one row of ``M`` arm values, rewards come from the
+  on-chip CLT normal sampler instead of the reward table, and the update
+  is the exponential moving average ``Q(m) <- (1-a) Q(m) + a r`` (the
+  ``gamma = 0`` corner of the standard datapath).
+* :class:`Exp3Accelerator` — the paper's probability-distribution policy:
+  a per-arm probability table (the third ``|S| x |A|`` BRAM of §IV-B),
+  sampled by binary search over the cumulative distribution in
+  ``ceil(log2 M)`` cycles (the initiation-interval cost §VII's future
+  work acknowledges), with the EXP3 weight/probability update of eq. (5)
+  on the write-back path.
+* :class:`StatefulBanditAccelerator` — §VII-B "Stateful Bandits": the
+  Q-table row index is the concatenation of the per-arm state bits, and
+  the usual bootstrapped update applies.
+
+All draws run through LFSRs and all Q arithmetic through the shared
+fixed-point kernels, like every other engine in the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..envs.bandits import BanditEnv, StatefulBanditEnv
+from ..fixedpoint import ops
+from ..fixedpoint.format import FxpFormat
+from ..rtl.lfsr import Lfsr
+from ..rtl.rng import UniformSource
+from .config import QTAccelConfig
+
+
+@dataclass
+class BanditRunStats:
+    """Outcome of a bandit accelerator run."""
+
+    pulls: int
+    chosen: np.ndarray  # arm index per step
+    rewards: np.ndarray  # realised reward per step
+
+    def cumulative_regret(self, env: BanditEnv) -> np.ndarray:
+        """Cumulative pseudo-regret against the best arm."""
+        return env.regret_of(self.chosen)
+
+    @property
+    def mean_reward(self) -> float:
+        return float(self.rewards.mean()) if self.rewards.size else 0.0
+
+
+def bandit_cycles_per_sample(num_arms: int, *, probability_policy: bool) -> float:
+    """Initiation interval of the bandit pipeline.
+
+    Greedy/e-greedy selection is single-cycle (Qmax read); the
+    probability-table policy pays ``ceil(log2 M)`` cycles of binary
+    search per sample (§VII-B).
+    """
+    if probability_policy:
+        return max(1.0, math.ceil(math.log2(max(2, num_arms))))
+    return 1.0
+
+
+class EpsilonGreedyBanditAccelerator:
+    """Stateless e-greedy bandit on the QTAccel datapath."""
+
+    def __init__(
+        self,
+        env: BanditEnv,
+        *,
+        alpha: float = 0.125,
+        epsilon: float = 0.1,
+        q_format: FxpFormat | None = None,
+        lfsr_width: int = 24,
+        seed: int = 1,
+    ):
+        cfg = QTAccelConfig.sarsa(
+            alpha=alpha, gamma=0.0, epsilon=epsilon, seed=seed, lfsr_width=lfsr_width
+        )
+        if q_format is not None:
+            cfg = cfg.with_(q_format=q_format)
+        self.env = env
+        self.config = cfg
+        self.q = np.zeros(env.num_arms, dtype=np.int64)
+        self._policy = UniformSource(Lfsr(lfsr_width, seed=seed + 0x51))
+        (self._alpha, _, self._one_minus_alpha, _) = cfg.coefficients()
+
+    def _select(self) -> int:
+        """Single-draw e-greedy over the arm values (§V-B circuit)."""
+        u = self._policy.bits()
+        cut = int((1.0 - self.config.epsilon) * (1 << self._policy.width))
+        if u < cut:
+            return int(np.argmax(self.q))
+        m = self.env.num_arms
+        return (u & (m - 1)) if m & (m - 1) == 0 else u % m
+
+    def run(self, pulls: int) -> BanditRunStats:
+        """Run ``pulls`` arm selections + EMA updates."""
+        qf = self.config.q_format
+        cf = self.config.coef_format
+        chosen = np.empty(pulls, dtype=np.int64)
+        rewards = np.empty(pulls, dtype=np.float64)
+        for t in range(pulls):
+            arm = self._select()
+            r = self.env.pull(arm)
+            r_raw = qf.quantize(r)
+            # gamma = 0: the bootstrap product is wired to zero.
+            self.q[arm] = ops.q_update(
+                int(self.q[arm]),
+                r_raw,
+                0,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=0,
+                coef_fmt=cf,
+                q_fmt=qf,
+            )
+            chosen[t] = arm
+            rewards[t] = r
+        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+
+    def q_float(self) -> np.ndarray:
+        return ops.to_float_array(self.q, self.config.q_format)
+
+
+class Exp3Accelerator:
+    """EXP3 adversarial bandit with a quantised probability table.
+
+    Weights follow the classic EXP3 recipe; the probability table P is
+    re-quantised into ``prob_format`` after every update (it is a BRAM
+    row in hardware), and arm selection draws one LFSR word and binary
+    searches the quantised cumulative distribution — exactly the circuit
+    §VII-B sketches, so selection inherits the quantisation error a real
+    implementation would have.
+    """
+
+    def __init__(
+        self,
+        env: BanditEnv,
+        *,
+        gamma_exp: float = 0.1,
+        reward_range: tuple[float, float] = (0.0, 1.0),
+        prob_format: FxpFormat | None = None,
+        lfsr_width: int = 24,
+        seed: int = 1,
+    ):
+        if not 0.0 < gamma_exp <= 1.0:
+            raise ValueError("gamma_exp must be in (0, 1]")
+        lo, hi = reward_range
+        if hi <= lo:
+            raise ValueError("reward_range must be increasing")
+        self.env = env
+        self.gamma_exp = gamma_exp
+        self.reward_range = reward_range
+        self.prob_format = prob_format or FxpFormat(wordlen=16, frac=15, signed=False)
+        self.weights = np.ones(env.num_arms, dtype=np.float64)
+        self._select_rng = UniformSource(Lfsr(lfsr_width, seed=seed + 0x71))
+        self.selection_cycles = bandit_cycles_per_sample(
+            env.num_arms, probability_policy=True
+        )
+
+    def probabilities(self) -> np.ndarray:
+        """Float probabilities per eq. (5) of the paper."""
+        w = self.weights / self.weights.sum()
+        m = self.env.num_arms
+        return (1.0 - self.gamma_exp) * w + self.gamma_exp / m
+
+    def prob_table_raw(self) -> np.ndarray:
+        """The quantised on-chip probability table."""
+        return ops.quantize_array(self.probabilities(), self.prob_format)
+
+    def _select(self) -> int:
+        """Binary search of the quantised cumulative distribution."""
+        table = self.prob_table_raw()
+        cum = np.cumsum(table)
+        total = int(cum[-1])
+        u = self._select_rng.bits() % max(1, total)
+        return int(np.searchsorted(cum, u, side="right"))
+
+    def run(self, pulls: int) -> BanditRunStats:
+        """Run ``pulls`` EXP3 rounds."""
+        lo, hi = self.reward_range
+        m = self.env.num_arms
+        chosen = np.empty(pulls, dtype=np.int64)
+        rewards = np.empty(pulls, dtype=np.float64)
+        for t in range(pulls):
+            arm = self._select()
+            r = self.env.pull(arm)
+            x = min(1.0, max(0.0, (r - lo) / (hi - lo)))  # normalise to [0,1]
+            p = self.probabilities()[arm]
+            xhat = x / p  # importance-weighted estimate
+            self.weights[arm] *= math.exp(self.gamma_exp * xhat / m)
+            # Keep weights in a safe dynamic range (hardware renormalises
+            # the probability table anyway).
+            if self.weights.max() > 1e12:
+                self.weights /= self.weights.max()
+            chosen[t] = arm
+            rewards[t] = r
+        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+
+
+class Ucb1Accelerator:
+    """UCB1 on the QTAccel datapath (the paper's future-work "more
+    variants of Multi-Armed Bandit problems").
+
+    The index ``mean_m + c * sqrt(ln t / n_m)`` needs a square root and a
+    logarithm; in hardware both are small lookup tables indexed by the
+    (bounded) pull counts, so we model them as exact functions of the
+    integer counters.  Arm statistics use a wide per-arm reward
+    accumulator (one adder per sample) with the mean formed on the
+    selection path by the same reciprocal LUT — avoiding the freeze-out
+    bias a truncating running-mean register would have.
+    """
+
+    def __init__(
+        self,
+        env: BanditEnv,
+        *,
+        c: float = 2.0,
+        q_format: FxpFormat | None = None,
+        seed: int = 1,
+    ):
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.env = env
+        self.c = c
+        self.q_format = q_format or QTAccelConfig().q_format
+        #: Wide reward accumulators, raw units of ``q_format``.
+        self.sums = np.zeros(env.num_arms, dtype=np.int64)
+        self.counts = np.zeros(env.num_arms, dtype=np.int64)
+        self.t = 0
+
+    def means_raw(self) -> np.ndarray:
+        """Per-arm mean in raw fixed-point units (truncating divider)."""
+        counts = np.maximum(self.counts, 1)
+        return self.sums // counts
+
+    def _select(self) -> int:
+        # Each arm is pulled once before any index comparison.
+        unpulled = np.nonzero(self.counts == 0)[0]
+        if unpulled.size:
+            return int(unpulled[0])
+        means = ops.to_float_array(self.means_raw(), self.q_format)
+        bonus = self.c * np.sqrt(np.log(self.t) / self.counts)
+        return int(np.argmax(means + bonus))
+
+    def run(self, pulls: int) -> BanditRunStats:
+        """Run ``pulls`` UCB1 rounds."""
+        qf = self.q_format
+        chosen = np.empty(pulls, dtype=np.int64)
+        rewards = np.empty(pulls, dtype=np.float64)
+        for i in range(pulls):
+            arm = self._select()
+            r = self.env.pull(arm)
+            self.t += 1
+            self.counts[arm] += 1
+            self.sums[arm] += qf.quantize(r)
+            chosen[i] = arm
+            rewards[i] = r
+        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+
+    def q_float(self) -> np.ndarray:
+        """Per-arm mean estimates as floats."""
+        return ops.to_float_array(self.means_raw(), self.q_format)
+
+
+class StatefulBanditAccelerator:
+    """Stateful bandit: Q-table over the concatenated per-arm states."""
+
+    def __init__(
+        self,
+        env: StatefulBanditEnv,
+        *,
+        alpha: float = 0.25,
+        gamma: float = 0.5,
+        epsilon: float = 0.1,
+        q_format: FxpFormat | None = None,
+        lfsr_width: int = 24,
+        seed: int = 1,
+    ):
+        cfg = QTAccelConfig.sarsa(
+            alpha=alpha, gamma=gamma, epsilon=epsilon, seed=seed, lfsr_width=lfsr_width
+        )
+        if q_format is not None:
+            cfg = cfg.with_(q_format=q_format)
+        self.env = env
+        self.config = cfg
+        self.q = np.zeros((env.num_joint_states, env.num_arms), dtype=np.int64)
+        self._policy = UniformSource(Lfsr(lfsr_width, seed=seed + 0x91))
+        (self._alpha, _, self._one_minus_alpha, self._alpha_gamma) = cfg.coefficients()
+
+    def _select(self, state: int) -> int:
+        u = self._policy.bits()
+        cut = int((1.0 - self.config.epsilon) * (1 << self._policy.width))
+        if u < cut:
+            return int(np.argmax(self.q[state]))
+        m = self.env.num_arms
+        return (u & (m - 1)) if m & (m - 1) == 0 else u % m
+
+    def run(self, pulls: int) -> BanditRunStats:
+        """Run ``pulls`` rounds over the evolving joint arm state."""
+        qf = self.config.q_format
+        cf = self.config.coef_format
+        chosen = np.empty(pulls, dtype=np.int64)
+        rewards = np.empty(pulls, dtype=np.float64)
+        state = self.env.joint_state
+        for t in range(pulls):
+            arm = self._select(state)
+            r = self.env.pull(arm)
+            nxt = self.env.joint_state
+            r_raw = qf.quantize(r)
+            q_next = int(self.q[nxt].max())
+            self.q[state, arm] = ops.q_update(
+                int(self.q[state, arm]),
+                r_raw,
+                q_next,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                coef_fmt=cf,
+                q_fmt=qf,
+            )
+            chosen[t] = arm
+            rewards[t] = r
+            state = nxt
+        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+
+    def q_float(self) -> np.ndarray:
+        return ops.to_float_array(self.q, self.config.q_format)

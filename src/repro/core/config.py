@@ -1,0 +1,125 @@
+"""Configuration of a QTAccel instance.
+
+A :class:`QTAccelConfig` fixes everything the hardware generics would:
+the algorithm (behaviour/update policy pair), learning coefficients and
+their fixed-point format, Q-word format, hazard-handling strategy, Qmax
+semantics, and LFSR seeds/widths.  Both simulators and the device models
+consume the same object, so an experiment is fully described by
+``(DenseMdp, QTAccelConfig, FpgaPart)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..fixedpoint.format import COEF_FORMAT, Q_FORMAT, FxpFormat
+from ..fixedpoint import ops
+
+#: Hazard-handling strategies (DESIGN.md "Forwarding vs stalling vs stale").
+HAZARD_MODES = ("forward", "stall", "stale")
+
+#: Qmax maintenance strategies:
+#:
+#: * ``"monotonic"`` — the paper's write-path update: Qmax is raised when
+#:   a written Q-value exceeds it and never lowered.  When an update
+#:   *reduces* the per-state maximum (negative rewards), both the cached
+#:   value and the cached argmax action go stale — the ablation benches
+#:   show this can pin SARSA's exploit action and prevent learning.
+#: * ``"follow"`` — our equally-cheap hardware fix (one extra comparator
+#:   at stage 4): when the written action *is* the cached argmax, Qmax
+#:   follows its value down; otherwise the monotonic raise rule applies.
+#: * ``"exact"`` — recomputes the true row maximum on every write.  Not
+#:   implementable in one hardware cycle; functional-simulator ablation
+#:   only.
+QMAX_MODES = ("monotonic", "follow", "exact")
+
+BEHAVIOR_POLICIES = ("random", "egreedy")
+UPDATE_POLICIES = ("greedy", "egreedy")
+
+
+@dataclass(frozen=True)
+class QTAccelConfig:
+    """Static configuration of one accelerator pipeline.
+
+    The two paper algorithms are presets:
+
+    * :meth:`qlearning` — random behaviour policy, greedy update policy
+      (off-policy; §V-A).
+    * :meth:`sarsa` — e-greedy on-policy; the stage-2 sampled action is
+      forwarded to stage 1 as the next behaviour action (§V-B).
+    """
+
+    behavior_policy: str = "random"
+    update_policy: str = "greedy"
+    alpha: float = 0.5
+    gamma: float = 0.9
+    epsilon: float = 0.1
+    q_format: FxpFormat = Q_FORMAT
+    coef_format: FxpFormat = COEF_FORMAT
+    hazard_mode: str = "forward"
+    qmax_mode: str = "monotonic"
+    q_init: float = 0.0
+    lfsr_width: int = 24
+    seed: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.behavior_policy not in BEHAVIOR_POLICIES:
+            raise ValueError(f"unknown behavior policy {self.behavior_policy!r}")
+        if self.update_policy not in UPDATE_POLICIES:
+            raise ValueError(f"unknown update policy {self.update_policy!r}")
+        if self.hazard_mode not in HAZARD_MODES:
+            raise ValueError(f"unknown hazard mode {self.hazard_mode!r}")
+        if self.qmax_mode not in QMAX_MODES:
+            raise ValueError(f"unknown qmax mode {self.qmax_mode!r}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.lfsr_width < 8:
+            raise ValueError("lfsr_width must be >= 8")
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def qlearning(cls, **kw) -> "QTAccelConfig":
+        """The paper's Q-Learning customisation (§V-A)."""
+        kw.setdefault("name", "qlearning")
+        return cls(behavior_policy="random", update_policy="greedy", **kw)
+
+    @classmethod
+    def sarsa(cls, **kw) -> "QTAccelConfig":
+        """The paper's SARSA customisation (§V-B)."""
+        kw.setdefault("name", "sarsa")
+        return cls(behavior_policy="egreedy", update_policy="egreedy", **kw)
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+
+    @property
+    def algorithm(self) -> str:
+        """Canonical algorithm label for reports."""
+        if self.update_policy == "greedy":
+            return "qlearning"
+        if self.update_policy == "egreedy":
+            return "sarsa"
+        return f"{self.behavior_policy}/{self.update_policy}"
+
+    @property
+    def is_on_policy(self) -> bool:
+        """On-policy pipelines forward the stage-2 action to stage 1."""
+        return self.behavior_policy == "egreedy" and self.update_policy == "egreedy"
+
+    def coefficients(self) -> tuple[int, int, int, int]:
+        """Raw ``(alpha, gamma, 1 - alpha, alpha * gamma)`` as stage 1
+        computes them (see :func:`repro.fixedpoint.ops.coefficient_set`)."""
+        return ops.coefficient_set(self.alpha, self.gamma, self.coef_format)
+
+    def with_(self, **changes) -> "QTAccelConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **changes)

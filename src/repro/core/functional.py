@@ -1,0 +1,208 @@
+"""Fast functional simulator with pipeline-identical semantics.
+
+The cycle-accurate pipeline's forwarding network makes its update stream
+*sequential*: each sample reads the values all older samples wrote (with
+one documented exception, see below).  The functional simulator therefore
+executes the same algorithm as a plain sequential loop — same LFSR draw
+discipline, same fixed-point kernels, same monotonic Qmax write path —
+and produces the *bit-identical* Q-table trajectory at a fraction of the
+cost.  The test suite asserts that equivalence sample by sample.
+
+The exception: a SARSA episode-restart behaviour read happens in stage 1
+while the immediately preceding sample's update is still two stages from
+existing, so in hardware that read lags by exactly one sample.  With
+``behavior_lag=True`` (default, matching ``hazard_mode="forward"``) the
+functional simulator reproduces the lag by reading around the last write;
+``behavior_lag=False`` gives strictly sequential semantics (matching
+``hazard_mode="stall"``).
+
+Unlike the pipeline, the functional simulator also supports the
+``qmax_mode="exact"`` ablation (recomputed row maxima).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+from ..fixedpoint import ops
+from .config import QTAccelConfig
+from .pipeline import TraceRecord
+from .policies import PolicyDraws, draw_start_state, select_behavior, select_update
+from .tables import AcceleratorTables
+
+
+@dataclass
+class FunctionalStats:
+    """Counters accumulated by the functional simulator."""
+
+    samples: int = 0
+    episodes: int = 0
+    exploits: int = 0
+    explores: int = 0
+
+
+@dataclass
+class _LastWrite:
+    """The most recent write, for the lagged stage-1 view."""
+
+    pair: int = -1
+    state: int = -1
+    prev_q: int = 0
+    prev_qmax: int = 0
+    prev_qmax_action: int = 0
+
+
+class FunctionalSimulator:
+    """Sequential-semantics QTAccel simulator (the HPC fast path)."""
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        config: QTAccelConfig,
+        *,
+        tables: Optional[AcceleratorTables] = None,
+        draws: Optional[PolicyDraws] = None,
+        behavior_lag: bool = True,
+    ):
+        self.mdp = mdp
+        self.config = config
+        self.tables = tables if tables is not None else AcceleratorTables(mdp, config)
+        self.draws = draws if draws is not None else PolicyDraws.from_config(config)
+        (_, _, self.one_minus_alpha, self.alpha_gamma) = config.coefficients()
+        self.alpha_raw = config.coefficients()[0]
+        self.behavior_lag = behavior_lag
+
+        self.arch_state: Optional[int] = None
+        self._forwarded_action: Optional[int] = None
+        self._last_write = _LastWrite()
+        self.stats = FunctionalStats()
+        self.trace: Optional[list[TraceRecord]] = None
+        #: Optional per-sample state log (for collision studies).
+        self.state_log: Optional[list[int]] = None
+
+    # ------------------------------------------------------------------ #
+    # Lagged stage-1 read view
+    # ------------------------------------------------------------------ #
+
+    def _read_q_behavior(self, state: int, action: int) -> int:
+        pair = self.tables.pair_addr(state, action)
+        if self.behavior_lag and pair == self._last_write.pair:
+            return self._last_write.prev_q
+        return self.tables.q.read(pair)
+
+    def _read_qmax_behavior(self, state: int) -> tuple[int, int]:
+        if self.behavior_lag and state == self._last_write.state:
+            return self._last_write.prev_qmax, self._last_write.prev_qmax_action
+        return self.tables.read_qmax(state)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, num_samples: int) -> FunctionalStats:
+        """Execute ``num_samples`` updates sequentially."""
+        if num_samples < 0:
+            raise ValueError("num_samples must be non-negative")
+        cfg = self.config
+        T = self.tables
+        mdp = self.mdp
+        draws = self.draws
+        on_policy = cfg.is_on_policy
+        next_state = mdp.next_state
+        terminal = T.terminal
+        coef_fmt = cfg.coef_format
+        q_fmt = cfg.q_format
+
+        for _ in range(num_samples):
+            # -------- stage-1 equivalent: state + behaviour action -------- #
+            if self.arch_state is None:
+                state = draw_start_state(draws, mdp.start_states)
+                restart = True
+            else:
+                state = self.arch_state
+                restart = False
+
+            forwarded = None
+            if on_policy and not restart:
+                forwarded = self._forwarded_action
+                if forwarded is None:
+                    raise AssertionError("on-policy sample without forwarded action")
+            action = select_behavior(
+                state,
+                config=cfg,
+                draws=draws,
+                forwarded_action=forwarded,
+                read_qmax=self._read_qmax_behavior,
+                read_q=self._read_q_behavior,
+                num_actions=T.num_actions,
+            )
+            pair = T.pair_addr(state, action)
+            s_next = int(next_state[state, action])
+            terminal_next = bool(terminal[s_next])
+            q_sa = T.q.read(pair)
+            r = T.rewards.read(pair)
+
+            # -------- stage-2 equivalent: update policy -------- #
+            sel = select_update(
+                s_next,
+                config=cfg,
+                draws=draws,
+                read_qmax=T.read_qmax,
+                read_q=T.read_q,
+                num_actions=T.num_actions,
+            )
+            if sel.exploited:
+                self.stats.exploits += 1
+            else:
+                self.stats.explores += 1
+            q_next = 0 if terminal_next else sel.q_raw
+
+            # -------- stage-3 equivalent: datapath -------- #
+            q_new = ops.q_update(
+                q_sa,
+                r,
+                q_next,
+                alpha=self.alpha_raw,
+                one_minus_alpha=self.one_minus_alpha,
+                alpha_gamma=self.alpha_gamma,
+                coef_fmt=coef_fmt,
+                q_fmt=q_fmt,
+            )
+
+            # -------- stage-4 equivalent: write-back -------- #
+            lw = self._last_write
+            lw.pair = pair
+            lw.state = state
+            lw.prev_q = q_sa
+            lw.prev_qmax = int(T.qmax.data[state])
+            lw.prev_qmax_action = int(T.qmax_action.data[state])
+            T.writeback_now(state, action, q_new)
+
+            if self.trace is not None:
+                self.trace.append((self.stats.samples, state, action, q_new))
+            if self.state_log is not None:
+                self.state_log.append(state)
+            self.stats.samples += 1
+
+            if terminal_next:
+                self.arch_state = None
+                self._forwarded_action = None
+                self.stats.episodes += 1
+            else:
+                self.arch_state = s_next
+                self._forwarded_action = sel.action if on_policy else None
+
+        return self.stats
+
+    def enable_trace(self) -> list[TraceRecord]:
+        """Start recording (index, s, a, q_new) per sample."""
+        self.trace = []
+        return self.trace
+
+    def q_float(self) -> np.ndarray:
+        """Current Q table as floats, ``(S, A)``."""
+        return self.tables.q_float_matrix()

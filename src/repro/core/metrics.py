@@ -1,0 +1,141 @@
+"""Learning-quality and throughput metrics.
+
+Convergence in the paper's sense — the greedy policy reaching the goal
+optimally — is what the examples and integration tests verify.  The
+helpers here compare a learned Q table against the value-iteration
+oracle of :meth:`repro.envs.base.DenseMdp.optimal_q` and roll greedy
+policies to measure realised returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+
+
+def policy_agreement(q: np.ndarray, q_star: np.ndarray, *, tol: float = 1e-9) -> float:
+    """Fraction of states whose greedy action under ``q`` is optimal.
+
+    A state counts as agreeing when the action ``argmax q[s]`` achieves
+    the optimal value under ``q_star`` (ties in ``q_star`` all count as
+    optimal, so equivalent actions are not penalised).
+    """
+    if q.shape != q_star.shape:
+        raise ValueError("q and q_star must have equal shapes")
+    greedy = np.argmax(q, axis=1)
+    achieved = q_star[np.arange(q.shape[0]), greedy]
+    best = q_star.max(axis=1)
+    return float(np.mean(achieved >= best - tol))
+
+
+def q_rmse(q: np.ndarray, q_star: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Root-mean-square error between Q tables, optionally masked to the
+    reachable/visited region."""
+    if q.shape != q_star.shape:
+        raise ValueError("q and q_star must have equal shapes")
+    diff = q - q_star
+    if mask is not None:
+        diff = diff[mask]
+    if diff.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(diff**2)))
+
+
+def greedy_rollout(
+    mdp: DenseMdp,
+    q: np.ndarray,
+    start: int,
+    *,
+    gamma: float,
+    max_steps: int = 10_000,
+) -> tuple[float, int, bool]:
+    """Roll the greedy policy of ``q`` from ``start``.
+
+    Returns ``(discounted_return, steps, reached_terminal)``.  Loops are
+    cut off at ``max_steps``.
+    """
+    state = start
+    total = 0.0
+    discount = 1.0
+    for step in range(max_steps):
+        action = int(np.argmax(q[state]))
+        nxt, reward, term = mdp.step(state, action)
+        total += discount * reward
+        discount *= gamma
+        if term:
+            return total, step + 1, True
+        if nxt == state:
+            # Greedy policy walked into a wall and would loop forever.
+            return total, step + 1, False
+        state = nxt
+    return total, max_steps, False
+
+
+def success_rate(
+    mdp: DenseMdp,
+    q: np.ndarray,
+    *,
+    gamma: float,
+    starts: np.ndarray | None = None,
+    max_steps: int = 10_000,
+) -> float:
+    """Fraction of start states from which the greedy policy reaches a
+    terminal state."""
+    if starts is None:
+        starts = mdp.start_states
+    hits = 0
+    for s in np.asarray(starts):
+        _, _, ok = greedy_rollout(mdp, q, int(s), gamma=gamma, max_steps=max_steps)
+        hits += ok
+    return hits / max(1, len(starts))
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of a learned Q table against the oracle."""
+
+    samples: int
+    agreement: float
+    rmse: float
+    success: float
+
+    def __str__(self) -> str:
+        return (
+            f"samples={self.samples} agreement={self.agreement:.3f} "
+            f"rmse={self.rmse:.3f} success={self.success:.3f}"
+        )
+
+
+def convergence_report(
+    mdp: DenseMdp,
+    q: np.ndarray,
+    *,
+    gamma: float,
+    samples: int,
+    q_star: np.ndarray | None = None,
+    max_starts: int = 256,
+) -> ConvergenceReport:
+    """Convenience bundle of the three convergence metrics.
+
+    Rollouts are capped at ``|S| + 1`` steps: a deterministic greedy
+    policy in a deterministic MDP that revisits a state is looping and
+    can never reach a terminal, so longer rollouts cannot change the
+    verdict — they only cost time.
+    """
+    if q_star is None:
+        q_star = mdp.optimal_q(gamma)
+    starts = mdp.start_states
+    if len(starts) > max_starts:
+        starts = starts[:: max(1, len(starts) // max_starts)][:max_starts]
+    reachable = ~mdp.terminal
+    return ConvergenceReport(
+        samples=samples,
+        agreement=policy_agreement(q[reachable], q_star[reachable]),
+        rmse=q_rmse(q, q_star, mask=reachable),
+        success=success_rate(
+            mdp, q, gamma=gamma, starts=starts, max_steps=mdp.num_states + 1
+        ),
+    )

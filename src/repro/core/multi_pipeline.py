@@ -1,0 +1,357 @@
+"""Multi-pipeline deployments (paper §VII-A, Figs. 8 and 9).
+
+**State-sharing learners** (:class:`SharedPipelines`): two pipelines
+train on the *same* environment through the two ports of the shared
+dual-port tables.  Within a cycle each pipeline forwards only its own
+in-flight values; the other agent's same-cycle write is invisible until
+it commits (exactly the hardware's visibility), and simultaneous writes
+to one address are arbitrated by overwrite — the loser is counted.  The
+paper's claim: collisions are rare for realistically sized worlds, so
+throughput ~doubles and convergence accelerates.
+
+**Independent learners** (:class:`IndependentPipelines`): N pipelines,
+each owning a sub-environment and a private table set (one BRAM region
+per Fig. 9).  Embarrassingly parallel; the model enforces the device's
+aggregate BRAM bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..device.parts import FpgaPart, XCVU13P
+from ..device.resources import ResourceReport, estimate_resources, estimate_shared
+from ..device.timing import ThroughputEstimate, throughput
+from ..envs.base import DenseMdp
+from .config import QTAccelConfig
+from .functional import FunctionalSimulator
+from .pipeline import QTAccelPipeline
+from .policies import PolicyDraws
+from .tables import AcceleratorTables
+
+
+@dataclass
+class SharedRunStats:
+    """Outcome of a state-sharing dual-pipeline run."""
+
+    cycles: int
+    samples: int
+    episodes: int
+    write_collisions: int
+    state_collisions: int
+
+    @property
+    def samples_per_cycle(self) -> float:
+        return self.samples / self.cycles if self.cycles else 0.0
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of cycles the two agents occupied the same state."""
+        return 2.0 * self.state_collisions / self.samples if self.samples else 0.0
+
+
+class SharedPipelines:
+    """Two QTAccel pipelines sharing one table set (Fig. 8)."""
+
+    def __init__(self, mdp: DenseMdp, config: QTAccelConfig, *, part: FpgaPart = XCVU13P):
+        self.mdp = mdp
+        self.config = config
+        self.part = part
+        self.tables = AcceleratorTables(mdp, config)
+        self.pipes = [
+            QTAccelPipeline(
+                mdp,
+                config,
+                tables=self.tables,
+                draws=PolicyDraws.from_config(config, salt=i + 1),
+                manage_commit=False,
+            )
+            for i in range(2)
+        ]
+
+    def step(self) -> None:
+        """One shared clock cycle: both pipelines evaluate, one commit."""
+        for p in self.pipes:
+            p.eval()
+        for p in self.pipes:
+            p.tick()
+        self.tables.commit()
+
+    def run(self, samples_per_pipe: int) -> SharedRunStats:
+        """Run until each pipeline has retired ``samples_per_pipe``."""
+        for p in self.pipes:
+            p._issue_budget = p.stats.issued + samples_per_pipe
+        targets = [p._issue_budget for p in self.pipes]
+        guard = 8 * samples_per_pipe + 64
+        start = self.pipes[0].stats.cycles
+        state_collisions = 0
+        while any(p.stats.retired < t for p, t in zip(self.pipes, targets)):
+            if self.pipes[0].stats.cycles - start > guard:
+                raise RuntimeError("shared pipelines failed to drain")
+            self.step()
+            a, b = self.pipes[0].arch_state, self.pipes[1].arch_state
+            if a is not None and a == b:
+                state_collisions += 1
+        for p in self.pipes:
+            p._issue_budget = None
+        return SharedRunStats(
+            cycles=self.pipes[0].stats.cycles,
+            samples=sum(p.stats.retired for p in self.pipes),
+            episodes=sum(p.stats.episodes for p in self.pipes),
+            write_collisions=self.tables.q.stats.write_collisions
+            + self.tables.qmax.stats.write_collisions,
+            state_collisions=state_collisions,
+        )
+
+    def q_float(self) -> np.ndarray:
+        return self.tables.q_float_matrix()
+
+    def resource_report(self) -> ResourceReport:
+        return estimate_shared(
+            self.mdp.num_states, self.mdp.num_actions, self.config, part=self.part
+        )
+
+    def throughput_estimate(self) -> ThroughputEstimate:
+        return throughput(self.resource_report(), pipelines=2)
+
+
+@dataclass
+class SharedFunctionalResult:
+    """Outcome of the fast state-sharing approximation."""
+
+    q: np.ndarray
+    episodes: int
+    write_collisions: int
+    samples: int
+
+
+def run_shared_functional(
+    mdp: DenseMdp,
+    config: QTAccelConfig,
+    samples_per_agent: int,
+    *,
+    num_agents: int = 2,
+) -> SharedFunctionalResult:
+    """Fast approximation of the state-sharing mode.
+
+    Agents advance in lockstep "cycles": every agent computes its update
+    against the tables as committed at the cycle start, then all writes
+    land with last-agent-wins arbitration — the hardware's visibility
+    structure, abstracted from pipeline depth (so not bit-identical to
+    :class:`SharedPipelines`, but statistically equivalent; the tests
+    compare convergence, not bits).
+
+    All agents share one :class:`AcceleratorTables`; per-cycle isolation
+    is achieved by staging each agent's write and rolling it back until
+    every agent has computed, which costs O(1) per agent per cycle.
+    """
+    shared = AcceleratorTables(mdp, config)
+    sims = [
+        FunctionalSimulator(
+            mdp,
+            config,
+            tables=shared,
+            draws=PolicyDraws.from_config(config, salt=i + 1),
+        )
+        for i in range(num_agents)
+    ]
+    q_data = shared.q.data
+    qm_data = shared.qmax.data
+    qa_data = shared.qmax_action.data
+    collisions = 0
+    for _ in range(samples_per_agent):
+        # Every sample writes exactly one Q pair and at most one Qmax row,
+        # all recorded (with pre-write values) in the simulator's
+        # ``_last_write`` — so per-cycle isolation is O(1) per agent:
+        # roll each agent's write back, then commit all in agent order
+        # (last agent wins, the §VII-A overwrite arbitration).
+        staged: list[tuple[int, int, int, int, int]] = []
+        touched_pairs: set[int] = set()
+        for sim in sims:
+            sim.run(1)
+            lw = sim._last_write
+            if lw.pair in touched_pairs:
+                collisions += 1
+            touched_pairs.add(lw.pair)
+            staged.append(
+                (
+                    lw.pair,
+                    int(q_data[lw.pair]),
+                    lw.state,
+                    int(qm_data[lw.state]),
+                    int(qa_data[lw.state]),
+                )
+            )
+            # Roll back so the next agent sees cycle-start state.
+            q_data[lw.pair] = lw.prev_q
+            qm_data[lw.state] = lw.prev_qmax
+            qa_data[lw.state] = lw.prev_qmax_action
+        for pair, q_val, state, qm_val, qa_val in staged:
+            q_data[pair] = q_val
+            qm_data[state] = qm_val
+            qa_data[state] = qa_val
+    from ..fixedpoint import ops
+
+    q = ops.to_float_array(
+        q_data.reshape(mdp.num_states, mdp.num_actions), config.q_format
+    )
+    return SharedFunctionalResult(
+        q=q,
+        episodes=sum(s.stats.episodes for s in sims),
+        write_collisions=collisions,
+        samples=samples_per_agent * num_agents,
+    )
+
+
+@dataclass
+class IndependentRunStats:
+    """Outcome of an N-pipeline independent-learner run."""
+
+    pipelines: int
+    samples: int
+    episodes: int
+
+
+class IndependentPipelines:
+    """N pipelines over partitioned sub-environments (Fig. 9)."""
+
+    def __init__(
+        self,
+        mdps: Sequence[DenseMdp],
+        config: QTAccelConfig,
+        *,
+        part: FpgaPart = XCVU13P,
+    ):
+        if not mdps:
+            raise ValueError("need at least one sub-environment")
+        self.mdps = list(mdps)
+        self.config = config
+        self.part = part
+        self.sims = [
+            FunctionalSimulator(m, config, draws=PolicyDraws.from_config(config, salt=i + 1))
+            for i, m in enumerate(self.mdps)
+        ]
+
+    @property
+    def num_pipelines(self) -> int:
+        return len(self.sims)
+
+    def run(self, samples_per_pipe: int) -> IndependentRunStats:
+        """Train every pipeline for ``samples_per_pipe`` updates."""
+        for sim in self.sims:
+            sim.run(samples_per_pipe)
+        return IndependentRunStats(
+            pipelines=self.num_pipelines,
+            samples=samples_per_pipe * self.num_pipelines,
+            episodes=sum(s.stats.episodes for s in self.sims),
+        )
+
+    def resource_report(self) -> ResourceReport:
+        """Aggregate resources of all pipelines (independent table sets)."""
+        m = self.mdps[0]
+        return estimate_resources(
+            m.num_states,
+            m.num_actions,
+            self.config,
+            part=self.part,
+            pipelines=self.num_pipelines,
+        )
+
+    def fits_device(self) -> bool:
+        return self.resource_report().fits
+
+    def throughput_estimate(self) -> ThroughputEstimate:
+        """Aggregate model throughput: N pipelines at the shared clock."""
+        return throughput(self.resource_report(), pipelines=self.num_pipelines)
+
+    def q_float(self, index: int) -> np.ndarray:
+        return self.sims[index].q_float()
+
+
+class IndependentPipelinesCycle:
+    """Cycle-accurate N-pipeline system on the shared clock (Fig. 9).
+
+    Each pipeline owns its tables and LFSR streams; all are driven by one
+    :class:`repro.rtl.clock.Simulation`, so the aggregate retirement rate
+    per cycle is *measured* (N samples/cycle after fill) rather than
+    modelled.  The functional :class:`IndependentPipelines` is the fast
+    twin; per-pipeline trajectories are bit-identical between the two
+    (same salts — asserted in tests).
+    """
+
+    def __init__(
+        self,
+        mdps: Sequence[DenseMdp],
+        config: QTAccelConfig,
+        *,
+        part: FpgaPart = XCVU13P,
+    ):
+        if not mdps:
+            raise ValueError("need at least one sub-environment")
+        from ..rtl.clock import Simulation
+
+        self.mdps = list(mdps)
+        self.config = config
+        self.part = part
+        self.sim = Simulation()
+        self.pipes = []
+        for i, m in enumerate(self.mdps):
+            pipe = QTAccelPipeline(
+                m, config, draws=PolicyDraws.from_config(config, salt=i + 1)
+            )
+            self.pipes.append(pipe)
+            self.sim.add(pipe)
+
+    @property
+    def num_pipelines(self) -> int:
+        return len(self.pipes)
+
+    def run(self, samples_per_pipe: int) -> IndependentRunStats:
+        """Clock the system until every pipeline retired its quota."""
+        for p in self.pipes:
+            p._issue_budget = p.stats.issued + samples_per_pipe
+        targets = [p._issue_budget for p in self.pipes]
+        guard = 8 * samples_per_pipe + 64
+        start = self.sim.cycle
+        while any(p.stats.retired < t for p, t in zip(self.pipes, targets)):
+            if self.sim.cycle - start > guard:
+                raise RuntimeError("independent pipelines failed to drain")
+            self.sim.step()
+        for p in self.pipes:
+            p._issue_budget = None
+        return IndependentRunStats(
+            pipelines=self.num_pipelines,
+            samples=samples_per_pipe * self.num_pipelines,
+            episodes=sum(p.stats.episodes for p in self.pipes),
+        )
+
+    @property
+    def samples_per_cycle(self) -> float:
+        """Measured aggregate retirement rate."""
+        cycles = self.sim.cycle
+        if not cycles:
+            return 0.0
+        return sum(p.stats.retired for p in self.pipes) / cycles
+
+    def q_float(self, index: int) -> np.ndarray:
+        return self.pipes[index].q_float()
+
+
+def max_independent_pipelines(
+    mdp: DenseMdp, config: QTAccelConfig, *, part: FpgaPart = XCVU13P
+) -> int:
+    """Largest N whose aggregate table sets fit the device's BRAM —
+    the Fig. 9 upper bound."""
+    n = 1
+    while True:
+        rep = estimate_resources(
+            mdp.num_states, mdp.num_actions, config, part=part, pipelines=n + 1
+        )
+        if not rep.fits:
+            return n
+        n += 1
+        if n > 4096:
+            return n

@@ -1,0 +1,334 @@
+"""Cycle-accurate simulator of the QTAccel 4-stage pipeline (paper §IV).
+
+Stage responsibilities (Fig. 1):
+
+1. **Stage 1** — pick the current state (previous sample's next state, or
+   a random start at episode boundaries); select the behaviour action
+   (random for Q-Learning; the forwarded stage-2 action for SARSA); run
+   the transition function; read ``Q(s, a)`` and ``R``; derive the
+   coefficient products.
+2. **Stage 2** — select the update action for ``s'`` (greedy via the Qmax
+   table, or the single-draw e-greedy circuit) and fetch ``Q(s', a')``.
+3. **Stage 3** — the arithmetic stage: three DSP products accumulated and
+   renormalised (:func:`repro.fixedpoint.ops.q_update`).
+4. **Stage 4** — write back ``Q_{t+1}(s, a)``; raise ``Qmax[s]`` if
+   exceeded.
+
+Evaluation order inside a cycle is S4, S3, S2, S1, which realises the
+same-cycle forwarding paths (S3 output into S2/S1 reads; SARSA's stage-2
+action into stage 1).  Hazard behaviour is selected by
+``config.hazard_mode``:
+
+* ``forward`` — the paper's design: every in-flight value is forwarded,
+  one sample per cycle, sequential semantics (see
+  :mod:`repro.core.hazards` for the one documented stage-1 lag).
+* ``stall`` — no forwarding; conservative state-granular hazard checks
+  bubble the pipeline until conflicting samples drain.  Same trajectory
+  as sequential execution, more cycles.
+* ``stale`` — no forwarding, no stalls: reads may be stale.  The
+  trajectory diverges; the ablation benches quantify the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+from ..fixedpoint import ops
+from ..rtl.register import PipelineRegister
+from .config import QTAccelConfig
+from .hazards import (
+    ForwardingView,
+    Sample,
+    conflict_stage1,
+    conflict_stage2,
+    fix_operand_q,
+    fix_operand_qnext,
+)
+from .policies import PolicyDraws, draw_start_state, select_behavior, select_update
+from .tables import AcceleratorTables
+
+#: Per-retirement trace record: (sample index, s, a, q_new_raw).
+TraceRecord = tuple[int, int, int, int]
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated while the pipeline runs."""
+
+    cycles: int = 0
+    issued: int = 0
+    retired: int = 0
+    stall_cycles: int = 0
+    episodes: int = 0
+    exploits: int = 0
+    explores: int = 0
+
+    @property
+    def cycles_per_sample(self) -> float:
+        return self.cycles / self.retired if self.retired else float("inf")
+
+
+class QTAccelPipeline:
+    """One QTAccel pipeline bound to an environment and a configuration.
+
+    The pipeline owns its architectural state (current state register,
+    SARSA action-forwarding register) but may *share* its
+    :class:`AcceleratorTables` and :class:`PolicyDraws` with another
+    pipeline (the state-sharing multi-agent mode).
+    """
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        config: QTAccelConfig,
+        *,
+        tables: Optional[AcceleratorTables] = None,
+        draws: Optional[PolicyDraws] = None,
+        manage_commit: bool = True,
+        stage2_latency: int = 1,
+    ):
+        if config.qmax_mode == "exact":
+            raise ValueError(
+                "the cycle-accurate pipeline models single-cycle Qmax write "
+                "paths (monotonic/follow); use the functional simulator for "
+                "the 'exact' ablation"
+            )
+        self.mdp = mdp
+        self.config = config
+        self.tables = tables if tables is not None else AcceleratorTables(mdp, config)
+        self.draws = draws if draws is not None else PolicyDraws.from_config(config)
+        (_, _, self.one_minus_alpha, self.alpha_gamma) = config.coefficients()
+        self.alpha_raw = config.coefficients()[0]
+        #: When False the pipeline stages table writes but leaves the
+        #: clock-edge commit to an external arbiter (shared-table mode).
+        self.manage_commit = manage_commit
+
+        self.reg12: PipelineRegister[Sample] = PipelineRegister("s1->s2")
+        self.reg23: PipelineRegister[Sample] = PipelineRegister("s2->s3")
+        self.reg34: PipelineRegister[Sample] = PipelineRegister("s3->s4")
+
+        self.arch_state: Optional[int] = None  # None => next sample restarts
+        self._pending_behavior: Optional[int] = None  # SARSA forwarded action
+        self._latched_issue: Optional[tuple[int, bool]] = None  # (state, restart)
+        self._issue_budget: Optional[int] = None
+        #: Cycles stage 2 occupies per sample.  1 for the paper's greedy /
+        #: e-greedy selectors; ``ceil(log2 |A|)`` models the §VII-B
+        #: probability-table binary search, whose initiation-interval cost
+        #: is then *measured* by the pipeline instead of assumed.
+        if stage2_latency < 1:
+            raise ValueError("stage2_latency must be >= 1")
+        self.stage2_latency = stage2_latency
+        self._s2_busy = 0
+        self._s2_started_for = -1
+
+        self.stats = PipelineStats()
+        self.trace: Optional[list[TraceRecord]] = None
+        self.on_retire: Optional[Callable[[Sample], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # One clock cycle
+    # ------------------------------------------------------------------ #
+
+    def eval(self) -> None:
+        """Combinational phase of one cycle (stages evaluated S4..S1)."""
+        cfg = self.config
+        mode = cfg.hazard_mode
+        T = self.tables
+        forward = mode == "forward"
+
+        wb = self.reg34.value if self.reg34.valid else None
+        in_s3 = self.reg23.value if self.reg23.valid else None
+        in_s2 = self.reg12.value if self.reg12.valid else None
+
+        # ---------------- Stage 4: write-back ---------------- #
+        if wb is not None:
+            T.writeback(wb.s, wb.a, wb.q_new)
+            self.stats.retired += 1
+            if self.trace is not None:
+                self.trace.append((wb.index, wb.s, wb.a, wb.q_new))
+            if self.on_retire is not None:
+                self.on_retire(wb)
+
+        # ---------------- Stage 3: arithmetic ---------------- #
+        s3_out: Optional[Sample] = None
+        if in_s3 is not None:
+            smp = in_s3
+            if forward and wb is not None:
+                fix_operand_q(smp, (wb,))
+                fix_operand_qnext(smp, (wb,), cfg.qmax_mode)
+            smp.q_new = ops.q_update(
+                smp.q_sa,
+                smp.r,
+                smp.q_next,
+                alpha=self.alpha_raw,
+                one_minus_alpha=self.one_minus_alpha,
+                alpha_gamma=self.alpha_gamma,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+            s3_out = smp
+            self.reg34.stage(smp)
+
+        # ---------------- Stage 2: update policy ---------------- #
+        s2_fired = False
+        if in_s2 is not None:
+            smp = in_s2
+            if smp.index != self._s2_started_for:
+                # A fresh sample entered stage 2: start its selection.
+                self._s2_started_for = smp.index
+                self._s2_busy = self.stage2_latency - 1
+            if self._s2_busy > 0:
+                # Multi-cycle selection (probability-table policies): the
+                # sample holds stage 2 while the binary search runs.  Its
+                # carried Q(s,a) operand must keep tracking in-flight
+                # writes that complete *during* the hold, or they would
+                # commit unobserved before the fire-cycle fixup looks.
+                self._s2_busy -= 1
+                if forward:
+                    fix_operand_q(smp, (wb, s3_out))
+                self.reg12.hold()
+                self.stats.stall_cycles += 1
+            elif mode == "stall" and conflict_stage2(smp.s_next, (in_s3, wb)):
+                self.reg12.hold()
+                self.stats.stall_cycles += 1
+            else:
+                if forward:
+                    fix_operand_q(smp, (wb, s3_out))
+                view = ForwardingView(T, (wb, s3_out) if forward else ())
+                sel = select_update(
+                    smp.s_next,
+                    config=cfg,
+                    draws=self.draws,
+                    read_qmax=view.read_qmax,
+                    read_q=view.read_q,
+                    num_actions=T.num_actions,
+                )
+                smp.a_next = sel.action
+                smp.exploited = sel.exploited
+                smp.pair_next = (
+                    -1 if sel.exploited else T.pair_addr(smp.s_next, sel.action)
+                )
+                smp.q_next = 0 if smp.terminal_next else sel.q_raw
+                if sel.exploited:
+                    self.stats.exploits += 1
+                else:
+                    self.stats.explores += 1
+                if cfg.is_on_policy:
+                    self._pending_behavior = None if smp.terminal_next else sel.action
+                self.reg23.stage(smp)
+                s2_fired = True
+
+        # ---------------- Stage 1: issue ---------------- #
+        can_issue = (in_s2 is None) or s2_fired
+        budget_left = self._issue_budget is None or self.stats.issued < self._issue_budget
+        if can_issue and budget_left:
+            if self._latched_issue is None:
+                if self.arch_state is None:
+                    state = draw_start_state(self.draws, self.mdp.start_states)
+                    self._latched_issue = (state, True)
+                else:
+                    self._latched_issue = (self.arch_state, False)
+            state, restart = self._latched_issue
+            # In-flight writers at issue time: the sample just leaving S2
+            # plus those in S3/S4 this cycle.
+            if mode == "stall" and conflict_stage1(state, (in_s2, in_s3, wb)):
+                self.stats.stall_cycles += 1
+            else:
+                self._latched_issue = None
+                forwarded = None
+                if cfg.is_on_policy and not restart:
+                    forwarded = self._pending_behavior
+                    if forwarded is None:
+                        raise AssertionError(
+                            "on-policy issue without a forwarded action"
+                        )
+                    self._pending_behavior = None
+                view = ForwardingView(T, (wb, s3_out) if forward else ())
+                action = select_behavior(
+                    state,
+                    config=cfg,
+                    draws=self.draws,
+                    forwarded_action=forwarded,
+                    read_qmax=view.read_qmax,
+                    read_q=view.read_q,
+                    num_actions=T.num_actions,
+                )
+                s_next = int(self.mdp.next_state[state, action])
+                smp = Sample(
+                    index=self.stats.issued,
+                    s=state,
+                    a=action,
+                    pair=T.pair_addr(state, action),
+                    s_next=s_next,
+                    restart=restart,
+                    terminal_next=bool(T.terminal[s_next]),
+                )
+                smp.q_sa = view.read_q(state, action)
+                smp.r = T.read_reward(state, action)
+                self.reg12.stage(smp)
+                self.stats.issued += 1
+                if smp.terminal_next:
+                    self.arch_state = None
+                    self.stats.episodes += 1
+                else:
+                    self.arch_state = s_next
+
+    def tick(self) -> None:
+        """Clock edge: advance registers and commit table writes."""
+        self.reg12.tick()
+        self.reg23.tick()
+        self.reg34.tick()
+        if self.manage_commit:
+            self.tables.commit()
+        self.stats.cycles += 1
+
+    def step(self) -> None:
+        """One full cycle (eval + tick)."""
+        self.eval()
+        self.tick()
+
+    # ------------------------------------------------------------------ #
+    # Run control
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_flight(self) -> int:
+        """Samples issued but not yet retired."""
+        return self.stats.issued - self.stats.retired
+
+    def run(self, num_samples: int, *, max_cycles: Optional[int] = None) -> PipelineStats:
+        """Issue and retire exactly ``num_samples`` updates.
+
+        The issue budget stops stage 1 once enough samples have entered;
+        the pipeline then drains.  ``max_cycles`` (default: generous bound
+        proportional to the worst-case stall schedule) guards against
+        deadlock regressions.
+        """
+        if num_samples < 0:
+            raise ValueError("num_samples must be non-negative")
+        self._issue_budget = self.stats.issued + num_samples
+        if max_cycles is None:
+            max_cycles = 8 * num_samples + 64
+        start_cycle = self.stats.cycles
+        while self.stats.retired < self._issue_budget:
+            if self.stats.cycles - start_cycle > max_cycles:
+                raise RuntimeError(
+                    f"pipeline did not retire {num_samples} samples within "
+                    f"{max_cycles} cycles (deadlock?)"
+                )
+            self.step()
+        self._issue_budget = None
+        return self.stats
+
+    def enable_trace(self) -> list[TraceRecord]:
+        """Start recording (index, s, a, q_new) per retirement."""
+        self.trace = []
+        return self.trace
+
+    def q_float(self) -> np.ndarray:
+        """Current Q table as floats, ``(S, A)``."""
+        return self.tables.q_float_matrix()

@@ -1,0 +1,151 @@
+"""Action-selection policies (paper §III-B, §V).
+
+The policies are written against *read callables* rather than tables so
+the cycle-accurate pipeline can route reads through its forwarding
+network while the functional simulator reads committed state directly —
+with the exact same draw sequence from the shared LFSRs, which is what
+keeps the two simulators bit-identical.
+
+The e-greedy selector is the paper's single-draw circuit (§V-B): one
+N-bit LFSR word is compared against ``(1 - eps) * 2**N``; on exploit the
+Qmax value/action pair is read, otherwise the word's low bits directly
+index the explored action and the Q-table supplies its value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..rtl.lfsr import Lfsr
+from ..rtl.rng import UniformSource
+from .config import QTAccelConfig
+
+#: ``read_qmax(state) -> (q_raw, argmax_action)``
+QmaxReader = Callable[[int], tuple[int, int]]
+#: ``read_q(state, action) -> q_raw``
+QReader = Callable[[int, int], int]
+
+
+@dataclass
+class PolicyDraws:
+    """The accelerator's three LFSR streams.
+
+    Separate registers for start-state, behaviour-action and update-policy
+    draws (the hardware instantiates independent LFSRs), so the relative
+    evaluation order of pipeline stages cannot perturb any one stream.
+    """
+
+    start: UniformSource
+    action: UniformSource
+    policy: UniformSource
+
+    @classmethod
+    def from_config(cls, config: QTAccelConfig, *, salt: int = 0) -> "PolicyDraws":
+        w = config.lfsr_width
+        base = config.seed + salt * 0x9E37
+        return cls(
+            start=UniformSource(Lfsr(w, seed=base + 0x11)),
+            action=UniformSource(Lfsr(w, seed=base + 0x22)),
+            policy=UniformSource(Lfsr(w, seed=base + 0x33)),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateSelection:
+    """Result of the stage-2 update-policy selection."""
+
+    action: int
+    q_raw: int
+    exploited: bool
+
+
+def egreedy_cut(epsilon: float, width: int) -> int:
+    """The exploit threshold ``(1 - eps) * 2**width`` (§V-B)."""
+    return int((1.0 - epsilon) * (1 << width))
+
+
+def draw_start_state(draws: PolicyDraws, start_states) -> int:
+    """Random episode start (stage 1, first iteration of an episode)."""
+    return int(start_states[draws.start.below(len(start_states))])
+
+
+def egreedy_select(
+    state: int,
+    *,
+    epsilon: float,
+    draws: PolicyDraws,
+    read_qmax: QmaxReader,
+    read_q: QReader,
+    num_actions: int,
+) -> UpdateSelection:
+    """One-draw e-greedy selection: threshold compare + direct index."""
+    u = draws.policy.bits()
+    if u < egreedy_cut(epsilon, draws.policy.width):
+        q_raw, action = read_qmax(state)
+        return UpdateSelection(action=action, q_raw=q_raw, exploited=True)
+    if num_actions & (num_actions - 1) == 0:
+        action = u & (num_actions - 1)
+    else:
+        action = u % num_actions
+    return UpdateSelection(action=action, q_raw=read_q(state, action), exploited=False)
+
+
+def select_update(
+    next_state: int,
+    *,
+    config: QTAccelConfig,
+    draws: PolicyDraws,
+    read_qmax: QmaxReader,
+    read_q: QReader,
+    num_actions: int,
+) -> UpdateSelection:
+    """Stage-2 selection of ``(A_{t+1}, Q(S_{t+1}, A_{t+1}))``.
+
+    Greedy (Q-Learning): a single Qmax read — the §V-A optimisation that
+    replaces an ``|A|``-entry scan.  E-greedy (SARSA): the single-draw
+    circuit above.
+    """
+    if config.update_policy == "greedy":
+        q_raw, action = read_qmax(next_state)
+        return UpdateSelection(action=action, q_raw=q_raw, exploited=True)
+    return egreedy_select(
+        next_state,
+        epsilon=config.epsilon,
+        draws=draws,
+        read_qmax=read_qmax,
+        read_q=read_q,
+        num_actions=num_actions,
+    )
+
+
+def select_behavior(
+    state: int,
+    *,
+    config: QTAccelConfig,
+    draws: PolicyDraws,
+    forwarded_action: Optional[int],
+    read_qmax: QmaxReader,
+    read_q: QReader,
+    num_actions: int,
+) -> int:
+    """Stage-1 selection of the behaviour action ``A_t``.
+
+    For on-policy configurations the previous sample's stage-2 action is
+    forwarded in (§V-B) and no draw happens; a fresh e-greedy draw is only
+    made at episode boundaries.  Off-policy Q-Learning draws a uniform
+    random action every sample.
+    """
+    if config.behavior_policy == "random":
+        return draws.action.below(num_actions)
+    # e-greedy behaviour (SARSA)
+    if forwarded_action is not None:
+        return forwarded_action
+    return egreedy_select(
+        state,
+        epsilon=config.epsilon,
+        draws=draws,
+        read_qmax=read_qmax,
+        read_q=read_q,
+        num_actions=num_actions,
+    ).action

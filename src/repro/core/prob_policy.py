@@ -1,0 +1,208 @@
+"""Probability-distribution action selection (paper §VII-B, eq. 4).
+
+The generic form of QTAccel keeps a third ``|S| x |A|`` on-chip table P
+holding (quantised) selection weights per state-action pair: stage 2
+samples the next action by drawing one LFSR word in
+``[0, sum_a P[s', a])`` and binary-searching the cumulative row —
+``ceil(log2 |A|)`` cycles, the initiation-interval cost the paper's
+future-work section wants to pipeline away — and stage 4 refreshes the
+written state's row.
+
+This module implements the classic instantiation, **Boltzmann
+exploration** (§III-B): ``P(a|s) ∝ exp(Q(s,a) / T)``.  The exponential
+is a small lookup table in hardware; we model it with
+:func:`boltzmann_weights`, which quantises the row into unsigned
+fixed-point weights exactly as a LUT-fed BRAM row would hold them, so
+selection inherits the hardware's quantisation.
+
+:class:`BoltzmannSimulator` is a functional engine (on-policy, like
+SARSA, with the sampled stage-2 action forwarded to stage 1) built on
+the same tables, LFSR streams and datapath kernel as every other engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+from ..fixedpoint import ops
+from ..fixedpoint.format import FxpFormat
+from ..rtl.memory import TableRam
+from .config import QTAccelConfig
+from .policies import PolicyDraws, draw_start_state
+from .tables import AcceleratorTables
+
+#: On-chip weight format: unsigned 16-bit (one BRAM36 2Kx18 lane, like Q).
+WEIGHT_FORMAT = FxpFormat(wordlen=16, frac=15, signed=False)
+
+
+def selection_cycles(num_actions: int) -> int:
+    """Binary-search latency of one probability-table draw (§VII-B)."""
+    return max(1, math.ceil(math.log2(max(2, num_actions))))
+
+
+def boltzmann_weights(
+    q_row_raw: np.ndarray,
+    *,
+    q_fmt: FxpFormat,
+    temperature: float,
+    weight_fmt: FxpFormat = WEIGHT_FORMAT,
+) -> np.ndarray:
+    """Quantised ``exp(Q/T)`` weights for one state's row.
+
+    The row is max-normalised before the exponential (the standard
+    overflow guard, one subtractor in hardware), so the best action maps
+    to weight 1.0 and the rest decay; every weight is floored at one LSB
+    so no action's probability is exactly zero (the table must remain
+    samplable).
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    q = ops.to_float_array(q_row_raw, q_fmt)
+    z = np.exp((q - q.max()) / temperature)
+    raw = ops.quantize_array(z, weight_fmt)
+    return np.maximum(raw, 1)
+
+
+@dataclass
+class BoltzmannStats:
+    """Counters of a Boltzmann run."""
+
+    samples: int = 0
+    episodes: int = 0
+
+    def cycles(self, num_actions: int) -> int:
+        """Modelled pipeline cycles: the stage-2 binary search sets the
+        initiation interval at ``ceil(log2 |A|)`` cycles per sample."""
+        return self.samples * selection_cycles(num_actions)
+
+
+class BoltzmannSimulator:
+    """Generic table-based QRL with Boltzmann exploration.
+
+    On-policy: the stage-2 sampled action is forwarded to stage 1 as the
+    next behaviour action (the same wire SARSA uses).  The probability
+    table starts uniform (all Q equal) and the written state's row is
+    refreshed at every write-back.
+    """
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        config: QTAccelConfig,
+        *,
+        temperature: float = 50.0,
+        draws: Optional[PolicyDraws] = None,
+    ):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.mdp = mdp
+        # The table set is algorithm-agnostic; reuse the SARSA preset's
+        # tables (Qmax present but unused by this policy).
+        self.config = config
+        self.temperature = temperature
+        self.tables = AcceleratorTables(mdp, config)
+        self.prob = TableRam(
+            mdp.num_states * mdp.num_actions, WEIGHT_FORMAT.wordlen, name="prob"
+        )
+        uniform = boltzmann_weights(
+            np.zeros(mdp.num_actions, dtype=np.int64),
+            q_fmt=config.q_format,
+            temperature=temperature,
+        )
+        self.prob.data[:] = np.tile(uniform, mdp.num_states)
+        self.draws = draws if draws is not None else PolicyDraws.from_config(config)
+        (self._alpha, _, self._one_minus_alpha, self._alpha_gamma) = config.coefficients()
+        self.stats = BoltzmannStats()
+        self._state: Optional[int] = None
+        self._forwarded: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # The selection circuit
+    # ------------------------------------------------------------------ #
+
+    def _prob_row(self, state: int) -> np.ndarray:
+        a = self.mdp.num_actions
+        base = state * a
+        return self.prob.data[base : base + a]
+
+    def sample_action(self, state: int) -> int:
+        """One probability-table draw: LFSR word reduced into the row's
+        cumulative weight, binary-searched (the log2 |A| circuit)."""
+        row = self._prob_row(state)
+        cum = np.cumsum(row)
+        total = int(cum[-1])
+        u = self.draws.policy.bits() % total
+        return int(np.searchsorted(cum, u, side="right"))
+
+    def _refresh_row(self, state: int) -> None:
+        """Stage-4 probability update for the written state's row."""
+        self._prob_row(state)[:] = boltzmann_weights(
+            self.tables.row_q(state),
+            q_fmt=self.config.q_format,
+            temperature=self.temperature,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, num_samples: int) -> BoltzmannStats:
+        """Process ``num_samples`` updates."""
+        if num_samples < 0:
+            raise ValueError("num_samples must be non-negative")
+        mdp = self.mdp
+        T = self.tables
+        for _ in range(num_samples):
+            if self._state is None:
+                state = draw_start_state(self.draws, mdp.start_states)
+                action = self.sample_action(state)
+            else:
+                state = self._state
+                assert self._forwarded is not None
+                action = self._forwarded
+
+            pair = T.pair_addr(state, action)
+            s_next = int(mdp.next_state[state, action])
+            terminal_next = bool(mdp.terminal[s_next])
+            q_sa = T.q.read(pair)
+            r = T.rewards.read(pair)
+
+            a_next = self.sample_action(s_next)
+            q_next = 0 if terminal_next else T.read_q(s_next, a_next)
+
+            q_new = ops.q_update(
+                q_sa,
+                r,
+                q_next,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                coef_fmt=self.config.coef_format,
+                q_fmt=self.config.q_format,
+            )
+            T.writeback_now(state, action, q_new)
+            self._refresh_row(state)
+
+            self.stats.samples += 1
+            if terminal_next:
+                self._state = None
+                self._forwarded = None
+                self.stats.episodes += 1
+            else:
+                self._state = s_next
+                self._forwarded = a_next
+        return self.stats
+
+    def q_float(self) -> np.ndarray:
+        """Learned Q table as floats, ``(S, A)``."""
+        return self.tables.q_float_matrix()
+
+    def probabilities(self, state: int) -> np.ndarray:
+        """Normalised selection probabilities for one state."""
+        row = self._prob_row(state).astype(np.float64)
+        return row / row.sum()

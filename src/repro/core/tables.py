@@ -1,0 +1,178 @@
+"""The accelerator's on-chip tables: Q, rewards, Qmax (paper §IV-B, §V-A).
+
+:class:`AcceleratorTables` owns the BRAM-backed state of one pipeline (or
+of two state-sharing pipelines): the ``|S| x |A|`` Q and reward tables and
+the ``|S|``-entry Qmax value/action arrays.  Addresses follow the
+hardware scheme — state in the high bits, action in the low bits when
+``|A|`` is a power of two.
+
+The Qmax write-path update implements the paper's §V-A optimisation: at
+write-back, the cached maximum is raised if the freshly written Q-value
+exceeds it.  Because it is never lowered, the cache can go stale-high when
+an update reduces the current per-state maximum; ``qmax_mode="exact"``
+(not implementable in one hardware cycle — ablation only) recomputes the
+true row maximum instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envs.base import DenseMdp, bits_for
+from ..fixedpoint import ops
+from ..rtl.memory import BRAM36, TableRam
+from .config import QTAccelConfig
+
+
+def apply_qmax_rule(
+    mode: str, value: int, act: int, new_val: int, new_act: int
+) -> tuple[int, int]:
+    """One application of the stage-4 Qmax maintenance rule.
+
+    Shared by the write-back path and the forwarding network so that
+    overlaying pending writes is exactly equivalent to committing them in
+    order (the equivalence the simulators' bit-identity rests on).
+    """
+    if mode == "monotonic":
+        return (new_val, new_act) if new_val > value else (value, act)
+    if mode == "follow":
+        if new_act == act or new_val > value:
+            return new_val, new_act
+        return value, act
+    raise ValueError(f"no single-cycle rule for qmax mode {mode!r}")
+
+
+class AcceleratorTables:
+    """On-chip table set for one environment + configuration."""
+
+    def __init__(self, mdp: DenseMdp, config: QTAccelConfig):
+        self.mdp = mdp
+        self.config = config
+        s, a = mdp.num_states, mdp.num_actions
+        self.num_states = s
+        self.num_actions = a
+        self.action_bits = bits_for(a)
+        self._pow2_actions = a & (a - 1) == 0
+
+        qf = config.q_format
+        q_init_raw = qf.quantize(config.q_init)
+        self.q = TableRam(s * a, qf.wordlen, name="q", fill=q_init_raw)
+        self.rewards = TableRam(s * a, qf.wordlen, name="rewards")
+        self.rewards.data[:] = ops.quantize_array(mdp.rewards.ravel(), qf)
+        self.qmax = TableRam(s, qf.wordlen, name="qmax", fill=q_init_raw)
+        self.qmax_action = TableRam(s, max(1, self.action_bits), name="qmax_action")
+        #: Terminal flags live in the transition-function block
+        #: (combinational logic), not BRAM; kept as a plain array.
+        self.terminal = mdp.terminal
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+
+    def pair_addr(self, state: int, action: int) -> int:
+        """Hardware address of ``(state, action)``: state in the high
+        bits, action in the low bits (shift/or when ``|A|`` is a power of
+        two, multiply otherwise)."""
+        if self._pow2_actions:
+            return (state << self.action_bits) | action
+        return state * self.num_actions + action
+
+    # ------------------------------------------------------------------ #
+    # Read paths
+    # ------------------------------------------------------------------ #
+
+    def read_q(self, state: int, action: int) -> int:
+        """Stage-1/2 Q-table read (raw)."""
+        return self.q.read(self.pair_addr(state, action))
+
+    def read_reward(self, state: int, action: int) -> int:
+        """Stage-1 reward-table read (raw)."""
+        return self.rewards.read(self.pair_addr(state, action))
+
+    def read_qmax(self, state: int) -> tuple[int, int]:
+        """Stage-2 Qmax read: ``(max_value_raw, argmax_action)``."""
+        return self.qmax.read(state), self.qmax_action.read(state)
+
+    # ------------------------------------------------------------------ #
+    # Write-back path (stage 4)
+    # ------------------------------------------------------------------ #
+
+    def writeback(self, state: int, action: int, q_new_raw: int) -> None:
+        """Stage writes for the clock edge: Q entry plus Qmax maintenance."""
+        self.q.write(self.pair_addr(state, action), q_new_raw)
+        mode = self.config.qmax_mode
+        if mode == "exact":  # ablation: recompute the true row maximum
+            row = self.row_q(state).copy()
+            row[action] = q_new_raw
+            best = int(np.argmax(row))
+            self.qmax.write(state, int(row[best]))
+            self.qmax_action.write(state, best)
+            return
+        cur_val = self.qmax.read(state)
+        cur_act = self.qmax_action.read(state)
+        new_val, new_act = apply_qmax_rule(mode, cur_val, cur_act, q_new_raw, action)
+        if (new_val, new_act) != (cur_val, cur_act):
+            self.qmax.write(state, new_val)
+            self.qmax_action.write(state, new_act)
+
+    def writeback_now(self, state: int, action: int, q_new_raw: int) -> None:
+        """Unclocked write-back (functional-simulator path), identical
+        update semantics."""
+        self.q.write_now(self.pair_addr(state, action), q_new_raw)
+        mode = self.config.qmax_mode
+        if mode == "exact":
+            row = self.row_q(state).copy()
+            row[action] = q_new_raw
+            best = int(np.argmax(row))
+            self.qmax.write_now(state, int(row[best]))
+            self.qmax_action.write_now(state, best)
+            return
+        cur_val = int(self.qmax.data[state])
+        cur_act = int(self.qmax_action.data[state])
+        new_val, new_act = apply_qmax_rule(mode, cur_val, cur_act, q_new_raw, action)
+        if (new_val, new_act) != (cur_val, cur_act):
+            self.qmax.write_now(state, new_val)
+            self.qmax_action.write_now(state, new_act)
+
+    def commit(self) -> int:
+        """Clock edge for all staged table writes; returns collisions."""
+        collisions = self.q.commit()
+        collisions += self.qmax.commit()
+        self.qmax_action.commit()
+        return collisions
+
+    # ------------------------------------------------------------------ #
+    # Bulk views (metrics / functional simulator)
+    # ------------------------------------------------------------------ #
+
+    def row_q(self, state: int) -> np.ndarray:
+        """Raw Q row for one state (a view, not a copy)."""
+        base = state * self.num_actions if not self._pow2_actions else state << self.action_bits
+        return self.q.data[base : base + self.num_actions]
+
+    def q_raw_matrix(self) -> np.ndarray:
+        """Raw Q values as an ``(S, A)`` array (copy)."""
+        return self.q.data.reshape(self.num_states, self.num_actions).copy()
+
+    def q_float_matrix(self) -> np.ndarray:
+        """Q values as floats, ``(S, A)``."""
+        return ops.to_float_array(self.q_raw_matrix(), self.config.q_format)
+
+    def qmax_invariant_holds(self) -> bool:
+        """Check ``Qmax[s] >= max_a Q[s, a]`` for all states (always true
+        for monotonic mode when Q and Qmax start equal; tested)."""
+        rows = self.q.data.reshape(self.num_states, self.num_actions)
+        return bool(np.all(self.qmax.data >= rows.max(axis=1)))
+
+    def bram_blocks(self, *, include_qmax_action: bool | None = None) -> int:
+        """Block-granular BRAM total, the Fig. 4 resource quantity.
+
+        The Qmax *action* array is only needed by e-greedy update policies
+        (SARSA); Q-Learning's greedy update consumes the value alone.
+        """
+        if include_qmax_action is None:
+            include_qmax_action = self.config.update_policy == "egreedy"
+        total = self.q.blocks + self.rewards.blocks + self.qmax.blocks
+        if include_qmax_action:
+            total += self.qmax_action.blocks
+        return total

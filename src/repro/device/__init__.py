@@ -1,0 +1,38 @@
+"""FPGA device models: part catalog, resource estimation, clock/timing
+and power, calibrated once against the paper's reported curves (see each
+module's docstring for the calibration provenance).
+"""
+
+from .parts import PARTS, XC6VLX240T, XC7VX690T, XCVU13P, FpgaPart
+from .power import power_mw
+from .resources import (
+    DATAPATH_DSPS,
+    ResourceReport,
+    estimate_resources,
+    estimate_shared,
+    logic_model,
+    max_supported_states,
+    table_bits_total,
+    table_blocks,
+)
+from .timing import ThroughputEstimate, clock_mhz, throughput
+
+__all__ = [
+    "FpgaPart",
+    "PARTS",
+    "XCVU13P",
+    "XC7VX690T",
+    "XC6VLX240T",
+    "ResourceReport",
+    "estimate_resources",
+    "estimate_shared",
+    "table_blocks",
+    "table_bits_total",
+    "logic_model",
+    "max_supported_states",
+    "DATAPATH_DSPS",
+    "clock_mhz",
+    "throughput",
+    "ThroughputEstimate",
+    "power_mw",
+]

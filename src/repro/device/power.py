@@ -1,0 +1,49 @@
+"""Activity-based power model (the power series of Figs. 3 and 5).
+
+The paper reports dynamic power rising with state-space size (more BRAM
+columns switching) and slightly higher for SARSA (the extra LFSR and
+comparator toggling every cycle).  We reproduce that shape with the
+standard first-order activity model
+
+    P = P_static + (c_bram * blocks + c_dsp * dsps + c_ff * ffs
+                    + c_lut * luts) * (f / f_ref)
+
+The coefficients are synthetic calibrations (documented here, used
+nowhere else): they place the smallest design near ~45 mW and the
+largest near ~230 mW, matching the magnitude and monotonicity of the
+paper's bars.  Shape, not absolute wattage, is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from .resources import ResourceReport
+from .timing import clock_mhz
+
+#: Static leakage floor of the power model (mW).
+P_STATIC_MW = 30.0
+#: Dynamic energy coefficients at the reference clock (mW per unit).
+C_BRAM_MW = 0.085  # per active BRAM36 block
+C_DSP_MW = 2.4  # per DSP slice
+C_FF_MW = 0.004  # per flip-flop
+C_LUT_MW = 0.002  # per LUT
+#: Reference clock for the coefficients (MHz).
+F_REF_MHZ = 189.0
+
+
+def power_mw(report: ResourceReport, *, clock: float | None = None) -> float:
+    """Modelled total power (mW) of one accelerator instance.
+
+    ``clock`` defaults to the timing model's achieved frequency for the
+    report's BRAM utilisation, so bigger designs both draw more per cycle
+    and cycle slower — exactly the two competing effects behind the
+    near-linear power growth in Fig. 3.
+    """
+    if clock is None:
+        clock = clock_mhz(report.bram_blocks / report.part.bram36, part=report.part)
+    dynamic = (
+        C_BRAM_MW * report.bram_blocks
+        + C_DSP_MW * report.dsp
+        + C_FF_MW * report.ff
+        + C_LUT_MW * report.lut
+    )
+    return P_STATIC_MW + dynamic * (clock / F_REF_MHZ)

@@ -1,0 +1,271 @@
+"""Analytical resource model of a QTAccel instance (Figs. 3, 4, 5).
+
+The paper's resource results decompose cleanly:
+
+* **DSP** — exactly 4 multipliers regardless of problem size (§V-A,
+  Fig. 3): ``alpha * gamma`` in stage 1 plus the three stage-3 products.
+* **BRAM** — the Q, reward and Qmax tables, allocated at block
+  granularity (Fig. 4 grows linearly with ``|S| x |A|``).  We report both
+  the block-granular count (what the tools consume) and the raw bit view
+  (what the paper's percentages reduce to at small sizes).
+* **FF / LUT** — a fixed pipeline skeleton plus terms that grow only with
+  the *address widths* (log of the problem size), which is why the paper
+  sees <0.1 % logic even at 2M pairs.  SARSA adds the e-greedy LFSR and
+  comparator (Fig. 5's slightly higher register count).
+
+The FF/LUT constants are calibrated, not synthesised — they reproduce
+the order of magnitude and the flat-with-size shape the paper reports,
+which is all Figs. 3/5 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..envs.base import bits_for
+from ..rtl.memory import BRAM36, URAM288, BlockKind
+from ..core.config import QTAccelConfig
+from .parts import FpgaPart, XCVU13P
+
+#: The four datapath multipliers (§V-A), one DSP each.
+DATAPATH_DSPS = 4
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Resource usage of one accelerator instance on one device."""
+
+    part: FpgaPart
+    num_states: int
+    num_actions: int
+    algorithm: str
+    dsp: int
+    bram_blocks: int
+    bram_bits: int
+    uram_blocks: int
+    ff: int
+    lut: int
+
+    @property
+    def dsp_pct(self) -> float:
+        return 100.0 * self.dsp / self.part.dsp
+
+    @property
+    def bram_pct(self) -> float:
+        """Block-granular BRAM utilisation (the scheduling reality)."""
+        return 100.0 * self.bram_blocks / self.part.bram36
+
+    @property
+    def bram_bits_pct(self) -> float:
+        """Bit-granular utilisation (the paper's Fig. 4 number at small
+        sizes, where block quantisation dominates)."""
+        return 100.0 * self.bram_bits / self.part.bram_bits
+
+    @property
+    def uram_pct(self) -> float:
+        return 100.0 * self.uram_blocks / self.part.uram if self.part.uram else 0.0
+
+    @property
+    def ff_pct(self) -> float:
+        return 100.0 * self.ff / self.part.ffs
+
+    @property
+    def lut_pct(self) -> float:
+        return 100.0 * self.lut / self.part.luts
+
+    @property
+    def fits(self) -> bool:
+        return (
+            self.dsp <= self.part.dsp
+            and self.bram_blocks <= self.part.bram36
+            and self.uram_blocks <= self.part.uram
+            and self.ff <= self.part.ffs
+            and self.lut <= self.part.luts
+        )
+
+    def format(self) -> str:
+        """A synthesis-tool-style utilisation report."""
+        rows = [
+            ("DSP48", self.dsp, self.part.dsp, self.dsp_pct),
+            ("BRAM36", self.bram_blocks, self.part.bram36, self.bram_pct),
+            ("URAM", self.uram_blocks, self.part.uram, self.uram_pct),
+            ("FF", self.ff, self.part.ffs, self.ff_pct),
+            ("LUT", self.lut, self.part.luts, self.lut_pct),
+        ]
+        body = [f"| {'resource':8s} | {'used':>10s} | {'available':>10s} | {'util %':>8s} |"]
+        for name, used, avail, pct in rows:
+            if avail == 0 and used == 0:
+                continue
+            body.append(f"| {name:8s} | {used:10,d} | {avail:10,d} | {pct:8.3f} |")
+        width = len(body[0])
+        verdict = "fits" if self.fits else "DOES NOT FIT"
+        lines = [
+            f"utilisation: {self.algorithm} |S|={self.num_states:,} "
+            f"|A|={self.num_actions} on {self.part.name}",
+            "+" + "-" * (width - 2) + "+",
+        ]
+        lines.extend(body)
+        lines.append(f"| design {verdict:>{width - 11}s} |")
+        lines.append("+" + "-" * (width - 2) + "+")
+        return "\n".join(lines)
+
+
+def table_blocks(
+    num_states: int,
+    num_actions: int,
+    config: QTAccelConfig,
+    *,
+    kind: BlockKind = BRAM36,
+    prob_table: bool = False,
+) -> int:
+    """Block count of the full on-chip table set.
+
+    Q table and reward table are ``|S| x |A|`` words of the Q format;
+    Qmax value is ``|S|`` words; the Qmax *argmax-action* array
+    (``|S| x log2|A|``) is only present for e-greedy update policies
+    (SARSA), since Q-Learning's greedy update consumes the value alone.
+    ``prob_table`` adds the third ``|S| x |A|`` table of §IV-B for
+    probability-distribution policies (Boltzmann, EXP3, eq. 4).
+    """
+    pairs = num_states * num_actions
+    qw = config.q_format.wordlen
+    blocks = 2 * kind.blocks_for(pairs, qw)  # Q + rewards
+    blocks += kind.blocks_for(num_states, qw)  # Qmax value
+    if config.update_policy == "egreedy":
+        blocks += kind.blocks_for(num_states, max(1, bits_for(num_actions)))
+    if prob_table:
+        blocks += kind.blocks_for(pairs, 16)  # quantised weight entries
+    return blocks
+
+
+def table_bits_total(num_states: int, num_actions: int, config: QTAccelConfig) -> int:
+    """Raw payload bits of the table set (bit-granular Fig. 4 view)."""
+    pairs = num_states * num_actions
+    qw = config.q_format.wordlen
+    bits = 2 * pairs * qw + num_states * qw
+    if config.update_policy == "egreedy":
+        bits += num_states * max(1, bits_for(num_actions))
+    return bits
+
+
+def logic_model(
+    num_states: int, num_actions: int, config: QTAccelConfig
+) -> tuple[int, int]:
+    """Calibrated FF / LUT counts of the pipeline skeleton.
+
+    Fixed costs: three inter-stage register banks carrying the sample
+    (state, action, two Q words, reward), four coefficient registers,
+    control.  Size-dependent costs grow only with address widths.  SARSA
+    adds the e-greedy LFSR + threshold comparator.
+    """
+    sb = bits_for(num_states)
+    ab = bits_for(num_actions)
+    qw = config.q_format.wordlen
+    cw = config.coef_format.wordlen
+    w = config.lfsr_width
+
+    # Register banks: (s, a, s', q_sa, r, a', q_next, flags) x 3 stages.
+    sample_bits = 2 * sb + 2 * ab + 3 * qw + 4
+    ff = 3 * sample_bits + 4 * cw + 48  # + control FSM/valid bits
+    ff += w + sb  # start-state LFSR + behaviour-action LFSR (shared trims)
+    lut = 6 * sample_bits + 20 * ab + 12 * sb + 160  # muxing + transition fn
+    if config.update_policy == "egreedy":
+        ff += w + 8  # policy LFSR + epsilon threshold register
+        lut += 3 * w  # threshold comparator + index mux
+    return ff, lut
+
+
+def estimate_resources(
+    num_states: int,
+    num_actions: int,
+    config: QTAccelConfig,
+    *,
+    part: FpgaPart = XCVU13P,
+    pipelines: int = 1,
+    spill_to_uram: bool = False,
+    prob_table: bool = False,
+) -> ResourceReport:
+    """Full resource report for ``pipelines`` QTAccel instances.
+
+    In the state-sharing dual-pipeline mode the tables are shared (pass
+    ``pipelines=2`` with ``shared_tables=True`` semantics via
+    :func:`estimate_shared`); this function models *independent* table
+    sets per pipeline.
+
+    ``spill_to_uram`` moves the large pair tables (Q + rewards) to URAM —
+    the §VI-C2 pathway to ~10M state-action pairs — leaving Qmax in BRAM.
+    ``prob_table`` adds the probability-distribution table (§IV-B).
+    """
+    blocks = table_blocks(num_states, num_actions, config, prob_table=prob_table)
+    bits = table_bits_total(num_states, num_actions, config)
+    if prob_table:
+        bits += num_states * num_actions * 16
+    ff, lut = logic_model(num_states, num_actions, config)
+    uram_blocks = 0
+    if spill_to_uram:
+        pairs = num_states * num_actions
+        qw = config.q_format.wordlen
+        uram_blocks = 2 * URAM288.blocks_for(pairs, qw)
+        blocks -= 2 * BRAM36.blocks_for(pairs, qw)
+    return ResourceReport(
+        part=part,
+        num_states=num_states,
+        num_actions=num_actions,
+        algorithm=config.algorithm,
+        dsp=DATAPATH_DSPS * pipelines,
+        bram_blocks=blocks * pipelines,
+        bram_bits=bits * pipelines,
+        uram_blocks=uram_blocks * pipelines,
+        ff=ff * pipelines,
+        lut=lut * pipelines,
+    )
+
+
+def estimate_shared(
+    num_states: int,
+    num_actions: int,
+    config: QTAccelConfig,
+    *,
+    part: FpgaPart = XCVU13P,
+) -> ResourceReport:
+    """Resources of the Fig. 8 state-sharing mode: two pipelines, one
+    table set (the dual-port BRAM is simply used on both ports)."""
+    single = estimate_resources(num_states, num_actions, config, part=part)
+    ff, lut = logic_model(num_states, num_actions, config)
+    return ResourceReport(
+        part=part,
+        num_states=num_states,
+        num_actions=num_actions,
+        algorithm=config.algorithm,
+        dsp=2 * DATAPATH_DSPS,
+        bram_blocks=single.bram_blocks,
+        bram_bits=single.bram_bits,
+        uram_blocks=single.uram_blocks,
+        ff=2 * ff,
+        lut=2 * lut,
+    )
+
+
+def max_supported_states(
+    num_actions: int,
+    config: QTAccelConfig,
+    *,
+    part: FpgaPart = XCVU13P,
+    spill_to_uram: bool = False,
+) -> int:
+    """Largest power-of-two ``|S|`` whose tables fit the device (§VI-F).
+
+    Doubles ``|S|`` until the report stops fitting; returns the last fit.
+    """
+    s = 2
+    best = 0
+    while True:
+        rep = estimate_resources(
+            s, num_actions, config, part=part, spill_to_uram=spill_to_uram
+        )
+        if not rep.fits:
+            return best
+        best = s
+        s *= 2
+        if s > 1 << 30:  # safety: something is wrong with the model
+            return best

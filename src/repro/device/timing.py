@@ -1,0 +1,81 @@
+"""Clock-frequency and throughput model (Fig. 6).
+
+The pipeline retires one sample per cycle, so throughput in MS/s equals
+the achieved clock in MHz divided by the measured cycles-per-sample
+(1.0 for ``hazard_mode="forward"``).  The clock itself degrades as BRAM
+utilisation grows — §VI-D attributes the drop at very large state spaces
+to routing pressure once a large fraction of the device's BRAM columns
+participate in one logical RAM.
+
+We model the degradation as
+
+    f(util) = f_base * (1 - BETA * util**P)
+
+with ``util`` the block-granular BRAM fraction.  ``BETA = 0.199`` and
+``P = 0.62`` are calibrated once against the six Fig. 6 Q-Learning points
+(189, 187, 187, 186, 175, 156 MS/s for |S| = 64 ... 262144 at 8 actions);
+the fit reproduces every point within 1 MS/s and is shared, uncalibrated,
+by every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parts import FpgaPart, XCVU13P
+from .resources import ResourceReport
+
+#: Calibrated routing-degradation constants (see module docstring).
+BETA = 0.199
+P = 0.62
+
+#: No design in this family closes timing below this floor.
+MIN_CLOCK_MHZ = 40.0
+
+
+def clock_mhz(bram_utilization: float, *, part: FpgaPart = XCVU13P) -> float:
+    """Achievable clock for a design occupying ``bram_utilization`` of the
+    device's BRAM (0..1)."""
+    if bram_utilization < 0.0:
+        raise ValueError("utilization cannot be negative")
+    util = min(bram_utilization, 1.0)
+    f = part.base_clock_mhz * (1.0 - BETA * util**P)
+    return max(f, MIN_CLOCK_MHZ)
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Modelled throughput of one accelerator instance."""
+
+    clock_mhz: float
+    cycles_per_sample: float
+    pipelines: int = 1
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.clock_mhz * 1e6 * self.pipelines / self.cycles_per_sample
+
+    @property
+    def msps(self) -> float:
+        """Throughput in million samples per second (the Fig. 6 unit)."""
+        return self.samples_per_sec / 1e6
+
+
+def throughput(
+    report: ResourceReport,
+    *,
+    cycles_per_sample: float = 1.0,
+    pipelines: int = 1,
+) -> ThroughputEstimate:
+    """Throughput estimate from a resource report.
+
+    ``cycles_per_sample`` should come from a cycle-accurate run (1.0 for
+    the forwarding design; larger under ``stall`` or for multi-cycle
+    policies such as the probability-table binary search).
+    """
+    if cycles_per_sample <= 0:
+        raise ValueError("cycles_per_sample must be positive")
+    f = clock_mhz(report.bram_blocks / report.part.bram36, part=report.part)
+    return ThroughputEstimate(
+        clock_mhz=f, cycles_per_sample=cycles_per_sample, pipelines=pipelines
+    )

@@ -1,0 +1,50 @@
+"""Environments: grid worlds, synthetic MDPs, bandit problems, and
+multi-agent world wrappers.
+
+Every environment reduces to a :class:`~repro.envs.base.DenseMdp` — the
+transition-function / reward-table / start-state triple QTAccel keeps on
+chip — except bandits, which have their own reward-sampling interface
+matching the paper's §VII-B customisation.
+"""
+
+from .cliff import cliff_mdp, edge_hug_fraction
+from .base import ACTIONS_4, ACTIONS_8, DenseMdp, GridEncoding, action_vectors, bits_for
+from .bandits import (
+    BanditEnv,
+    BernoulliArm,
+    NormalArm,
+    StatefulBanditEnv,
+    channel_selection_env,
+)
+from .gridworld import GridWorld, GridWorldSpec
+from .multi_agent import (
+    collision_probability,
+    measure_collisions,
+    partition_grid,
+    shared_world,
+)
+from .random_mdp import chain_mdp, random_dense_mdp
+
+__all__ = [
+    "DenseMdp",
+    "GridEncoding",
+    "ACTIONS_4",
+    "ACTIONS_8",
+    "action_vectors",
+    "bits_for",
+    "cliff_mdp",
+    "edge_hug_fraction",
+    "GridWorld",
+    "GridWorldSpec",
+    "random_dense_mdp",
+    "chain_mdp",
+    "BanditEnv",
+    "NormalArm",
+    "BernoulliArm",
+    "StatefulBanditEnv",
+    "channel_selection_env",
+    "partition_grid",
+    "shared_world",
+    "collision_probability",
+    "measure_collisions",
+]

@@ -1,0 +1,165 @@
+"""Multi-armed bandit environments (paper §VII-B).
+
+The paper positions QTAccel as a pathway to energy-efficient MAB
+accelerators for 5G applications (distributed channel selection,
+opportunistic spectrum access), with rewards drawn from per-arm
+distributions — normal by default, synthesised on chip by summing LFSR
+uniforms.  This module provides the arm models, the stateless bandit
+environment, a stateful variant (each arm carries a small Markov state,
+§VII-B "Stateful Bandits"), and a 5G channel-selection scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rtl.lfsr import Lfsr
+from ..rtl.rng import CltNormal, UniformSource
+
+
+@dataclass(frozen=True)
+class NormalArm:
+    """An arm paying ``Normal(mean, std)`` rewards."""
+
+    mean: float
+    std: float = 1.0
+
+    def expected(self) -> float:
+        return self.mean
+
+
+@dataclass(frozen=True)
+class BernoulliArm:
+    """An arm paying 1 with probability ``p`` else 0."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+
+    def expected(self) -> float:
+        return self.p
+
+
+class BanditEnv:
+    """A stateless multi-armed bandit with LFSR-driven reward sampling.
+
+    Normal arms draw through the CLT sampler (sum of LFSR uniforms) and
+    Bernoulli arms through a threshold comparison — the two circuits §VII-B
+    sketches.  One LFSR per arm keeps the streams independent and
+    reproducible.
+    """
+
+    def __init__(self, arms, *, seed: int = 1, lfsr_width: int = 24, clt_k: int = 12):
+        self.arms = tuple(arms)
+        if not self.arms:
+            raise ValueError("need at least one arm")
+        self._samplers = []
+        for i, arm in enumerate(self.arms):
+            lfsr = Lfsr(lfsr_width, seed=seed + 0x1000 * (i + 1))
+            if isinstance(arm, NormalArm):
+                self._samplers.append(CltNormal(lfsr, k=clt_k, mean=arm.mean, std=arm.std))
+            elif isinstance(arm, BernoulliArm):
+                self._samplers.append(UniformSource(lfsr))
+            else:
+                raise TypeError(f"unsupported arm type {type(arm).__name__}")
+        self.pulls = np.zeros(len(self.arms), dtype=np.int64)
+
+    @property
+    def num_arms(self) -> int:
+        return len(self.arms)
+
+    @property
+    def best_arm(self) -> int:
+        return int(np.argmax([a.expected() for a in self.arms]))
+
+    @property
+    def best_mean(self) -> float:
+        return max(a.expected() for a in self.arms)
+
+    def pull(self, arm: int) -> float:
+        """Sample one reward from ``arm``."""
+        self.pulls[arm] += 1
+        sampler = self._samplers[arm]
+        if isinstance(sampler, CltNormal):
+            return sampler.sample()
+        return 1.0 if sampler.threshold(self.arms[arm].p) else 0.0
+
+    def regret_of(self, chosen: np.ndarray) -> np.ndarray:
+        """Cumulative pseudo-regret of a sequence of chosen arms."""
+        means = np.array([a.expected() for a in self.arms])
+        inst = self.best_mean - means[np.asarray(chosen)]
+        return np.cumsum(inst)
+
+
+class StatefulBanditEnv:
+    """Arms with internal two-state Markov chains (§VII-B stateful bandits).
+
+    Each arm alternates between a "good" and a "bad" state with switching
+    probability ``flip_p``; the paid mean depends on the arm state.  The
+    joint state (the concatenation of per-arm bits, as the paper suggests)
+    is exposed so a Q-table over ``2**M`` states can be trained.
+    """
+
+    def __init__(
+        self,
+        good_means,
+        bad_means,
+        *,
+        std: float = 1.0,
+        flip_p: float = 0.05,
+        seed: int = 1,
+        lfsr_width: int = 24,
+    ):
+        self.good_means = np.asarray(good_means, dtype=np.float64)
+        self.bad_means = np.asarray(bad_means, dtype=np.float64)
+        if self.good_means.shape != self.bad_means.shape:
+            raise ValueError("good/bad mean arrays must match")
+        self.num_arms = int(self.good_means.size)
+        self.flip_p = flip_p
+        self.std = std
+        self._flip_rng = UniformSource(Lfsr(lfsr_width, seed=seed))
+        self._noise = CltNormal(Lfsr(lfsr_width, seed=seed + 0xBEEF), std=std)
+        self.arm_states = np.zeros(self.num_arms, dtype=np.int8)  # 0 good, 1 bad
+
+    @property
+    def joint_state(self) -> int:
+        """Concatenated per-arm state bits (the Q-table row index)."""
+        code = 0
+        for i, s in enumerate(self.arm_states):
+            code |= int(s) << i
+        return code
+
+    @property
+    def num_joint_states(self) -> int:
+        return 1 << self.num_arms
+
+    def expected(self, arm: int) -> float:
+        means = self.bad_means if self.arm_states[arm] else self.good_means
+        return float(means[arm])
+
+    def pull(self, arm: int) -> float:
+        """Sample a reward, then let every arm's chain evolve one step."""
+        reward = self.expected(arm) + self._noise.sample()
+        for i in range(self.num_arms):
+            if self._flip_rng.threshold(self.flip_p):
+                self.arm_states[i] ^= 1
+        return reward
+
+
+def channel_selection_env(
+    num_channels: int = 8, *, snr_db_range: tuple[float, float] = (2.0, 20.0), seed: int = 7
+) -> BanditEnv:
+    """The 5G distributed channel-selection scenario of §VII-B.
+
+    Each channel is an arm whose mean reward is the Shannon rate for an
+    SNR drawn from ``snr_db_range``; fast fading appears as normal noise.
+    """
+    rng = np.random.default_rng(seed)
+    snrs_db = rng.uniform(*snr_db_range, size=num_channels)
+    rates = np.log2(1.0 + 10.0 ** (snrs_db / 10.0))  # bits/s/Hz
+    arms = [NormalArm(mean=float(r), std=0.5) for r in rates]
+    return BanditEnv(arms, seed=seed)

@@ -1,0 +1,184 @@
+"""Environment abstractions and hardware-style state/action encodings.
+
+QTAccel treats the environment as three artifacts (paper §IV-B):
+
+* a **transition function** — a black-box combinational block mapping
+  ``(state, action) -> next_state``;
+* a **reward table** — ``|S| x |A|`` values preloaded into BRAM;
+* a **start-state source** — a random draw at episode boundaries.
+
+:class:`DenseMdp` is the canonical container for those artifacts: dense
+numpy arrays indexed by integer state/action codes, which is simultaneously
+what the hardware tables hold and what the vectorised functional simulator
+wants.  Concrete environments (grid world, random MDPs, bandits) build one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def bits_for(n: int) -> int:
+    """Number of address bits for ``n`` codes (``ceil(log2(n))``, min 1)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(1, (n - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class GridEncoding:
+    """The paper's bit-packed (x, y) state addressing (§VI-B).
+
+    A state address is ``x`` in the most significant ``x_bits`` and ``y``
+    in the least significant ``y_bits``; e.g. for 256 states the address is
+    8 bits, 4 per coordinate.
+    """
+
+    x_bits: int
+    y_bits: int
+
+    @classmethod
+    def square(cls, side: int) -> "GridEncoding":
+        """Encoding for a ``side x side`` grid (side must be a power of 2)."""
+        if side & (side - 1) != 0:
+            raise ValueError(f"side must be a power of two, got {side}")
+        b = bits_for(side)
+        return cls(x_bits=b, y_bits=b)
+
+    @property
+    def width(self) -> int:
+        return 1 << self.x_bits
+
+    @property
+    def height(self) -> int:
+        return 1 << self.y_bits
+
+    @property
+    def num_states(self) -> int:
+        return 1 << (self.x_bits + self.y_bits)
+
+    def encode(self, x: int, y: int) -> int:
+        """Pack coordinates into a state address."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} grid")
+        return (x << self.y_bits) | y
+
+    def decode(self, state: int) -> tuple[int, int]:
+        """Unpack a state address into (x, y)."""
+        if not 0 <= state < self.num_states:
+            raise ValueError(f"state {state} out of range")
+        return state >> self.y_bits, state & (self.height - 1)
+
+
+#: 2-bit action encoding (§VI-B): 00 left, 01 up, 10 right, 11 down.
+#: Vectors are (dx, dy) with y growing downward.
+ACTIONS_4: tuple[tuple[int, int], ...] = ((-1, 0), (0, -1), (1, 0), (0, 1))
+
+#: 3-bit action encoding (§VI-B): 000 left, 001 top-left, 010 up,
+#: 011 top-right, then clockwise: 100 right, 101 bottom-right, 110 down,
+#: 111 bottom-left.
+ACTIONS_8: tuple[tuple[int, int], ...] = (
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+)
+
+
+def action_vectors(num_actions: int) -> tuple[tuple[int, int], ...]:
+    """The paper's action encoding for 4 or 8 actions."""
+    if num_actions == 4:
+        return ACTIONS_4
+    if num_actions == 8:
+        return ACTIONS_8
+    raise ValueError(f"the paper's grid encoding defines 4 or 8 actions, got {num_actions}")
+
+
+@dataclass
+class DenseMdp:
+    """Dense tabular MDP: exactly the artifacts QTAccel keeps on chip.
+
+    Attributes
+    ----------
+    next_state:
+        ``(S, A)`` int32 array; the transition function as a lookup.
+    rewards:
+        ``(S, A)`` float64 array; the reward table (real values — they are
+        quantised into the accelerator's fixed-point format at load time).
+    terminal:
+        ``(S,)`` bool array; episodes restart after transitioning *from* a
+        terminal state (the bootstrap term is masked for entries into it).
+    start_states:
+        int32 array of legal episode start states (uniformly drawn).
+    name:
+        Label used in reports.
+    """
+
+    next_state: np.ndarray
+    rewards: np.ndarray
+    terminal: np.ndarray
+    start_states: np.ndarray
+    name: str = "mdp"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.next_state = np.ascontiguousarray(self.next_state, dtype=np.int32)
+        self.rewards = np.ascontiguousarray(self.rewards, dtype=np.float64)
+        self.terminal = np.ascontiguousarray(self.terminal, dtype=bool)
+        self.start_states = np.ascontiguousarray(self.start_states, dtype=np.int32)
+        s, a = self.next_state.shape
+        if self.rewards.shape != (s, a):
+            raise ValueError("rewards shape must match next_state")
+        if self.terminal.shape != (s,):
+            raise ValueError("terminal shape must be (S,)")
+        if self.start_states.size == 0:
+            raise ValueError("at least one start state is required")
+        if (self.next_state < 0).any() or (self.next_state >= s).any():
+            raise ValueError("next_state contains out-of-range states")
+        if (self.start_states < 0).any() or (self.start_states >= s).any():
+            raise ValueError("start_states out of range")
+
+    @property
+    def num_states(self) -> int:
+        return int(self.next_state.shape[0])
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.next_state.shape[1])
+
+    @property
+    def num_pairs(self) -> int:
+        return self.num_states * self.num_actions
+
+    def step(self, state: int, action: int) -> tuple[int, float, bool]:
+        """Software single step: ``(next_state, reward, next_is_terminal)``."""
+        ns = int(self.next_state[state, action])
+        return ns, float(self.rewards[state, action]), bool(self.terminal[ns])
+
+    def optimal_q(self, gamma: float, tol: float = 1e-10, max_iter: int = 100_000) -> np.ndarray:
+        """Exact Q* by value iteration (float), for convergence metrics.
+
+        Terminal states absorb with zero continuation, matching the
+        accelerator's bootstrap masking.
+        """
+        s, a = self.next_state.shape
+        q = np.zeros((s, a))
+        nonterm_next = (~self.terminal[self.next_state]).astype(np.float64)
+        for _ in range(max_iter):
+            v = q.max(axis=1)
+            q_new = self.rewards + gamma * nonterm_next * v[self.next_state]
+            q_new[self.terminal, :] = 0.0  # no value flows out of terminals
+            if np.abs(q_new - q).max() < tol:
+                return q_new
+            q = q_new
+        return q
+
+    def greedy_policy(self, q: np.ndarray) -> np.ndarray:
+        """Greedy action per state from a Q array."""
+        return np.argmax(q, axis=1).astype(np.int32)

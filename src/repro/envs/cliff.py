@@ -1,0 +1,125 @@
+"""Cliff walking: the canonical on-policy vs off-policy benchmark.
+
+Sutton & Barto's cliff-walking task (the paper's ref. [1], §6.5) is the
+textbook demonstration of the *behavioural* difference between the two
+algorithms QTAccel implements: Q-Learning, learning the optimal greedy
+values, walks the shortest path along the cliff edge; SARSA, learning
+the value of its own ε-greedy behaviour, detours away from the edge
+because exploratory steps near it are costly.  Reproducing that split on
+the accelerator's fixed-point datapath is a sharp end-to-end validation
+that both customisations implement their algorithms, not just their
+throughput.
+
+Layout (width x height, y grows downward):
+
+* start at the bottom-left corner, goal at the bottom-right;
+* the cells between them on the bottom row are the cliff: stepping in
+  costs ``cliff_penalty`` and teleports the walker back to the start;
+* every other move costs ``step_reward``; entering the goal ends the
+  episode with ``goal_reward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DenseMdp, GridEncoding, action_vectors
+
+
+def cliff_mdp(
+    width: int = 16,
+    height: int = 4,
+    *,
+    step_reward: float = -1.0,
+    cliff_penalty: float = -100.0,
+    goal_reward: float = 50.0,
+) -> DenseMdp:
+    """Build the cliff-walking task as a :class:`DenseMdp`.
+
+    ``width`` and ``height`` must be powers of two (bit-packed
+    addressing, like every other environment here).  Start states are
+    restricted to the single bottom-left cell, as in the textbook task.
+    """
+    enc = GridEncoding(
+        x_bits=max(1, (width - 1).bit_length()),
+        y_bits=max(1, (height - 1).bit_length()),
+    )
+    if enc.width != width or enc.height != height:
+        raise ValueError("width and height must be powers of two")
+    if width < 3 or height < 2:
+        raise ValueError("need at least 3x2 cells for a cliff")
+    vectors = action_vectors(4)
+    n = enc.num_states
+    bottom = height - 1
+    start = enc.encode(0, bottom)
+    goal = enc.encode(width - 1, bottom)
+    cliff_cells = {enc.encode(x, bottom) for x in range(1, width - 1)}
+
+    next_state = np.empty((n, 4), dtype=np.int32)
+    rewards = np.empty((n, 4), dtype=np.float64)
+    for s in range(n):
+        x, y = enc.decode(s)
+        for a, (dx, dy) in enumerate(vectors):
+            nx, ny = x + dx, y + dy
+            if not (0 <= nx < width and 0 <= ny < height):
+                next_state[s, a] = s  # bump the boundary, stay put
+                rewards[s, a] = step_reward
+                continue
+            target = enc.encode(nx, ny)
+            if target in cliff_cells:
+                next_state[s, a] = start  # fall off, walk back
+                rewards[s, a] = cliff_penalty
+            elif target == goal:
+                next_state[s, a] = goal
+                rewards[s, a] = goal_reward
+            else:
+                next_state[s, a] = target
+                rewards[s, a] = step_reward
+
+    # Cliff cells are unreachable address holes (entry teleports).
+    for c in cliff_cells:
+        next_state[c, :] = c
+        rewards[c, :] = 0.0
+    terminal = np.zeros(n, dtype=bool)
+    terminal[goal] = True
+
+    return DenseMdp(
+        next_state=next_state,
+        rewards=rewards,
+        terminal=terminal,
+        start_states=np.array([start], dtype=np.int32),
+        name=f"cliff{width}x{height}",
+        metadata={
+            "encoding": enc,
+            "start": start,
+            "goal": goal,
+            "cliff": sorted(cliff_cells),
+        },
+    )
+
+
+def edge_hug_fraction(mdp: DenseMdp, q: np.ndarray, *, max_steps: int = 4096) -> float:
+    """Fraction of the greedy rollout spent on the row above the cliff.
+
+    1.0 = the daring shortest path (Q-Learning's signature); lower =
+    the safe detour (SARSA's).  Returns 0.0 if the rollout never reaches
+    the goal.
+    """
+    enc: GridEncoding = mdp.metadata["encoding"]
+    edge_row = enc.height - 2
+    state = int(mdp.metadata["start"])
+    visited = 0
+    on_edge = 0
+    for _ in range(max_steps):
+        action = int(np.argmax(q[state]))
+        nxt, _, term = mdp.step(state, action)
+        if nxt == state:
+            return 0.0  # stuck against a wall
+        _, y = enc.decode(nxt)
+        if not term:
+            visited += 1
+            on_edge += y == edge_row
+        if term:
+            return on_edge / max(1, visited)
+        state = nxt
+    return 0.0

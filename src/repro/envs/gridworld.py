@@ -1,0 +1,238 @@
+"""The paper's grid-world robotics application (§VI-A, Fig. 2).
+
+The environment is a grid of cells; the agent is a robot that starts in a
+random free cell and must reach a goal cell while avoiding obstacles
+(unreachable cells) and the grid boundary.  States are bit-packed (x, y)
+coordinates, actions are the 2-bit/3-bit direction encodings of §VI-B.
+Entering the goal yields the maximum reward (+255); bumping a wall or an
+obstacle yields the negative reward (-255) and leaves the robot in place.
+
+All Table I sizes are powers of four, i.e. square power-of-two grids, up
+to 512 x 512 (``|S| = 262144``).  Construction is fully vectorised so the
+largest case (2M state-action pairs) builds in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import DenseMdp, GridEncoding, action_vectors
+
+
+@dataclass(frozen=True)
+class GridWorldSpec:
+    """Parameters of a grid world instance."""
+
+    side: int
+    num_actions: int = 4
+    goal_reward: float = 255.0
+    wall_penalty: float = -255.0
+    step_reward: float = 0.0
+
+
+class GridWorld:
+    """A square grid world producing a :class:`DenseMdp`.
+
+    Parameters
+    ----------
+    side:
+        Grid side length; must be a power of two (bit-packed addressing).
+    num_actions:
+        4 (left/up/right/down) or 8 (adds diagonals), per §VI-B.
+    goal:
+        ``(x, y)`` of the goal cell.  Defaults to the bottom-right corner.
+    obstacles:
+        Iterable of ``(x, y)`` unreachable cells.
+    rewards:
+        ``goal_reward`` on transitions *into* the goal, ``wall_penalty`` on
+        blocked moves (agent stays in place), ``step_reward`` otherwise.
+    """
+
+    def __init__(
+        self,
+        side: int,
+        num_actions: int = 4,
+        *,
+        goal: tuple[int, int] | None = None,
+        obstacles: "set[tuple[int, int]] | frozenset[tuple[int, int]] | None" = None,
+        goal_reward: float = 255.0,
+        wall_penalty: float = -255.0,
+        step_reward: float = 0.0,
+    ):
+        self.encoding = GridEncoding.square(side)
+        self.side = side
+        self.num_actions = num_actions
+        self.vectors = action_vectors(num_actions)
+        self.goal = goal if goal is not None else (side - 1, side - 1)
+        self.obstacles = frozenset(obstacles or ())
+        if self.goal in self.obstacles:
+            raise ValueError("goal cell cannot be an obstacle")
+        for ox, oy in self.obstacles:
+            if not (0 <= ox < side and 0 <= oy < side):
+                raise ValueError(f"obstacle {(ox, oy)} outside grid")
+        self.spec = GridWorldSpec(side, num_actions, goal_reward, wall_penalty, step_reward)
+        self._mdp: DenseMdp | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, side: int, num_actions: int = 4, **kw) -> "GridWorld":
+        """Obstacle-free grid with the goal at the bottom-right corner."""
+        return cls(side, num_actions, **kw)
+
+    @classmethod
+    def random(
+        cls,
+        side: int,
+        num_actions: int = 4,
+        *,
+        obstacle_density: float = 0.15,
+        seed: int = 0,
+        **kw,
+    ) -> "GridWorld":
+        """Random obstacle layout with a guaranteed-reachable goal.
+
+        Obstacles are drawn i.i.d.; cells from which the goal is
+        unreachable are simply excluded from the start-state set, matching
+        how a map would be deployed in practice.
+        """
+        if not 0.0 <= obstacle_density < 1.0:
+            raise ValueError("obstacle_density must be in [0, 1)")
+        rng = np.random.default_rng(seed)
+        goal = kw.pop("goal", (side - 1, side - 1))
+        mask = rng.random((side, side)) < obstacle_density
+        # Keep the goal and its neighbourhood clear so it has at least one
+        # approach; a map whose free region still cannot reach the goal is
+        # rejected by to_mdp().
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                gx, gy = goal[0] + dx, goal[1] + dy
+                if 0 <= gx < side and 0 <= gy < side:
+                    mask[gx, gy] = False
+        obstacles = {(int(x), int(y)) for x, y in zip(*np.nonzero(mask))}
+        return cls(side, num_actions, goal=goal, obstacles=obstacles, **kw)
+
+    # ------------------------------------------------------------------ #
+    # MDP construction (vectorised)
+    # ------------------------------------------------------------------ #
+
+    def to_mdp(self) -> DenseMdp:
+        """Build (and cache) the dense MDP tables."""
+        if self._mdp is not None:
+            return self._mdp
+        enc = self.encoding
+        side = self.side
+        n_states = enc.num_states
+        states = np.arange(n_states, dtype=np.int64)
+        sx = states >> enc.y_bits
+        sy = states & (side - 1)
+
+        obstacle = np.zeros(n_states, dtype=bool)
+        for ox, oy in self.obstacles:
+            obstacle[enc.encode(ox, oy)] = True
+        goal_code = enc.encode(*self.goal)
+
+        next_state = np.empty((n_states, self.num_actions), dtype=np.int32)
+        rewards = np.empty((n_states, self.num_actions), dtype=np.float64)
+        for a, (dx, dy) in enumerate(self.vectors):
+            nx = sx + dx
+            ny = sy + dy
+            in_bounds = (nx >= 0) & (nx < side) & (ny >= 0) & (ny < side)
+            target = np.where(in_bounds, (nx << enc.y_bits) | ny, states)
+            blocked = ~in_bounds | obstacle[target]
+            ns = np.where(blocked, states, target)
+            r = np.full(n_states, self.spec.step_reward)
+            r[blocked] = self.spec.wall_penalty
+            r[(~blocked) & (ns == goal_code)] = self.spec.goal_reward
+            next_state[:, a] = ns
+            rewards[:, a] = r
+
+        # Obstacle cells are unreachable address holes: self-loop, zero
+        # reward, never started from.  The goal is terminal.
+        next_state[obstacle, :] = states[obstacle, None].astype(np.int32)
+        rewards[obstacle, :] = 0.0
+        terminal = np.zeros(n_states, dtype=bool)
+        terminal[goal_code] = True
+
+        start_mask = ~obstacle & ~terminal & self._reaches_goal(next_state, goal_code)
+        start_states = states[start_mask].astype(np.int32)
+        if start_states.size == 0:
+            raise ValueError("no free cell can reach the goal; regenerate the map")
+
+        self._mdp = DenseMdp(
+            next_state=next_state,
+            rewards=rewards,
+            terminal=terminal,
+            start_states=start_states,
+            name=f"grid{side}x{side}a{self.num_actions}",
+            metadata={
+                "goal": self.goal,
+                "obstacles": len(self.obstacles),
+                "encoding": enc,
+                "spec": self.spec,
+            },
+        )
+        return self._mdp
+
+    def _reaches_goal(self, next_state: np.ndarray, goal_code: int) -> np.ndarray:
+        """Mask of states with a path to the goal (reverse BFS).
+
+        Obstacle-free grids are fully connected by construction, so the
+        graph search only runs when there are obstacles.  The search uses
+        ``scipy.sparse.csgraph`` on the reversed edge list, which keeps the
+        512 x 512 case in the tens of milliseconds.
+        """
+        n = next_state.shape[0]
+        if not self.obstacles:
+            return np.ones(n, dtype=bool)
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import breadth_first_order
+
+        src = np.repeat(np.arange(n, dtype=np.int64), next_state.shape[1])
+        dst = next_state.ravel().astype(np.int64)
+        moved = src != dst
+        src, dst = src[moved], dst[moved]
+        # Reverse graph: edge dst -> src, so BFS from the goal finds every
+        # state that can reach it.
+        rev = csr_matrix(
+            (np.ones(src.size, dtype=np.int8), (dst, src)), shape=(n, n)
+        )
+        order = breadth_first_order(rev, goal_code, directed=True, return_predecessors=False)
+        reach = np.zeros(n, dtype=bool)
+        reach[order] = True
+        return reach
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def render(self, policy: np.ndarray | None = None) -> str:
+        """ASCII map; with a policy, free cells show their greedy arrow."""
+        arrows4 = "<^>v"
+        arrows8 = "<\\^/>/v\\"  # rough glyphs for the 8-action rose
+        glyphs = arrows4 if self.num_actions == 4 else arrows8
+        enc = self.encoding
+        rows = []
+        for y in range(self.side):
+            row = []
+            for x in range(self.side):
+                if (x, y) == self.goal:
+                    row.append("G")
+                elif (x, y) in self.obstacles:
+                    row.append("#")
+                elif policy is not None:
+                    row.append(glyphs[int(policy[enc.encode(x, y)])])
+                else:
+                    row.append(".")
+            rows.append(" ".join(row))
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"GridWorld(side={self.side}, actions={self.num_actions}, "
+            f"goal={self.goal}, obstacles={len(self.obstacles)})"
+        )

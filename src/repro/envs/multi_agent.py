@@ -1,0 +1,88 @@
+"""Multi-agent world wrappers (paper §VII-A, Figs. 8 and 9).
+
+Two deployment modes:
+
+* **State-sharing learners** — two agents explore the *same* environment
+  and update a shared Q-table through the two ports of dual-port BRAM.
+  No partitioning is needed; collisions on simultaneous same-address
+  writes are arbitrated by overwrite.
+* **Independent learners** — N agents each own a sub-environment and a
+  private memory region.  :func:`partition_grid` splits a grid world into
+  quadrant tiles, each a self-contained :class:`DenseMdp` with its own
+  goal, exactly the "multiple rovers, each responsible for a subset of
+  the state space" deployment the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import DenseMdp
+from .gridworld import GridWorld
+
+
+def partition_grid(
+    side: int,
+    num_parts: int,
+    num_actions: int = 4,
+    *,
+    obstacle_density: float = 0.0,
+    seed: int = 0,
+) -> list[DenseMdp]:
+    """Split a ``side x side`` world into ``num_parts`` square tiles.
+
+    ``num_parts`` must be a power of four (tiles stay square with
+    power-of-two sides, preserving the bit-packed addressing inside each
+    tile).  Each tile gets its own goal in its bottom-right corner and an
+    independent obstacle draw.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    k = round(math.sqrt(num_parts))
+    if k * k != num_parts or (k & (k - 1)) != 0:
+        raise ValueError(f"num_parts must be a power of four, got {num_parts}")
+    tile_side = side // k
+    if tile_side * k != side or tile_side < 2:
+        raise ValueError(f"cannot tile side={side} into {num_parts} parts")
+    mdps = []
+    for i in range(num_parts):
+        if obstacle_density > 0.0:
+            world = GridWorld.random(
+                tile_side,
+                num_actions,
+                obstacle_density=obstacle_density,
+                seed=seed + i,
+            )
+        else:
+            world = GridWorld.empty(tile_side, num_actions)
+        mdp = world.to_mdp()
+        mdp.name = f"tile{i}_{mdp.name}"
+        mdps.append(mdp)
+    return mdps
+
+
+def shared_world(side: int, num_actions: int = 4, **kw) -> DenseMdp:
+    """A single world for the two state-sharing learners of Fig. 8."""
+    return GridWorld.empty(side, num_actions, **kw).to_mdp()
+
+
+def collision_probability(num_states: int, samples: int = 0) -> float:
+    """Expected per-cycle probability that two independent uniformly
+    exploring agents occupy the same state (the §VII-A collision-rate
+    argument: rare for any realistically sized world)."""
+    if num_states <= 0:
+        raise ValueError("num_states must be positive")
+    return 1.0 / num_states
+
+
+def measure_collisions(states_a: np.ndarray, states_b: np.ndarray) -> float:
+    """Observed fraction of cycles two agent trajectories collide."""
+    a = np.asarray(states_a)
+    b = np.asarray(states_b)
+    if a.shape != b.shape:
+        raise ValueError("trajectories must have equal length")
+    if a.size == 0:
+        return 0.0
+    return float(np.mean(a == b))

@@ -1,0 +1,95 @@
+"""Synthetic dense MDPs for property-based tests and ablations.
+
+Random MDPs exercise the accelerator on transition structure a grid world
+never produces (arbitrary fan-in, dense revisit patterns, many terminals),
+which is exactly what the hazard-forwarding logic must survive.  High
+revisit probability makes back-to-back updates of the same state-action
+pair likely, stressing every forwarding path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DenseMdp
+
+
+def random_dense_mdp(
+    num_states: int,
+    num_actions: int,
+    *,
+    seed: int = 0,
+    reward_scale: float = 255.0,
+    terminal_fraction: float = 0.05,
+    self_loop_bias: float = 0.0,
+    name: str | None = None,
+) -> DenseMdp:
+    """A uniformly random tabular MDP.
+
+    Parameters
+    ----------
+    reward_scale:
+        Rewards are uniform on ``[-reward_scale, reward_scale]`` (matching
+        the paper's +/-255 dynamic range by default).
+    terminal_fraction:
+        Fraction of states marked terminal (at least the start states stay
+        non-terminal).
+    self_loop_bias:
+        Probability mass moved onto self-transitions, to raise the rate of
+        consecutive same-pair updates (hazard stress knob).
+    """
+    if num_states < 2:
+        raise ValueError("need at least 2 states")
+    if not 0.0 <= terminal_fraction < 1.0:
+        raise ValueError("terminal_fraction must be in [0, 1)")
+    if not 0.0 <= self_loop_bias <= 1.0:
+        raise ValueError("self_loop_bias must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    next_state = rng.integers(0, num_states, size=(num_states, num_actions), dtype=np.int32)
+    if self_loop_bias > 0.0:
+        loop = rng.random((num_states, num_actions)) < self_loop_bias
+        next_state = np.where(loop, np.arange(num_states, dtype=np.int32)[:, None], next_state)
+    rewards = rng.uniform(-reward_scale, reward_scale, size=(num_states, num_actions))
+
+    terminal = np.zeros(num_states, dtype=bool)
+    n_term = int(terminal_fraction * num_states)
+    if n_term:
+        terminal[rng.choice(num_states, size=n_term, replace=False)] = True
+    start_states = np.nonzero(~terminal)[0].astype(np.int32)
+
+    return DenseMdp(
+        next_state=next_state,
+        rewards=rewards,
+        terminal=terminal,
+        start_states=start_states,
+        name=name or f"random{num_states}x{num_actions}s{seed}",
+        metadata={"seed": seed, "self_loop_bias": self_loop_bias},
+    )
+
+
+def chain_mdp(length: int, num_actions: int = 2, *, reward: float = 255.0) -> DenseMdp:
+    """A deterministic corridor: action 0 advances, others stay in place.
+
+    The optimal policy and Q* are known in closed form, which makes this
+    the sharpest convergence oracle in the test suite.
+    """
+    if length < 2:
+        raise ValueError("length must be >= 2")
+    if num_actions < 2:
+        raise ValueError("need at least 2 actions")
+    states = np.arange(length, dtype=np.int32)
+    next_state = np.tile(states[:, None], (1, num_actions)).astype(np.int32)
+    next_state[:-1, 0] = states[:-1] + 1
+    rewards = np.zeros((length, num_actions))
+    rewards[length - 2, 0] = reward  # the step into the terminal end
+    terminal = np.zeros(length, dtype=bool)
+    terminal[length - 1] = True
+    start_states = states[:-1]
+    return DenseMdp(
+        next_state=next_state,
+        rewards=rewards,
+        terminal=terminal,
+        start_states=start_states,
+        name=f"chain{length}",
+        metadata={"reward": reward},
+    )

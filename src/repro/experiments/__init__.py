@@ -1,0 +1,20 @@
+"""Per-table/per-figure experiment harness (the DESIGN.md index).
+
+``python -m repro.experiments list`` enumerates everything; each
+experiment regenerates one paper artifact with paper reference values
+alongside, via :func:`repro.experiments.run_experiment`.
+"""
+
+from .registry import (
+    ExperimentResult,
+    experiment_ids,
+    experiment_title,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_ids",
+    "experiment_title",
+    "run_experiment",
+]

@@ -1,0 +1,82 @@
+"""The paper's test cases (Table I) and its printed figure values.
+
+Table I enumerates seven state-space sizes — all powers of four, i.e.
+square power-of-two grids up to 512 x 512 — each with 4 and 8 actions.
+The reference dictionaries below transcribe every number the paper's
+evaluation section prints, so experiment tables can show paper-vs-ours
+side by side.  Values lost to OCR in our source text are ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Table I state-space sizes, smallest to largest.
+STATE_SIZES: tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+#: Table I action counts.
+ACTION_SIZES: tuple[int, ...] = (4, 8)
+
+
+def grid_side(num_states: int) -> int:
+    """Grid side for a Table I state count (all are perfect squares)."""
+    side = math.isqrt(num_states)
+    if side * side != num_states:
+        raise ValueError(f"{num_states} is not a Table I (square) state count")
+    return side
+
+
+#: Fig. 4 — BRAM utilisation (%), |A| = 8 (same bars for Q-Learning and
+#: SARSA).  The |S| = 256 bar is unreadable in our source text.
+FIG4_BRAM_PCT: dict[int, float | None] = {
+    64: 0.02,
+    256: None,
+    1024: 0.32,
+    4096: 1.3,
+    16384: 4.8,
+    65536: 19.42,
+    262144: 78.12,
+}
+
+#: Fig. 6 — throughput (MS/s), |A| = 8.  The figure plots six sizes.
+FIG6_THROUGHPUT_MSPS: dict[int, float] = {
+    64: 189.0,
+    256: 187.0,
+    1024: 187.0,
+    4096: 186.0,
+    65536: 175.0,
+    262144: 156.0,
+}
+
+#: Table II — CPU (Python nested dict, 2.3 GHz i5) throughput in
+#: samples/s, keyed by (|S|, |A|).
+TABLE2_CPU_SPS: dict[tuple[int, int], float] = {
+    (64, 4): 105.5e3,
+    (1024, 4): 94.1e3,
+    (16384, 4): 74.17e3,
+    (262144, 4): 157.85e3,
+    (64, 8): 105.80e3,
+    (1024, 8): 88.1e3,
+    (16384, 8): 70.25e3,
+    (262144, 8): 152e3,
+}
+
+#: Table II — FPGA throughput in samples/s, keyed by (|S|, |A|).
+TABLE2_FPGA_SPS: dict[tuple[int, int], float] = {
+    (64, 4): 189e6,
+    (1024, 4): 187e6,
+    (16384, 4): 181e6,
+    (262144, 4): 156e6,
+    (64, 8): 189e6,
+    (1024, 8): 186e6,
+    (16384, 8): 179e6,
+    (262144, 8): 153e6,
+}
+
+#: Fig. 7 — the (|S|, |A|) points of the DSP comparison with [11].
+FIG7_CASES: tuple[tuple[int, int], ...] = ((12, 4), (12, 8), (56, 4), (56, 8), (132, 4))
+
+#: §VI-F headline comparisons against [11].
+SOTA_BASELINE_MAX_STATES = 132
+SOTA_QTACCEL_MAX_STATES = 131_072
+SOTA_THROUGHPUT_RATIO = 15.0

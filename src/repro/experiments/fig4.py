@@ -1,0 +1,47 @@
+"""Fig. 4 — BRAM utilisation vs state size (both algorithms).
+
+The paper's bars grow ~4x per size step (linear in ``|S| x |A|``),
+reaching 78.12 % at |S| = 262144 with 8 actions.  We print the
+block-granular allocation (what the synthesis tool consumes) and the
+bit-granular footprint (which is what the paper's percentages match at
+small sizes, where block quantisation floors the block view at ~0.1 %).
+"""
+
+from __future__ import annotations
+
+from ..core.config import QTAccelConfig
+from ..device.resources import estimate_resources
+from .cases import FIG4_BRAM_PCT, STATE_SIZES
+from .registry import ExperimentResult, register
+
+
+@register("fig4", "BRAM utilisation vs |S| (8 actions, xcvu13p)")
+def run(*, quick: bool = False) -> ExperimentResult:
+    cfg = QTAccelConfig.qlearning()
+    rows = []
+    for s in STATE_SIZES:
+        rep = estimate_resources(s, 8, cfg)
+        rows.append(
+            (
+                s,
+                rep.bram_blocks,
+                round(rep.bram_pct, 2),
+                round(rep.bram_bits_pct, 2),
+                FIG4_BRAM_PCT[s],
+            )
+        )
+    return ExperimentResult(
+        exp_id="fig4",
+        title="BRAM utilisation (Fig. 4)",
+        headers=["|S|", "BRAM36 blocks", "blocks %", "bits %", "paper %"],
+        rows=rows,
+        notes=[
+            "Q + reward tables are |S| x |A| 16-bit words; Qmax adds |S| "
+            "words.  The 16-bit entry width is what calibrates the curve "
+            "to the paper's 78.12 % peak.",
+            "The |S|=256 paper bar is unreadable in our source scan.",
+            "At |S| >= 1024 block and bit views agree with the paper "
+            "within ~3 points; below that the paper evidently reports the "
+            "bit-granular number.",
+        ],
+    )

@@ -1,0 +1,34 @@
+"""Fig. 7 — multiplier (DSP) count: QTAccel vs the baseline [11].
+
+§VI-F states the baseline's scaling law outright: "the number of
+multipliers required by their design is equal to the number of
+state-action pairs", while QTAccel uses 4 regardless.  (The bar labels
+in our source scan are OCR-damaged, so the baseline column is computed
+from that stated law rather than transcribed.)
+"""
+
+from __future__ import annotations
+
+from ..baseline.model import baseline_multipliers
+from ..device.resources import DATAPATH_DSPS
+from .cases import FIG7_CASES
+from .registry import ExperimentResult, register
+
+
+@register("fig7", "DSP count: QTAccel vs baseline [11]")
+def run(*, quick: bool = False) -> ExperimentResult:
+    rows = []
+    for s, a in FIG7_CASES:
+        base = baseline_multipliers(s, a)
+        rows.append((f"({s},{a})", DATAPATH_DSPS, base, round(base / DATAPATH_DSPS, 1)))
+    return ExperimentResult(
+        exp_id="fig7",
+        title="Multipliers: QTAccel vs baseline (Fig. 7)",
+        headers=["(|S|,|A|)", "QTAccel DSP", "baseline DSP", "ratio"],
+        rows=rows,
+        notes=[
+            "Baseline column follows §VI-F's stated law (one multiplier per "
+            "state-action pair); the figure's own bar values are unreadable "
+            "in our source text.",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Fig. 8 — two state-sharing pipelines on one dual-port Q table.
+
+§VII-A's claims: two pipelines double the sample rate with no
+configuration change; concurrent same-address writes are rare (collision
+probability ~1/|S| for independently exploring agents) and are resolved
+by arbitrary overwrite; convergence per wall-clock cycle improves.
+
+The experiment runs the cycle-accurate dual pipeline, measures aggregate
+samples/cycle, write/state collision rates, and compares convergence
+against a single pipeline given the same number of cycles.
+"""
+
+from __future__ import annotations
+
+from ..core.accelerator import QLearningAccelerator
+from ..core.config import QTAccelConfig
+from ..core.metrics import convergence_report
+from ..core.multi_pipeline import SharedPipelines
+from ..envs.gridworld import GridWorld
+from .registry import ExperimentResult, register
+
+
+@register("fig8", "State-sharing dual pipeline (Fig. 8)")
+def run(*, quick: bool = False) -> ExperimentResult:
+    rows = []
+    # 2x2 is the §VII-A stress corner: with 4 states the two agents
+    # collide constantly, and the paper predicts throughput/convergence
+    # degrade toward a single pipeline's.  Larger worlds show the
+    # collision rate vanish like 1/|S|.
+    for side in (2, 8, 16, 32):
+        # Convergence needs samples proportional to the table size.
+        samples = max(2000, side * side * (20 if quick else 150))
+        mdp = GridWorld.empty(side, 4).to_mdp()
+        cfg = QTAccelConfig.qlearning(seed=21)
+        shared = SharedPipelines(mdp, cfg)
+        stats = shared.run(samples)
+        conv2 = convergence_report(mdp, shared.q_float(), gamma=cfg.gamma, samples=stats.samples)
+
+        single = QLearningAccelerator(mdp, seed=21)
+        # Same wall-clock budget: the single pipeline gets the cycles the
+        # dual one consumed, i.e. half the samples.
+        single.run(stats.cycles, engine="functional")
+        conv1 = single.convergence()
+
+        rows.append(
+            (
+                f"{side}x{side}",
+                round(stats.samples_per_cycle, 3),
+                round(stats.collision_rate, 5),
+                round(1.0 / mdp.num_states, 5),
+                stats.write_collisions,
+                round(conv2.agreement, 3),
+                round(conv1.agreement, 3),
+                round(conv2.success, 3),
+                round(conv1.success, 3),
+            )
+        )
+    return ExperimentResult(
+        exp_id="fig8",
+        title="Two state-sharing pipelines (Fig. 8)",
+        headers=[
+            "world",
+            "samples/cycle",
+            "state-collision rate",
+            "1/|S|",
+            "write collisions",
+            "agree 2p",
+            "agree 1p",
+            "success 2p",
+            "success 1p",
+        ],
+        rows=rows,
+        notes=[
+            "samples/cycle ~2.0 is the paper's 'effectively doubles the "
+            "achievable throughput'.",
+            "State-collision rate tracks the 1/|S| estimate and falls with "
+            "world size — the paper's argument for why overwrite "
+            "arbitration is harmless.",
+            "'1p' columns give a single pipeline the same cycle budget "
+            "(hence half the samples): the dual pipeline converges at "
+            "least as well per wall-clock cycle.",
+        ],
+    )

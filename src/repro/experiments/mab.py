@@ -1,0 +1,86 @@
+"""§VII-B — Multi-Armed Bandit generalisation (5G channel selection).
+
+The paper argues QTAccel adapts to MAB problems with only a reward-path
+change (LFSR-summed normal rewards) and, for probability-based policies
+like EXP3, a third probability table sampled by binary search in
+``log2 M`` cycles.  The experiment runs e-greedy and EXP3 accelerators
+on the 5G channel-selection scenario, reporting regret and best-arm
+rates, plus the modelled throughput cost of the probability policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bandit_accel import (
+    EpsilonGreedyBanditAccelerator,
+    Exp3Accelerator,
+    Ucb1Accelerator,
+    bandit_cycles_per_sample,
+)
+from ..core.config import QTAccelConfig
+from ..device.resources import estimate_resources
+from ..device.timing import throughput
+from ..envs.bandits import channel_selection_env
+from .registry import ExperimentResult, register
+
+
+@register("mab", "Multi-armed bandits on QTAccel (SVII-B, 5G channels)")
+def run(*, quick: bool = False) -> ExperimentResult:
+    pulls = 2_000 if quick else 20_000
+    rows = []
+    for m in (4, 8, 16):
+        env_e = channel_selection_env(m, seed=7)
+        eg = EpsilonGreedyBanditAccelerator(env_e, epsilon=0.1, seed=7)
+        r_e = eg.run(pulls)
+        env_x = channel_selection_env(m, seed=7)
+        ex = Exp3Accelerator(env_x, gamma_exp=0.15, reward_range=(0.0, 8.0), seed=7)
+        r_x = ex.run(pulls)
+        env_u = channel_selection_env(m, seed=7)
+        ub = Ucb1Accelerator(env_u, c=2.0)
+        r_u = ub.run(pulls)
+
+        cfg = QTAccelConfig.qlearning()
+        rep = estimate_resources(1, m, cfg)
+        t_greedy = throughput(rep, cycles_per_sample=bandit_cycles_per_sample(m, probability_policy=False))
+        t_prob = throughput(rep, cycles_per_sample=bandit_cycles_per_sample(m, probability_policy=True))
+
+        rows.append(
+            (
+                m,
+                round(float(r_e.cumulative_regret(env_e)[-1]), 1),
+                round(float(np.mean(r_e.chosen == env_e.best_arm)), 3),
+                round(float(r_x.cumulative_regret(env_x)[-1]), 1),
+                round(float(np.mean(r_x.chosen == env_x.best_arm)), 3),
+                round(float(r_u.cumulative_regret(env_u)[-1]), 1),
+                round(t_greedy.msps, 1),
+                round(t_prob.msps, 1),
+            )
+        )
+    return ExperimentResult(
+        exp_id="mab",
+        title="MAB on QTAccel (SVII-B)",
+        headers=[
+            "arms",
+            "e-greedy regret",
+            "e-greedy best%",
+            "EXP3 regret",
+            "EXP3 best%",
+            "UCB1 regret",
+            "MS/s (e-greedy)",
+            "MS/s (prob policy)",
+        ],
+        rows=rows,
+        notes=[
+            "UCB1 is the 'more MAB variants' future-work item implemented: "
+            "a count-indexed LUT index policy, far lower regret than both "
+            "LFSR-randomised policies on stationary channels.",
+            "Rewards are drawn through the CLT normal sampler (summed LFSR "
+            "uniforms), the paper's on-chip reward circuit.",
+            "The probability-table policy pays ceil(log2 M) cycles of "
+            "binary search per sample - the throughput gap the paper's "
+            "future-work section promises to close.",
+            "Regret is sublinear for both policies (the property tests "
+            "check the halves-ratio).",
+        ],
+    )

@@ -1,0 +1,78 @@
+"""Command-line runner: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig6
+    python -m repro.experiments all [--quick]
+    qtaccel-experiments table2 fig4 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import experiment_ids, experiment_title, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="qtaccel-experiments",
+        description="Regenerate the QTAccel paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment ids, 'all', or 'list' (default)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sample counts (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write each artifact to DIR/<experiment>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    targets = args.experiments
+    if targets == ["list"]:
+        print("available experiments:")
+        for eid in experiment_ids():
+            print(f"  {eid:18s} {experiment_title(eid)}")
+        return 0
+    if targets == ["all"]:
+        targets = experiment_ids()
+
+    out_dir = None
+    if args.output:
+        import pathlib
+
+        out_dir = pathlib.Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    status = 0
+    for eid in targets:
+        t0 = time.perf_counter()
+        try:
+            result = run_experiment(eid, quick=args.quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            status = 2
+            continue
+        text = result.format()
+        print(text)
+        print(f"[{eid} took {time.perf_counter() - t0:.1f}s]")
+        print()
+        if out_dir is not None:
+            (out_dir / f"{eid}.txt").write_text(text + "\n")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""§VI-F — scalability and throughput versus the state of the art [11].
+
+Two headline comparisons:
+
+* **Throughput**: QTAccel retires one sample per cycle at the achieved
+  clock; the baseline's FSM takes several cycles per update at a lower
+  clock.  The paper reports ">15x".
+* **Scalability**: the baseline is bounded by logic/DSPs (one FSM +
+  multiplier per pair); QTAccel is bounded only by BRAM.  The paper
+  reports 131,072 vs 132 supported states (>1000x) on similar devices.
+"""
+
+from __future__ import annotations
+
+from ..baseline.model import (
+    BASELINE_CLOCK_MHZ,
+    baseline_max_states,
+    baseline_throughput_msps,
+)
+from ..core.config import QTAccelConfig
+from ..device.parts import XC6VLX240T, XC7VX690T, XCVU13P
+from ..device.resources import estimate_resources, max_supported_states
+from ..device.timing import throughput
+from .cases import (
+    SOTA_BASELINE_MAX_STATES,
+    SOTA_QTACCEL_MAX_STATES,
+    SOTA_THROUGHPUT_RATIO,
+)
+from .registry import ExperimentResult, register
+
+
+@register("sota", "Scalability & throughput vs state of the art [11] (SVI-F)")
+def run(*, quick: bool = False) -> ExperimentResult:
+    cfg = QTAccelConfig.qlearning()
+    rows = []
+    for part in (XC6VLX240T, XC7VX690T, XCVU13P):
+        qt_max = max_supported_states(4, cfg, part=part)
+        base_max = baseline_max_states(4, part=part)
+        rep = estimate_resources(132, 4, cfg, part=part)
+        qt_msps = throughput(rep).msps
+        base_msps = baseline_throughput_msps()
+        rows.append(
+            (
+                part.name,
+                qt_max,
+                base_max,
+                round(qt_max / max(1, base_max), 0),
+                round(qt_msps, 1),
+                round(base_msps, 1),
+                round(qt_msps / base_msps, 1),
+            )
+        )
+    uram_max = max_supported_states(8, cfg, part=XCVU13P, spill_to_uram=True)
+    return ExperimentResult(
+        exp_id="sota",
+        title="Comparison with state of the art (SVI-F)",
+        headers=[
+            "device",
+            "QTAccel max |S|",
+            "baseline max |S|",
+            "scale ratio",
+            "QTAccel MS/s @132x4",
+            "baseline MS/s",
+            "speedup",
+        ],
+        rows=rows,
+        notes=[
+            f"Paper: {SOTA_QTACCEL_MAX_STATES} vs {SOTA_BASELINE_MAX_STATES} "
+            f"states (>1000x) and >{SOTA_THROUGHPUT_RATIO:.0f}x throughput on "
+            "similar devices; our models land at ~500x (Virtex-6) to ~680x "
+            "(Virtex-7) and ~15x - same orders, different block-granularity "
+            "assumptions.",
+            f"URAM spill on xcvu13p supports |S| = {uram_max} at 8 actions "
+            f"({uram_max * 8 / 1e6:.1f}M pairs), the paper's '10 million' "
+            "§VI-C2 claim.",
+            f"Baseline model: 1 DSP/pair, {BASELINE_CLOCK_MHZ:.0f} MHz FSM "
+            "clock, 8 cycles/update; logic constants calibrated so 132x4 "
+            "saturates the Virtex-6 LX240T (the paper's 'fully utilized').",
+        ],
+    )

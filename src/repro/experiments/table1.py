@@ -1,0 +1,48 @@
+"""Table I — the evaluation test cases.
+
+Regenerates the case matrix with the derived quantities the rest of the
+evaluation relies on: grid side, address bit split, pair counts and
+table footprints for both action counts.
+"""
+
+from __future__ import annotations
+
+from ..core.config import QTAccelConfig
+from ..device.resources import table_bits_total
+from ..envs.base import bits_for
+from .cases import ACTION_SIZES, STATE_SIZES, grid_side
+from .registry import ExperimentResult, register
+
+
+@register("table1", "Test cases (|S| x |A| grid-world sizes)")
+def run(*, quick: bool = False) -> ExperimentResult:
+    cfg = QTAccelConfig.qlearning()
+    rows = []
+    for case, s in enumerate(STATE_SIZES, start=1):
+        side = grid_side(s)
+        for a in ACTION_SIZES:
+            bits = table_bits_total(s, a, cfg)
+            rows.append(
+                (
+                    case,
+                    s,
+                    a,
+                    f"{side}x{side}",
+                    bits_for(s),
+                    bits_for(a),
+                    s * a,
+                    round(bits / 1024 / 1024, 3),
+                )
+            )
+    return ExperimentResult(
+        exp_id="table1",
+        title="Test cases (Table I)",
+        headers=["case", "|S|", "|A|", "grid", "state bits", "action bits", "pairs", "tables Mb"],
+        rows=rows,
+        notes=[
+            "All Table I sizes are powers of four: square power-of-two grids "
+            "with the paper's bit-packed (x, y) addressing.",
+            "'tables Mb' is the bit-granular Q + reward + Qmax footprint at "
+            "the default 16-bit Q format.",
+        ],
+    )

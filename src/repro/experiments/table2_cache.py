@@ -1,0 +1,101 @@
+"""Table II's *why*: a trace-driven cache model of the CPU decline.
+
+§VI-E explains the CPU baseline's throughput decline with cache
+capacity ("256KB L2 and 6MB L3 cannot hold all data ... bounded by
+off-chip data accesses").  This experiment tests that explanation:
+
+1. measure the real nested-dict baseline across the Table II sizes;
+2. replay its access pattern through the set-associative L1/L2/L3 model
+   (:mod:`repro.reference.cache_model`);
+3. calibrate the one free constant — the interpreter's
+   state-size-independent cost — on the smallest case only;
+4. compare the model's predicted decline against the measured one.
+
+Result (also visible in the hit-rate columns): capacity misses do drive
+the decline, but trajectory locality (consecutive samples share a row;
+random walks revisit neighbourhoods) keeps the miss rate far below a
+uniform-access estimate — which is why the decline is gentle, and why
+the paper's CPU numbers fall by only ~30 % over a 4096x working-set
+growth.
+"""
+
+from __future__ import annotations
+
+from ..envs.gridworld import GridWorld
+from ..reference.cache_model import CacheHierarchy, qlearning_trace_cycles
+from .cases import grid_side
+from .registry import ExperimentResult, register
+from .table2 import measure_cpu_sps
+
+SIZES = (64, 1024, 16384, 262144)
+CLOCK_GHZ = 2.3  # the paper's i5; only scales the memory term
+
+
+@register("table2_cache", "Cache model of the Table II CPU decline")
+def run(*, quick: bool = False) -> ExperimentResult:
+    samples = 15_000 if quick else 120_000
+    trace = 8_000 if quick else 30_000
+
+    measured = {}
+    mem_cycles = {}
+    hit_rates = {}
+    for s in SIZES:
+        mdp = GridWorld.empty(grid_side(s), 4).to_mdp()
+        measured[s] = measure_cpu_sps(s, 4, samples=samples)
+        hierarchy = CacheHierarchy.paper_i5()
+        mem_cycles[s] = qlearning_trace_cycles(mdp, trace, hierarchy=hierarchy)
+        total = hierarchy.stats.accesses
+        hit_rates[s] = tuple(
+            hierarchy.stats.hits[name] / total for name in ("L1", "L2", "L3")
+        )
+
+    # Calibrate the interpreter constant on the smallest case only.
+    interp_ns = 1e9 / measured[SIZES[0]] - mem_cycles[SIZES[0]] / CLOCK_GHZ
+
+    rows = []
+    for s in SIZES:
+        model_sps = 1e9 / (interp_ns + mem_cycles[s] / CLOCK_GHZ)
+        l1, l2, l3 = hit_rates[s]
+        rows.append(
+            (
+                s,
+                round(measured[s] / 1e3, 1),
+                round(model_sps / 1e3, 1),
+                round(mem_cycles[s], 0),
+                round(l1, 3),
+                round(l2, 3),
+                round(l3, 3),
+                round(1.0 - l1 - l2 - l3, 3),
+            )
+        )
+    decline_meas = 1.0 - measured[SIZES[-1]] / measured[SIZES[0]]
+    decline_model = 1.0 - (
+        (interp_ns + mem_cycles[SIZES[0]] / CLOCK_GHZ)
+        / (interp_ns + mem_cycles[SIZES[-1]] / CLOCK_GHZ)
+    )
+    return ExperimentResult(
+        exp_id="table2_cache",
+        title="Why the CPU declines (Table II analysis)",
+        headers=[
+            "|S|",
+            "measured KS/s",
+            "model KS/s",
+            "mem cyc/sample",
+            "L1 hit",
+            "L2 hit",
+            "L3 hit",
+            "DRAM",
+        ],
+        rows=rows,
+        notes=[
+            f"Interpreter constant calibrated once at |S|=64: "
+            f"{interp_ns:.0f} ns/sample; everything else is the trace-"
+            "driven hierarchy.",
+            f"Measured decline {decline_meas:.1%} vs modelled "
+            f"{decline_model:.1%} from |S|=64 to 262144.",
+            "Trajectory locality (s' of one sample is s of the next, and "
+            "walks revisit neighbourhoods) keeps DRAM rates low even at "
+            "100 MB working sets - capacity explains the decline's "
+            "existence, locality its gentleness.",
+        ],
+    )

@@ -1,0 +1,18 @@
+"""Fixed-point arithmetic substrate for the QTAccel datapath.
+
+Public surface:
+
+* :class:`FxpFormat` — word description (width, fractional bits, rounding,
+  overflow) with scalar conversion helpers.
+* :class:`Fxp` — immutable scalar fixed-point value with operator overloads.
+* :mod:`repro.fixedpoint.ops` — vectorised numpy kernels, including
+  :func:`~repro.fixedpoint.ops.q_update`, the single shared implementation
+  of the accelerator's stage-3 update datapath.
+* ``Q_FORMAT`` / ``COEF_FORMAT`` — the calibrated default formats.
+"""
+
+from .format import COEF_FORMAT, Q_FORMAT, FxpFormat
+from .scalar import Fxp
+from . import ops
+
+__all__ = ["FxpFormat", "Fxp", "Q_FORMAT", "COEF_FORMAT", "ops"]

@@ -1,0 +1,183 @@
+"""Vectorised fixed-point kernels (the QTAccel datapath, in numpy).
+
+Every numerical operation the accelerator performs on Q-values goes through
+the functions in this module, for scalars (plain ``int``) and arrays alike.
+Keeping a single implementation guarantees that the cycle-accurate pipeline
+simulator (:mod:`repro.core.pipeline`) and the fast functional simulator
+(:mod:`repro.core.functional`) are bit-identical — an equivalence the test
+suite asserts.
+
+Raw values are ``int64``; the widest intermediate (an 18x16-bit product
+accumulated three-way) needs 36 bits, so ``int64`` never overflows.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .format import FxpFormat
+
+RawLike = Union[int, np.ndarray]
+
+_I64 = np.int64
+
+
+def quantize_array(values, fmt: FxpFormat) -> np.ndarray:
+    """Quantise an array of reals into raw integers of ``fmt``."""
+    values = np.asarray(values, dtype=np.float64)
+    scaled = values * float(2.0 ** fmt.frac)
+    if fmt.rounding == "truncate":
+        raw = np.floor(scaled)
+    else:
+        raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+    return clamp_raw(raw.astype(_I64), fmt)
+
+
+def to_float_array(raw: RawLike, fmt: FxpFormat) -> np.ndarray:
+    """Interpret raw integers of ``fmt`` as floats."""
+    return np.asarray(raw, dtype=np.float64) * fmt.resolution
+
+
+def clamp_raw(raw: RawLike, fmt: FxpFormat) -> RawLike:
+    """Apply ``fmt``'s overflow behaviour (saturate or wrap) elementwise."""
+    if fmt.overflow == "saturate":
+        if isinstance(raw, np.ndarray):
+            return np.clip(raw, fmt.raw_min, fmt.raw_max)
+        return int(min(max(raw, fmt.raw_min), fmt.raw_max))
+    # wrap
+    span = 1 << fmt.wordlen
+    wrapped = np.bitwise_and(np.asarray(raw, dtype=_I64), span - 1)
+    if fmt.signed:
+        wrapped = np.where(wrapped > fmt.raw_max, wrapped - span, wrapped)
+    return int(wrapped) if np.isscalar(raw) or isinstance(raw, int) else wrapped
+
+
+def rshift_round(raw: RawLike, shift: int, fmt: FxpFormat) -> RawLike:
+    """Arithmetic right shift with ``fmt``'s rounding mode, elementwise."""
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    if shift == 0:
+        return raw
+    arr = np.asarray(raw, dtype=_I64)
+    if fmt.rounding == "truncate":
+        out = arr >> shift
+    else:
+        half = _I64(1 << (shift - 1))
+        out = np.where(arr >= 0, (arr + half) >> shift, -((-arr + half) >> shift))
+    return int(out) if isinstance(raw, int) else out
+
+
+def fxp_mul(
+    a: RawLike, a_fmt: FxpFormat, b: RawLike, b_fmt: FxpFormat, out_fmt: FxpFormat
+) -> RawLike:
+    """One DSP multiply: full product, renormalise to ``out_fmt``, clamp."""
+    full = np.asarray(a, dtype=_I64) * np.asarray(b, dtype=_I64)
+    shift = a_fmt.frac + b_fmt.frac - out_fmt.frac
+    if shift >= 0:
+        raw = rshift_round(full, shift, out_fmt)
+    else:
+        raw = full << -shift
+    raw = clamp_raw(raw, out_fmt)
+    if isinstance(a, int) and isinstance(b, int):
+        return int(raw)
+    return raw
+
+
+def fxp_add(
+    a: RawLike, a_fmt: FxpFormat, b: RawLike, b_fmt: FxpFormat, out_fmt: FxpFormat
+) -> RawLike:
+    """One adder: align binary points, add, renormalise, clamp."""
+    f = max(a_fmt.frac, b_fmt.frac)
+    aa = np.asarray(a, dtype=_I64) << (f - a_fmt.frac)
+    bb = np.asarray(b, dtype=_I64) << (f - b_fmt.frac)
+    total = aa + bb
+    shift = f - out_fmt.frac
+    if shift >= 0:
+        raw = rshift_round(total, shift, out_fmt)
+    else:
+        raw = total << -shift
+    raw = clamp_raw(raw, out_fmt)
+    if isinstance(a, int) and isinstance(b, int):
+        return int(raw)
+    return raw
+
+
+def q_update(
+    q: RawLike,
+    r: RawLike,
+    q_next: RawLike,
+    *,
+    alpha: int,
+    one_minus_alpha: int,
+    alpha_gamma: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> RawLike:
+    """The stage-3 datapath of QTAccel (eq. 3 of the paper), elementwise.
+
+    ``Q_new = (1 - a) * Q(s,a) + a * R + (a * g) * Q(s', a')``
+
+    Three DSP products are accumulated at full precision in a wide adder
+    tree, then renormalised once into ``q_fmt`` and saturated once — the
+    single-rounding/single-saturation structure of the hardware datapath.
+
+    Parameters are raw integers: ``q``, ``r``, ``q_next`` in ``q_fmt``;
+    ``alpha``, ``one_minus_alpha`` and ``alpha_gamma`` in ``coef_fmt``
+    (``alpha_gamma`` is the stage-1 product, already renormalised to
+    ``coef_fmt`` — quantisation there is part of the hardware behaviour).
+    """
+    if type(q) is int and type(r) is int and type(q_next) is int:
+        # Pure-int fast path: this is the per-sample hot spot of the
+        # functional simulator (profiled), so it avoids numpy scalar
+        # overhead entirely.  Semantics are bit-identical to the array
+        # path below (asserted by the test suite).
+        acc = one_minus_alpha * q + alpha * r + alpha_gamma * q_next
+        shift = coef_fmt.frac
+        if shift == 0:
+            raw = acc
+        elif q_fmt.rounding == "truncate":
+            raw = acc >> shift  # Python's >> floors, like the array path
+        else:
+            half = 1 << (shift - 1)
+            raw = (acc + half) >> shift if acc >= 0 else -((-acc + half) >> shift)
+        if q_fmt.overflow == "saturate":
+            lo, hi = q_fmt.raw_min, q_fmt.raw_max
+            return lo if raw < lo else hi if raw > hi else raw
+        return clamp_raw(raw, q_fmt)
+
+    q64 = np.asarray(q, dtype=_I64)
+    r64 = np.asarray(r, dtype=_I64)
+    qn64 = np.asarray(q_next, dtype=_I64)
+    acc = (
+        _I64(one_minus_alpha) * q64
+        + _I64(alpha) * r64
+        + _I64(alpha_gamma) * qn64
+    )  # frac = coef_fmt.frac + q_fmt.frac
+    raw = rshift_round(acc, coef_fmt.frac, q_fmt)
+    return clamp_raw(raw, q_fmt)
+
+
+def coefficient_set(
+    alpha: float, gamma: float, coef_fmt: FxpFormat
+) -> tuple[int, int, int, int]:
+    """Quantise (alpha, gamma) and derive the three datapath coefficients.
+
+    Returns raw ``(alpha, gamma, one_minus_alpha, alpha_gamma)`` exactly as
+    stage 1 of the pipeline computes them: ``1 - alpha`` by subtraction from
+    the exact raw 1.0, ``alpha * gamma`` by one DSP multiply renormalised to
+    ``coef_fmt``.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    one = 1 << coef_fmt.frac
+    if one > coef_fmt.raw_max:
+        raise ValueError(f"coef format {coef_fmt.describe()} cannot represent 1.0")
+    a_raw = coef_fmt.quantize(alpha)
+    g_raw = coef_fmt.quantize(gamma)
+    one_minus_a = clamp_raw(one - a_raw, coef_fmt)
+    ag = fxp_mul(a_raw, coef_fmt, g_raw, coef_fmt, coef_fmt)
+    return a_raw, g_raw, int(one_minus_a), int(ag)

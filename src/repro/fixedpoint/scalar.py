@@ -1,0 +1,126 @@
+"""Scalar fixed-point value type.
+
+:class:`Fxp` wraps a raw integer together with its :class:`FxpFormat` and
+provides arithmetic with hardware semantics: every operation renormalises
+into the *left operand's* format (the destination register), applying the
+format's rounding and overflow rules.  It exists for readable tests,
+examples and the cycle-accurate simulator's scalar datapath; the bulk
+vectorised kernels live in :mod:`repro.fixedpoint.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .format import FxpFormat, Real
+
+
+@dataclass(frozen=True)
+class Fxp:
+    """An immutable fixed-point number: raw integer + format."""
+
+    raw: int
+    fmt: FxpFormat
+
+    def __post_init__(self) -> None:
+        if not (self.fmt.raw_min <= self.raw <= self.fmt.raw_max):
+            raise ValueError(
+                f"raw value {self.raw} outside {self.fmt.describe()}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction / conversion
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_float(cls, value: Real, fmt: FxpFormat) -> "Fxp":
+        """Quantise a real number into ``fmt``."""
+        return cls(fmt.quantize(value), fmt)
+
+    def to_float(self) -> float:
+        """The real value this word represents."""
+        return self.fmt.to_float(self.raw)
+
+    def cast(self, fmt: FxpFormat) -> "Fxp":
+        """Re-quantise into another format (shift + round + clamp)."""
+        shift = self.fmt.frac - fmt.frac
+        if shift >= 0:
+            raw = fmt.rshift_round(self.raw, shift)
+        else:
+            raw = self.raw << -shift
+        return Fxp(fmt.clamp_raw(raw), fmt)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (result in the left operand's format)
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, other: Union["Fxp", Real]) -> "Fxp":
+        if isinstance(other, Fxp):
+            return other
+        return Fxp.from_float(other, self.fmt)
+
+    def __add__(self, other: Union["Fxp", Real]) -> "Fxp":
+        rhs = self._coerce(other)
+        f = max(self.fmt.frac, rhs.fmt.frac)
+        a = self.raw << (f - self.fmt.frac)
+        b = rhs.raw << (f - rhs.fmt.frac)
+        raw = self.fmt.rshift_round(a + b, f - self.fmt.frac)
+        return Fxp(self.fmt.clamp_raw(raw), self.fmt)
+
+    def __sub__(self, other: Union["Fxp", Real]) -> "Fxp":
+        rhs = self._coerce(other)
+        return self + Fxp(rhs.fmt.clamp_raw(-rhs.raw), rhs.fmt)
+
+    def __mul__(self, other: Union["Fxp", Real]) -> "Fxp":
+        """Full-precision product, renormalised into ``self.fmt``.
+
+        This is exactly one DSP multiply followed by one shift-round and
+        one saturation stage, the datapath pattern used in QTAccel's third
+        pipeline stage.
+        """
+        rhs = self._coerce(other)
+        full = self.raw * rhs.raw  # frac = self.frac + rhs.frac
+        shift = rhs.fmt.frac  # bring back to self.frac
+        raw = self.fmt.rshift_round(full, shift) if shift >= 0 else full << -shift
+        return Fxp(self.fmt.clamp_raw(raw), self.fmt)
+
+    def __neg__(self) -> "Fxp":
+        return Fxp(self.fmt.clamp_raw(-self.raw), self.fmt)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons compare the represented real values.
+    # ------------------------------------------------------------------ #
+
+    def _cmp_raws(self, other: Union["Fxp", Real]) -> tuple[int, int]:
+        rhs = self._coerce(other)
+        f = max(self.fmt.frac, rhs.fmt.frac)
+        return self.raw << (f - self.fmt.frac), rhs.raw << (f - rhs.fmt.frac)
+
+    def __eq__(self, other: object) -> bool:  # type: ignore[override]
+        if not isinstance(other, (Fxp, int, float)):
+            return NotImplemented
+        a, b = self._cmp_raws(other)  # type: ignore[arg-type]
+        return a == b
+
+    def __lt__(self, other: Union["Fxp", Real]) -> bool:
+        a, b = self._cmp_raws(other)
+        return a < b
+
+    def __le__(self, other: Union["Fxp", Real]) -> bool:
+        a, b = self._cmp_raws(other)
+        return a <= b
+
+    def __gt__(self, other: Union["Fxp", Real]) -> bool:
+        a, b = self._cmp_raws(other)
+        return a > b
+
+    def __ge__(self, other: Union["Fxp", Real]) -> bool:
+        a, b = self._cmp_raws(other)
+        return a >= b
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.fmt.frac))
+
+    def __repr__(self) -> str:
+        return f"Fxp({self.to_float():g} raw={self.raw} {self.fmt.describe().split()[0]})"

@@ -1,0 +1,21 @@
+"""Software reference implementations.
+
+* :class:`DictQLearning` / :class:`DictSarsa` — the paper's Table II CPU
+  baseline (nested-dict pure Python).
+* :class:`FloatQLearning` / :class:`FloatSarsa` — textbook float
+  learners, the algorithmic gold reference for accuracy bounds.
+"""
+
+from .qlearning import DictQLearning, DictQLearningResult
+from .sarsa import DictSarsa, DictSarsaResult
+from .tabular import FloatQLearning, FloatSarsa, TabularResult
+
+__all__ = [
+    "DictQLearning",
+    "DictQLearningResult",
+    "DictSarsa",
+    "DictSarsaResult",
+    "FloatQLearning",
+    "FloatSarsa",
+    "TabularResult",
+]

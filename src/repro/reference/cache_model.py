@@ -1,0 +1,210 @@
+"""A set-associative cache-hierarchy model for the CPU baseline.
+
+Table II's commentary (§VI-E) attributes the CPU's throughput decline
+with ``|S|`` to capacity: "the limited cache size on processor (256KB L2
+and 6MB L3) cannot hold all data in Q Table and rewards Table, the
+performance is therefore bounded by off-chip data accesses".  This
+module builds that explanation into a testable model:
+
+* :class:`CacheLevel` — one set-associative, true-LRU cache;
+* :class:`CacheHierarchy` — an inclusive L1/L2/L3 + DRAM stack with the
+  paper's capacities;
+* :func:`qlearning_trace_cycles` — a trace-driven estimate of the memory
+  cycles one dict-based Q-Learning sample costs, by replaying the
+  baseline's actual access pattern (the current row, the next state's
+  row) over hash-scattered row addresses;
+* :func:`modelled_cpu_throughput` — fixed interpreter cost per sample
+  plus the trace-driven memory cycles, i.e. the curve Table II's CPU
+  column follows.
+
+The model is deliberately first-order (no prefetcher, no TLB): the
+reproduction target is the *decline shape*, which is purely a working-
+set-vs-capacity effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+
+#: Bytes per cache line.
+LINE_BYTES = 64
+
+#: Approximate bytes one CPython dict row (state key tuple + inner dict
+#: of |A| floats) occupies, used to scatter rows across the address
+#: space.  ~56 B dict header + per-entry overhead lands near 360 B for
+#: 4 actions; we fold key objects in and round up.
+ROW_BYTES = 416
+
+
+class CacheLevel:
+    """One set-associative cache with true-LRU replacement."""
+
+    __slots__ = ("name", "size", "assoc", "hit_cycles", "sets", "_tags", "_lru", "_tick")
+
+    def __init__(self, name: str, size: int, assoc: int, hit_cycles: int):
+        if size % (assoc * LINE_BYTES) != 0:
+            raise ValueError(f"{name}: size must be a multiple of assoc * line")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.hit_cycles = hit_cycles
+        self.sets = size // (assoc * LINE_BYTES)
+        self._tags = np.full((self.sets, assoc), -1, dtype=np.int64)
+        self._lru = np.zeros((self.sets, assoc), dtype=np.int64)
+        self._tick = 0
+
+    def lookup(self, line: int) -> bool:
+        """Access one line address; returns hit, updating LRU state and
+        allocating on miss."""
+        s = line % self.sets
+        tag = line // self.sets
+        self._tick += 1
+        tags = self._tags[s]
+        way = np.nonzero(tags == tag)[0]
+        if way.size:
+            self._lru[s, way[0]] = self._tick
+            return True
+        victim = int(np.argmin(self._lru[s]))
+        tags[victim] = tag
+        self._lru[s, victim] = self._tick
+        return False
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._lru.fill(0)
+        self._tick = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Access counters per level."""
+
+    accesses: int = 0
+    hits: dict = field(default_factory=dict)
+
+
+class CacheHierarchy:
+    """An inclusive multi-level hierarchy terminating in DRAM."""
+
+    def __init__(self, levels: list[CacheLevel], dram_cycles: int = 220):
+        if not levels:
+            raise ValueError("need at least one level")
+        self.levels = levels
+        self.dram_cycles = dram_cycles
+        self.stats = HierarchyStats(hits={lv.name: 0 for lv in levels})
+
+    @classmethod
+    def paper_i5(cls) -> "CacheHierarchy":
+        """The §VI-E machine: 32 KB L1, 256 KB L2, 6 MB L3."""
+        return cls(
+            [
+                CacheLevel("L1", 32 * 1024, 8, hit_cycles=4),
+                CacheLevel("L2", 256 * 1024, 8, hit_cycles=12),
+                CacheLevel("L3", 6 * 1024 * 1024, 12, hit_cycles=42),
+            ]
+        )
+
+    def access(self, addr: int) -> int:
+        """One load; returns its latency in cycles."""
+        line = addr // LINE_BYTES
+        self.stats.accesses += 1
+        for level in self.levels:
+            hit = level.lookup(line)
+            if hit:
+                self.stats.hits[level.name] += 1
+                return level.hit_cycles
+            # miss: continue to the next level (allocation already done,
+            # keeping the hierarchy inclusive)
+        return self.dram_cycles
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+        self.stats = HierarchyStats(hits={lv.name: 0 for lv in self.levels})
+
+
+def _row_addresses(num_states: int, seed: int = 12345) -> np.ndarray:
+    """Hash-scattered base address per state's dict row (CPython dict
+    rows have no spatial locality in state order)."""
+    rng = np.random.default_rng(seed)
+    heap_span = max(1, num_states) * ROW_BYTES * 2  # ~50 % heap occupancy
+    return (rng.integers(0, heap_span // 16, size=num_states) * 16).astype(np.int64)
+
+
+def qlearning_trace_cycles(
+    mdp: DenseMdp,
+    samples: int,
+    *,
+    hierarchy: CacheHierarchy | None = None,
+    seed: int = 1,
+) -> float:
+    """Mean memory cycles per Q-Learning sample, trace-driven.
+
+    Replays the dict baseline's access pattern — read/modify the current
+    state's row (its lines), read the next state's whole row for the max
+    — against the hierarchy, after a warm-up pass.
+    """
+    if hierarchy is None:
+        hierarchy = CacheHierarchy.paper_i5()
+    rng = np.random.default_rng(seed)
+    n_states = mdp.num_states
+    rows = _row_addresses(n_states)
+    # The outer dict's hash-table slots and the per-state key/float
+    # objects live at their own scattered addresses.
+    slot_base = rng.integers(1 << 30)
+    keys = _row_addresses(n_states, seed=seed + 77)
+    lines_per_row = max(1, ROW_BYTES // LINE_BYTES)
+    starts = mdp.start_states
+    next_state = mdp.next_state
+    terminal = mdp.terminal
+
+    def touch_state(state: int, whole_row: bool) -> int:
+        """One dict lookup: outer slot, key object, then the inner row —
+        every line for the stage-2 max scan, two lines for the keyed
+        read/write of the current pair."""
+        cycles = hierarchy.access(slot_base + state * 16)
+        cycles += hierarchy.access(int(keys[state]))
+        base = int(rows[state])
+        span = lines_per_row if whole_row else 2
+        for i in range(span):
+            cycles += hierarchy.access(base + i * LINE_BYTES)
+        return cycles
+
+    def run(n: int) -> float:
+        total = 0
+        state = int(starts[rng.integers(len(starts))])
+        for _ in range(n):
+            action = int(rng.integers(mdp.num_actions))
+            nxt = int(next_state[state, action])
+            total += touch_state(state, whole_row=False)
+            total += touch_state(nxt, whole_row=True)
+            if terminal[nxt]:
+                state = int(starts[rng.integers(len(starts))])
+            else:
+                state = nxt
+        return total / n
+
+    run(min(samples, 6000))  # warm the hierarchy
+    return run(samples)
+
+
+def modelled_cpu_throughput(
+    mdp: DenseMdp,
+    *,
+    samples: int = 20_000,
+    clock_ghz: float = 2.3,
+    interpreter_ns_per_sample: float = 7_000.0,
+) -> float:
+    """Samples/second the dict baseline should achieve on the §VI-E CPU.
+
+    ``interpreter_ns_per_sample`` is the state-size-independent CPython
+    cost (bytecode dispatch, object churn) — the single calibration
+    constant; the memory term comes from the trace-driven hierarchy.
+    """
+    mem_cycles = qlearning_trace_cycles(mdp, samples)
+    mem_ns = mem_cycles / clock_ghz
+    return 1e9 / (interpreter_ns_per_sample + mem_ns)

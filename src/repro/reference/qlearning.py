@@ -1,0 +1,114 @@
+"""The paper's CPU baseline: nested-dict Python Q-Learning (§VI-E).
+
+Table II's comparison point is "a python program in which the Q values
+are stored in a nested dictionary and are indexed by state coordinates
+tuples and actions".  This module reimplements exactly that — state keys
+are ``(x, y)`` coordinate tuples, actions index an inner dict, the update
+is plain float arithmetic — so the throughput benches measure the same
+artifact on today's hardware.
+
+It is deliberately *not* optimised (no numpy, no arrays): the point of
+Table II is what a straightforward scripted implementation achieves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..envs.base import DenseMdp, GridEncoding
+
+
+@dataclass
+class DictQLearningResult:
+    """Outcome of a dict-based training run."""
+
+    samples: int
+    episodes: int
+
+
+class DictQLearning:
+    """Nested-dict tabular Q-Learning over a :class:`DenseMdp`.
+
+    The environment is accessed through its dense tables (as the paper's
+    CPU baseline would precompute the grid), but all learner state lives
+    in ``dict[state_key][action] -> float``.  When the MDP carries a
+    :class:`GridEncoding` (grid worlds), state keys are ``(x, y)`` tuples
+    exactly as §VI-E describes; otherwise the integer state is the key.
+    """
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        *,
+        alpha: float = 0.5,
+        gamma: float = 0.9,
+        seed: int = 1,
+    ):
+        self.mdp = mdp
+        self.alpha = alpha
+        self.gamma = gamma
+        self.rng = random.Random(seed)
+        enc = mdp.metadata.get("encoding")
+        self._encode = (
+            (lambda s: enc.decode(s)) if isinstance(enc, GridEncoding) else (lambda s: s)
+        )
+        self.q: dict = {}
+        self._actions = list(range(mdp.num_actions))
+        self.samples = 0
+        self.episodes = 0
+        self._state: int | None = None
+
+    def _row(self, key):
+        row = self.q.get(key)
+        if row is None:
+            row = {a: 0.0 for a in self._actions}
+            self.q[key] = row
+        return row
+
+    def run(self, num_samples: int) -> DictQLearningResult:
+        """Process ``num_samples`` updates (random behaviour policy,
+        greedy update policy — the paper's Q-Learning)."""
+        mdp = self.mdp
+        alpha = self.alpha
+        gamma = self.gamma
+        rng = self.rng
+        next_state = mdp.next_state
+        rewards = mdp.rewards
+        terminal = mdp.terminal
+        starts = mdp.start_states
+        n_start = len(starts)
+        encode = self._encode
+        actions = self._actions
+        episodes0 = self.episodes
+
+        state = self._state
+        for _ in range(num_samples):
+            if state is None:
+                state = int(starts[rng.randrange(n_start)])
+            action = rng.randrange(len(actions))
+            s_key = encode(state)
+            row = self._row(s_key)
+            nxt = int(next_state[state, action])
+            r = float(rewards[state, action])
+            if terminal[nxt]:
+                target = r
+            else:
+                n_row = self._row(encode(nxt))
+                target = r + gamma * max(n_row.values())
+            row[action] += alpha * (target - row[action])
+            if terminal[nxt]:
+                state = None
+                self.episodes += 1
+            else:
+                state = nxt
+        self._state = state
+        self.samples += num_samples
+        return DictQLearningResult(
+            samples=num_samples, episodes=self.episodes - episodes0
+        )
+
+    def greedy_action(self, state: int) -> int:
+        """Greedy action for a state under the learned dict table."""
+        row = self._row(self._encode(state))
+        return max(row, key=row.get)

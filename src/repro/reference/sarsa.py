@@ -1,0 +1,100 @@
+"""Dict-based Python SARSA, the on-policy sibling of the CPU baseline.
+
+Same deliberately plain construction as
+:class:`repro.reference.qlearning.DictQLearning`: nested dicts, float
+arithmetic, e-greedy behaviour = update policy.  Used for Table II-style
+CPU measurements of SARSA and as an algorithmic cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..envs.base import DenseMdp, GridEncoding
+
+
+@dataclass
+class DictSarsaResult:
+    """Outcome of a dict-based SARSA run."""
+
+    samples: int
+    episodes: int
+
+
+class DictSarsa:
+    """Nested-dict tabular SARSA over a :class:`DenseMdp`."""
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        *,
+        alpha: float = 0.5,
+        gamma: float = 0.9,
+        epsilon: float = 0.1,
+        seed: int = 1,
+    ):
+        self.mdp = mdp
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.rng = random.Random(seed)
+        enc = mdp.metadata.get("encoding")
+        self._encode = (
+            (lambda s: enc.decode(s)) if isinstance(enc, GridEncoding) else (lambda s: s)
+        )
+        self.q: dict = {}
+        self._actions = list(range(mdp.num_actions))
+        self.samples = 0
+        self.episodes = 0
+        self._state: int | None = None
+        self._action: int | None = None
+
+    def _row(self, key):
+        row = self.q.get(key)
+        if row is None:
+            row = {a: 0.0 for a in self._actions}
+            self.q[key] = row
+        return row
+
+    def _egreedy(self, state: int) -> int:
+        if self.rng.random() < self.epsilon:
+            return self.rng.randrange(len(self._actions))
+        row = self._row(self._encode(state))
+        return max(row, key=row.get)
+
+    def run(self, num_samples: int) -> DictSarsaResult:
+        """Process ``num_samples`` on-policy updates."""
+        mdp = self.mdp
+        alpha, gamma = self.alpha, self.gamma
+        next_state = mdp.next_state
+        rewards = mdp.rewards
+        terminal = mdp.terminal
+        starts = mdp.start_states
+        n_start = len(starts)
+        encode = self._encode
+        episodes0 = self.episodes
+
+        state, action = self._state, self._action
+        for _ in range(num_samples):
+            if state is None:
+                state = int(starts[self.rng.randrange(n_start)])
+                action = self._egreedy(state)
+            row = self._row(encode(state))
+            nxt = int(next_state[state, action])
+            r = float(rewards[state, action])
+            if terminal[nxt]:
+                target = r
+                next_action = None
+            else:
+                next_action = self._egreedy(nxt)
+                target = r + gamma * self._row(encode(nxt))[next_action]
+            row[action] += alpha * (target - row[action])
+            if terminal[nxt]:
+                state, action = None, None
+                self.episodes += 1
+            else:
+                state, action = nxt, next_action
+        self._state, self._action = state, action
+        self.samples += num_samples
+        return DictSarsaResult(samples=num_samples, episodes=self.episodes - episodes0)

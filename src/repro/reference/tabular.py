@@ -1,0 +1,118 @@
+"""Float numpy tabular Q-Learning / SARSA — the algorithmic gold reference.
+
+These learners use exact float arithmetic, true row maxima (no Qmax
+cache) and a numpy ``Generator`` for randomness.  They are *not* meant to
+match the accelerator bit for bit; they are the textbook algorithms the
+accelerator approximates, used to bound the fixed-point and Qmax-cache
+error in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+
+
+@dataclass
+class TabularResult:
+    """Outcome of a tabular float run."""
+
+    samples: int
+    episodes: int
+
+
+class TabularLearner:
+    """Shared machinery of the float Q-Learning / SARSA learners."""
+
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        *,
+        alpha: float = 0.5,
+        gamma: float = 0.9,
+        epsilon: float = 0.1,
+        seed: int = 1,
+        q_init: float = 0.0,
+    ):
+        self.mdp = mdp
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.rng = np.random.default_rng(seed)
+        self.q = np.full((mdp.num_states, mdp.num_actions), q_init, dtype=np.float64)
+        self.samples = 0
+        self.episodes = 0
+        self._state: int | None = None
+
+    def _start(self) -> int:
+        starts = self.mdp.start_states
+        return int(starts[self.rng.integers(len(starts))])
+
+    def _egreedy(self, state: int) -> int:
+        if self.rng.random() < self.epsilon:
+            return int(self.rng.integers(self.mdp.num_actions))
+        return int(np.argmax(self.q[state]))
+
+
+class FloatQLearning(TabularLearner):
+    """Textbook Q-Learning (random behaviour, true-max target)."""
+
+    def run(self, num_samples: int) -> TabularResult:
+        mdp = self.mdp
+        q = self.q
+        episodes0 = self.episodes
+        state = self._state
+        for _ in range(num_samples):
+            if state is None:
+                state = self._start()
+            action = int(self.rng.integers(mdp.num_actions))
+            nxt = int(mdp.next_state[state, action])
+            r = float(mdp.rewards[state, action])
+            target = r if mdp.terminal[nxt] else r + self.gamma * float(q[nxt].max())
+            q[state, action] += self.alpha * (target - q[state, action])
+            if mdp.terminal[nxt]:
+                state = None
+                self.episodes += 1
+            else:
+                state = nxt
+        self._state = state
+        self.samples += num_samples
+        return TabularResult(num_samples, self.episodes - episodes0)
+
+
+class FloatSarsa(TabularLearner):
+    """Textbook SARSA (e-greedy behaviour = update policy)."""
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self._action: int | None = None
+
+    def run(self, num_samples: int) -> TabularResult:
+        mdp = self.mdp
+        q = self.q
+        episodes0 = self.episodes
+        state, action = self._state, self._action
+        for _ in range(num_samples):
+            if state is None:
+                state = self._start()
+                action = self._egreedy(state)
+            nxt = int(mdp.next_state[state, action])
+            r = float(mdp.rewards[state, action])
+            if mdp.terminal[nxt]:
+                target = r
+                next_action = None
+            else:
+                next_action = self._egreedy(nxt)
+                target = r + self.gamma * float(q[nxt, next_action])
+            q[state, action] += self.alpha * (target - q[state, action])
+            if mdp.terminal[nxt]:
+                state, action = None, None
+                self.episodes += 1
+            else:
+                state, action = nxt, next_action
+        self._state, self._action = state, action
+        self.samples += num_samples
+        return TabularResult(num_samples, self.episodes - episodes0)

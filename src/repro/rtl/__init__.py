@@ -1,0 +1,43 @@
+"""Hardware-primitive models: LFSRs, derived RNGs, block RAM, registers,
+and the synchronous cycle-loop driver.
+
+These are the building blocks the cycle-accurate QTAccel simulator is
+assembled from, each modelling one FPGA primitive the paper's design
+instantiates (§IV-A device model).
+"""
+
+from .clock import Clocked, Simulation
+from .lfsr import MAXIMAL_TAPS, Lfsr, taps_to_mask
+from .lfsr_batch import LfsrBank
+from .memory import (
+    BRAM18,
+    BRAM36,
+    URAM288,
+    AccessStats,
+    BlockKind,
+    TableRam,
+    blocks_for_table,
+    table_bits,
+)
+from .register import PipelineRegister
+from .rng import CltNormal, UniformSource
+
+__all__ = [
+    "Clocked",
+    "Simulation",
+    "Lfsr",
+    "MAXIMAL_TAPS",
+    "taps_to_mask",
+    "LfsrBank",
+    "BlockKind",
+    "BRAM18",
+    "BRAM36",
+    "URAM288",
+    "TableRam",
+    "AccessStats",
+    "blocks_for_table",
+    "table_bits",
+    "PipelineRegister",
+    "UniformSource",
+    "CltNormal",
+]

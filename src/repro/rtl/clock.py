@@ -1,0 +1,72 @@
+"""Cycle-loop driver for clocked components.
+
+A minimal synchronous-simulation harness: components expose ``eval()``
+(combinational work for the current cycle, evaluated in registration
+order) and ``tick()`` (the clock edge).  The QTAccel pipeline is itself a
+single component; the driver earns its keep when several pipelines share
+tables (multi-agent modes) and must see a consistent cycle boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clocked(Protocol):
+    """Anything that participates in the synchronous cycle loop."""
+
+    def eval(self) -> None:
+        """Combinational phase: compute this cycle's outputs."""
+        ...
+
+    def tick(self) -> None:
+        """Sequential phase: latch state at the clock edge."""
+        ...
+
+
+class Simulation:
+    """Drives a set of :class:`Clocked` components cycle by cycle.
+
+    ``eval`` order follows registration order, which lets callers express
+    same-cycle combinational dependencies (e.g. SARSA's stage-2 to stage-1
+    action forwarding evaluates producer pipelines before consumers).
+    """
+
+    def __init__(self) -> None:
+        self._components: list[Clocked] = []
+        self.cycle = 0
+
+    def add(self, component: Clocked) -> None:
+        if not isinstance(component, Clocked):
+            raise TypeError(f"{component!r} does not implement eval()/tick()")
+        self._components.append(component)
+
+    def step(self) -> None:
+        """Advance exactly one clock cycle."""
+        for c in self._components:
+            c.eval()
+        for c in self._components:
+            c.tick()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> int:
+        """Advance ``cycles`` clock cycles; returns the new cycle count."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.step()
+        return self.cycle
+
+    def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:
+        """Step until ``predicate()`` is true; returns cycles consumed.
+
+        Raises ``RuntimeError`` if ``max_cycles`` elapse first, so stalled
+        configurations fail loudly in tests.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(f"predicate not reached within {max_cycles} cycles")
+            self.step()
+        return self.cycle - start

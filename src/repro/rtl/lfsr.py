@@ -1,0 +1,218 @@
+"""Linear feedback shift registers (LFSRs).
+
+QTAccel sources all of its randomness — random start states, random action
+draws for the behaviour policy, the epsilon threshold comparison of
+SARSA's e-greedy selection, and the uniform summands of the CLT normal
+sampler used for bandit rewards — from LFSRs (paper §IV-A, §V-B, §VII-B).
+
+This module implements Galois-form LFSRs with maximal-length feedback
+polynomials (tap tables per Xilinx XAPP 052), so every width yields the
+full period ``2**n - 1``.  The same generator objects drive both the
+cycle-accurate and the functional simulators, which keeps their decision
+streams bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+#: Maximal-length feedback tap positions (1-based bit indices, MSB = n),
+#: from Xilinx XAPP 052.  The XNOR/XOR of these bits feeds the register.
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+    33: (33, 20),
+    34: (34, 27, 2, 1),
+    35: (35, 33),
+    36: (36, 25),
+    40: (40, 38, 21, 19),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+def taps_to_mask(width: int, taps: tuple[int, ...]) -> int:
+    """Convert 1-based tap positions to the Galois feedback mask.
+
+    Bit ``t - 1`` of the mask is set for every tap ``t``; since every
+    polynomial includes the degree-``n`` term, bit ``width - 1`` is always
+    set, which is what re-injects the shifted-out bit at the MSB in the
+    right-shift Galois update.
+    """
+    mask = 0
+    for t in taps:
+        if not 1 <= t <= width:
+            raise ValueError(f"tap {t} out of range for width {width}")
+        mask |= 1 << (t - 1)
+    if not mask & (1 << (width - 1)):
+        raise ValueError(f"taps {taps} must include the degree-{width} term")
+    return mask
+
+
+class Lfsr:
+    """A Galois-form (right-shift) LFSR of ``width`` bits.
+
+    One :meth:`step` models one clock of the hardware shift register:
+
+    .. code-block:: text
+
+        lsb = state & 1 ; state >>= 1 ; if lsb: state ^= mask
+
+    The register never holds the all-zeros lock-up state; seeds are mapped
+    into ``[1, 2**width - 1]``.  The sequence of register states has the
+    full period ``2**width - 1`` for every width in :data:`MAXIMAL_TAPS`
+    (asserted by the test suite for small widths).
+    """
+
+    __slots__ = ("width", "mask", "_state")
+
+    def __init__(self, width: int, seed: int = 1, taps: tuple[int, ...] | None = None):
+        if taps is None:
+            if width not in MAXIMAL_TAPS:
+                raise ValueError(
+                    f"no maximal tap table for width {width}; pass taps= explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        self.width = width
+        self.mask = taps_to_mask(width, taps)
+        seed &= (1 << width) - 1
+        if seed == 0:
+            seed = 1
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        """Current register contents (also the last output word)."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Sequence period for a maximal-length polynomial."""
+        return (1 << self.width) - 1
+
+    def step(self) -> int:
+        """Advance one clock; return the new register contents."""
+        s = self._state
+        lsb = s & 1
+        s >>= 1
+        if lsb:
+            s ^= self.mask
+        self._state = s
+        return s
+
+    # Per-(mask, d) leap tables, shared across instances.
+    _leap_tables: dict[tuple[int, int], list[int]] = {}
+
+    def _leap_table(self, d: int) -> list[int]:
+        key = (self.mask, d)
+        table = Lfsr._leap_tables.get(key)
+        if table is None:
+            # f^d(b) for every d-bit b, by plain stepping.  The Galois
+            # update is GF(2)-linear, and the high part (b = 0) shifts
+            # down without ever presenting a 1 at the LSB, so
+            # f^d(s) = (s >> d) ^ f^d(s & (2^d - 1)) exactly.
+            mask = self.mask
+            table = []
+            for b in range(1 << d):
+                s = b
+                for _ in range(d):
+                    lsb = s & 1
+                    s >>= 1
+                    if lsb:
+                        s ^= mask
+                table.append(s)
+            Lfsr._leap_tables[key] = table
+        return table
+
+    def leap(self, d: int) -> int:
+        """Advance ``d`` clocks in one operation (leap-forward LFSR).
+
+        Bit-identical to ``d`` calls of :meth:`step` (tested); this is
+        the classic LUT circuit real designs use to emit ``d`` fresh
+        bits per cycle.  ``d`` must be at most the register width.
+        """
+        if not 1 <= d <= self.width:
+            raise ValueError(f"leap distance must be in [1, {self.width}]")
+        table = self._leap_table(d)
+        s = self._state
+        s = (s >> d) ^ table[s & ((1 << d) - 1)]
+        self._state = s
+        return s
+
+    def batch(self, n: int) -> np.ndarray:
+        """Generate ``n`` successive register states as an int64 array.
+
+        The update is inherently sequential, so this is a tight local
+        pure-Python loop writing into a preallocated array (the standard
+        idiom for unvectorisable hot loops).
+        """
+        out = np.empty(n, dtype=np.int64)
+        s = self._state
+        mask = self.mask
+        for i in range(n):
+            lsb = s & 1
+            s >>= 1
+            if lsb:
+                s ^= mask
+            out[i] = s
+        self._state = s
+        return out
+
+    def leap_batch(self, n: int, d: int) -> np.ndarray:
+        """``n`` successive ``d``-step leaps as an int64 array."""
+        table = self._leap_table(d)
+        low = (1 << d) - 1
+        out = np.empty(n, dtype=np.int64)
+        s = self._state
+        for i in range(n):
+            s = (s >> d) ^ table[s & low]
+            out[i] = s
+        self._state = s
+        return out
+
+    def fork(self, salt: int) -> "Lfsr":
+        """A new LFSR of the same polynomial, decorrelated by ``salt``.
+
+        Used to derive independent per-pipeline streams in multi-agent
+        mode without sharing register state.
+        """
+        seed = (self._state * 0x9E3779B1 + salt * 0x85EBCA77 + 1) & ((1 << self.width) - 1)
+        return Lfsr(self.width, seed=seed or 1)
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.step()
+
+    def __repr__(self) -> str:
+        return f"Lfsr(width={self.width}, state=0x{self._state:x})"

@@ -1,0 +1,222 @@
+"""On-chip memory models: BRAM/URAM blocks and multi-block tables.
+
+The scalability story of QTAccel (Fig. 4, §VI-F) is a memory story: the Q,
+reward and Qmax tables live entirely in on-chip block RAM, and the number
+of blocks a table consumes — allocated at block granularity by the
+synthesis tool — is what bounds the supported state-action size.
+
+This module models:
+
+* :class:`BlockKind` — a RAM primitive (BRAM18 / BRAM36 / URAM288) with its
+  legal depth x width aspect ratios;
+* :func:`blocks_for_table` — the block-granular ``ceil`` allocation the
+  tools perform, minimised over aspect ratios;
+* :class:`TableRam` — a functional dual-port memory holding raw
+  fixed-point words, with clock-edge write commit, same-address write
+  arbitration (the §VII-A "one pipeline arbitrarily overwrites the other"
+  behaviour) and access counters feeding the power model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockKind:
+    """A block-RAM primitive and its legal aspect-ratio configurations."""
+
+    name: str
+    capacity_bits: int
+    #: (depth, width) configurations the primitive supports.
+    aspects: tuple[tuple[int, int], ...]
+    ports: int = 2
+
+    def blocks_for(self, depth: int, width: int) -> int:
+        """Blocks needed for a ``depth x width`` table, best aspect ratio.
+
+        Tables wider than a configuration are bit-sliced across blocks;
+        deeper tables are address-sliced.  This is how Vivado maps a
+        logical RAM onto primitives.
+        """
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        best = None
+        for d, w in self.aspects:
+            blocks = math.ceil(width / w) * math.ceil(depth / d)
+            if best is None or blocks < best:
+                best = blocks
+        assert best is not None
+        return best
+
+
+#: Xilinx RAMB36E2: 36 Kb true-dual-port block.
+BRAM36 = BlockKind(
+    name="BRAM36",
+    capacity_bits=36 * 1024,
+    aspects=((32768, 1), (16384, 2), (8192, 4), (4096, 9), (2048, 18), (1024, 36), (512, 72)),
+)
+
+#: Xilinx RAMB18E2: 18 Kb half block.
+BRAM18 = BlockKind(
+    name="BRAM18",
+    capacity_bits=18 * 1024,
+    aspects=((16384, 1), (8192, 2), (4096, 4), (2048, 9), (1024, 18), (512, 36)),
+)
+
+#: UltraScale+ URAM288: 288 Kb, native 4K x 72 aspect.  Narrow entries
+#: are packed several-to-a-word with slice muxes (standard memory-compiler
+#: practice; it is what makes the paper's "10 million state-action pairs
+#: in 360 Mb of URAM" arithmetic work), modelled as virtual aspects.
+URAM288 = BlockKind(
+    name="URAM288",
+    capacity_bits=288 * 1024,
+    aspects=((4096, 72), (8192, 36), (16384, 18), (32768, 9)),
+)
+
+
+def blocks_for_table(depth: int, width: int, kind: BlockKind = BRAM36) -> int:
+    """Convenience wrapper over :meth:`BlockKind.blocks_for`."""
+    return kind.blocks_for(depth, width)
+
+
+def table_bits(depth: int, width: int) -> int:
+    """Raw payload bits of a ``depth x width`` table (bit-granular view,
+    what the paper's Fig. 4 percentages are computed from at small sizes)."""
+    return depth * width
+
+
+@dataclass
+class AccessStats:
+    """Cumulative port activity of one :class:`TableRam`."""
+
+    reads: int = 0
+    writes: int = 0
+    write_collisions: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.write_collisions = 0
+
+
+class TableRam:
+    """A functional dual-port on-chip table of raw fixed-point words.
+
+    Reads are combinational from the *committed* array (BRAM read-first
+    semantics: a read issued in the same cycle as a write to the same
+    address returns the old word).  Writes are staged with
+    :meth:`write` and applied at the clock edge by :meth:`commit`.
+
+    When two ports write the same address in one cycle — possible only in
+    the state-sharing dual-pipeline mode — one write arbitrarily overwrites
+    the other (paper §VII-A); the loser is counted in
+    ``stats.write_collisions``.
+    """
+
+    __slots__ = ("name", "depth", "width", "kind", "data", "stats", "_pending")
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        *,
+        name: str = "ram",
+        kind: BlockKind = BRAM36,
+        fill: int = 0,
+    ):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.kind = kind
+        self.data = np.full(depth, fill, dtype=np.int64)
+        self.stats = AccessStats()
+        self._pending: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Resource view
+    # ------------------------------------------------------------------ #
+
+    @property
+    def blocks(self) -> int:
+        """Block-granular allocation on this table's primitive kind."""
+        return self.kind.blocks_for(self.depth, self.width)
+
+    @property
+    def bits(self) -> int:
+        """Bit-granular payload size."""
+        return table_bits(self.depth, self.width)
+
+    # ------------------------------------------------------------------ #
+    # Port operations
+    # ------------------------------------------------------------------ #
+
+    def read(self, addr: int) -> int:
+        """Combinational read of the committed word at ``addr``."""
+        self.stats.reads += 1
+        return int(self.data[addr])
+
+    def read_many(self, addrs) -> np.ndarray:
+        """Vectorised gather (functional-simulator path)."""
+        addrs = np.asarray(addrs)
+        self.stats.reads += int(addrs.size)
+        return self.data[addrs]
+
+    def write(self, addr: int, value: int) -> None:
+        """Stage a write; it lands at the next :meth:`commit`."""
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        self._pending.append((addr, value))
+
+    def write_now(self, addr: int, value: int) -> None:
+        """Immediate write (functional-simulator path, no clocking)."""
+        self.stats.writes += 1
+        self.data[addr] = value
+
+    def write_many_now(self, addrs, values) -> None:
+        """Vectorised scatter; later duplicates win (sequential order)."""
+        addrs = np.asarray(addrs)
+        self.stats.writes += int(addrs.size)
+        self.data[addrs] = values
+
+    def commit(self) -> int:
+        """Apply staged writes (clock edge).  Returns collisions this cycle.
+
+        If more than ``kind.ports`` writes are staged, the configuration is
+        invalid — the caller scheduled more traffic than the primitive has
+        ports — and we fail loudly rather than silently serialise.
+        """
+        pending, self._pending = self._pending, []
+        if len(pending) > self.kind.ports:
+            raise RuntimeError(
+                f"{self.name}: {len(pending)} writes in one cycle exceeds "
+                f"{self.kind.ports} ports"
+            )
+        collisions = 0
+        seen: dict[int, int] = {}
+        for addr, value in pending:
+            if addr in seen:
+                collisions += 1  # later port overwrites earlier one
+            seen[addr] = value
+        for addr, value in seen.items():
+            self.data[addr] = value
+        self.stats.writes += len(pending)
+        self.stats.write_collisions += collisions
+        return collisions
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the committed contents (for tests/metrics)."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"TableRam({self.name!r}, {self.depth}x{self.width}b, "
+            f"{self.blocks} {self.kind.name})"
+        )

@@ -1,0 +1,60 @@
+"""Pipeline registers with valid bits.
+
+The cycle-accurate simulator models the flip-flop banks between pipeline
+stages explicitly: a :class:`PipelineRegister` holds the payload a stage
+produced, plus a valid bit; ``tick()`` is the clock edge that moves the
+staged next-value into the visible slot.  Payloads are plain dataclasses
+defined by the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class PipelineRegister(Generic[T]):
+    """One inter-stage flip-flop bank: visible value + staged next value."""
+
+    __slots__ = ("name", "value", "valid", "_next_value", "_next_valid")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[T] = None
+        self.valid: bool = False
+        self._next_value: Optional[T] = None
+        self._next_valid: bool = False
+
+    def stage(self, value: T) -> None:
+        """Drive the register inputs for this cycle (captured at tick)."""
+        self._next_value = value
+        self._next_valid = True
+
+    def stage_bubble(self) -> None:
+        """Drive an invalid (bubble) input for this cycle."""
+        self._next_value = None
+        self._next_valid = False
+
+    def hold(self) -> None:
+        """Keep the current contents through the next edge (stall)."""
+        self._next_value = self.value
+        self._next_valid = self.valid
+
+    def tick(self) -> None:
+        """Clock edge: captured inputs become visible; inputs reset to
+        bubble so a stage that doesn't drive the register inserts one."""
+        self.value = self._next_value
+        self.valid = self._next_valid
+        self._next_value = None
+        self._next_valid = False
+
+    def flush(self) -> None:
+        """Clear both visible and staged contents."""
+        self.value = None
+        self.valid = False
+        self._next_value = None
+        self._next_valid = False
+
+    def __repr__(self) -> str:
+        return f"PipelineRegister({self.name!r}, valid={self.valid}, value={self.value!r})"

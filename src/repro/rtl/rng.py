@@ -1,0 +1,133 @@
+"""Random-value generators derived from LFSRs.
+
+These model the small combinational circuits the paper builds around its
+LFSRs:
+
+* power-of-two and modulo range reduction for action / start-state draws;
+* the e-greedy threshold comparison (an N-bit compare against
+  ``(1 - eps) * 2**N``, §V-B);
+* the central-limit normal sampler for bandit rewards — a sum of uniform
+  LFSR outputs (§VII-B, ref. [31]).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .lfsr import Lfsr
+
+
+#: LFSR clocks per draw.  One Galois step only shifts the register by a
+#: single bit, so *successive* draws share all but one bit — a walk whose
+#: actions come from the low bits can then never produce certain action
+#: pairs (e.g. ``up`` directly after ``left``) and whole regions of a
+#: grid become unreachable.  Real designs clock the LFSR several times
+#: per sample (or use a leap-forward LFSR, the same circuit unrolled);
+#: eight steps refresh a full byte of state between draws.
+DECIMATION = 8
+
+
+class UniformSource:
+    """Uniform integer/float draws from one LFSR.
+
+    A maximal LFSR emits every value in ``[1, 2**width - 1]`` exactly once
+    per period, which is uniform enough for the accelerator's purposes
+    (the hardware makes the same approximation).  Every draw advances the
+    register :data:`DECIMATION` times (see note there) so consecutive
+    draws are bit-decorrelated.
+    """
+
+    __slots__ = ("lfsr", "decimation")
+
+    def __init__(self, lfsr: Lfsr, decimation: int = DECIMATION):
+        if decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        self.lfsr = lfsr
+        self.decimation = decimation
+
+    @property
+    def width(self) -> int:
+        return self.lfsr.width
+
+    def bits(self) -> int:
+        """One raw ``width``-bit draw (a decimated register read, via the
+        leap-forward table)."""
+        return self.lfsr.leap(self.decimation)
+
+    def below(self, m: int) -> int:
+        """An integer in ``[0, m)``.
+
+        Power-of-two ``m`` uses the low bits (a wire selection in
+        hardware); other ``m`` use modulo reduction, whose slight bias at
+        LFSR widths >= 16 is far below anything the algorithms can sense —
+        and is exactly what the hardware would do.
+        """
+        if m <= 0:
+            raise ValueError("m must be positive")
+        u = self.bits()
+        if m & (m - 1) == 0:
+            return u & (m - 1)
+        return u % m
+
+    def unit_float(self) -> float:
+        """A float in ``[0, 1)`` (state scaled by ``2**-width``)."""
+        return self.bits() / (1 << self.width)
+
+    def threshold(self, p: float) -> bool:
+        """True with probability ~``p``: compare a draw against
+        ``p * 2**width`` (the paper's e-greedy comparator)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        cut = int(p * (1 << self.width))
+        return self.bits() < cut
+
+    def bits_batch(self, n: int) -> np.ndarray:
+        """``n`` decimated draws as an int64 array."""
+        return self.lfsr.leap_batch(n, self.decimation)
+
+    def below_batch(self, m: int, n: int) -> np.ndarray:
+        """``n`` draws in ``[0, m)`` as an int64 array."""
+        states = self.bits_batch(n)
+        if m & (m - 1) == 0:
+            return states & (m - 1)
+        return states % m
+
+
+class CltNormal:
+    """Normally distributed samples from summed LFSR uniforms.
+
+    Summing ``k`` independent uniforms on ``[0, 1)`` gives mean ``k/2`` and
+    variance ``k/12``; normalising yields an approximate standard normal
+    (exactly the Irwin-Hall construction referenced in §VII-B).  ``k = 12``
+    makes the variance correction trivial (``sqrt(12/12) = 1``) and is the
+    classic hardware choice.
+    """
+
+    __slots__ = ("source", "k", "mean", "std", "_scale")
+
+    def __init__(self, lfsr: Lfsr, k: int = 12, mean: float = 0.0, std: float = 1.0):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if std < 0:
+            raise ValueError("std must be non-negative")
+        self.source = UniformSource(lfsr)
+        self.k = k
+        self.mean = mean
+        self.std = std
+        self._scale = std / math.sqrt(k / 12.0)
+
+    def sample(self) -> float:
+        """One approximately normal draw."""
+        total = 0.0
+        for _ in range(self.k):
+            total += self.source.unit_float()
+        return (total - self.k / 2.0) * self._scale + self.mean
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        """``n`` draws as a float64 array (one LFSR batch, reshaped)."""
+        states = self.source.bits_batch(n * self.k).astype(np.float64)
+        u = states / (1 << self.source.width)
+        sums = u.reshape(n, self.k).sum(axis=1)
+        return (sums - self.k / 2.0) * self._scale + self.mean

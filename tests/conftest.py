@@ -1,0 +1,49 @@
+"""Shared fixtures for the QTAccel test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.envs.gridworld import GridWorld
+from repro.envs.random_mdp import chain_mdp, random_dense_mdp
+
+
+@pytest.fixture(scope="session")
+def grid8():
+    """An 8x8 grid world with obstacles (session-cached DenseMdp)."""
+    return GridWorld.random(8, 4, obstacle_density=0.15, seed=2).to_mdp()
+
+
+@pytest.fixture(scope="session")
+def grid8_world():
+    """The GridWorld object behind :func:`grid8`."""
+    return GridWorld.random(8, 4, obstacle_density=0.15, seed=2)
+
+
+@pytest.fixture(scope="session")
+def empty16():
+    """A 16x16 obstacle-free grid world."""
+    return GridWorld.empty(16, 4).to_mdp()
+
+
+@pytest.fixture(scope="session")
+def chain6():
+    """A 6-state corridor with known Q*."""
+    return chain_mdp(6)
+
+
+@pytest.fixture(scope="session")
+def loopy_mdp():
+    """A random MDP with heavy self-loops (hazard stress)."""
+    return random_dense_mdp(16, 4, seed=9, self_loop_bias=0.5)
+
+
+@pytest.fixture
+def ql_config():
+    return QTAccelConfig.qlearning(seed=5)
+
+
+@pytest.fixture
+def sarsa_config():
+    return QTAccelConfig.sarsa(seed=5)

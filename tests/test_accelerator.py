@@ -1,0 +1,113 @@
+"""Tests for the user-facing accelerator API."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import QLearningAccelerator, SarsaAccelerator
+from repro.device.parts import XC7VX690T
+
+
+class TestEngines:
+    def test_functional_default(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        res = acc.run(500)
+        assert res.engine == "functional"
+        assert res.samples == 500
+        assert res.cycles is None
+
+    def test_cycle_engine_reports_cycles(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        res = acc.run(500, engine="cycle")
+        assert res.cycles == 503
+        assert res.cycles_per_sample == pytest.approx(1.006)
+
+    def test_engine_switch_rejected(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        acc.run(10)
+        with pytest.raises(RuntimeError):
+            acc.run(10, engine="cycle")
+
+    def test_reset_allows_switch(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        acc.run(10)
+        acc.reset()
+        acc.run(10, engine="cycle")
+        assert acc.samples_processed == 10
+
+    def test_unknown_engine(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        with pytest.raises(ValueError):
+            acc.run(10, engine="verilog")
+
+    def test_engines_agree(self, grid8):
+        a = QLearningAccelerator(grid8, seed=5)
+        b = QLearningAccelerator(grid8, seed=5)
+        a.run(1500, engine="functional")
+        b.run(1500, engine="cycle")
+        assert np.array_equal(a.q_values(), b.q_values())
+
+
+class TestStateViews:
+    def test_q_values_before_run(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        assert acc.q_values().shape == (256, 4)
+        assert not acc.q_values().any()
+
+    def test_policy_shape(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        acc.run(1000)
+        pol = acc.policy()
+        assert pol.shape == (256,)
+        assert pol.min() >= 0 and pol.max() < 4
+
+    def test_counters(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        acc.run(1000)
+        acc.run(500)
+        assert acc.samples_processed == 1500
+        assert acc.episodes_completed >= 0
+
+    def test_convergence_report(self, grid8):
+        acc = QLearningAccelerator(grid8, seed=5)
+        acc.run(50_000)
+        rep = acc.convergence()
+        assert rep.success > 0.9
+
+
+class TestDeviceViews:
+    def test_resource_report(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        rep = acc.resource_report()
+        assert rep.dsp == 4
+        assert rep.fits
+
+    def test_alternate_part(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3, part=XC7VX690T)
+        assert acc.resource_report().part.name == "xc7vx690t"
+
+    def test_throughput_uses_measured_cps(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        acc.run(500, engine="cycle")
+        est = acc.throughput_estimate()
+        assert est.cycles_per_sample == pytest.approx(1.006)
+        assert 150 < est.msps < 200
+
+    def test_throughput_default_cps(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        assert acc.throughput_estimate().cycles_per_sample == 1.0
+
+    def test_power_positive(self, empty16):
+        acc = QLearningAccelerator(empty16, seed=3)
+        assert acc.power_estimate_mw() > 0
+
+
+class TestSarsaAccelerator:
+    def test_config(self, empty16):
+        acc = SarsaAccelerator(empty16, epsilon=0.3, seed=2)
+        assert acc.config.algorithm == "sarsa"
+        assert acc.config.epsilon == 0.3
+
+    def test_runs(self, empty16):
+        acc = SarsaAccelerator(empty16, seed=2, qmax_mode="follow")
+        res = acc.run(2000)
+        assert res.samples == 2000

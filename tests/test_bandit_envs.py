@@ -1,0 +1,115 @@
+"""Tests for the bandit environments."""
+
+import numpy as np
+import pytest
+
+from repro.envs.bandits import (
+    BanditEnv,
+    BernoulliArm,
+    NormalArm,
+    StatefulBanditEnv,
+    channel_selection_env,
+)
+
+
+class TestArms:
+    def test_normal_expected(self):
+        assert NormalArm(2.0, 0.5).expected() == 2.0
+
+    def test_bernoulli_expected(self):
+        assert BernoulliArm(0.3).expected() == 0.3
+
+    def test_bernoulli_validates(self):
+        with pytest.raises(ValueError):
+            BernoulliArm(1.5)
+
+
+class TestBanditEnv:
+    def test_best_arm(self):
+        env = BanditEnv([NormalArm(1.0), NormalArm(3.0), NormalArm(2.0)])
+        assert env.best_arm == 1
+        assert env.best_mean == 3.0
+
+    def test_normal_pull_statistics(self):
+        env = BanditEnv([NormalArm(5.0, 1.0)], seed=3)
+        xs = np.array([env.pull(0) for _ in range(5000)])
+        assert abs(xs.mean() - 5.0) < 0.1
+        assert abs(xs.std() - 1.0) < 0.1
+
+    def test_bernoulli_pull_statistics(self):
+        env = BanditEnv([BernoulliArm(0.3)], seed=4)
+        xs = np.array([env.pull(0) for _ in range(5000)])
+        assert set(np.unique(xs)).issubset({0.0, 1.0})
+        assert abs(xs.mean() - 0.3) < 0.05
+
+    def test_pull_counts(self):
+        env = BanditEnv([NormalArm(0.0), NormalArm(1.0)], seed=1)
+        env.pull(0)
+        env.pull(1)
+        env.pull(1)
+        assert list(env.pulls) == [1, 2]
+
+    def test_arms_independent_streams(self):
+        env = BanditEnv([NormalArm(0.0), NormalArm(0.0)], seed=1)
+        a = [env.pull(0) for _ in range(20)]
+        b = [env.pull(1) for _ in range(20)]
+        assert a != b
+
+    def test_regret_of(self):
+        env = BanditEnv([NormalArm(1.0), NormalArm(2.0)])
+        regret = env.regret_of(np.array([0, 0, 1]))
+        assert list(regret) == [1.0, 2.0, 2.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BanditEnv([])
+
+    def test_rejects_unknown_arm_type(self):
+        with pytest.raises(TypeError):
+            BanditEnv([object()])
+
+    def test_deterministic_per_seed(self):
+        a = BanditEnv([NormalArm(1.0)], seed=9)
+        b = BanditEnv([NormalArm(1.0)], seed=9)
+        assert [a.pull(0) for _ in range(10)] == [b.pull(0) for _ in range(10)]
+
+
+class TestStatefulBandit:
+    def test_joint_state_encoding(self):
+        env = StatefulBanditEnv([1, 2, 3], [0, 0, 0], seed=1)
+        env.arm_states[:] = [1, 0, 1]
+        assert env.joint_state == 0b101
+        assert env.num_joint_states == 8
+
+    def test_expected_switches_with_state(self):
+        env = StatefulBanditEnv([1.0], [-1.0], seed=1)
+        env.arm_states[0] = 0
+        assert env.expected(0) == 1.0
+        env.arm_states[0] = 1
+        assert env.expected(0) == -1.0
+
+    def test_chains_flip_over_time(self):
+        env = StatefulBanditEnv([1.0, 1.0], [0.0, 0.0], flip_p=0.5, seed=2)
+        states = set()
+        for _ in range(200):
+            env.pull(0)
+            states.add(env.joint_state)
+        assert len(states) > 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StatefulBanditEnv([1.0, 2.0], [0.0])
+
+
+class TestChannelSelection:
+    def test_default_scenario(self):
+        env = channel_selection_env(8, seed=7)
+        assert env.num_arms == 8
+        # Shannon rates for 2..20 dB SNR land in (1, 7) bits/s/Hz
+        means = [a.expected() for a in env.arms]
+        assert all(0.5 < m < 8.0 for m in means)
+
+    def test_deterministic(self):
+        a = channel_selection_env(4, seed=3)
+        b = channel_selection_env(4, seed=3)
+        assert [x.expected() for x in a.arms] == [x.expected() for x in b.arms]

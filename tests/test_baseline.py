@@ -1,0 +1,78 @@
+"""Tests for the baseline-design model (Da Silva et al. [11])."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    FSM_CYCLES_PER_UPDATE,
+    FsmQLearningAccelerator,
+    baseline_max_states,
+    baseline_multipliers,
+    baseline_report,
+    baseline_throughput_msps,
+)
+from repro.core.config import QTAccelConfig
+from repro.core.metrics import success_rate
+from repro.device.parts import XC6VLX240T, XC7VX690T
+from repro.envs.random_mdp import chain_mdp
+
+
+class TestBehaviouralModel:
+    def test_learns_chain(self):
+        mdp = chain_mdp(5, reward=100.0)
+        acc = FsmQLearningAccelerator(mdp, QTAccelConfig.qlearning(seed=1, gamma=0.5))
+        acc.run(20_000)
+        q = acc.q_float()
+        assert np.argmax(q[0]) == 0
+
+    def test_learns_grid(self, grid8):
+        acc = FsmQLearningAccelerator(grid8, QTAccelConfig.qlearning(seed=3))
+        acc.run(100_000)
+        assert success_rate(grid8, acc.q_float(), gamma=0.9) > 0.9
+
+    def test_cycles_accounting(self, grid8):
+        acc = FsmQLearningAccelerator(grid8)
+        acc.run(100)
+        assert acc.stats.cycles == 100 * FSM_CYCLES_PER_UPDATE
+
+    def test_uses_true_max_not_qmax_cache(self):
+        """The comparator tree reads actual entries, so lowering the
+        maximum is reflected immediately (unlike monotonic Qmax)."""
+        mdp = chain_mdp(3)
+        acc = FsmQLearningAccelerator(mdp, QTAccelConfig.qlearning(seed=1))
+        acc.q[1, :] = 100
+        acc.q[1, 0] = 100  # max 100
+        acc.q[1, :] = [10, 5]  # lower it
+        assert int(acc.q[1].max()) == 10
+
+    def test_rejects_sarsa_config(self, grid8):
+        with pytest.raises(ValueError):
+            FsmQLearningAccelerator(grid8, QTAccelConfig.sarsa())
+
+
+class TestScalingModel:
+    def test_multipliers_equal_pairs(self):
+        assert baseline_multipliers(132, 4) == 528
+        assert baseline_multipliers(12, 8) == 96
+
+    def test_report_percentages(self):
+        rep = baseline_report(132, 4)
+        assert rep.dsp == 528
+        assert 0 < rep.dsp_pct < 100
+        assert rep.fits
+
+    def test_calibration_saturates_v6_near_132(self):
+        """The paper: 132 states x 4 actions 'fully utilized' the
+        Virtex-6; the calibrated model's bound lands within 10 states."""
+        assert abs(baseline_max_states(4, part=XC6VLX240T) - 132) <= 10
+
+    def test_max_states_scales_with_device(self):
+        assert baseline_max_states(4, part=XC7VX690T) > baseline_max_states(4, part=XC6VLX240T)
+
+    def test_throughput_order_of_magnitude(self):
+        """~12.5 MS/s: the >15x deficit against QTAccel's 180+."""
+        msps = baseline_throughput_msps()
+        assert 8 < msps < 20
+
+    def test_oversized_design_does_not_fit(self):
+        assert not baseline_report(1000, 4).fits

@@ -1,0 +1,119 @@
+"""Tests for the CPU cache-hierarchy model."""
+
+import numpy as np
+import pytest
+
+from repro.envs.gridworld import GridWorld
+from repro.reference.cache_model import (
+    LINE_BYTES,
+    CacheHierarchy,
+    CacheLevel,
+    modelled_cpu_throughput,
+    qlearning_trace_cycles,
+)
+
+
+class TestCacheLevel:
+    def test_hit_after_allocation(self):
+        c = CacheLevel("L1", 32 * 1024, 8, hit_cycles=4)
+        assert not c.lookup(100)
+        assert c.lookup(100)
+
+    def test_capacity_eviction(self):
+        """Filling a set beyond its ways evicts the LRU line."""
+        c = CacheLevel("tiny", 8 * LINE_BYTES, 2, hit_cycles=1)  # 4 sets x 2 ways
+        s = c.sets
+        c.lookup(0)
+        c.lookup(s)  # same set, second way
+        c.lookup(2 * s)  # evicts line 0 (LRU)
+        assert not c.lookup(0)
+
+    def test_lru_order(self):
+        c = CacheLevel("tiny", 8 * LINE_BYTES, 2, hit_cycles=1)
+        s = c.sets
+        c.lookup(0)
+        c.lookup(s)
+        c.lookup(0)  # refresh line 0: now line s is LRU
+        c.lookup(2 * s)  # evicts s, not 0
+        assert c.lookup(0)
+        assert not c.lookup(s)
+
+    def test_distinct_sets_dont_conflict(self):
+        c = CacheLevel("tiny", 8 * LINE_BYTES, 2, hit_cycles=1)
+        for line in range(c.sets):
+            c.lookup(line)
+        for line in range(c.sets):
+            assert c.lookup(line)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 1000, 3, hit_cycles=1)
+
+    def test_reset(self):
+        c = CacheLevel("L1", 32 * 1024, 8, hit_cycles=4)
+        c.lookup(5)
+        c.reset()
+        assert not c.lookup(5)
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        h = CacheHierarchy.paper_i5()
+        first = h.access(0)  # cold: DRAM
+        second = h.access(0)  # warm: L1
+        assert first == h.dram_cycles
+        assert second == h.levels[0].hit_cycles
+
+    def test_inclusive_fill(self):
+        """A DRAM fetch allocates in every level, so an L1 eviction can
+        still hit L2/L3."""
+        h = CacheHierarchy.paper_i5()
+        h.access(0)
+        l1 = h.levels[0]
+        # blow L1's set for line 0 with conflicting lines
+        for i in range(1, l1.assoc + 2):
+            h.access(i * l1.sets * LINE_BYTES)
+        lat = h.access(0)
+        assert lat in (h.levels[1].hit_cycles, h.levels[2].hit_cycles)
+
+    def test_stats(self):
+        h = CacheHierarchy.paper_i5()
+        h.access(0)
+        h.access(0)
+        assert h.stats.accesses == 2
+        assert h.stats.hits["L1"] == 1
+
+    def test_paper_capacities(self):
+        h = CacheHierarchy.paper_i5()
+        assert h.levels[1].size == 256 * 1024  # §VI-E: 256KB L2
+        assert h.levels[2].size == 6 * 1024 * 1024  # 6MB L3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+class TestTraceModel:
+    def test_small_world_stays_cached(self):
+        mdp = GridWorld.empty(8, 4).to_mdp()
+        h = CacheHierarchy.paper_i5()
+        cycles = qlearning_trace_cycles(mdp, 5000, hierarchy=h)
+        total = h.stats.accesses
+        assert h.stats.hits["L1"] / total > 0.95
+        assert cycles < 100
+
+    def test_cost_grows_with_state_space(self):
+        small = qlearning_trace_cycles(GridWorld.empty(8, 4).to_mdp(), 5000)
+        big = qlearning_trace_cycles(GridWorld.empty(128, 4).to_mdp(), 5000)
+        assert big > 2 * small
+
+    def test_throughput_declines_with_size(self):
+        small = modelled_cpu_throughput(GridWorld.empty(8, 4).to_mdp(), samples=5000)
+        big = modelled_cpu_throughput(GridWorld.empty(128, 4).to_mdp(), samples=5000)
+        assert big < small
+
+    def test_deterministic(self):
+        mdp = GridWorld.empty(16, 4).to_mdp()
+        a = qlearning_trace_cycles(mdp, 3000, seed=5)
+        b = qlearning_trace_cycles(mdp, 3000, seed=5)
+        assert a == b

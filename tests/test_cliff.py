@@ -1,0 +1,106 @@
+"""Cliff walking: the canonical on-policy vs off-policy validation.
+
+Sutton & Barto §6.5 on the accelerator's fixed-point datapath: trained
+to convergence, Q-Learning's greedy policy runs the daring shortest path
+along the cliff edge, while SARSA — having learned the value of its own
+ε-greedy behaviour, for which edge cells are dangerous — detours above
+it.  Reproducing the split end-to-end validates that the two
+customisations implement their *algorithms*, not merely their
+throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QLearningAccelerator, SarsaAccelerator
+from repro.core.metrics import greedy_rollout
+from repro.envs.cliff import cliff_mdp, edge_hug_fraction
+
+
+class TestEnvironment:
+    def test_layout(self):
+        mdp = cliff_mdp(16, 4)
+        enc = mdp.metadata["encoding"]
+        assert mdp.metadata["start"] == enc.encode(0, 3)
+        assert mdp.metadata["goal"] == enc.encode(15, 3)
+        assert len(mdp.metadata["cliff"]) == 14
+        assert len(mdp.start_states) == 1
+
+    def test_fall_teleports_to_start(self):
+        mdp = cliff_mdp(16, 4)
+        enc = mdp.metadata["encoding"]
+        above_cliff = enc.encode(5, 2)
+        nxt, r, term = mdp.step(above_cliff, 3)  # down, into the cliff
+        assert nxt == mdp.metadata["start"]
+        assert r == -100.0
+        assert not term  # the walk continues from the start
+
+    def test_goal_terminal_and_rewarded(self):
+        mdp = cliff_mdp(16, 4)
+        enc = mdp.metadata["encoding"]
+        nxt, r, term = mdp.step(enc.encode(15, 2), 3)  # down into the goal
+        assert term
+        assert r == 50.0
+
+    def test_boundary_bumps(self):
+        mdp = cliff_mdp(16, 4)
+        start = mdp.metadata["start"]
+        nxt, r, _ = mdp.step(start, 0)  # left, off the grid
+        assert nxt == start
+        assert r == -1.0
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            cliff_mdp(12, 4)  # not a power of two
+        with pytest.raises(ValueError):
+            cliff_mdp(2, 4)  # too narrow for a cliff
+
+
+class TestCanonicalSplit:
+    """The textbook behavioural difference, end to end on the datapath.
+
+    α is chosen per algorithm for convergence at a fixed (hardware)
+    learning rate: Q-Learning's max-backup tolerates 0.5; SARSA's
+    sampled backup at γ=1 needs the smaller 0.125 for its greedy
+    extraction to stabilise.
+    """
+
+    @pytest.fixture(scope="class")
+    def trained(self):
+        mdp = cliff_mdp(16, 4)
+        ql = QLearningAccelerator(mdp, alpha=0.5, gamma=1.0, seed=7)
+        ql.run(500_000)
+        sa = SarsaAccelerator(
+            mdp, alpha=0.125, gamma=1.0, epsilon=0.1, seed=7, qmax_mode="follow"
+        )
+        sa.run(1_000_000)
+        return mdp, ql, sa
+
+    def test_both_reach_the_goal(self, trained):
+        mdp, ql, sa = trained
+        start = int(mdp.start_states[0])
+        for acc in (ql, sa):
+            _, _, ok = greedy_rollout(mdp, acc.q_values(), start, gamma=1.0, max_steps=200)
+            assert ok
+
+    def test_qlearning_dares_the_edge(self, trained):
+        mdp, ql, _ = trained
+        assert edge_hug_fraction(mdp, ql.q_values()) > 0.9
+
+    def test_sarsa_detours(self, trained):
+        mdp, _, sa = trained
+        assert edge_hug_fraction(mdp, sa.q_values()) < 0.5
+
+    def test_sarsa_path_longer_but_safe(self, trained):
+        mdp, ql, sa = trained
+        start = int(mdp.start_states[0])
+        _, steps_ql, _ = greedy_rollout(mdp, ql.q_values(), start, gamma=1.0, max_steps=200)
+        _, steps_sa, _ = greedy_rollout(mdp, sa.q_values(), start, gamma=1.0, max_steps=200)
+        assert steps_ql <= steps_sa
+        assert steps_ql == 17  # up + 15 right + down, the daring optimum
+
+    def test_qlearning_greedy_return_is_optimal(self, trained):
+        mdp, ql, _ = trained
+        start = int(mdp.start_states[0])
+        ret, _, _ = greedy_rollout(mdp, ql.q_values(), start, gamma=1.0, max_steps=200)
+        assert ret == pytest.approx(50.0 - 16.0)  # goal minus 16 step costs

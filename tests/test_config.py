@@ -1,0 +1,81 @@
+"""Tests for QTAccelConfig."""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.fixedpoint.format import COEF_FORMAT
+
+
+class TestPresets:
+    def test_qlearning_preset(self):
+        cfg = QTAccelConfig.qlearning()
+        assert cfg.behavior_policy == "random"
+        assert cfg.update_policy == "greedy"
+        assert cfg.algorithm == "qlearning"
+        assert not cfg.is_on_policy
+
+    def test_sarsa_preset(self):
+        cfg = QTAccelConfig.sarsa()
+        assert cfg.behavior_policy == "egreedy"
+        assert cfg.update_policy == "egreedy"
+        assert cfg.algorithm == "sarsa"
+        assert cfg.is_on_policy
+
+    def test_preset_kwargs_flow_through(self):
+        cfg = QTAccelConfig.qlearning(alpha=0.25, gamma=0.5, seed=9)
+        assert cfg.alpha == 0.25
+        assert cfg.gamma == 0.5
+        assert cfg.seed == 9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("behavior_policy", "boltzmann"),
+        ("update_policy", "softmax"),
+        ("hazard_mode", "yolo"),
+        ("qmax_mode", "magic"),
+    ])
+    def test_rejects_unknown_enums(self, field, value):
+        with pytest.raises(ValueError):
+            QTAccelConfig(**{field: value})
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            QTAccelConfig(alpha=alpha)
+
+    @pytest.mark.parametrize("gamma", [-0.1, 1.1])
+    def test_rejects_bad_gamma(self, gamma):
+        with pytest.raises(ValueError):
+            QTAccelConfig(gamma=gamma)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            QTAccelConfig(epsilon=2.0)
+
+    def test_rejects_narrow_lfsr(self):
+        with pytest.raises(ValueError):
+            QTAccelConfig(lfsr_width=4)
+
+
+class TestDerived:
+    def test_coefficients_structure(self):
+        cfg = QTAccelConfig(alpha=0.5, gamma=0.5)
+        a, g, oma, ag = cfg.coefficients()
+        one = 1 << COEF_FORMAT.frac
+        assert a == one // 2
+        assert g == one // 2
+        assert oma == one - a
+        assert ag == one // 4
+
+    def test_with_creates_copy(self):
+        cfg = QTAccelConfig.qlearning()
+        other = cfg.with_(alpha=0.25)
+        assert other.alpha == 0.25
+        assert cfg.alpha == 0.5
+        assert other.update_policy == cfg.update_policy
+
+    def test_frozen(self):
+        cfg = QTAccelConfig.qlearning()
+        with pytest.raises(AttributeError):
+            cfg.alpha = 0.1

@@ -1,0 +1,205 @@
+"""Tests for the device models, including the paper-figure calibrations."""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.device import (
+    XC6VLX240T,
+    XC7VX690T,
+    XCVU13P,
+    clock_mhz,
+    estimate_resources,
+    estimate_shared,
+    max_supported_states,
+    power_mw,
+    throughput,
+)
+
+
+class TestParts:
+    def test_vu13p_totals(self):
+        assert XCVU13P.bram36 == 2688
+        assert XCVU13P.uram == 1280
+        assert XCVU13P.dsp == 12288
+        # the paper's "360 Mb of on-chip UltraRAM"
+        assert XCVU13P.uram_bits == 360 * 1024 * 1024
+
+    def test_ordering(self):
+        assert XC6VLX240T.bram36 < XC7VX690T.bram36 < XCVU13P.bram36
+
+
+class TestResourceEstimates:
+    def test_dsp_constant_in_size(self):
+        cfg = QTAccelConfig.qlearning()
+        for s in (64, 4096, 262144):
+            assert estimate_resources(s, 8, cfg).dsp == 4
+
+    def test_fig4_peak_calibration(self):
+        """|S| = 262144, 8 actions: paper reports 78.12 % BRAM."""
+        rep = estimate_resources(262144, 8, QTAccelConfig.qlearning())
+        assert rep.bram_blocks == 2176
+        assert 70 < rep.bram_pct < 85
+        assert abs(rep.bram_bits_pct - 72.0) < 1.0
+
+    def test_fig4_linear_growth(self):
+        cfg = QTAccelConfig.qlearning()
+        prev = estimate_resources(1024, 8, cfg).bram_blocks
+        for s in (4096, 16384, 65536, 262144):
+            cur = estimate_resources(s, 8, cfg).bram_blocks
+            assert 3.5 < cur / prev < 4.5  # ~4x per size step
+            prev = cur
+
+    def test_logic_below_paper_bound(self):
+        """Paper: logic/registers < 0.1 % at 2M pairs."""
+        rep = estimate_resources(262144, 8, QTAccelConfig.qlearning())
+        assert rep.ff_pct < 0.1
+        assert rep.lut_pct < 0.1
+
+    def test_sarsa_more_ffs(self):
+        ql = estimate_resources(4096, 8, QTAccelConfig.qlearning())
+        sa = estimate_resources(4096, 8, QTAccelConfig.sarsa())
+        assert sa.ff > ql.ff
+        assert sa.dsp == ql.dsp
+
+    def test_fits_flag(self):
+        cfg = QTAccelConfig.qlearning()
+        assert estimate_resources(262144, 8, cfg).fits
+        assert not estimate_resources(1 << 21, 8, cfg).fits
+
+    def test_uram_spill_ten_million_pairs(self):
+        """§VI-C2: ~10M pairs via the 360 Mb of URAM."""
+        cfg = QTAccelConfig.qlearning()
+        rep = estimate_resources(1 << 20, 10, cfg, spill_to_uram=True)
+        assert rep.fits
+        assert rep.uram_pct == pytest.approx(100.0, abs=1.0)
+
+    def test_shared_mode_doubles_logic_not_tables(self):
+        cfg = QTAccelConfig.qlearning()
+        one = estimate_resources(4096, 8, cfg)
+        two = estimate_shared(4096, 8, cfg)
+        assert two.dsp == 2 * one.dsp
+        assert two.ff == 2 * one.ff
+        assert two.bram_blocks == one.bram_blocks
+
+    def test_pipelines_multiplier(self):
+        cfg = QTAccelConfig.qlearning()
+        one = estimate_resources(1024, 4, cfg)
+        four = estimate_resources(1024, 4, cfg, pipelines=4)
+        assert four.bram_blocks == 4 * one.bram_blocks
+        assert four.dsp == 16
+
+
+class TestMaxStates:
+    def test_sota_bounds(self):
+        cfg = QTAccelConfig.qlearning()
+        assert max_supported_states(4, cfg, part=XC6VLX240T) == 65536
+        assert max_supported_states(4, cfg, part=XC7VX690T) == 262144
+
+    def test_uram_extends(self):
+        cfg = QTAccelConfig.qlearning()
+        bram_only = max_supported_states(8, cfg, part=XCVU13P)
+        with_uram = max_supported_states(8, cfg, part=XCVU13P, spill_to_uram=True)
+        assert with_uram > bram_only
+
+
+class TestTiming:
+    def test_fig6_calibration_points(self):
+        """The clock model reproduces the Fig. 6 series within 1 MS/s."""
+        cfg = QTAccelConfig.qlearning()
+        paper = {64: 189.0, 1024: 187.0, 4096: 186.0, 65536: 175.0, 262144: 156.0}
+        for s, expect in paper.items():
+            rep = estimate_resources(s, 8, cfg)
+            est = throughput(rep)
+            assert est.msps == pytest.approx(expect, abs=1.2), s
+
+    def test_clock_monotone_in_utilization(self):
+        fs = [clock_mhz(u) for u in (0.0, 0.2, 0.5, 0.8, 1.0)]
+        assert fs == sorted(fs, reverse=True)
+
+    def test_clock_floor(self):
+        assert clock_mhz(1.0) >= 40.0
+
+    def test_negative_util_rejected(self):
+        with pytest.raises(ValueError):
+            clock_mhz(-0.1)
+
+    def test_throughput_scales_with_pipelines(self):
+        rep = estimate_resources(1024, 4, QTAccelConfig.qlearning())
+        one = throughput(rep, pipelines=1)
+        two = throughput(rep, pipelines=2)
+        assert two.samples_per_sec == pytest.approx(2 * one.samples_per_sec)
+
+    def test_cycles_per_sample_divides(self):
+        rep = estimate_resources(1024, 4, QTAccelConfig.qlearning())
+        fast = throughput(rep, cycles_per_sample=1.0)
+        slow = throughput(rep, cycles_per_sample=4.0)
+        assert fast.msps == pytest.approx(4 * slow.msps)
+
+    def test_bad_cps_rejected(self):
+        rep = estimate_resources(1024, 4, QTAccelConfig.qlearning())
+        with pytest.raises(ValueError):
+            throughput(rep, cycles_per_sample=0.0)
+
+
+class TestPower:
+    def test_monotone_in_size(self):
+        cfg = QTAccelConfig.qlearning()
+        powers = [power_mw(estimate_resources(s, 8, cfg)) for s in (64, 4096, 262144)]
+        assert powers == sorted(powers)
+
+    def test_sarsa_draws_more(self):
+        ql = power_mw(estimate_resources(4096, 8, QTAccelConfig.qlearning()))
+        sa = power_mw(estimate_resources(4096, 8, QTAccelConfig.sarsa()))
+        assert sa > ql
+
+    def test_magnitude(self):
+        """Tens to low hundreds of mW, the Fig. 3/5 axis scale."""
+        cfg = QTAccelConfig.qlearning()
+        assert 20 < power_mw(estimate_resources(64, 8, cfg)) < 100
+        assert 100 < power_mw(estimate_resources(262144, 8, cfg)) < 400
+
+
+class TestReportFormat:
+    def test_synthesis_style_report(self):
+        cfg = QTAccelConfig.qlearning()
+        text = estimate_resources(262144, 8, cfg).format()
+        lines = text.splitlines()
+        assert "utilisation" in lines[0]
+        assert "DSP48" in text and "BRAM36" in text
+        assert "fits" in lines[-2]
+        # box edges aligned (title line sits above the box)
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_report_flags_overflow(self):
+        cfg = QTAccelConfig.qlearning()
+        text = estimate_resources(1 << 21, 8, cfg).format()
+        assert "DOES NOT FIT" in text
+
+
+class TestProbTableResources:
+    def test_third_table_adds_blocks(self):
+        cfg = QTAccelConfig.sarsa()
+        base = estimate_resources(4096, 8, cfg)
+        with_p = estimate_resources(4096, 8, cfg, prob_table=True)
+        assert with_p.bram_blocks > base.bram_blocks
+        # roughly the Q table's own footprint again (same geometry)
+        from repro.rtl.memory import BRAM36
+
+        assert with_p.bram_blocks - base.bram_blocks == BRAM36.blocks_for(4096 * 8, 16)
+
+    def test_bits_grow_too(self):
+        cfg = QTAccelConfig.sarsa()
+        base = estimate_resources(4096, 8, cfg)
+        with_p = estimate_resources(4096, 8, cfg, prob_table=True)
+        assert with_p.bram_bits - base.bram_bits == 4096 * 8 * 16
+
+
+class TestPowerClockParam:
+    def test_explicit_clock_scales_dynamic(self):
+        cfg = QTAccelConfig.qlearning()
+        rep = estimate_resources(4096, 8, cfg)
+        slow = power_mw(rep, clock=94.5)
+        fast = power_mw(rep, clock=189.0)
+        assert fast > slow
+        # static floor shared
+        assert slow > 30.0

@@ -1,0 +1,167 @@
+"""Tests for environment abstractions and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.envs.base import (
+    ACTIONS_4,
+    ACTIONS_8,
+    DenseMdp,
+    GridEncoding,
+    action_vectors,
+    bits_for,
+)
+from repro.envs.random_mdp import chain_mdp
+
+
+class TestBitsFor:
+    def test_values(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(256) == 8
+        assert bits_for(257) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestGridEncoding:
+    def test_paper_example_256_states(self):
+        """§VI-B: 256 states -> 8-bit address, 4 bits per coordinate."""
+        enc = GridEncoding.square(16)
+        assert enc.num_states == 256
+        assert enc.encode(0xA, 0x5) == 0xA5
+
+    def test_roundtrip(self):
+        enc = GridEncoding.square(8)
+        for x in range(8):
+            for y in range(8):
+                assert enc.decode(enc.encode(x, y)) == (x, y)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            GridEncoding.square(10)
+
+    def test_rejects_out_of_range_coords(self):
+        enc = GridEncoding.square(4)
+        with pytest.raises(ValueError):
+            enc.encode(4, 0)
+        with pytest.raises(ValueError):
+            enc.decode(16)
+
+    def test_rectangular(self):
+        enc = GridEncoding(x_bits=3, y_bits=2)
+        assert enc.width == 8 and enc.height == 4
+        assert enc.encode(7, 3) == (7 << 2) | 3
+
+
+class TestActionEncodings:
+    def test_four_action_paper_order(self):
+        """§VI-B: 00 left, 01 up, 10 right, 11 down."""
+        assert ACTIONS_4[0b00] == (-1, 0)
+        assert ACTIONS_4[0b01] == (0, -1)
+        assert ACTIONS_4[0b10] == (1, 0)
+        assert ACTIONS_4[0b11] == (0, 1)
+
+    def test_eight_action_clockwise(self):
+        """§VI-B: 000 left, 001 top-left, 010 up, 011 top-right, ..."""
+        assert ACTIONS_8[0] == (-1, 0)
+        assert ACTIONS_8[1] == (-1, -1)
+        assert ACTIONS_8[2] == (0, -1)
+        assert ACTIONS_8[3] == (1, -1)
+        assert ACTIONS_8[4] == (1, 0)
+
+    def test_eight_actions_all_distinct_unit_moves(self):
+        assert len(set(ACTIONS_8)) == 8
+        for dx, dy in ACTIONS_8:
+            assert max(abs(dx), abs(dy)) == 1
+
+    def test_action_vectors_dispatch(self):
+        assert action_vectors(4) is ACTIONS_4
+        assert action_vectors(8) is ACTIONS_8
+        with pytest.raises(ValueError):
+            action_vectors(6)
+
+
+class TestDenseMdp:
+    def _tiny(self):
+        return DenseMdp(
+            next_state=np.array([[1, 0], [1, 1]], dtype=np.int32),
+            rewards=np.array([[1.0, 0.0], [0.0, 0.0]]),
+            terminal=np.array([False, True]),
+            start_states=np.array([0]),
+        )
+
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError):
+            DenseMdp(
+                next_state=np.zeros((2, 2), dtype=np.int32),
+                rewards=np.zeros((2, 3)),
+                terminal=np.zeros(2, dtype=bool),
+                start_states=np.array([0]),
+            )
+
+    def test_out_of_range_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            DenseMdp(
+                next_state=np.array([[5, 0], [0, 0]], dtype=np.int32),
+                rewards=np.zeros((2, 2)),
+                terminal=np.zeros(2, dtype=bool),
+                start_states=np.array([0]),
+            )
+
+    def test_requires_start_states(self):
+        with pytest.raises(ValueError):
+            DenseMdp(
+                next_state=np.zeros((2, 2), dtype=np.int32),
+                rewards=np.zeros((2, 2)),
+                terminal=np.zeros(2, dtype=bool),
+                start_states=np.array([], dtype=np.int32),
+            )
+
+    def test_step(self):
+        mdp = self._tiny()
+        nxt, r, term = mdp.step(0, 0)
+        assert (nxt, r, term) == (1, 1.0, True)
+
+    def test_properties(self):
+        mdp = self._tiny()
+        assert mdp.num_states == 2
+        assert mdp.num_actions == 2
+        assert mdp.num_pairs == 4
+
+
+class TestOptimalQ:
+    def test_chain_closed_form(self):
+        """Q* of the corridor is reward * gamma^distance."""
+        mdp = chain_mdp(5, reward=100.0)
+        q = mdp.optimal_q(0.5)
+        # advancing action values: gamma^(d-1) * 100
+        assert q[3, 0] == pytest.approx(100.0)
+        assert q[2, 0] == pytest.approx(50.0)
+        assert q[1, 0] == pytest.approx(25.0)
+        assert q[0, 0] == pytest.approx(12.5)
+        # staying actions bootstrap the state's own value
+        assert q[3, 1] == pytest.approx(50.0)
+
+    def test_terminal_rows_zero(self):
+        mdp = chain_mdp(5)
+        q = mdp.optimal_q(0.9)
+        assert np.all(q[-1] == 0.0)
+
+    def test_greedy_policy_advances(self):
+        mdp = chain_mdp(6)
+        pol = mdp.greedy_policy(mdp.optimal_q(0.9))
+        assert np.all(pol[:-1] == 0)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_grid_encoding_roundtrip_property(xb, yb):
+    enc = GridEncoding(x_bits=xb, y_bits=yb)
+    for state in range(0, enc.num_states, max(1, enc.num_states // 64)):
+        x, y = enc.decode(state)
+        assert enc.encode(x, y) == state

@@ -1,0 +1,106 @@
+"""Smoke and shape tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    experiment_ids,
+    experiment_title,
+    run_experiment,
+)
+
+ALL_IDS = [
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "sota",
+    "fig8",
+    "fig9",
+    "mab",
+    "ablation_hazards",
+    "ablation_qmax",
+    "ablation_wordlen",
+    "prob_policy",
+    "fleet",
+    "table2_cache",
+    "convergence",
+    "cliff",
+]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_IDS) == set(experiment_ids())
+
+    def test_titles_nonempty(self):
+        for eid in experiment_ids():
+            assert experiment_title(eid)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig42")
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_experiment_runs_quick(exp_id):
+    """Every registered experiment regenerates its artifact in quick
+    mode, produces non-empty rows and formats cleanly."""
+    result = run_experiment(exp_id, quick=True)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    text = result.format()
+    assert exp_id in text
+    assert len(text.splitlines()) >= len(result.rows) + 2
+
+
+class TestPaperShapes:
+    """Assertions on the reproduced numbers themselves (quick mode)."""
+
+    def test_fig4_matches_paper_curve(self):
+        res = run_experiment("fig4", quick=True)
+        by_size = {row[0]: row for row in res.rows}
+        # bits% within 10 relative points of the paper's value at >= 1024
+        for s in (1024, 4096, 16384, 65536, 262144):
+            ours, paper = by_size[s][3], by_size[s][4]
+            assert paper is not None
+            assert abs(ours - paper) / paper < 0.2
+
+    def test_fig6_matches_paper_series(self):
+        res = run_experiment("fig6", quick=True)
+        for row in res.rows:
+            s, ql, sarsa, paper = row[0], row[1], row[2], row[3]
+            if paper is None:
+                continue
+            assert abs(ql - paper) < 2.5, s
+            assert abs(sarsa - paper) < 2.5, s
+
+    def test_fig7_constant_vs_linear(self):
+        res = run_experiment("fig7", quick=True)
+        qt = {row[1] for row in res.rows}
+        assert qt == {4}
+        baselines = [row[2] for row in res.rows]
+        assert baselines[0] < baselines[-1]
+
+    def test_table2_gap_is_orders_of_magnitude(self):
+        res = run_experiment("table2", quick=True)
+        for row in res.rows:
+            speedup = row[5]
+            assert speedup > 50
+
+    def test_fig8_doubling(self):
+        res = run_experiment("fig8", quick=True)
+        for row in res.rows:
+            assert row[1] > 1.9  # samples/cycle
+
+    def test_ablation_qmax_tells_the_story(self):
+        res = run_experiment("ablation_qmax", quick=True)
+        rows = {(r[0], r[1]): r for r in res.rows}
+        # SARSA: monotonic never finishes an episode; follow does.
+        assert rows[("sarsa", "monotonic")][2] == 0
+        assert rows[("sarsa", "follow")][2] > 0
+        assert rows[("sarsa", "follow")][5] > rows[("sarsa", "monotonic")][5]

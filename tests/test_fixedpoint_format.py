@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.fixedpoint.format."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.format import COEF_FORMAT, Q_FORMAT, FxpFormat
+
+
+class TestConstruction:
+    def test_default_q_format(self):
+        assert Q_FORMAT.wordlen == 16
+        assert Q_FORMAT.frac == 6
+        assert Q_FORMAT.signed
+
+    def test_coef_format_represents_one(self):
+        assert COEF_FORMAT.quantize(1.0) == 1 << COEF_FORMAT.frac
+
+    def test_rejects_zero_wordlen(self):
+        with pytest.raises(ValueError):
+            FxpFormat(wordlen=0, frac=0)
+
+    def test_rejects_signed_single_bit(self):
+        with pytest.raises(ValueError):
+            FxpFormat(wordlen=1, frac=0, signed=True)
+
+    def test_unsigned_single_bit_allowed(self):
+        f = FxpFormat(wordlen=1, frac=0, signed=False)
+        assert f.raw_min == 0
+        assert f.raw_max == 1
+
+    def test_rejects_unknown_rounding(self):
+        with pytest.raises(ValueError):
+            FxpFormat(wordlen=8, frac=4, rounding="stochastic")
+
+    def test_rejects_unknown_overflow(self):
+        with pytest.raises(ValueError):
+            FxpFormat(wordlen=8, frac=4, overflow="explode")
+
+
+class TestRanges:
+    def test_signed_range(self):
+        f = FxpFormat(wordlen=8, frac=4)
+        assert f.raw_min == -128
+        assert f.raw_max == 127
+        assert f.min_value == -8.0
+        assert f.max_value == 127 / 16
+
+    def test_unsigned_range(self):
+        f = FxpFormat(wordlen=8, frac=8, signed=False)
+        assert f.raw_min == 0
+        assert f.raw_max == 255
+        assert f.max_value == pytest.approx(255 / 256)
+
+    def test_resolution(self):
+        assert FxpFormat(wordlen=16, frac=6).resolution == 1 / 64
+
+    def test_negative_frac_coarse_grid(self):
+        f = FxpFormat(wordlen=8, frac=-2)
+        assert f.resolution == 4.0
+        assert f.quantize(9.0) == 2  # floor(9/4)
+
+    def test_int_bits(self):
+        assert FxpFormat(wordlen=16, frac=6).int_bits == 9
+
+    def test_q_format_covers_paper_rewards(self):
+        assert Q_FORMAT.min_value <= -255
+        assert Q_FORMAT.max_value >= 255
+
+
+class TestQuantize:
+    def test_exact_values(self):
+        f = FxpFormat(wordlen=16, frac=6)
+        assert f.quantize(1.0) == 64
+        assert f.quantize(-2.5) == -160
+
+    def test_truncate_rounds_toward_minus_inf(self):
+        f = FxpFormat(wordlen=16, frac=0, rounding="truncate")
+        assert f.quantize(1.9) == 1
+        assert f.quantize(-1.1) == -2
+
+    def test_nearest_rounds_half_away(self):
+        f = FxpFormat(wordlen=16, frac=0, rounding="nearest")
+        assert f.quantize(1.5) == 2
+        assert f.quantize(-1.5) == -2
+        assert f.quantize(1.4) == 1
+
+    def test_saturation_positive(self):
+        f = FxpFormat(wordlen=8, frac=0)
+        assert f.quantize(1000.0) == 127
+
+    def test_saturation_negative(self):
+        f = FxpFormat(wordlen=8, frac=0)
+        assert f.quantize(-1000.0) == -128
+
+    def test_wrap_overflow(self):
+        f = FxpFormat(wordlen=8, frac=0, overflow="wrap")
+        assert f.quantize(128.0) == -128
+        assert f.quantize(256.0) == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Q_FORMAT.quantize(float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Q_FORMAT.quantize(float("inf"))
+
+
+class TestRshiftRound:
+    def test_zero_shift_identity(self):
+        assert Q_FORMAT.rshift_round(12345, 0) == 12345
+
+    def test_truncate_shift(self):
+        f = FxpFormat(wordlen=16, frac=6, rounding="truncate")
+        assert f.rshift_round(7, 2) == 1
+        assert f.rshift_round(-7, 2) == -2  # arithmetic shift
+
+    def test_nearest_shift(self):
+        f = FxpFormat(wordlen=16, frac=6, rounding="nearest")
+        assert f.rshift_round(6, 2) == 2  # 1.5 -> 2
+        assert f.rshift_round(-6, 2) == -2
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            Q_FORMAT.rshift_round(1, -1)
+
+
+@given(st.floats(min_value=-500.0, max_value=500.0, allow_nan=False))
+def test_roundtrip_within_lsb(value):
+    """quantize -> to_float never errs by more than one LSB (property)."""
+    raw = Q_FORMAT.quantize(value)
+    back = Q_FORMAT.to_float(raw)
+    assert abs(back - value) <= Q_FORMAT.resolution
+
+
+@given(
+    st.integers(min_value=-(1 << 20), max_value=1 << 20),
+    st.integers(min_value=2, max_value=32),
+    st.integers(min_value=0, max_value=16),
+)
+def test_clamp_raw_idempotent_and_in_range(raw, wordlen, frac):
+    f = FxpFormat(wordlen=wordlen, frac=frac)
+    clamped = f.clamp_raw(raw)
+    assert f.raw_min <= clamped <= f.raw_max
+    assert f.clamp_raw(clamped) == clamped
+
+
+@given(
+    st.integers(min_value=-(1 << 30), max_value=1 << 30),
+    st.integers(min_value=1, max_value=20),
+)
+def test_rshift_round_matches_float_division(raw, shift):
+    """Truncating shift equals floor division (property)."""
+    f = FxpFormat(wordlen=48, frac=0, rounding="truncate")
+    assert f.rshift_round(raw, shift) == math.floor(raw / (1 << shift))
+
+
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_coef_quantize_monotone(x):
+    """Coefficient quantisation preserves ordering vs 0.5 (property)."""
+    a = COEF_FORMAT.quantize(x)
+    b = COEF_FORMAT.quantize(0.5)
+    if x > 0.5:
+        assert a >= b
+    elif x < 0.5:
+        assert a <= b
+
+
+def test_with_replaces_fields():
+    f = Q_FORMAT.with_(rounding="nearest")
+    assert f.rounding == "nearest"
+    assert f.wordlen == Q_FORMAT.wordlen
+
+
+def test_describe_mentions_range():
+    s = Q_FORMAT.describe()
+    assert "s16.6" in s
+    assert "-512" in s

@@ -1,0 +1,128 @@
+"""Unit and property tests for the Fxp scalar value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.format import COEF_FORMAT, Q_FORMAT, FxpFormat
+from repro.fixedpoint.scalar import Fxp
+
+F84 = FxpFormat(wordlen=8, frac=4)
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self):
+        x = Fxp.from_float(3.25, Q_FORMAT)
+        assert x.to_float() == 3.25
+
+    def test_out_of_range_raw_rejected(self):
+        with pytest.raises(ValueError):
+            Fxp(1 << 20, F84)
+
+    def test_cast_down_loses_precision(self):
+        x = Fxp.from_float(1.03125, Q_FORMAT)  # 1 + 2/64
+        y = x.cast(F84)  # lsb 1/16
+        assert y.to_float() == 1.0
+
+    def test_cast_up_exact(self):
+        x = Fxp.from_float(1.25, F84)
+        y = x.cast(Q_FORMAT)
+        assert y.to_float() == 1.25
+
+    def test_cast_saturates(self):
+        x = Fxp.from_float(100.0, Q_FORMAT)
+        y = x.cast(F84)
+        assert y.raw == F84.raw_max
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Fxp.from_float(1.5, Q_FORMAT)
+        assert (a + 2.25).to_float() == 3.75
+
+    def test_sub(self):
+        a = Fxp.from_float(1.5, Q_FORMAT)
+        assert (a - 2.0).to_float() == -0.5
+
+    def test_mul(self):
+        a = Fxp.from_float(3.25, Q_FORMAT)
+        b = Fxp.from_float(-1.5, Q_FORMAT)
+        assert (a * b).to_float() == -4.875
+
+    def test_mul_mixed_formats(self):
+        """A coefficient x Q-word product lands in the Q format."""
+        q = Fxp.from_float(10.0, Q_FORMAT)
+        alpha = Fxp.from_float(0.5, COEF_FORMAT)
+        assert (q * alpha).to_float() == 5.0
+
+    def test_add_saturates(self):
+        a = Fxp.from_float(Q_FORMAT.max_value, Q_FORMAT)
+        assert (a + a).raw == Q_FORMAT.raw_max
+
+    def test_neg(self):
+        a = Fxp.from_float(2.5, Q_FORMAT)
+        assert (-a).to_float() == -2.5
+
+    def test_neg_of_min_saturates(self):
+        a = Fxp(Q_FORMAT.raw_min, Q_FORMAT)
+        assert (-a).raw == Q_FORMAT.raw_max
+
+    def test_sub_of_min_operand_saturates(self):
+        a = Fxp.from_float(0.0, Q_FORMAT)
+        b = Fxp(Q_FORMAT.raw_min, Q_FORMAT)
+        assert (a - b).raw == Q_FORMAT.raw_max
+
+
+class TestComparisons:
+    def test_ordering(self):
+        a = Fxp.from_float(1.0, Q_FORMAT)
+        b = Fxp.from_float(2.0, Q_FORMAT)
+        assert a < b and b > a and a <= b and b >= a
+
+    def test_cross_format_equality(self):
+        a = Fxp.from_float(1.5, Q_FORMAT)
+        b = Fxp.from_float(1.5, F84)
+        assert a == b
+
+    def test_compare_with_real(self):
+        a = Fxp.from_float(1.5, Q_FORMAT)
+        assert a == 1.5
+        assert a > 1.0
+        assert a < 2
+
+    def test_hash_consistent_with_eq(self):
+        a = Fxp.from_float(1.5, Q_FORMAT)
+        b = Fxp.from_float(1.5, Q_FORMAT)
+        assert hash(a) == hash(b)
+
+
+values = st.floats(min_value=-6.0, max_value=6.0, allow_nan=False)
+
+
+@given(values, values)
+def test_add_commutes(x, y):
+    a = Fxp.from_float(x, Q_FORMAT)
+    b = Fxp.from_float(y, Q_FORMAT)
+    assert (a + b).raw == (b + a).raw
+
+
+@given(values)
+def test_add_zero_identity(x):
+    a = Fxp.from_float(x, Q_FORMAT)
+    assert (a + 0.0).raw == a.raw
+
+
+@given(values)
+def test_mul_one_identity(x):
+    a = Fxp.from_float(x, Q_FORMAT)
+    one = Fxp.from_float(1.0, COEF_FORMAT)
+    assert (a * one).raw == a.raw
+
+
+@given(values, values)
+def test_mul_close_to_float(x, y):
+    """The fixed product stays within the accumulated rounding bound."""
+    a = Fxp.from_float(x, Q_FORMAT)
+    b = Fxp.from_float(y, Q_FORMAT)
+    exact = a.to_float() * b.to_float()
+    exact = max(Q_FORMAT.min_value, min(Q_FORMAT.max_value, exact))
+    assert abs((a * b).to_float() - exact) <= Q_FORMAT.resolution

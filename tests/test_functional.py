@@ -1,0 +1,91 @@
+"""Tests for the functional simulator's own behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.functional import FunctionalSimulator
+from repro.envs.random_mdp import chain_mdp
+
+
+class TestBasics:
+    def test_sample_count(self, empty16, ql_config):
+        sim = FunctionalSimulator(empty16, ql_config)
+        sim.run(123)
+        assert sim.stats.samples == 123
+
+    def test_resumable(self, empty16, ql_config):
+        sim = FunctionalSimulator(empty16, ql_config)
+        sim.run(100)
+        sim.run(100)
+        assert sim.stats.samples == 200
+
+    def test_negative_rejected(self, empty16, ql_config):
+        with pytest.raises(ValueError):
+            FunctionalSimulator(empty16, ql_config).run(-1)
+
+    def test_deterministic(self, empty16):
+        runs = []
+        for _ in range(2):
+            sim = FunctionalSimulator(empty16, QTAccelConfig.qlearning(seed=8))
+            sim.run(2000)
+            runs.append(sim.tables.q.data.copy())
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_seeds_differ(self, empty16):
+        a = FunctionalSimulator(empty16, QTAccelConfig.qlearning(seed=8))
+        b = FunctionalSimulator(empty16, QTAccelConfig.qlearning(seed=9))
+        a.run(2000)
+        b.run(2000)
+        assert not np.array_equal(a.tables.q.data, b.tables.q.data)
+
+    def test_state_log(self, empty16, ql_config):
+        sim = FunctionalSimulator(empty16, ql_config)
+        sim.state_log = []
+        sim.run(50)
+        assert len(sim.state_log) == 50
+        assert all(0 <= s < empty16.num_states for s in sim.state_log)
+
+
+class TestSemantics:
+    def test_terminal_masks_bootstrap(self):
+        """The write into a terminal transition uses target = R only."""
+        mdp = chain_mdp(3, reward=64.0)
+        cfg = QTAccelConfig.qlearning(seed=1, alpha=1.0, gamma=0.9)
+        sim = FunctionalSimulator(mdp, cfg)
+        sim.run(500)
+        q = sim.q_float()
+        # state 1, action 0 enters the terminal: Q converges to exactly R
+        assert q[1, 0] == pytest.approx(64.0, abs=0.1)
+
+    def test_episode_restart_counted(self):
+        mdp = chain_mdp(3)
+        sim = FunctionalSimulator(mdp, QTAccelConfig.qlearning(seed=1))
+        sim.run(1000)
+        assert sim.stats.episodes > 50
+
+    def test_qlearning_converges_on_chain(self):
+        mdp = chain_mdp(6)
+        cfg = QTAccelConfig.qlearning(seed=1, alpha=0.5, gamma=0.5)
+        sim = FunctionalSimulator(mdp, cfg)
+        sim.run(30_000)
+        q = sim.q_float()
+        q_star = mdp.optimal_q(0.5)
+        # advancing-action values match Q* within fixed-point tolerance
+        assert np.allclose(q[:-1, 0], q_star[:-1, 0], atol=1.0)
+
+    def test_exact_qmax_supported(self, grid8):
+        cfg = QTAccelConfig.sarsa(seed=7, qmax_mode="exact")
+        sim = FunctionalSimulator(grid8, cfg)
+        sim.run(2000)
+        rows = sim.tables.q.data.reshape(grid8.num_states, grid8.num_actions)
+        assert np.array_equal(sim.tables.qmax.data, rows.max(axis=1))
+
+    def test_behavior_lag_flag_changes_nothing_for_qlearning(self, grid8):
+        """Q-Learning has no stage-1 reads, so the lag flag is inert."""
+        runs = []
+        for lag in (True, False):
+            sim = FunctionalSimulator(grid8, QTAccelConfig.qlearning(seed=3), behavior_lag=lag)
+            sim.run(3000)
+            runs.append(sim.tables.q.data.copy())
+        assert np.array_equal(runs[0], runs[1])

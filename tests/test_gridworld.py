@@ -1,0 +1,183 @@
+"""Tests for the grid-world environment (§VI-A/B semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.envs.base import action_vectors
+from repro.envs.gridworld import GridWorld
+
+
+class TestConstruction:
+    def test_default_goal_bottom_right(self):
+        w = GridWorld.empty(8)
+        assert w.goal == (7, 7)
+
+    def test_rejects_goal_on_obstacle(self):
+        with pytest.raises(ValueError):
+            GridWorld(8, 4, goal=(1, 1), obstacles={(1, 1)})
+
+    def test_rejects_obstacle_outside(self):
+        with pytest.raises(ValueError):
+            GridWorld(8, 4, obstacles={(9, 0)})
+
+    def test_rejects_bad_action_count(self):
+        with pytest.raises(ValueError):
+            GridWorld.empty(8, 6)
+
+    def test_random_respects_density(self):
+        w = GridWorld.random(16, 4, obstacle_density=0.2, seed=1)
+        assert 0 < len(w.obstacles) < 16 * 16 * 0.35
+
+    def test_random_zero_density(self):
+        assert GridWorld.random(8, 4, obstacle_density=0.0).obstacles == frozenset()
+
+
+class TestTransitions:
+    def test_free_move(self):
+        mdp = GridWorld.empty(8).to_mdp()
+        enc = GridWorld.empty(8).encoding
+        s = enc.encode(3, 3)
+        # action 2 = right
+        assert mdp.next_state[s, 2] == enc.encode(4, 3)
+
+    def test_wall_blocks_and_penalises(self):
+        w = GridWorld.empty(8)
+        mdp = w.to_mdp()
+        s = w.encoding.encode(0, 3)
+        # action 0 = left, off the grid
+        assert mdp.next_state[s, 0] == s
+        assert mdp.rewards[s, 0] == w.spec.wall_penalty
+
+    def test_obstacle_blocks(self):
+        w = GridWorld(8, 4, obstacles={(4, 3)})
+        mdp = w.to_mdp()
+        s = w.encoding.encode(3, 3)
+        assert mdp.next_state[s, 2] == s
+        assert mdp.rewards[s, 2] == w.spec.wall_penalty
+
+    def test_goal_entry_rewarded_and_terminal(self):
+        w = GridWorld.empty(8)
+        mdp = w.to_mdp()
+        s = w.encoding.encode(6, 7)
+        g = w.encoding.encode(7, 7)
+        assert mdp.next_state[s, 2] == g
+        assert mdp.rewards[s, 2] == w.spec.goal_reward
+        assert mdp.terminal[g]
+
+    def test_step_reward_default_zero(self):
+        w = GridWorld.empty(8)
+        mdp = w.to_mdp()
+        s = w.encoding.encode(3, 3)
+        assert mdp.rewards[s, 2] == 0.0
+
+    def test_custom_step_reward(self):
+        w = GridWorld.empty(8, step_reward=-1.0)
+        mdp = w.to_mdp()
+        s = w.encoding.encode(3, 3)
+        assert mdp.rewards[s, 2] == -1.0
+
+    def test_obstacle_cells_self_loop(self):
+        w = GridWorld(8, 4, obstacles={(2, 2)})
+        mdp = w.to_mdp()
+        s = w.encoding.encode(2, 2)
+        assert np.all(mdp.next_state[s] == s)
+        assert np.all(mdp.rewards[s] == 0.0)
+        assert s not in set(mdp.start_states.tolist())
+
+    def test_eight_action_diagonal(self):
+        w = GridWorld.empty(8, 8)
+        mdp = w.to_mdp()
+        s = w.encoding.encode(3, 3)
+        # action 3 = top-right: (+1, -1)
+        assert mdp.next_state[s, 3] == w.encoding.encode(4, 2)
+
+
+class TestStartStates:
+    def test_exclude_goal_and_obstacles(self):
+        w = GridWorld(4, 4, obstacles={(0, 1), (2, 2)})
+        mdp = w.to_mdp()
+        starts = set(mdp.start_states.tolist())
+        assert w.encoding.encode(0, 1) not in starts
+        assert w.encoding.encode(2, 2) not in starts
+        assert w.encoding.encode(*w.goal) not in starts
+
+    def test_unreachable_pockets_excluded(self):
+        # Wall off the top-left cell completely (4-action world).
+        w = GridWorld(4, 4, obstacles={(1, 0), (0, 1), (1, 1)})
+        mdp = w.to_mdp()
+        assert w.encoding.encode(0, 0) not in set(mdp.start_states.tolist())
+
+    def test_empty_grid_all_free_start(self):
+        mdp = GridWorld.empty(4).to_mdp()
+        assert len(mdp.start_states) == 15  # 16 minus the goal
+
+
+class TestMdpCache:
+    def test_to_mdp_cached(self):
+        w = GridWorld.empty(8)
+        assert w.to_mdp() is w.to_mdp()
+
+    def test_metadata(self):
+        w = GridWorld.empty(8)
+        md = w.to_mdp().metadata
+        assert md["goal"] == (7, 7)
+        assert md["encoding"].num_states == 64
+
+
+class TestRender:
+    def test_plain_render(self):
+        w = GridWorld(4, 4, obstacles={(1, 1)})
+        out = w.render()
+        assert "G" in out and "#" in out
+        assert len(out.splitlines()) == 4
+
+    def test_policy_render(self):
+        w = GridWorld.empty(4)
+        pol = np.full(16, 2, dtype=np.int32)  # all "right"
+        out = w.render(pol)
+        assert ">" in out
+
+
+@given(
+    side=st.sampled_from([4, 8, 16]),
+    actions=st.sampled_from([4, 8]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=25, deadline=None)
+def test_gridworld_invariants(side, actions, seed):
+    """Structural invariants of any generated world (property):
+
+    * transitions stay inside the state space;
+    * a blocked move (self-transition) always carries the wall penalty on
+      non-obstacle cells, and moves are blocked iff they self-transition;
+    * rewards take only the three values {penalty, step, goal}.
+    """
+    w = GridWorld.random(side, actions, obstacle_density=0.2, seed=seed)
+    try:
+        mdp = w.to_mdp()
+    except ValueError:
+        assume(False)  # degenerate map: goal unreachable from everywhere
+        return
+    n = mdp.num_states
+    assert mdp.next_state.min() >= 0 and mdp.next_state.max() < n
+
+    vectors = action_vectors(actions)
+    enc = w.encoding
+    obstacle_codes = {enc.encode(x, y) for x, y in w.obstacles}
+    allowed = {w.spec.wall_penalty, w.spec.step_reward, w.spec.goal_reward}
+    assert set(np.unique(mdp.rewards)).issubset(allowed)
+
+    states = np.arange(n)
+    self_loop = mdp.next_state == states[:, None]
+    for s in range(0, n, max(1, n // 40)):
+        if s in obstacle_codes:
+            continue
+        x, y = enc.decode(s)
+        for a, (dx, dy) in enumerate(vectors):
+            tgt_in = 0 <= x + dx < side and 0 <= y + dy < side
+            tgt_obst = tgt_in and enc.encode(x + dx, y + dy) in obstacle_codes
+            blocked = (not tgt_in) or tgt_obst
+            assert bool(self_loop[s, a]) == blocked
+            if blocked:
+                assert mdp.rewards[s, a] == w.spec.wall_penalty

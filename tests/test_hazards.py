@@ -1,0 +1,142 @@
+"""Direct unit tests for the forwarding network building blocks."""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.hazards import (
+    ForwardingView,
+    Sample,
+    conflict_stage1,
+    conflict_stage2,
+    fix_operand_q,
+    fix_operand_qnext,
+)
+from repro.core.tables import AcceleratorTables
+from repro.envs.random_mdp import random_dense_mdp
+
+
+@pytest.fixture
+def tables():
+    mdp = random_dense_mdp(16, 4, seed=1)
+    return AcceleratorTables(mdp, QTAccelConfig.qlearning())
+
+
+def mk_sample(tables, s, a, q_new, index=0):
+    smp = Sample(index=index, s=s, a=a, pair=tables.pair_addr(s, a))
+    smp.q_new = q_new
+    return smp
+
+
+class TestForwardingView:
+    def test_read_q_pass_through(self, tables):
+        tables.q.write_now(tables.pair_addr(3, 1), 42)
+        view = ForwardingView(tables, ())
+        assert view.read_q(3, 1) == 42
+
+    def test_read_q_forwards_matching_pair(self, tables):
+        src = mk_sample(tables, 3, 1, q_new=99)
+        view = ForwardingView(tables, (src,))
+        assert view.read_q(3, 1) == 99
+        assert view.read_q(3, 2) == 0  # other pairs untouched
+
+    def test_youngest_source_wins(self, tables):
+        old = mk_sample(tables, 3, 1, q_new=10, index=0)
+        new = mk_sample(tables, 3, 1, q_new=20, index=1)
+        view = ForwardingView(tables, (old, new))
+        assert view.read_q(3, 1) == 20
+
+    def test_none_sources_skipped(self, tables):
+        view = ForwardingView(tables, (None, mk_sample(tables, 2, 0, q_new=7), None))
+        assert view.read_q(2, 0) == 7
+
+    def test_read_qmax_monotonic_overlay(self, tables):
+        tables.qmax.write_now(5, 50)
+        tables.qmax_action.write_now(5, 2)
+        low = mk_sample(tables, 5, 1, q_new=30)  # below current max
+        high = mk_sample(tables, 5, 3, q_new=70)
+        view = ForwardingView(tables, (low, high))
+        assert view.read_qmax(5) == (70, 3)
+        view_low = ForwardingView(tables, (low,))
+        assert view_low.read_qmax(5) == (50, 2)
+
+    def test_read_qmax_follow_overlay(self):
+        mdp = random_dense_mdp(16, 4, seed=1)
+        tables = AcceleratorTables(mdp, QTAccelConfig.qlearning(qmax_mode="follow"))
+        tables.qmax.write_now(5, 50)
+        tables.qmax_action.write_now(5, 2)
+        # A pending write to the cached argmax action follows it down.
+        down = mk_sample(tables, 5, 2, q_new=10)
+        view = ForwardingView(tables, (down,))
+        assert view.read_qmax(5) == (10, 2)
+
+    def test_overlay_sequence_matches_commit_sequence(self, tables):
+        """Applying sources in order == committing them in order."""
+        writes = [(5, 0, 30), (5, 1, 20), (5, 0, 25), (5, 3, 40)]
+        sources = [mk_sample(tables, s, a, v, i) for i, (s, a, v) in enumerate(writes)]
+        view = ForwardingView(tables, sources)
+        forwarded = view.read_qmax(5)
+        for s, a, v in writes:
+            tables.writeback_now(s, a, v)
+        assert forwarded == tables.read_qmax(5)
+
+
+class TestOperandFixups:
+    def test_fix_q_sa(self, tables):
+        smp = mk_sample(tables, 2, 1, q_new=0)
+        smp.q_sa = 5
+        src = mk_sample(tables, 2, 1, q_new=77)
+        fix_operand_q(smp, (src,))
+        assert smp.q_sa == 77
+
+    def test_fix_q_sa_ignores_other_pairs(self, tables):
+        smp = mk_sample(tables, 2, 1, q_new=0)
+        smp.q_sa = 5
+        fix_operand_q(smp, (mk_sample(tables, 2, 2, q_new=77),))
+        assert smp.q_sa == 5
+
+    def test_fix_qnext_exploited_uses_qmax_rule(self, tables):
+        smp = mk_sample(tables, 2, 1, q_new=0)
+        smp.s_next = 7
+        smp.exploited = True
+        smp.q_next = 10
+        smp.a_next = 0
+        src = mk_sample(tables, 7, 3, q_new=55)
+        fix_operand_qnext(smp, (src,), "monotonic")
+        assert smp.q_next == 55
+        assert smp.a_next == 3
+
+    def test_fix_qnext_explored_uses_pair(self, tables):
+        smp = mk_sample(tables, 2, 1, q_new=0)
+        smp.s_next = 7
+        smp.exploited = False
+        smp.a_next = 2
+        smp.pair_next = tables.pair_addr(7, 2)
+        smp.q_next = 10
+        src = mk_sample(tables, 7, 2, q_new=3)
+        fix_operand_qnext(smp, (src,), "monotonic")
+        assert smp.q_next == 3  # exact pair match, even when lower
+
+    def test_terminal_operand_pinned(self, tables):
+        smp = mk_sample(tables, 2, 1, q_new=0)
+        smp.s_next = 7
+        smp.terminal_next = True
+        smp.exploited = True
+        smp.q_next = 0
+        fix_operand_qnext(smp, (mk_sample(tables, 7, 0, q_new=99),), "monotonic")
+        assert smp.q_next == 0
+
+
+class TestConflictPredicates:
+    def test_stage1_state_match(self, tables):
+        inflight = (mk_sample(tables, 4, 0, 0), None)
+        assert conflict_stage1(4, inflight)
+        assert not conflict_stage1(5, inflight)
+
+    def test_stage2_next_state_match(self, tables):
+        inflight = (None, mk_sample(tables, 9, 2, 0))
+        assert conflict_stage2(9, inflight)
+        assert not conflict_stage2(8, inflight)
+
+    def test_empty_inflight(self):
+        assert not conflict_stage1(0, (None, None, None))
+        assert not conflict_stage2(0, ())

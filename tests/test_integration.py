@@ -1,0 +1,107 @@
+"""End-to-end integration tests: the accelerator actually learns.
+
+These exercise the full stack — environment construction, LFSR streams,
+fixed-point datapath, Qmax maintenance, episode handling — and assert
+the paper's implicit success criterion: the learned greedy policy drives
+the robot to the goal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QLearningAccelerator,
+    QTAccelConfig,
+    SarsaAccelerator,
+)
+from repro.core.functional import FunctionalSimulator
+from repro.core.metrics import convergence_report, greedy_rollout
+from repro.envs.gridworld import GridWorld
+
+
+class TestQLearningConvergence:
+    def test_obstacle_grid(self, grid8):
+        acc = QLearningAccelerator(grid8, alpha=0.5, gamma=0.9, seed=7)
+        acc.run(200_000)
+        rep = acc.convergence()
+        assert rep.success == 1.0
+        assert rep.agreement > 0.8
+
+    def test_empty_16(self, empty16):
+        acc = QLearningAccelerator(empty16, alpha=0.5, gamma=0.9, seed=7)
+        acc.run(500_000)
+        assert acc.convergence().success > 0.99
+
+    def test_eight_actions(self):
+        mdp = GridWorld.random(8, 8, obstacle_density=0.1, seed=4).to_mdp()
+        acc = QLearningAccelerator(mdp, alpha=0.5, gamma=0.9, seed=7)
+        acc.run(250_000)
+        assert acc.convergence().success > 0.95
+
+    def test_policy_path_is_short(self, empty16):
+        """On an empty grid the greedy path length approaches Manhattan
+        distance to the goal."""
+        acc = QLearningAccelerator(empty16, alpha=0.5, gamma=0.9, seed=7)
+        acc.run(300_000)
+        enc = empty16.metadata["encoding"]
+        start = enc.encode(0, 0)
+        _, steps, ok = greedy_rollout(empty16, acc.q_values(), start, gamma=0.9)
+        assert ok
+        assert steps <= 30 + 2  # Manhattan distance 30 plus slack
+
+    def test_cycle_engine_learns_too(self, grid8):
+        acc = QLearningAccelerator(grid8, alpha=0.5, gamma=0.9, seed=7)
+        acc.run(60_000, engine="cycle")
+        assert acc.convergence().success > 0.9
+
+
+class TestSarsaConvergence:
+    def test_follow_qmax_learns(self, grid8):
+        acc = SarsaAccelerator(
+            grid8, alpha=0.5, gamma=0.9, epsilon=0.2, seed=7, qmax_mode="follow"
+        )
+        acc.run(200_000)
+        assert acc.convergence().success > 0.8
+
+    def test_paper_monotonic_qmax_fails_with_negative_rewards(self, grid8):
+        """The documented §V-A artifact: the monotonic Qmax pins SARSA's
+        exploit action under -255 wall penalties and learning collapses.
+        This is the reproduction of a *negative* finding — see
+        EXPERIMENTS.md (ablation_qmax)."""
+        acc = SarsaAccelerator(grid8, alpha=0.5, gamma=0.9, epsilon=0.2, seed=7)
+        acc.run(100_000)
+        assert acc.episodes_completed == 0
+
+    def test_exact_qmax_learns(self, grid8):
+        cfg = QTAccelConfig.sarsa(
+            alpha=0.5, gamma=0.9, epsilon=0.2, seed=7, qmax_mode="exact"
+        )
+        sim = FunctionalSimulator(grid8, cfg)
+        sim.run(200_000)
+        rep = convergence_report(grid8, sim.q_float(), gamma=0.9, samples=200_000)
+        assert rep.success > 0.5
+
+
+class TestLargeScale:
+    def test_32x32_grid_learns(self):
+        """A mid-sized world (1024 states) end to end on the fast path.
+
+        Random-restart uniform exploration propagates the goal's value as
+        a diffusion wavefront, so the sample budget must scale with
+        states x diameter; 32x32 at 1.2M samples is comfortably past it.
+        """
+        mdp = GridWorld.empty(32, 4).to_mdp()
+        acc = QLearningAccelerator(mdp, alpha=0.5, gamma=0.95, seed=7)
+        acc.run(1_200_000)
+        # Individual far corners can lag the diffusion front; judge the
+        # policy statistically over a spread of start states.
+        rep = acc.convergence()
+        assert rep.success > 0.95
+
+    def test_512x512_tables_build_and_run(self):
+        """The paper's largest case constructs and processes samples."""
+        mdp = GridWorld.empty(512, 8).to_mdp()
+        acc = QLearningAccelerator(mdp, seed=7)
+        res = acc.run(5_000)
+        assert res.samples == 5_000
+        assert acc.resource_report().fits

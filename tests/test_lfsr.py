@@ -1,0 +1,146 @@
+"""Unit and property tests for the LFSR models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.lfsr import MAXIMAL_TAPS, Lfsr, taps_to_mask
+
+
+class TestTaps:
+    def test_table_covers_paper_widths(self):
+        """The widths the accelerator actually instantiates exist."""
+        for w in (8, 16, 24, 32):
+            assert w in MAXIMAL_TAPS
+
+    def test_mask_includes_degree_term(self):
+        for w, taps in MAXIMAL_TAPS.items():
+            assert taps_to_mask(w, taps) & (1 << (w - 1))
+
+    def test_mask_rejects_missing_degree(self):
+        with pytest.raises(ValueError):
+            taps_to_mask(8, (6, 5, 4))
+
+    def test_mask_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            taps_to_mask(8, (9, 8))
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16])
+def test_full_period(width):
+    """Every tabulated polynomial is maximal: period 2**n - 1."""
+    lfsr = Lfsr(width, seed=1)
+    seen = set()
+    for _ in range(lfsr.period):
+        seen.add(lfsr.step())
+    assert len(seen) == lfsr.period
+    assert 0 not in seen
+    assert lfsr.state == 1  # returned to the seed after a full period
+
+
+class TestBasics:
+    def test_zero_seed_mapped_to_one(self):
+        assert Lfsr(8, seed=0).state == 1
+
+    def test_seed_masked_to_width(self):
+        assert Lfsr(8, seed=0x1FF).state == 0xFF
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ValueError):
+            Lfsr(37)
+
+    def test_explicit_taps(self):
+        lfsr = Lfsr(37, taps=(37, 36, 33, 31))
+        assert lfsr.width == 37
+        lfsr.step()
+
+    def test_deterministic(self):
+        a = Lfsr(16, seed=77)
+        b = Lfsr(16, seed=77)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_iterator_protocol(self):
+        lfsr = Lfsr(8, seed=3)
+        it = iter(Lfsr(8, seed=3))
+        assert [next(it) for _ in range(10)] == [lfsr.step() for _ in range(10)]
+
+
+class TestBatch:
+    def test_batch_matches_step(self):
+        a = Lfsr(16, seed=5)
+        b = Lfsr(16, seed=5)
+        batch = a.batch(500)
+        singles = [b.step() for _ in range(500)]
+        assert list(batch) == singles
+
+    def test_batch_advances_state(self):
+        a = Lfsr(16, seed=5)
+        a.batch(100)
+        b = Lfsr(16, seed=5)
+        for _ in range(100):
+            b.step()
+        assert a.state == b.state
+
+    def test_batch_dtype(self):
+        assert Lfsr(24).batch(10).dtype == np.int64
+
+
+class TestFork:
+    def test_fork_decorrelates(self):
+        base = Lfsr(16, seed=1)
+        f1 = base.fork(1)
+        f2 = base.fork(2)
+        assert f1.state != f2.state
+        s1 = [f1.step() for _ in range(50)]
+        s2 = [f2.step() for _ in range(50)]
+        assert s1 != s2
+
+    def test_fork_never_zero(self):
+        for salt in range(64):
+            assert Lfsr(8, seed=1).fork(salt).state != 0
+
+
+@given(st.integers(min_value=1, max_value=(1 << 16) - 1), st.integers(min_value=1, max_value=200))
+@settings(max_examples=50)
+def test_state_always_nonzero(seed, steps):
+    """An XOR Galois LFSR never enters the all-zeros lock-up (property)."""
+    lfsr = Lfsr(16, seed=seed)
+    for _ in range(steps):
+        assert lfsr.step() != 0
+
+
+@given(st.integers(min_value=1, max_value=255))
+def test_state_stays_in_width(seed):
+    lfsr = Lfsr(8, seed=seed)
+    for _ in range(300):
+        assert 1 <= lfsr.step() <= 255
+
+
+class TestLeap:
+    @pytest.mark.parametrize("d", [1, 3, 8, 16])
+    def test_leap_equals_d_steps(self, d):
+        a = Lfsr(24, seed=77)
+        b = Lfsr(24, seed=77)
+        for _ in range(100):
+            va = a.leap(d)
+            for _ in range(d):
+                vb = b.step()
+            assert va == vb
+
+    def test_leap_batch_matches_scalar(self):
+        a = Lfsr(20, seed=5)
+        b = Lfsr(20, seed=5)
+        batch = a.leap_batch(50, 8)
+        singles = [b.leap(8) for _ in range(50)]
+        assert list(batch) == singles
+
+    def test_leap_distance_validated(self):
+        with pytest.raises(ValueError):
+            Lfsr(16).leap(0)
+        with pytest.raises(ValueError):
+            Lfsr(16).leap(17)
+
+    def test_leap_table_cached(self):
+        a = Lfsr(16, seed=1)
+        a.leap(8)
+        assert (a.mask, 8) in Lfsr._leap_tables

@@ -1,0 +1,156 @@
+"""Tests for the BRAM/URAM block models and TableRam."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.memory import (
+    BRAM18,
+    BRAM36,
+    URAM288,
+    TableRam,
+    blocks_for_table,
+    table_bits,
+)
+
+
+class TestBlockKind:
+    def test_bram36_capacity(self):
+        assert BRAM36.capacity_bits == 36 * 1024
+
+    def test_single_block_small_table(self):
+        assert BRAM36.blocks_for(512, 16) == 1
+
+    def test_wide_table_bit_slices(self):
+        # 512 x 144 needs two 512x72 slices
+        assert BRAM36.blocks_for(512, 144) == 2
+
+    def test_deep_table_address_slices(self):
+        # 4096 x 18 -> two 2048x18 blocks
+        assert BRAM36.blocks_for(4096, 18) == 2
+
+    def test_paper_peak_case(self):
+        """262144 states x 8 actions x 16 bits: the Fig. 4 78 % point."""
+        pairs = 262144 * 8
+        q_blocks = BRAM36.blocks_for(pairs, 16)
+        assert q_blocks == 1024  # 2048-deep x 18-wide config
+
+    def test_best_aspect_chosen(self):
+        # 32768 x 1 fits a single block only in the x1 config
+        assert BRAM36.blocks_for(32768, 1) == 1
+
+    def test_bram18_half(self):
+        assert BRAM18.blocks_for(1024, 18) == 1
+
+    def test_uram_packing(self):
+        # 16K entries of 16 bits pack into one URAM via the 16K x 18 view
+        assert URAM288.blocks_for(16384, 16) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            BRAM36.blocks_for(0, 8)
+
+    def test_helpers(self):
+        assert blocks_for_table(512, 16) == 1
+        assert table_bits(100, 16) == 1600
+
+
+class TestTableRam:
+    def test_init_fill(self):
+        t = TableRam(8, 16, fill=7)
+        assert t.read(0) == 7
+
+    def test_write_commit_cycle(self):
+        t = TableRam(8, 16)
+        t.write(3, 42)
+        assert t.read(3) == 0  # read-first: not visible before the edge
+        t.commit()
+        assert t.read(3) == 42
+
+    def test_write_now_immediate(self):
+        t = TableRam(8, 16)
+        t.write_now(2, 9)
+        assert t.read(2) == 9
+
+    def test_same_address_collision_counted(self):
+        t = TableRam(8, 16)
+        t.write(3, 1)
+        t.write(3, 2)
+        collisions = t.commit()
+        assert collisions == 1
+        assert t.read(3) == 2  # later port wins
+        assert t.stats.write_collisions == 1
+
+    def test_distinct_addresses_no_collision(self):
+        t = TableRam(8, 16)
+        t.write(1, 1)
+        t.write(2, 2)
+        assert t.commit() == 0
+
+    def test_port_overflow_raises(self):
+        t = TableRam(8, 16)
+        t.write(1, 1)
+        t.write(2, 2)
+        t.write(3, 3)
+        with pytest.raises(RuntimeError):
+            t.commit()
+
+    def test_out_of_range_write_raises(self):
+        t = TableRam(8, 16)
+        with pytest.raises(IndexError):
+            t.write(8, 1)
+
+    def test_read_many(self):
+        t = TableRam(8, 16)
+        t.write_many_now([0, 1, 2], [10, 11, 12])
+        assert list(t.read_many([2, 0])) == [12, 10]
+
+    def test_stats_counters(self):
+        t = TableRam(8, 16)
+        t.read(0)
+        t.read(1)
+        t.write(0, 5)
+        t.commit()
+        assert t.stats.reads == 2
+        assert t.stats.writes == 1
+        t.stats.reset()
+        assert t.stats.reads == 0
+
+    def test_blocks_property(self):
+        t = TableRam(512, 16)
+        assert t.blocks == 1
+        assert t.bits == 512 * 16
+
+    def test_snapshot_is_copy(self):
+        t = TableRam(4, 16)
+        snap = t.snapshot()
+        t.write_now(0, 99)
+        assert snap[0] == 0
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            TableRam(0, 16)
+        with pytest.raises(ValueError):
+            TableRam(4, 0)
+        with pytest.raises(ValueError):
+            TableRam(4, 65)
+
+
+@given(
+    st.integers(min_value=1, max_value=1 << 22),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100)
+def test_blocks_cover_payload(depth, width):
+    """Allocated blocks always hold at least the payload bits (property)."""
+    blocks = BRAM36.blocks_for(depth, width)
+    assert blocks * BRAM36.capacity_bits >= depth * width * 0.5
+    # and never absurdly over-allocate beyond one block per aspect slice
+    assert blocks <= (depth // 512 + 1) * (width // 1 + 1)
+
+
+@given(st.integers(min_value=1, max_value=1 << 20), st.integers(min_value=1, max_value=64))
+@settings(max_examples=100)
+def test_blocks_monotone_in_depth(depth, width):
+    """More entries never need fewer blocks (property)."""
+    assert BRAM36.blocks_for(depth + 1, width) >= BRAM36.blocks_for(depth, width)

@@ -1,0 +1,94 @@
+"""Tests for convergence metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    convergence_report,
+    greedy_rollout,
+    policy_agreement,
+    q_rmse,
+    success_rate,
+)
+from repro.envs.random_mdp import chain_mdp
+
+
+class TestPolicyAgreement:
+    def test_perfect(self):
+        q = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert policy_agreement(q, q) == 1.0
+
+    def test_zero(self):
+        q = np.array([[1.0, 0.0]])
+        q_star = np.array([[0.0, 1.0]])
+        assert policy_agreement(q, q_star) == 0.0
+
+    def test_ties_count_as_optimal(self):
+        q = np.array([[1.0, 0.0]])
+        q_star = np.array([[5.0, 5.0]])
+        assert policy_agreement(q, q_star) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            policy_agreement(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestRmse:
+    def test_zero_for_equal(self):
+        q = np.ones((3, 2))
+        assert q_rmse(q, q) == 0.0
+
+    def test_known_value(self):
+        q = np.zeros((2, 2))
+        q_star = np.full((2, 2), 2.0)
+        assert q_rmse(q, q_star) == 2.0
+
+    def test_mask(self):
+        q = np.zeros((2, 2))
+        q_star = np.array([[0.0, 0.0], [9.0, 9.0]])
+        mask = np.array([True, False])
+        assert q_rmse(q, q_star, mask=mask) == 0.0
+
+    def test_empty_mask(self):
+        q = np.zeros((2, 2))
+        assert q_rmse(q, q, mask=np.array([False, False])) == 0.0
+
+
+class TestRollout:
+    def test_optimal_policy_reaches_goal(self):
+        mdp = chain_mdp(5, reward=100.0)
+        q = mdp.optimal_q(0.9)
+        ret, steps, ok = greedy_rollout(mdp, q, 0, gamma=0.9)
+        assert ok
+        assert steps == 4
+        assert ret == pytest.approx(100.0 * 0.9**3)
+
+    def test_stuck_policy_detected(self):
+        mdp = chain_mdp(5)
+        q = np.zeros((5, 2))
+        q[:, 1] = 1.0  # prefer the stay-in-place action
+        _, _, ok = greedy_rollout(mdp, q, 0, gamma=0.9)
+        assert not ok
+
+    def test_success_rate(self):
+        mdp = chain_mdp(5)
+        q_star = mdp.optimal_q(0.9)
+        assert success_rate(mdp, q_star, gamma=0.9) == 1.0
+        stuck_q = np.zeros((5, 2))
+        stuck_q[:, 1] = 1.0  # prefer the stay-in-place action everywhere
+        assert success_rate(mdp, stuck_q, gamma=0.9) == 0.0
+
+
+class TestConvergenceReport:
+    def test_oracle_is_perfect(self):
+        mdp = chain_mdp(6)
+        q_star = mdp.optimal_q(0.9)
+        rep = convergence_report(mdp, q_star, gamma=0.9, samples=0)
+        assert rep.agreement == 1.0
+        assert rep.rmse == 0.0
+        assert rep.success == 1.0
+
+    def test_str(self):
+        mdp = chain_mdp(4)
+        rep = convergence_report(mdp, mdp.optimal_q(0.9), gamma=0.9, samples=10)
+        assert "samples=10" in str(rep)

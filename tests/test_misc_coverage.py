@@ -1,0 +1,94 @@
+"""Targeted tests for smaller public surfaces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import QTAccelAccelerator
+from repro.core.config import QTAccelConfig
+from repro.envs.base import DenseMdp
+from repro.envs.gridworld import GridWorld, GridWorldSpec
+from repro.envs.random_mdp import chain_mdp
+from repro.experiments.cases import (
+    FIG6_THROUGHPUT_MSPS,
+    STATE_SIZES,
+    TABLE2_CPU_SPS,
+    grid_side,
+)
+
+
+class TestCases:
+    def test_grid_side(self):
+        assert grid_side(64) == 8
+        assert grid_side(262144) == 512
+
+    def test_grid_side_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            grid_side(120)
+
+    def test_reference_tables_cover_all_sizes(self):
+        assert set(FIG6_THROUGHPUT_MSPS) <= set(STATE_SIZES)
+        for s, a in TABLE2_CPU_SPS:
+            assert s in STATE_SIZES
+            assert a in (4, 8)
+
+
+class TestGridWorldSpec:
+    def test_spec_recorded(self):
+        w = GridWorld.empty(8, step_reward=-1.0)
+        assert w.spec == GridWorldSpec(8, 4, 255.0, -255.0, -1.0)
+
+    def test_spec_in_metadata(self):
+        md = GridWorld.empty(8).to_mdp().metadata
+        assert md["spec"].side == 8
+
+
+class TestOptimalQ:
+    def test_converges_quickly_on_chain(self):
+        mdp = chain_mdp(8)
+        q1 = mdp.optimal_q(0.9)
+        q2 = mdp.optimal_q(0.9, tol=1e-12)
+        assert np.allclose(q1, q2, atol=1e-6)
+
+    def test_max_iter_cap_returns(self):
+        mdp = chain_mdp(8)
+        q = mdp.optimal_q(0.9, max_iter=3)  # truncated but defined
+        assert q.shape == (8, 2)
+
+    def test_gamma_zero_is_reward_table(self):
+        mdp = chain_mdp(5, reward=42.0)
+        q = mdp.optimal_q(0.0)
+        nonterm = ~mdp.terminal
+        assert np.allclose(q[nonterm], mdp.rewards[nonterm])
+
+
+class TestBaseAccelerator:
+    def test_generic_class_usable_directly(self, empty16):
+        acc = QTAccelAccelerator(empty16, QTAccelConfig.qlearning(seed=2))
+        acc.run(100)
+        assert acc.samples_processed == 100
+
+    def test_tables_none_before_run(self, empty16):
+        acc = QTAccelAccelerator(empty16, QTAccelConfig.qlearning())
+        assert acc.tables is None
+
+    def test_run_result_cycles_per_sample_none_for_functional(self, empty16):
+        acc = QTAccelAccelerator(empty16, QTAccelConfig.qlearning(seed=2))
+        res = acc.run(50)
+        assert res.cycles_per_sample is None
+
+
+class TestDenseMdpMetadata:
+    def test_metadata_default_dict(self):
+        mdp = DenseMdp(
+            next_state=np.zeros((2, 2), dtype=np.int32),
+            rewards=np.zeros((2, 2)),
+            terminal=np.array([False, True]),
+            start_states=np.array([0]),
+        )
+        assert mdp.metadata == {}
+        mdp.metadata["k"] = 1  # mutable per instance
+
+    def test_greedy_policy_dtype(self):
+        mdp = chain_mdp(4)
+        pol = mdp.greedy_policy(mdp.optimal_q(0.9))
+        assert pol.dtype == np.int32

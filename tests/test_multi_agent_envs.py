@@ -1,0 +1,74 @@
+"""Tests for the multi-agent world wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.envs.multi_agent import (
+    collision_probability,
+    measure_collisions,
+    partition_grid,
+    shared_world,
+)
+
+
+class TestPartition:
+    def test_four_tiles(self):
+        tiles = partition_grid(16, 4)
+        assert len(tiles) == 4
+        assert all(t.num_states == 64 for t in tiles)
+
+    def test_single_tile(self):
+        tiles = partition_grid(16, 1)
+        assert len(tiles) == 1
+        assert tiles[0].num_states == 256
+
+    def test_sixteen_tiles(self):
+        tiles = partition_grid(32, 16)
+        assert len(tiles) == 16
+        assert all(t.num_states == 64 for t in tiles)
+
+    def test_tiles_named(self):
+        tiles = partition_grid(16, 4)
+        assert tiles[0].name.startswith("tile0")
+        assert tiles[3].name.startswith("tile3")
+
+    def test_obstacles_differ_across_tiles(self):
+        tiles = partition_grid(32, 4, obstacle_density=0.2, seed=5)
+        loops = [int((t.next_state == np.arange(t.num_states)[:, None]).sum()) for t in tiles]
+        assert len(set(loops)) > 1  # independent draws
+
+    def test_rejects_non_power_of_four(self):
+        with pytest.raises(ValueError):
+            partition_grid(16, 2)
+        with pytest.raises(ValueError):
+            partition_grid(16, 8)
+
+    def test_rejects_too_small_tiles(self):
+        with pytest.raises(ValueError):
+            partition_grid(4, 16)
+
+
+class TestSharedWorld:
+    def test_is_plain_grid(self):
+        mdp = shared_world(8, 4)
+        assert mdp.num_states == 64
+        assert mdp.terminal.sum() == 1
+
+
+class TestCollisions:
+    def test_probability(self):
+        assert collision_probability(64) == pytest.approx(1 / 64)
+        with pytest.raises(ValueError):
+            collision_probability(0)
+
+    def test_measure(self):
+        a = np.array([1, 2, 3, 4])
+        b = np.array([1, 9, 3, 9])
+        assert measure_collisions(a, b) == 0.5
+
+    def test_measure_empty(self):
+        assert measure_collisions(np.array([]), np.array([])) == 0.0
+
+    def test_measure_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            measure_collisions(np.array([1]), np.array([1, 2]))

@@ -1,0 +1,153 @@
+"""Tests for the multi-agent pipeline deployments (Figs. 8 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.metrics import convergence_report
+from repro.core.multi_pipeline import (
+    IndependentPipelines,
+    SharedPipelines,
+    max_independent_pipelines,
+    run_shared_functional,
+)
+from repro.envs.gridworld import GridWorld
+from repro.envs.multi_agent import partition_grid
+
+
+class TestSharedPipelines:
+    def test_throughput_doubles(self, empty16):
+        sp = SharedPipelines(empty16, QTAccelConfig.qlearning(seed=4))
+        stats = sp.run(2000)
+        assert stats.samples == 4000
+        assert stats.samples_per_cycle > 1.99
+
+    def test_agents_decorrelated(self, empty16):
+        sp = SharedPipelines(empty16, QTAccelConfig.qlearning(seed=4))
+        sp.run(200)
+        a, b = sp.pipes
+        assert a.draws.action.lfsr.state != b.draws.action.lfsr.state
+
+    def test_collisions_rare_and_counted(self, empty16):
+        sp = SharedPipelines(empty16, QTAccelConfig.qlearning(seed=4))
+        stats = sp.run(5000)
+        # collision rate in the ballpark of 1/|S|
+        assert stats.collision_rate < 5.0 / empty16.num_states
+        assert stats.write_collisions >= 0
+
+    def test_learning_happens(self, empty16):
+        cfg = QTAccelConfig.qlearning(seed=4)
+        sp = SharedPipelines(empty16, cfg)
+        stats = sp.run(40_000)
+        rep = convergence_report(empty16, sp.q_float(), gamma=cfg.gamma, samples=stats.samples)
+        assert rep.success > 0.9
+
+    def test_resource_report_shares_tables(self, empty16):
+        sp = SharedPipelines(empty16, QTAccelConfig.qlearning())
+        rep = sp.resource_report()
+        assert rep.dsp == 8  # two pipelines
+        single = QTAccelConfig.qlearning()
+        from repro.device.resources import estimate_resources
+
+        one = estimate_resources(empty16.num_states, empty16.num_actions, single)
+        assert rep.bram_blocks == one.bram_blocks  # one table set
+
+    def test_throughput_estimate_two_pipelines(self, empty16):
+        sp = SharedPipelines(empty16, QTAccelConfig.qlearning())
+        est = sp.throughput_estimate()
+        assert est.pipelines == 2
+        assert est.msps > 300  # ~2x 188
+
+
+class TestSharedFunctional:
+    def test_matches_cycle_statistically(self, empty16):
+        cfg = QTAccelConfig.qlearning(seed=4)
+        sp = SharedPipelines(empty16, cfg)
+        st_cycle = sp.run(20_000)
+        rep_c = convergence_report(empty16, sp.q_float(), gamma=cfg.gamma, samples=st_cycle.samples)
+        res = run_shared_functional(empty16, cfg, 20_000)
+        rep_f = convergence_report(empty16, res.q, gamma=cfg.gamma, samples=res.samples)
+        assert abs(rep_c.success - rep_f.success) < 0.15
+        assert abs(rep_c.agreement - rep_f.agreement) < 0.2
+
+    def test_collision_counting(self):
+        """On a tiny world two agents collide constantly."""
+        mdp = GridWorld.empty(2, 4).to_mdp()
+        res = run_shared_functional(mdp, QTAccelConfig.qlearning(seed=1), 2000)
+        assert res.write_collisions > 0
+
+    def test_three_agents(self, empty16):
+        res = run_shared_functional(empty16, QTAccelConfig.qlearning(seed=2), 1000, num_agents=3)
+        assert res.samples == 3000
+
+
+class TestIndependentPipelines:
+    def test_runs_all_tiles(self):
+        tiles = partition_grid(16, 4)
+        pipes = IndependentPipelines(tiles, QTAccelConfig.qlearning(seed=6))
+        stats = pipes.run(5000)
+        assert stats.pipelines == 4
+        assert stats.samples == 20_000
+
+    def test_each_tile_learns(self):
+        tiles = partition_grid(16, 4)
+        cfg = QTAccelConfig.qlearning(seed=6)
+        pipes = IndependentPipelines(tiles, cfg)
+        pipes.run(30_000)
+        for i, tile in enumerate(tiles):
+            rep = convergence_report(tile, pipes.q_float(i), gamma=cfg.gamma, samples=30_000)
+            assert rep.success > 0.9
+
+    def test_tiles_get_distinct_streams(self):
+        tiles = partition_grid(16, 4)
+        pipes = IndependentPipelines(tiles, QTAccelConfig.qlearning(seed=6))
+        pipes.run(200)
+        qs = [pipes.q_float(i) for i in range(4)]
+        assert not np.array_equal(qs[0], qs[1])
+
+    def test_aggregate_resources(self):
+        tiles = partition_grid(16, 4)
+        pipes = IndependentPipelines(tiles, QTAccelConfig.qlearning())
+        rep = pipes.resource_report()
+        assert rep.dsp == 16  # 4 pipelines x 4 DSPs
+        assert pipes.fits_device()
+
+    def test_throughput_scales(self):
+        t1 = IndependentPipelines(partition_grid(16, 1), QTAccelConfig.qlearning())
+        t4 = IndependentPipelines(partition_grid(16, 4), QTAccelConfig.qlearning())
+        assert t4.throughput_estimate().msps > 3.5 * t1.throughput_estimate().msps
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndependentPipelines([], QTAccelConfig.qlearning())
+
+
+class TestMaxPipelines:
+    def test_bram_bound(self):
+        cfg = QTAccelConfig.qlearning()
+        small = max_independent_pipelines(GridWorld.empty(16, 4).to_mdp(), cfg)
+        big = max_independent_pipelines(GridWorld.empty(256, 4).to_mdp(), cfg)
+        assert small > big
+        assert big >= 1
+
+
+class TestIndependentCycle:
+    def test_aggregate_rate_and_parity(self):
+        from repro.core.multi_pipeline import IndependentPipelinesCycle
+
+        tiles = partition_grid(16, 4)
+        cfg = QTAccelConfig.qlearning(seed=6)
+        cyc = IndependentPipelinesCycle(tiles, cfg)
+        cyc.run(800)
+        # N samples retire per shared clock cycle (after fill)
+        assert cyc.samples_per_cycle > 3.9
+        fun = IndependentPipelines(tiles, cfg)
+        fun.run(800)
+        for i in range(4):
+            assert np.array_equal(cyc.q_float(i), fun.q_float(i))
+
+    def test_rejects_empty(self):
+        from repro.core.multi_pipeline import IndependentPipelinesCycle
+
+        with pytest.raises(ValueError):
+            IndependentPipelinesCycle([], QTAccelConfig.qlearning())

@@ -1,0 +1,171 @@
+"""Tests for the cycle-accurate pipeline's timing behaviour."""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.pipeline import QTAccelPipeline
+from repro.envs.gridworld import GridWorld
+from repro.envs.random_mdp import chain_mdp, random_dense_mdp
+
+
+class TestFillAndDrain:
+    def test_first_retire_after_fill(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        for _ in range(3):
+            p.step()
+            assert p.stats.retired == 0
+        p.step()
+        assert p.stats.retired == 1  # 4-stage latency
+
+    def test_one_sample_per_cycle_after_fill(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(1000)
+        assert p.stats.cycles == 1000 + 3  # paper's headline property
+
+    def test_issue_budget_respected(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(10)
+        assert p.stats.issued == 10
+        assert p.stats.retired == 10
+        assert p.in_flight == 0
+
+    def test_run_resumable(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(100)
+        p.run(100)
+        assert p.stats.retired == 200
+
+    def test_run_zero(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(0)
+        assert p.stats.retired == 0
+
+    def test_run_negative_rejected(self, empty16, ql_config):
+        with pytest.raises(ValueError):
+            QTAccelPipeline(empty16, ql_config).run(-1)
+
+
+class TestCyclesPerSample:
+    def test_forward_is_one(self, empty16):
+        for preset in (QTAccelConfig.qlearning, QTAccelConfig.sarsa):
+            p = QTAccelPipeline(empty16, preset(seed=3))
+            p.run(4000)
+            assert p.stats.cycles_per_sample < 1.01
+            assert p.stats.stall_cycles == 0
+
+    def test_size_independent(self):
+        """The Fig. 6 premise: cycles/sample does not depend on |S|."""
+        rates = []
+        for side in (8, 32, 128):
+            mdp = GridWorld.empty(side, 8).to_mdp()
+            p = QTAccelPipeline(mdp, QTAccelConfig.qlearning(seed=3))
+            p.run(2000)
+            rates.append(p.stats.cycles_per_sample)
+        assert max(rates) - min(rates) < 1e-9
+
+    def test_stall_mode_is_slower(self, loopy_mdp):
+        fwd = QTAccelPipeline(loopy_mdp, QTAccelConfig.qlearning(seed=3))
+        fwd.run(2000)
+        stl = QTAccelPipeline(
+            loopy_mdp, QTAccelConfig.qlearning(seed=3, hazard_mode="stall")
+        )
+        stl.run(2000)
+        assert stl.stats.cycles > fwd.stats.cycles
+        assert stl.stats.stall_cycles > 0
+
+    def test_stale_mode_full_speed(self, loopy_mdp):
+        p = QTAccelPipeline(loopy_mdp, QTAccelConfig.qlearning(seed=3, hazard_mode="stale"))
+        p.run(2000)
+        assert p.stats.cycles_per_sample < 1.01
+
+    def test_chain_self_transitions_forwarded(self):
+        """A corridor hammered with stay-in-place actions keeps full rate:
+        the back-to-back same-pair hazard is forwarded, not stalled."""
+        mdp = chain_mdp(4, num_actions=2)
+        p = QTAccelPipeline(mdp, QTAccelConfig.qlearning(seed=1))
+        p.run(3000)
+        assert p.stats.cycles_per_sample < 1.01
+
+
+class TestBookkeeping:
+    def test_episodes_counted(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(20_000)
+        assert p.stats.episodes > 0
+
+    def test_trace_records_every_retirement(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        trace = p.enable_trace()
+        p.run(50)
+        assert len(trace) == 50
+        assert [t[0] for t in trace] == list(range(50))
+
+    def test_on_retire_hook(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        seen = []
+        p.on_retire = lambda smp: seen.append(smp.index)
+        p.run(10)
+        assert seen == list(range(10))
+
+    def test_exploit_explore_counters(self, empty16):
+        p = QTAccelPipeline(empty16, QTAccelConfig.sarsa(seed=3, epsilon=0.5))
+        p.run(4000)
+        total = p.stats.exploits + p.stats.explores
+        assert total == 4000
+        assert 0.4 < p.stats.exploits / total < 0.6
+
+    def test_qlearning_always_exploits_update(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        p.run(100)
+        assert p.stats.explores == 0
+
+    def test_deadlock_guard(self, empty16, ql_config):
+        p = QTAccelPipeline(empty16, ql_config)
+        with pytest.raises(RuntimeError):
+            p.run(100, max_cycles=5)
+
+
+class TestModes:
+    def test_exact_qmax_rejected(self, empty16):
+        with pytest.raises(ValueError):
+            QTAccelPipeline(empty16, QTAccelConfig.qlearning(qmax_mode="exact"))
+
+    def test_follow_qmax_supported(self, empty16):
+        p = QTAccelPipeline(empty16, QTAccelConfig.sarsa(qmax_mode="follow"))
+        p.run(100)
+        assert p.stats.retired == 100
+
+    def test_stall_mode_on_random_mdp_terminates(self):
+        mdp = random_dense_mdp(8, 4, seed=5, self_loop_bias=0.9)
+        p = QTAccelPipeline(mdp, QTAccelConfig.qlearning(seed=5, hazard_mode="stall"))
+        p.run(500)  # the deadlock guard inside run() would raise
+        assert p.stats.retired == 500
+
+
+class TestStage2Latency:
+    """Multi-cycle stage-2 selection (the §VII-B probability-table cost),
+    measured on the pipeline rather than assumed."""
+
+    def test_initiation_interval(self, empty16, ql_config):
+        import numpy as np
+
+        for lat in (1, 2, 4):
+            p = QTAccelPipeline(empty16, ql_config, stage2_latency=lat)
+            p.run(2000)
+            assert abs(p.stats.cycles_per_sample - lat) < 0.01
+
+    def test_latency_invariant_trajectory(self, empty16):
+        """Holding stage 2 delays samples but never changes semantics."""
+        import numpy as np
+
+        for preset in (QTAccelConfig.qlearning, QTAccelConfig.sarsa):
+            cfg = preset(seed=3)
+            fast = QTAccelPipeline(empty16, cfg)
+            slow = QTAccelPipeline(empty16, cfg, stage2_latency=3)
+            fast.run(1500)
+            slow.run(1500)
+            assert np.array_equal(fast.tables.q.data, slow.tables.q.data)
+
+    def test_invalid_latency(self, empty16, ql_config):
+        with pytest.raises(ValueError):
+            QTAccelPipeline(empty16, ql_config, stage2_latency=0)

@@ -1,0 +1,178 @@
+"""Tests for the action-selection policies."""
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.core.policies import (
+    PolicyDraws,
+    draw_start_state,
+    egreedy_cut,
+    egreedy_select,
+    select_behavior,
+    select_update,
+)
+
+
+def make_reads(qmax_val=10, qmax_act=2, q_values=None):
+    """Stub read callables recording their invocations."""
+    calls = {"qmax": [], "q": []}
+
+    def read_qmax(s):
+        calls["qmax"].append(s)
+        return qmax_val, qmax_act
+
+    def read_q(s, a):
+        calls["q"].append((s, a))
+        return (q_values or {}).get((s, a), 0)
+
+    return read_qmax, read_q, calls
+
+
+class TestEgreedyCut:
+    def test_values(self):
+        assert egreedy_cut(0.0, 8) == 256
+        assert egreedy_cut(1.0, 8) == 0
+        assert egreedy_cut(0.25, 8) == 192
+
+
+class TestDrawStart:
+    def test_draws_from_start_set(self):
+        draws = PolicyDraws.from_config(QTAccelConfig.qlearning(seed=1))
+        starts = [5, 9, 11]
+        for _ in range(50):
+            assert draw_start_state(draws, starts) in starts
+
+
+class TestEgreedySelect:
+    def test_epsilon_zero_always_exploits(self):
+        draws = PolicyDraws.from_config(QTAccelConfig.sarsa(seed=2))
+        read_qmax, read_q, calls = make_reads(qmax_val=7, qmax_act=3)
+        for _ in range(30):
+            sel = egreedy_select(
+                4, epsilon=0.0, draws=draws, read_qmax=read_qmax,
+                read_q=read_q, num_actions=4,
+            )
+            assert sel.exploited
+            assert sel.action == 3
+            assert sel.q_raw == 7
+        assert not calls["q"]
+
+    def test_epsilon_one_always_explores(self):
+        draws = PolicyDraws.from_config(QTAccelConfig.sarsa(seed=2))
+        read_qmax, read_q, calls = make_reads()
+        seen = set()
+        for _ in range(60):
+            sel = egreedy_select(
+                4, epsilon=1.0, draws=draws, read_qmax=read_qmax,
+                read_q=read_q, num_actions=4,
+            )
+            assert not sel.exploited
+            seen.add(sel.action)
+        assert seen == {0, 1, 2, 3}
+        assert not calls["qmax"]
+
+    def test_exploration_rate_tracks_epsilon(self):
+        draws = PolicyDraws.from_config(QTAccelConfig.sarsa(seed=3))
+        read_qmax, read_q, _ = make_reads()
+        explores = sum(
+            not egreedy_select(
+                0, epsilon=0.3, draws=draws, read_qmax=read_qmax,
+                read_q=read_q, num_actions=4,
+            ).exploited
+            for _ in range(10_000)
+        )
+        assert 0.27 < explores / 10_000 < 0.33
+
+    def test_explored_value_comes_from_q_table(self):
+        draws = PolicyDraws.from_config(QTAccelConfig.sarsa(seed=4))
+        q_values = {(4, a): 100 + a for a in range(4)}
+        read_qmax, read_q, _ = make_reads(q_values=q_values)
+        sel = egreedy_select(
+            4, epsilon=1.0, draws=draws, read_qmax=read_qmax,
+            read_q=read_q, num_actions=4,
+        )
+        assert sel.q_raw == 100 + sel.action
+
+
+class TestSelectUpdate:
+    def test_greedy_reads_qmax_once(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        draws = PolicyDraws.from_config(cfg)
+        read_qmax, read_q, calls = make_reads(qmax_val=42, qmax_act=1)
+        sel = select_update(
+            7, config=cfg, draws=draws, read_qmax=read_qmax,
+            read_q=read_q, num_actions=4,
+        )
+        assert sel.q_raw == 42 and sel.action == 1 and sel.exploited
+        assert calls["qmax"] == [7]
+        assert not calls["q"]
+
+    def test_greedy_consumes_no_draws(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        draws = PolicyDraws.from_config(cfg)
+        before = draws.policy.lfsr.state
+        read_qmax, read_q, _ = make_reads()
+        select_update(0, config=cfg, draws=draws, read_qmax=read_qmax,
+                      read_q=read_q, num_actions=4)
+        assert draws.policy.lfsr.state == before
+
+    def test_egreedy_consumes_exactly_one_draw(self):
+        cfg = QTAccelConfig.sarsa(seed=1)
+        draws = PolicyDraws.from_config(cfg)
+        read_qmax, read_q, _ = make_reads()
+        peek = PolicyDraws.from_config(cfg)
+        peek.policy.bits()  # one decimated draw
+        select_update(0, config=cfg, draws=draws, read_qmax=read_qmax,
+                      read_q=read_q, num_actions=4)
+        assert draws.policy.lfsr.state == peek.policy.lfsr.state
+
+
+class TestSelectBehavior:
+    def test_random_uniform(self):
+        cfg = QTAccelConfig.qlearning(seed=5)
+        draws = PolicyDraws.from_config(cfg)
+        read_qmax, read_q, _ = make_reads()
+        seen = {
+            select_behavior(
+                0, config=cfg, draws=draws, forwarded_action=None,
+                read_qmax=read_qmax, read_q=read_q, num_actions=4,
+            )
+            for _ in range(100)
+        }
+        assert seen == {0, 1, 2, 3}
+
+    def test_forwarded_action_used_verbatim(self):
+        cfg = QTAccelConfig.sarsa(seed=5)
+        draws = PolicyDraws.from_config(cfg)
+        before = draws.policy.lfsr.state
+        read_qmax, read_q, calls = make_reads()
+        a = select_behavior(
+            3, config=cfg, draws=draws, forwarded_action=2,
+            read_qmax=read_qmax, read_q=read_q, num_actions=4,
+        )
+        assert a == 2
+        assert draws.policy.lfsr.state == before  # no draw
+        assert not calls["qmax"] and not calls["q"]
+
+    def test_restart_makes_fresh_egreedy_draw(self):
+        cfg = QTAccelConfig.sarsa(seed=5, epsilon=0.0)
+        draws = PolicyDraws.from_config(cfg)
+        read_qmax, read_q, calls = make_reads(qmax_act=1)
+        a = select_behavior(
+            3, config=cfg, draws=draws, forwarded_action=None,
+            read_qmax=read_qmax, read_q=read_q, num_actions=4,
+        )
+        assert a == 1
+        assert calls["qmax"] == [3]
+
+
+class TestPolicyDraws:
+    def test_streams_distinct(self):
+        d = PolicyDraws.from_config(QTAccelConfig.qlearning(seed=1))
+        assert len({d.start.lfsr.state, d.action.lfsr.state, d.policy.lfsr.state}) == 3
+
+    def test_salt_decorrelates(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        a = PolicyDraws.from_config(cfg, salt=0)
+        b = PolicyDraws.from_config(cfg, salt=1)
+        assert a.action.lfsr.state != b.action.lfsr.state

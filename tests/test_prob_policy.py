@@ -1,0 +1,125 @@
+"""Tests for the probability-table (Boltzmann) policy engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import QTAccelConfig
+from repro.core.metrics import convergence_report
+from repro.core.prob_policy import (
+    WEIGHT_FORMAT,
+    BoltzmannSimulator,
+    boltzmann_weights,
+    selection_cycles,
+)
+from repro.envs.gridworld import GridWorld
+from repro.fixedpoint import ops
+
+
+class TestSelectionCycles:
+    def test_log2_cost(self):
+        assert selection_cycles(2) == 1
+        assert selection_cycles(4) == 2
+        assert selection_cycles(8) == 3
+        assert selection_cycles(16) == 4
+
+    def test_floor_at_one(self):
+        assert selection_cycles(1) == 1
+
+
+class TestWeights:
+    def test_uniform_for_equal_q(self):
+        w = boltzmann_weights(np.zeros(4, dtype=np.int64), q_fmt=QTAccelConfig().q_format, temperature=10.0)
+        assert len(set(w.tolist())) == 1
+
+    def test_best_action_gets_max_weight(self):
+        q_fmt = QTAccelConfig().q_format
+        row = ops.quantize_array([0.0, 100.0, 50.0, -10.0], q_fmt)
+        w = boltzmann_weights(row, q_fmt=q_fmt, temperature=20.0)
+        assert int(np.argmax(w)) == 1
+        assert int(w[1]) == WEIGHT_FORMAT.quantize(1.0)  # max-normalised
+
+    def test_no_zero_weights(self):
+        q_fmt = QTAccelConfig().q_format
+        row = ops.quantize_array([0.0, 500.0], q_fmt)
+        w = boltzmann_weights(row, q_fmt=q_fmt, temperature=1.0)
+        assert (w >= 1).all()
+
+    def test_temperature_flattens(self):
+        q_fmt = QTAccelConfig().q_format
+        row = ops.quantize_array([0.0, 100.0], q_fmt)
+        sharp = boltzmann_weights(row, q_fmt=q_fmt, temperature=5.0)
+        flat = boltzmann_weights(row, q_fmt=q_fmt, temperature=500.0)
+        assert flat[0] / flat[1] > sharp[0] / sharp[1]
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            boltzmann_weights(np.zeros(2, dtype=np.int64), q_fmt=QTAccelConfig().q_format, temperature=0.0)
+
+
+@pytest.fixture(scope="module")
+def soft_grid():
+    return GridWorld.random(
+        8, 4, obstacle_density=0.15, seed=2, wall_penalty=-20.0, step_reward=-1.0
+    ).to_mdp()
+
+
+class TestSimulator:
+    def test_runs(self, soft_grid):
+        sim = BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa(seed=7), temperature=40.0)
+        stats = sim.run(2000)
+        assert stats.samples == 2000
+        assert stats.cycles(4) == 2000 * 2
+
+    def test_probabilities_normalised(self, soft_grid):
+        sim = BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa(seed=7))
+        sim.run(1000)
+        for s in (0, 5, 20):
+            p = sim.probabilities(s)
+            assert p.sum() == pytest.approx(1.0)
+            assert (p > 0).all()
+
+    def test_prob_rows_track_q(self, soft_grid):
+        """After training, visited states prefer their greedy action."""
+        sim = BoltzmannSimulator(
+            soft_grid, QTAccelConfig.sarsa(seed=7), temperature=20.0
+        )
+        sim.run(60_000)
+        q = sim.q_float()
+        visited = np.abs(q).sum(axis=1) > 0
+        agree = 0
+        for s in np.nonzero(visited)[0]:
+            agree += int(np.argmax(sim.probabilities(int(s)))) == int(np.argmax(q[s]))
+        assert agree / max(1, visited.sum()) > 0.95
+
+    def test_converges(self, soft_grid):
+        sim = BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa(seed=7), temperature=40.0)
+        sim.run(250_000)
+        rep = convergence_report(soft_grid, sim.q_float(), gamma=0.9, samples=250_000)
+        assert rep.success > 0.9
+
+    def test_deterministic(self, soft_grid):
+        runs = []
+        for _ in range(2):
+            sim = BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa(seed=7))
+            sim.run(3000)
+            runs.append(sim.tables.q.data.copy())
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_rejects_bad_args(self, soft_grid):
+        with pytest.raises(ValueError):
+            BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa(), temperature=-1.0)
+        sim = BoltzmannSimulator(soft_grid, QTAccelConfig.sarsa())
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+
+@given(temperature=st.floats(min_value=0.5, max_value=500.0, allow_nan=False))
+@settings(max_examples=20, deadline=None)
+def test_weights_ordered_like_q(temperature):
+    """Boltzmann weights preserve the Q ordering at any temperature
+    (property, up to quantisation ties)."""
+    q_fmt = QTAccelConfig().q_format
+    row = ops.quantize_array([-100.0, 0.0, 100.0, 255.0], q_fmt)
+    w = boltzmann_weights(row, q_fmt=q_fmt, temperature=temperature)
+    assert w[0] <= w[1] <= w[2] <= w[3]

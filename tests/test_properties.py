@@ -1,0 +1,121 @@
+"""Cross-cutting property tests over whole engines.
+
+These stress invariants that hold for *any* configuration of the
+accelerator, sampled by hypothesis — the safety net under the targeted
+unit tests.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import QTAccelConfig
+from repro.core.functional import FunctionalSimulator
+from repro.core.metrics import convergence_report
+from repro.core.pipeline import QTAccelPipeline
+from repro.envs.gridworld import GridWorld
+from repro.envs.random_mdp import random_dense_mdp
+
+GRID = GridWorld.random(8, 4, obstacle_density=0.15, seed=2).to_mdp()
+
+configs = st.builds(
+    lambda alg, alpha, gamma, eps, seed, qm: (
+        QTAccelConfig.qlearning if alg == "ql" else QTAccelConfig.sarsa
+    )(alpha=alpha, gamma=gamma, epsilon=eps, seed=seed, qmax_mode=qm),
+    alg=st.sampled_from(["ql", "sarsa"]),
+    alpha=st.sampled_from([0.125, 0.5, 1.0]),
+    gamma=st.sampled_from([0.0, 0.5, 0.9]),
+    eps=st.sampled_from([0.0, 0.2, 0.9]),
+    seed=st.integers(min_value=1, max_value=10_000),
+    qm=st.sampled_from(["monotonic", "follow"]),
+)
+
+
+@given(cfg=configs)
+@settings(max_examples=25, deadline=None)
+def test_q_values_stay_in_format(cfg):
+    """No update can escape the storage format's representable range."""
+    sim = FunctionalSimulator(GRID, cfg)
+    sim.run(400)
+    qf = cfg.q_format
+    assert sim.tables.q.data.min() >= qf.raw_min
+    assert sim.tables.q.data.max() <= qf.raw_max
+    assert sim.tables.qmax.data.min() >= qf.raw_min
+    assert sim.tables.qmax.data.max() <= qf.raw_max
+
+
+@given(cfg=configs)
+@settings(max_examples=20, deadline=None)
+def test_episode_count_matches_terminal_entries(cfg):
+    """Episodes == number of trace records whose transition is terminal."""
+    sim = FunctionalSimulator(GRID, cfg)
+    trace = sim.enable_trace()
+    sim.run(400)
+    terminal_entries = sum(
+        bool(GRID.terminal[GRID.next_state[s, a]]) for _, s, a, _ in trace
+    )
+    assert sim.stats.episodes == terminal_entries
+
+
+@given(cfg=configs)
+@settings(max_examples=15, deadline=None)
+def test_pipeline_trace_contiguous_and_valid(cfg):
+    """Retirement order is issue order; every record is a legal pair."""
+    pipe = QTAccelPipeline(GRID, cfg)
+    trace = pipe.enable_trace()
+    pipe.run(300)
+    assert [t[0] for t in trace] == list(range(300))
+    for _, s, a, _ in trace:
+        assert 0 <= s < GRID.num_states
+        assert 0 <= a < GRID.num_actions
+        assert not GRID.terminal[s]  # terminals are never acted from
+
+
+@given(
+    cfg=configs,
+    mdp_seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=15, deadline=None)
+def test_actions_only_from_action_space(cfg, mdp_seed):
+    mdp = random_dense_mdp(12, 4, seed=mdp_seed)
+    sim = FunctionalSimulator(mdp, cfg)
+    trace = sim.enable_trace()
+    sim.run(300)
+    assert all(0 <= a < 4 for _, _, a, _ in trace)
+
+
+@given(seed=st.integers(min_value=1, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_convergence_metrics_bounded(seed):
+    sim = FunctionalSimulator(GRID, QTAccelConfig.qlearning(seed=seed))
+    sim.run(3000)
+    rep = convergence_report(GRID, sim.q_float(), gamma=0.9, samples=3000)
+    assert 0.0 <= rep.agreement <= 1.0
+    assert 0.0 <= rep.success <= 1.0
+    assert rep.rmse >= 0.0
+
+
+@given(cfg=configs, n1=st.integers(min_value=1, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_run_splitting_invariant(cfg, n1):
+    """run(a); run(b) == run(a + b) — no state leaks across run calls."""
+    total = 300
+    split = FunctionalSimulator(GRID, cfg)
+    split.run(n1 % total)
+    split.run(total - (n1 % total))
+    whole = FunctionalSimulator(GRID, cfg)
+    whole.run(total)
+    assert np.array_equal(split.tables.q.data, whole.tables.q.data)
+
+
+@given(
+    eps=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=15, deadline=None)
+def test_exploit_rate_tracks_epsilon(eps, seed):
+    """Measured exploitation fraction stays near 1 - epsilon."""
+    cfg = QTAccelConfig.sarsa(epsilon=eps, seed=seed)
+    sim = FunctionalSimulator(GRID, cfg)
+    sim.run(2000)
+    frac = sim.stats.exploits / 2000
+    assert abs(frac - (1.0 - eps)) < 0.06

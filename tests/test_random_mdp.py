@@ -1,0 +1,83 @@
+"""Tests for the synthetic MDP generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.envs.random_mdp import chain_mdp, random_dense_mdp
+
+
+class TestRandomDense:
+    def test_shapes(self):
+        mdp = random_dense_mdp(32, 4, seed=1)
+        assert mdp.next_state.shape == (32, 4)
+        assert mdp.rewards.shape == (32, 4)
+
+    def test_deterministic_per_seed(self):
+        a = random_dense_mdp(16, 4, seed=7)
+        b = random_dense_mdp(16, 4, seed=7)
+        assert np.array_equal(a.next_state, b.next_state)
+        assert np.array_equal(a.rewards, b.rewards)
+
+    def test_seeds_differ(self):
+        a = random_dense_mdp(16, 4, seed=7)
+        b = random_dense_mdp(16, 4, seed=8)
+        assert not np.array_equal(a.next_state, b.next_state)
+
+    def test_reward_scale(self):
+        mdp = random_dense_mdp(64, 4, seed=1, reward_scale=10.0)
+        assert mdp.rewards.min() >= -10.0
+        assert mdp.rewards.max() <= 10.0
+
+    def test_terminal_fraction(self):
+        mdp = random_dense_mdp(100, 2, seed=1, terminal_fraction=0.2)
+        assert mdp.terminal.sum() == 20
+        assert not mdp.terminal[mdp.start_states].any()
+
+    def test_self_loop_bias(self):
+        mdp = random_dense_mdp(64, 4, seed=1, self_loop_bias=1.0)
+        states = np.arange(64)
+        assert np.all(mdp.next_state == states[:, None])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_dense_mdp(1, 2)
+        with pytest.raises(ValueError):
+            random_dense_mdp(8, 2, terminal_fraction=1.0)
+        with pytest.raises(ValueError):
+            random_dense_mdp(8, 2, self_loop_bias=1.5)
+
+
+class TestChain:
+    def test_structure(self):
+        mdp = chain_mdp(5)
+        assert mdp.num_states == 5
+        assert mdp.terminal[4]
+        # action 0 advances, others stay
+        assert mdp.next_state[2, 0] == 3
+        assert mdp.next_state[2, 1] == 2
+
+    def test_reward_only_at_end(self):
+        mdp = chain_mdp(5, reward=42.0)
+        assert mdp.rewards[3, 0] == 42.0
+        assert mdp.rewards.sum() == 42.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            chain_mdp(1)
+        with pytest.raises(ValueError):
+            chain_mdp(5, num_actions=1)
+
+
+@given(
+    st.integers(min_value=2, max_value=64),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=40)
+def test_random_mdp_always_valid(states, actions, seed):
+    """Generated MDPs always satisfy DenseMdp's invariants (property)."""
+    mdp = random_dense_mdp(states, actions, seed=seed)
+    assert mdp.next_state.min() >= 0
+    assert mdp.next_state.max() < states
+    assert len(mdp.start_states) >= 1

@@ -1,0 +1,99 @@
+"""Tests for the software reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import policy_agreement, success_rate
+from repro.envs.gridworld import GridWorld
+from repro.envs.random_mdp import chain_mdp
+from repro.reference import DictQLearning, DictSarsa, FloatQLearning, FloatSarsa
+
+
+class TestDictQLearning:
+    def test_converges_on_chain(self):
+        mdp = chain_mdp(5, reward=100.0)
+        learner = DictQLearning(mdp, alpha=0.5, gamma=0.5, seed=1)
+        learner.run(20_000)
+        assert learner.greedy_action(0) == 0
+        assert learner.greedy_action(3) == 0
+
+    def test_uses_coordinate_keys_for_grids(self):
+        """§VI-E: the CPU baseline indexes by state coordinate tuples."""
+        mdp = GridWorld.empty(4).to_mdp()
+        learner = DictQLearning(mdp, seed=1)
+        learner.run(500)
+        assert all(isinstance(k, tuple) and len(k) == 2 for k in learner.q)
+
+    def test_uses_int_keys_otherwise(self):
+        learner = DictQLearning(chain_mdp(4), seed=1)
+        learner.run(200)
+        assert all(isinstance(k, int) for k in learner.q)
+
+    def test_episode_counting(self):
+        learner = DictQLearning(chain_mdp(3), seed=1)
+        res = learner.run(1000)
+        assert res.episodes > 50
+        assert learner.samples == 1000
+
+    def test_resumable(self):
+        learner = DictQLearning(chain_mdp(4), seed=1)
+        learner.run(100)
+        learner.run(100)
+        assert learner.samples == 200
+
+    def test_converges_on_grid(self, grid8):
+        learner = DictQLearning(grid8, alpha=0.5, gamma=0.9, seed=3)
+        learner.run(150_000)
+        enc = grid8.metadata["encoding"]
+        q = np.zeros((grid8.num_states, grid8.num_actions))
+        for key, row in learner.q.items():
+            s = enc.encode(*key)
+            for a, v in row.items():
+                q[s, a] = v
+        assert success_rate(grid8, q, gamma=0.9) > 0.9
+
+
+class TestDictSarsa:
+    def test_runs_and_learns_chain(self):
+        mdp = chain_mdp(5, reward=100.0)
+        learner = DictSarsa(mdp, alpha=0.5, gamma=0.5, epsilon=0.2, seed=1)
+        learner.run(20_000)
+        row = learner.q[3]
+        assert max(row, key=row.get) == 0
+
+    def test_episodes(self):
+        learner = DictSarsa(chain_mdp(3), seed=1)
+        assert learner.run(2000).episodes > 50
+
+
+class TestFloatLearners:
+    def test_qlearning_matches_oracle(self):
+        mdp = chain_mdp(6)
+        learner = FloatQLearning(mdp, alpha=0.5, gamma=0.5, seed=1)
+        learner.run(40_000)
+        q_star = mdp.optimal_q(0.5)
+        assert np.allclose(learner.q[:-1, 0], q_star[:-1, 0], atol=0.5)
+
+    def test_sarsa_grid_success(self, grid8):
+        learner = FloatSarsa(grid8, alpha=0.5, gamma=0.9, epsilon=0.2, seed=3)
+        learner.run(150_000)
+        assert success_rate(grid8, learner.q, gamma=0.9) > 0.8
+
+    def test_optimistic_init(self):
+        learner = FloatQLearning(chain_mdp(4), q_init=10.0, seed=1)
+        assert learner.q.max() == 10.0
+
+    def test_gold_vs_accelerator_agreement(self, grid8):
+        """The float reference and the fixed-point accelerator learn
+        compatible policies (bounding the quantisation + Qmax error)."""
+        from repro.core.accelerator import QLearningAccelerator
+
+        gold = FloatQLearning(grid8, alpha=0.5, gamma=0.9, seed=3)
+        gold.run(200_000)
+        acc = QLearningAccelerator(grid8, alpha=0.5, gamma=0.9, seed=3)
+        acc.run(200_000)
+        q_star = grid8.optimal_q(0.9)
+        reach = ~grid8.terminal
+        gold_agree = policy_agreement(gold.q[reach], q_star[reach])
+        acc_agree = policy_agreement(acc.q_values()[reach], q_star[reach])
+        assert acc_agree > gold_agree - 0.2

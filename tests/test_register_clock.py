@@ -1,0 +1,125 @@
+"""Tests for pipeline registers and the cycle-loop driver."""
+
+import pytest
+
+from repro.rtl.clock import Simulation
+from repro.rtl.register import PipelineRegister
+
+
+class TestPipelineRegister:
+    def test_starts_invalid(self):
+        r = PipelineRegister("r")
+        assert not r.valid
+        assert r.value is None
+
+    def test_stage_then_tick(self):
+        r = PipelineRegister("r")
+        r.stage(42)
+        assert not r.valid  # not visible before the edge
+        r.tick()
+        assert r.valid
+        assert r.value == 42
+
+    def test_undriven_tick_inserts_bubble(self):
+        r = PipelineRegister("r")
+        r.stage(1)
+        r.tick()
+        r.tick()  # nothing staged this cycle
+        assert not r.valid
+
+    def test_hold_preserves(self):
+        r = PipelineRegister("r")
+        r.stage(7)
+        r.tick()
+        r.hold()
+        r.tick()
+        assert r.valid and r.value == 7
+
+    def test_stage_bubble(self):
+        r = PipelineRegister("r")
+        r.stage(7)
+        r.tick()
+        r.stage_bubble()
+        r.tick()
+        assert not r.valid
+
+    def test_flush(self):
+        r = PipelineRegister("r")
+        r.stage(7)
+        r.tick()
+        r.stage(8)
+        r.flush()
+        assert not r.valid
+        r.tick()
+        assert not r.valid
+
+
+class Counter:
+    """Minimal clocked component for driver tests."""
+
+    def __init__(self):
+        self.evals = 0
+        self.ticks = 0
+
+    def eval(self):
+        self.evals += 1
+
+    def tick(self):
+        self.ticks += 1
+
+
+class TestSimulation:
+    def test_step_calls_eval_then_tick(self):
+        sim = Simulation()
+        c = Counter()
+        sim.add(c)
+        sim.step()
+        assert c.evals == 1 and c.ticks == 1
+        assert sim.cycle == 1
+
+    def test_eval_order_is_registration_order(self):
+        order = []
+
+        class Tagger:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def eval(self):
+                order.append(self.tag)
+
+            def tick(self):
+                pass
+
+        sim = Simulation()
+        sim.add(Tagger("a"))
+        sim.add(Tagger("b"))
+        sim.step()
+        assert order == ["a", "b"]
+
+    def test_run(self):
+        sim = Simulation()
+        c = Counter()
+        sim.add(c)
+        assert sim.run(10) == 10
+        assert c.ticks == 10
+
+    def test_run_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Simulation().run(-1)
+
+    def test_run_until(self):
+        sim = Simulation()
+        c = Counter()
+        sim.add(c)
+        spent = sim.run_until(lambda: c.ticks >= 5)
+        assert spent == 5
+
+    def test_run_until_timeout(self):
+        sim = Simulation()
+        sim.add(Counter())
+        with pytest.raises(RuntimeError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_add_rejects_non_clocked(self):
+        with pytest.raises(TypeError):
+            Simulation().add(object())

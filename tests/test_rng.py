@@ -1,0 +1,128 @@
+"""Tests for the LFSR-derived random generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.lfsr import Lfsr
+from repro.rtl.rng import CltNormal, UniformSource
+
+
+class TestUniformSource:
+    def test_below_power_of_two_uses_low_bits(self):
+        src = UniformSource(Lfsr(16, seed=3))
+        peek = Lfsr(16, seed=3)
+        for _ in range(50):
+            for _ in range(src.decimation):
+                word = peek.step()
+            assert src.below(8) == word & 7
+
+    def test_draws_are_decimated(self):
+        """Consecutive draws share no bits (the exploration-correlation
+        fix): the register advances DECIMATION steps per draw."""
+        src = UniformSource(Lfsr(16, seed=3))
+        peek = Lfsr(16, seed=3)
+        src.bits()
+        for _ in range(src.decimation):
+            peek.step()
+        assert src.lfsr.state == peek.state
+
+    def test_action_pairs_unconstrained(self):
+        """With decimation every (a_t, a_{t+1}) pair occurs - the
+        single-step artifact forbade half of them."""
+        src = UniformSource(Lfsr(20, seed=9))
+        prev = src.below(4)
+        pairs = set()
+        for _ in range(3000):
+            cur = src.below(4)
+            pairs.add((prev, cur))
+            prev = cur
+        assert len(pairs) == 16
+
+    def test_below_range(self):
+        src = UniformSource(Lfsr(16, seed=9))
+        draws = [src.below(5) for _ in range(500)]
+        assert set(draws) == {0, 1, 2, 3, 4}
+
+    def test_below_rejects_nonpositive(self):
+        src = UniformSource(Lfsr(16))
+        with pytest.raises(ValueError):
+            src.below(0)
+
+    def test_unit_float_in_range(self):
+        src = UniformSource(Lfsr(20, seed=4))
+        for _ in range(200):
+            assert 0.0 <= src.unit_float() < 1.0
+
+    def test_uniformity_rough(self):
+        """Over a full 12-bit period the draws are near uniform."""
+        src = UniformSource(Lfsr(12, seed=1))
+        counts = np.zeros(4, dtype=int)
+        for _ in range(src.lfsr.period):
+            counts[src.below(4)] += 1
+        assert counts.min() > 0.9 * counts.mean()
+
+    def test_threshold_probability(self):
+        src = UniformSource(Lfsr(20, seed=5))
+        hits = sum(src.threshold(0.25) for _ in range(20_000))
+        assert 0.22 < hits / 20_000 < 0.28
+
+    def test_threshold_extremes(self):
+        src = UniformSource(Lfsr(16, seed=6))
+        assert not any(src.threshold(0.0) for _ in range(100))
+        # p = 1.0: only the (never-occurring) all-ones+1 misses
+        assert all(src.threshold(1.0) for _ in range(100))
+
+    def test_threshold_rejects_bad_p(self):
+        src = UniformSource(Lfsr(16))
+        with pytest.raises(ValueError):
+            src.threshold(1.5)
+
+    def test_below_batch_matches_scalar(self):
+        a = UniformSource(Lfsr(16, seed=8))
+        b = UniformSource(Lfsr(16, seed=8))
+        batch = a.below_batch(8, 200)
+        singles = [b.below(8) for _ in range(200)]
+        assert list(batch) == singles
+
+
+class TestCltNormal:
+    def test_moments(self):
+        cn = CltNormal(Lfsr(24, seed=2), k=12, mean=3.0, std=2.0)
+        xs = cn.sample_batch(40_000)
+        assert abs(float(xs.mean()) - 3.0) < 0.1
+        assert abs(float(xs.std()) - 2.0) < 0.15
+
+    def test_scalar_matches_batch(self):
+        a = CltNormal(Lfsr(24, seed=7), k=12)
+        b = CltNormal(Lfsr(24, seed=7), k=12)
+        singles = np.array([a.sample() for _ in range(50)])
+        batch = b.sample_batch(50)
+        assert np.allclose(singles, batch)
+
+    def test_k_one_is_shifted_uniform(self):
+        cn = CltNormal(Lfsr(24, seed=3), k=1)
+        xs = cn.sample_batch(10_000)
+        # uniform scaled to unit variance: bounded support
+        assert xs.min() >= -2.0 and xs.max() <= 2.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            CltNormal(Lfsr(16), k=0)
+        with pytest.raises(ValueError):
+            CltNormal(Lfsr(16), std=-1.0)
+
+    def test_tail_shape(self):
+        """About 5 percent of mass beyond 2 sigma (coarse normality)."""
+        cn = CltNormal(Lfsr(24, seed=11), k=12)
+        xs = cn.sample_batch(40_000)
+        frac = float(np.mean(np.abs(xs) > 2.0))
+        assert 0.02 < frac < 0.08
+
+
+@given(st.integers(min_value=1, max_value=(1 << 20) - 1), st.integers(min_value=2, max_value=64))
+@settings(max_examples=40)
+def test_below_always_in_range(seed, m):
+    src = UniformSource(Lfsr(20, seed=seed))
+    for _ in range(30):
+        assert 0 <= src.below(m) < m

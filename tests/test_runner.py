@@ -1,0 +1,79 @@
+"""Tests for the experiment CLI and result formatting."""
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.runner import main
+
+
+class TestFormat:
+    def _result(self, **kw):
+        defaults = dict(
+            exp_id="demo",
+            title="Demo",
+            headers=["a", "value"],
+            rows=[("x", 1.5), ("longer-label", 12345.0)],
+        )
+        defaults.update(kw)
+        return ExperimentResult(**defaults)
+
+    def test_header_and_rows_aligned(self):
+        text = self._result().format()
+        lines = text.splitlines()
+        assert lines[0] == "== demo: Demo =="
+        widths = {len(line) for line in lines[1:4]}
+        assert len(widths) == 1  # header, separator, rows share width
+
+    def test_none_rendered_as_dash(self):
+        text = self._result(rows=[("x", None)]).format()
+        assert "| -" in text
+
+    def test_float_formatting(self):
+        text = self._result(rows=[("x", 0.123456), ("y", 12.345), ("z", 1234567.0)]).format()
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "1,234,567" in text
+
+    def test_notes_appended(self):
+        text = self._result(notes=["hello world"]).format()
+        assert text.splitlines()[-1] == "note: hello world"
+
+    def test_zero_rendered(self):
+        text = self._result(rows=[("x", 0.0)]).format()
+        assert "| 0" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "table2" in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_one_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM utilisation" in out
+        assert "78.1" in out  # the paper's peak value column
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_multiple_targets(self, capsys):
+        assert main(["table1", "fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "table1:" in out and "fig7:" in out
+
+
+class TestOutputDir:
+    def test_artifacts_written(self, tmp_path, capsys):
+        assert main(["fig4", "fig7", "--quick", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "fig4.txt").exists()
+        assert "78.1" in (tmp_path / "fig4.txt").read_text()
+        assert (tmp_path / "fig7.txt").exists()

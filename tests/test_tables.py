@@ -1,0 +1,169 @@
+"""Tests for the accelerator's on-chip tables and Qmax maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import QTAccelConfig
+from repro.core.tables import AcceleratorTables, apply_qmax_rule
+from repro.envs.random_mdp import random_dense_mdp
+
+
+@pytest.fixture
+def tables(loopy_mdp):
+    return AcceleratorTables(loopy_mdp, QTAccelConfig.qlearning())
+
+
+class TestAddressing:
+    def test_pow2_shift_packing(self, loopy_mdp):
+        t = AcceleratorTables(loopy_mdp, QTAccelConfig.qlearning())
+        assert t.pair_addr(3, 2) == (3 << 2) | 2
+
+    def test_non_pow2_multiplicative(self):
+        mdp = random_dense_mdp(10, 3, seed=1)
+        t = AcceleratorTables(mdp, QTAccelConfig.qlearning())
+        assert t.pair_addr(4, 2) == 4 * 3 + 2
+
+    def test_all_addresses_unique(self, tables):
+        addrs = {
+            tables.pair_addr(s, a)
+            for s in range(tables.num_states)
+            for a in range(tables.num_actions)
+        }
+        assert len(addrs) == tables.num_states * tables.num_actions
+
+
+class TestInitialState:
+    def test_rewards_preloaded(self, loopy_mdp, tables):
+        qf = tables.config.q_format
+        for s in (0, 5, 15):
+            for a in range(4):
+                expect = qf.quantize(loopy_mdp.rewards[s, a])
+                assert tables.read_reward(s, a) == expect
+
+    def test_q_init_value(self, loopy_mdp):
+        cfg = QTAccelConfig.qlearning(q_init=2.0)
+        t = AcceleratorTables(loopy_mdp, cfg)
+        assert t.read_q(0, 0) == cfg.q_format.quantize(2.0)
+        assert t.read_qmax(0)[0] == cfg.q_format.quantize(2.0)
+
+
+class TestQmaxRule:
+    def test_monotonic_raises(self):
+        assert apply_qmax_rule("monotonic", 10, 0, 20, 2) == (20, 2)
+
+    def test_monotonic_never_lowers(self):
+        assert apply_qmax_rule("monotonic", 10, 0, 5, 0) == (10, 0)
+
+    def test_follow_tracks_argmax_down(self):
+        assert apply_qmax_rule("follow", 10, 1, 5, 1) == (5, 1)
+
+    def test_follow_raises_other_action(self):
+        assert apply_qmax_rule("follow", 10, 1, 20, 3) == (20, 3)
+
+    def test_follow_ignores_lower_other_action(self):
+        assert apply_qmax_rule("follow", 10, 1, 5, 2) == (10, 1)
+
+    def test_exact_has_no_single_cycle_rule(self):
+        with pytest.raises(ValueError):
+            apply_qmax_rule("exact", 0, 0, 0, 0)
+
+
+class TestWriteback:
+    def test_monotonic_writeback_now(self, loopy_mdp):
+        t = AcceleratorTables(loopy_mdp, QTAccelConfig.qlearning())
+        t.writeback_now(3, 1, 100)
+        assert t.read_q(3, 1) == 100
+        assert t.read_qmax(3) == (100, 1)
+        t.writeback_now(3, 1, 50)  # lowered: qmax stays
+        assert t.read_q(3, 1) == 50
+        assert t.read_qmax(3) == (100, 1)
+
+    def test_follow_writeback_now(self, loopy_mdp):
+        cfg = QTAccelConfig.qlearning(qmax_mode="follow")
+        t = AcceleratorTables(loopy_mdp, cfg)
+        t.writeback_now(3, 1, 100)
+        t.writeback_now(3, 1, 50)  # argmax action followed down
+        assert t.read_qmax(3) == (50, 1)
+
+    def test_exact_writeback_now(self, loopy_mdp):
+        cfg = QTAccelConfig.qlearning(qmax_mode="exact")
+        t = AcceleratorTables(loopy_mdp, cfg)
+        t.writeback_now(3, 1, 100)
+        t.writeback_now(3, 2, 70)
+        t.writeback_now(3, 1, 10)  # true max now action 2
+        assert t.read_qmax(3) == (70, 2)
+
+    def test_clocked_writeback(self, loopy_mdp):
+        t = AcceleratorTables(loopy_mdp, QTAccelConfig.qlearning())
+        t.writeback(2, 0, 64)
+        assert t.read_q(2, 0) == 0  # staged, not committed
+        t.commit()
+        assert t.read_q(2, 0) == 64
+        assert t.read_qmax(2) == (64, 0)
+
+
+class TestBulkViews:
+    def test_row_q_is_view(self, tables):
+        tables.writeback_now(1, 2, 33)
+        assert tables.row_q(1)[2] == 33
+
+    def test_q_matrices(self, tables):
+        tables.writeback_now(0, 0, 64)
+        raw = tables.q_raw_matrix()
+        assert raw[0, 0] == 64
+        flt = tables.q_float_matrix()
+        assert flt[0, 0] == 1.0  # 64 at frac 6
+
+    def test_bram_blocks_egreedy_adds_action_table(self, loopy_mdp):
+        ql = AcceleratorTables(loopy_mdp, QTAccelConfig.qlearning())
+        sa = AcceleratorTables(loopy_mdp, QTAccelConfig.sarsa())
+        assert sa.bram_blocks() >= ql.bram_blocks()
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_monotonic_qmax_invariant(writes):
+    """After any write sequence, Qmax[s] >= max_a Q[s,a] (property).
+
+    This is the §V-A soundness argument for Q-Learning: the cached
+    maximum can be stale-high but never stale-low, so the greedy target
+    never under-estimates.
+    """
+    mdp = random_dense_mdp(16, 4, seed=0)
+    t = AcceleratorTables(mdp, QTAccelConfig.qlearning())
+    for s, a, v in writes:
+        t.writeback_now(s, a, v)
+    assert t.qmax_invariant_holds()
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_follow_qmax_tracks_written_action(writes):
+    """In follow mode, Qmax[s] always equals Q[s, qmax_action[s]] after
+    any write to that action (property): the cache never detaches from
+    the entry it claims to cache."""
+    mdp = random_dense_mdp(8, 4, seed=0)
+    t = AcceleratorTables(mdp, QTAccelConfig.qlearning(qmax_mode="follow"))
+    for s, a, v in writes:
+        t.writeback_now(s, a, v)
+        act = int(t.qmax_action.data[s])
+        assert t.qmax.data[s] == t.row_q(s)[act]
