@@ -2,8 +2,14 @@
 
 Times the cycle-accurate simulator retiring samples for both algorithms,
 verifies the one-sample-per-cycle property that Fig. 6's MS/s numbers
-rest on, and prints the regenerated figure.
+rest on, and prints the regenerated figure.  A final case re-runs the
+pipeline under telemetry and leaves a profile JSON artifact (CI uploads
+it; ``QTACCEL_TELEMETRY_DIR`` overrides the destination).
 """
+
+import json
+import os
+import pathlib
 
 import pytest
 
@@ -46,3 +52,31 @@ def test_functional_engine_rate(benchmark, grid64_mdp):
 
     stats = benchmark(run)
     assert stats.samples == SAMPLES
+
+
+def test_telemetry_profile_artifact(grid16_mdp):
+    """Export the telemetry profile of one instrumented run as an artifact."""
+    from repro.device.resources import estimate_resources
+    from repro.telemetry import TelemetrySession, verify_paper_invariants
+
+    cfg = QTAccelConfig.qlearning(seed=11)
+    with TelemetrySession() as session:
+        pipe = QTAccelPipeline(grid16_mdp, cfg)
+        pipe.run(SAMPLES)
+    verify_paper_invariants(pipe, samples=SAMPLES, runs=1)
+    session.record_device(
+        estimate_resources(grid16_mdp.num_states, grid16_mdp.num_actions, cfg)
+    )
+
+    out_dir = pathlib.Path(
+        os.environ.get("QTACCEL_TELEMETRY_DIR", "benchmarks/_artifacts")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "bench_throughput.profile.json"
+    session.export_profile(path)
+    session.export_chrome_trace(out_dir / "bench_throughput.trace.json")
+
+    data = json.loads(path.read_text())
+    assert data["totals"]["retired"] == SAMPLES
+    assert data["pipes"]["pipe0"]["stats"]["stall_cycles"] == 0
+    assert data["device"]["clock_mhz"] > 0

@@ -15,7 +15,9 @@ multipliers.  This package rebuilds the full system in Python:
 * :mod:`repro.envs` — grid worlds, synthetic MDPs, bandit problems;
 * :mod:`repro.reference` — the paper's CPU baselines;
 * :mod:`repro.baseline` — the prior state-of-the-art design [11];
-* :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.experiments` — one harness per paper table/figure;
+* :mod:`repro.telemetry` — cycle-level tracing, counter registry and
+  exportable profiles (see ``docs/observability.md``).
 
 Quickstart::
 

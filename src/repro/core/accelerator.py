@@ -62,10 +62,14 @@ class QTAccelAccelerator:
         config: QTAccelConfig,
         *,
         part: FpgaPart = XCVU13P,
+        telemetry=None,
     ):
         self.mdp = mdp
         self.config = config
         self.part = part
+        #: Explicit :class:`~repro.telemetry.TelemetrySession` (ambient
+        #: sessions reach the engines without it; see repro.telemetry).
+        self.telemetry = telemetry
         self._engine: Optional[str] = None
         self._functional: Optional[FunctionalSimulator] = None
         self._pipeline: Optional[QTAccelPipeline] = None
@@ -88,9 +92,13 @@ class QTAccelAccelerator:
         if engine == "functional":
             if self._functional is None:
                 self._functional = FunctionalSimulator(self.mdp, self.config)
+                if self.telemetry is not None:
+                    self.telemetry.attach(self._functional, "functional")
             return self._functional
         if self._pipeline is None:
-            self._pipeline = QTAccelPipeline(self.mdp, self.config)
+            self._pipeline = QTAccelPipeline(
+                self.mdp, self.config, telemetry=self.telemetry
+            )
         return self._pipeline
 
     def run(self, num_samples: int, *, engine: str = "functional") -> RunResult:
@@ -194,18 +202,39 @@ class QTAccelAccelerator:
         """Modelled power draw in mW."""
         return power_mw(self.resource_report())
 
+    def record_device_telemetry(self, session=None) -> None:
+        """Join this design point's device models into a telemetry session
+        (modelled clock / wall-time / energy for the measured cycles).
+
+        Uses ``session``, else this accelerator's explicit session, else
+        the ambient one; silently a no-op when none is active.
+        """
+        from ..telemetry.session import current_session
+
+        sess = session or self.telemetry or current_session()
+        if sess is not None:
+            sess.record_device(self.resource_report())
+
 
 class QLearningAccelerator(QTAccelAccelerator):
     """QTAccel customised for Q-Learning (§V-A): random behaviour policy,
     greedy update policy served by the Qmax table."""
 
-    def __init__(self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, **config_kw):
-        super().__init__(mdp, QTAccelConfig.qlearning(**config_kw), part=part)
+    def __init__(
+        self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, telemetry=None, **config_kw
+    ):
+        super().__init__(
+            mdp, QTAccelConfig.qlearning(**config_kw), part=part, telemetry=telemetry
+        )
 
 
 class SarsaAccelerator(QTAccelAccelerator):
     """QTAccel customised for SARSA (§V-B): e-greedy on-policy selection
     with the stage-2 action forwarded to stage 1."""
 
-    def __init__(self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, **config_kw):
-        super().__init__(mdp, QTAccelConfig.sarsa(**config_kw), part=part)
+    def __init__(
+        self, mdp: DenseMdp, *, part: FpgaPart = XCVU13P, telemetry=None, **config_kw
+    ):
+        super().__init__(
+            mdp, QTAccelConfig.sarsa(**config_kw), part=part, telemetry=telemetry
+        )

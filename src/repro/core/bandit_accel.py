@@ -37,6 +37,19 @@ from ..rtl.rng import UniformSource
 from .config import QTAccelConfig
 
 
+def _bandit_group(telemetry, name: str):
+    """Counter group for a bandit engine, or ``None`` when detached.
+
+    Bandits have no pipeline to probe; they report run-level counters
+    (pulls, mean reward, selection cycles) through a namespaced
+    :class:`~repro.telemetry.session.CounterGroup`.
+    """
+    from ..telemetry.session import current_session
+
+    session = telemetry if telemetry is not None else current_session()
+    return session.group(name) if session is not None else None
+
+
 @dataclass
 class BanditRunStats:
     """Outcome of a bandit accelerator run."""
@@ -78,6 +91,7 @@ class EpsilonGreedyBanditAccelerator:
         q_format: FxpFormat | None = None,
         lfsr_width: int = 24,
         seed: int = 1,
+        telemetry=None,
     ):
         cfg = QTAccelConfig.sarsa(
             alpha=alpha, gamma=0.0, epsilon=epsilon, seed=seed, lfsr_width=lfsr_width
@@ -89,6 +103,7 @@ class EpsilonGreedyBanditAccelerator:
         self.q = np.zeros(env.num_arms, dtype=np.int64)
         self._policy = UniformSource(Lfsr(lfsr_width, seed=seed + 0x51))
         (self._alpha, _, self._one_minus_alpha, _) = cfg.coefficients()
+        self._tel = _bandit_group(telemetry, "bandit.egreedy")
 
     def _select(self) -> int:
         """Single-draw e-greedy over the arm values (§V-B circuit)."""
@@ -122,7 +137,11 @@ class EpsilonGreedyBanditAccelerator:
             )
             chosen[t] = arm
             rewards[t] = r
-        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        stats = BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        if self._tel is not None:
+            self._tel.inc("pulls", pulls)
+            self._tel.set("mean_reward", stats.mean_reward)
+        return stats
 
     def q_float(self) -> np.ndarray:
         return ops.to_float_array(self.q, self.config.q_format)
@@ -148,6 +167,7 @@ class Exp3Accelerator:
         prob_format: FxpFormat | None = None,
         lfsr_width: int = 24,
         seed: int = 1,
+        telemetry=None,
     ):
         if not 0.0 < gamma_exp <= 1.0:
             raise ValueError("gamma_exp must be in (0, 1]")
@@ -163,6 +183,7 @@ class Exp3Accelerator:
         self.selection_cycles = bandit_cycles_per_sample(
             env.num_arms, probability_policy=True
         )
+        self._tel = _bandit_group(telemetry, "bandit.exp3")
 
     def probabilities(self) -> np.ndarray:
         """Float probabilities per eq. (5) of the paper."""
@@ -201,7 +222,14 @@ class Exp3Accelerator:
                 self.weights /= self.weights.max()
             chosen[t] = arm
             rewards[t] = r
-        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        stats = BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        if self._tel is not None:
+            self._tel.inc("pulls", pulls)
+            # The binary-search initiation interval is the cycle cost the
+            # profile's effective-IPC view needs (§VII-B).
+            self._tel.inc("selection_cycles", int(pulls * self.selection_cycles))
+            self._tel.set("mean_reward", stats.mean_reward)
+        return stats
 
 
 class Ucb1Accelerator:
@@ -224,12 +252,14 @@ class Ucb1Accelerator:
         c: float = 2.0,
         q_format: FxpFormat | None = None,
         seed: int = 1,
+        telemetry=None,
     ):
         if c <= 0:
             raise ValueError("c must be positive")
         self.env = env
         self.c = c
         self.q_format = q_format or QTAccelConfig().q_format
+        self._tel = _bandit_group(telemetry, "bandit.ucb1")
         #: Wide reward accumulators, raw units of ``q_format``.
         self.sums = np.zeros(env.num_arms, dtype=np.int64)
         self.counts = np.zeros(env.num_arms, dtype=np.int64)
@@ -262,7 +292,11 @@ class Ucb1Accelerator:
             self.sums[arm] += qf.quantize(r)
             chosen[i] = arm
             rewards[i] = r
-        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        stats = BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        if self._tel is not None:
+            self._tel.inc("pulls", pulls)
+            self._tel.set("mean_reward", stats.mean_reward)
+        return stats
 
     def q_float(self) -> np.ndarray:
         """Per-arm mean estimates as floats."""
@@ -282,6 +316,7 @@ class StatefulBanditAccelerator:
         q_format: FxpFormat | None = None,
         lfsr_width: int = 24,
         seed: int = 1,
+        telemetry=None,
     ):
         cfg = QTAccelConfig.sarsa(
             alpha=alpha, gamma=gamma, epsilon=epsilon, seed=seed, lfsr_width=lfsr_width
@@ -293,6 +328,7 @@ class StatefulBanditAccelerator:
         self.q = np.zeros((env.num_joint_states, env.num_arms), dtype=np.int64)
         self._policy = UniformSource(Lfsr(lfsr_width, seed=seed + 0x91))
         (self._alpha, _, self._one_minus_alpha, self._alpha_gamma) = cfg.coefficients()
+        self._tel = _bandit_group(telemetry, "bandit.stateful")
 
     def _select(self, state: int) -> int:
         u = self._policy.bits()
@@ -328,7 +364,11 @@ class StatefulBanditAccelerator:
             chosen[t] = arm
             rewards[t] = r
             state = nxt
-        return BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        stats = BanditRunStats(pulls=pulls, chosen=chosen, rewards=rewards)
+        if self._tel is not None:
+            self._tel.inc("pulls", pulls)
+            self._tel.set("mean_reward", stats.mean_reward)
+        return stats
 
     def q_float(self) -> np.ndarray:
         return ops.to_float_array(self.q, self.config.q_format)

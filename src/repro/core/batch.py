@@ -64,6 +64,7 @@ class BatchIndependentSimulator:
         *,
         num_agents: int | None = None,
         salts: Sequence[int] | None = None,
+        telemetry=None,
     ):
         if isinstance(mdps, DenseMdp):
             if num_agents is None:
@@ -142,6 +143,25 @@ class BatchIndependentSimulator:
 
         self.stats = BatchStats(agents=k)
         self._rows = np.arange(k)
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            session.attach(self, "batch")
+
+    def telemetry_snapshot(self) -> dict:
+        """Fleet-level counters for a telemetry profile."""
+        return {
+            "agents": self.K,
+            "states": self.S,
+            "actions": self.A,
+            "samples_per_agent": self.stats.samples_per_agent,
+            "total_samples": self.stats.total_samples,
+            "episodes": self.stats.episodes,
+            "exploits": self.stats.exploits,
+            "explores": self.stats.explores,
+        }
 
     # ------------------------------------------------------------------ #
     # Draw helpers (exactly the scalar UniformSource reductions)

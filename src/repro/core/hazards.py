@@ -77,11 +77,15 @@ class ForwardingView:
     current maximum).
     """
 
-    __slots__ = ("tables", "sources")
+    __slots__ = ("tables", "sources", "hits_q", "hits_qmax")
 
     def __init__(self, tables: AcceleratorTables, sources: Iterable[Optional[Sample]]):
         self.tables = tables
         self.sources = [s for s in sources if s is not None]
+        #: Forwarding-path hit counters (overlay applications), read by
+        #: the telemetry probes after the stage's selections complete.
+        self.hits_q = 0
+        self.hits_qmax = 0
 
     def read_q(self, state: int, action: int) -> int:
         pair = self.tables.pair_addr(state, action)
@@ -89,6 +93,7 @@ class ForwardingView:
         for src in self.sources:
             if src.pair == pair:
                 value = src.q_new
+                self.hits_q += 1
         return value
 
     def read_qmax(self, state: int) -> tuple[int, int]:
@@ -99,31 +104,39 @@ class ForwardingView:
         for src in self.sources:
             if src.s == state:
                 value, action = apply_qmax_rule(mode, value, action, src.q_new, src.a)
+                self.hits_qmax += 1
         return value, action
 
 
-def fix_operand_q(sample: Sample, sources: Iterable[Optional[Sample]]) -> None:
-    """Refresh a carried ``q_sa`` operand against newer in-flight writes."""
+def fix_operand_q(sample: Sample, sources: Iterable[Optional[Sample]]) -> int:
+    """Refresh a carried ``q_sa`` operand against newer in-flight writes.
+
+    Returns the number of fixups applied (a forwarding-path hit count).
+    """
+    hits = 0
     for src in sources:
         if src is not None and src.pair == sample.pair:
             sample.q_sa = src.q_new
+            hits += 1
+    return hits
 
 
 def fix_operand_qnext(
     sample: Sample, sources: Iterable[Optional[Sample]], qmax_mode: str
-) -> None:
+) -> int:
     """Refresh a carried ``q_next`` operand against newer in-flight writes.
 
     The operand's provenance decides the rule: a greedy/exploited read
     came from Qmax (overlay the stage-4 maintenance rule on the state);
     an explored read came from a specific Q-table pair (exact pair
     match).  Terminal-masked operands are pinned to zero and never
-    refreshed.
+    refreshed.  Returns the number of fixups applied.
     """
     from .tables import apply_qmax_rule
 
     if sample.terminal_next:
-        return
+        return 0
+    hits = 0
     for src in sources:
         if src is None:
             continue
@@ -132,9 +145,12 @@ def fix_operand_qnext(
                 sample.q_next, sample.a_next = apply_qmax_rule(
                     qmax_mode, sample.q_next, sample.a_next, src.q_new, src.a
                 )
+                hits += 1
         else:
             if src.pair == sample.pair_next:
                 sample.q_next = src.q_new
+                hits += 1
+    return hits
 
 
 def conflict_stage1(state: int, in_flight: Iterable[Optional[Sample]]) -> bool:

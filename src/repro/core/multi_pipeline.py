@@ -26,6 +26,7 @@ from ..device.parts import FpgaPart, XCVU13P
 from ..device.resources import ResourceReport, estimate_resources, estimate_shared
 from ..device.timing import ThroughputEstimate, throughput
 from ..envs.base import DenseMdp
+from ..telemetry.session import current_session
 from .config import QTAccelConfig
 from .functional import FunctionalSimulator
 from .pipeline import QTAccelPipeline
@@ -56,7 +57,14 @@ class SharedRunStats:
 class SharedPipelines:
     """Two QTAccel pipelines sharing one table set (Fig. 8)."""
 
-    def __init__(self, mdp: DenseMdp, config: QTAccelConfig, *, part: FpgaPart = XCVU13P):
+    def __init__(
+        self,
+        mdp: DenseMdp,
+        config: QTAccelConfig,
+        *,
+        part: FpgaPart = XCVU13P,
+        telemetry=None,
+    ):
         self.mdp = mdp
         self.config = config
         self.part = part
@@ -68,6 +76,7 @@ class SharedPipelines:
                 tables=self.tables,
                 draws=PolicyDraws.from_config(config, salt=i + 1),
                 manage_commit=False,
+                telemetry=telemetry,
             )
             for i in range(2)
         ]
@@ -224,6 +233,7 @@ class IndependentPipelines:
         config: QTAccelConfig,
         *,
         part: FpgaPart = XCVU13P,
+        telemetry=None,
     ):
         if not mdps:
             raise ValueError("need at least one sub-environment")
@@ -234,6 +244,10 @@ class IndependentPipelines:
             FunctionalSimulator(m, config, draws=PolicyDraws.from_config(config, salt=i + 1))
             for i, m in enumerate(self.mdps)
         ]
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            for i, sim in enumerate(self.sims):
+                session.attach(sim, f"agent{i}")
 
     @property
     def num_pipelines(self) -> int:
@@ -288,6 +302,7 @@ class IndependentPipelinesCycle:
         config: QTAccelConfig,
         *,
         part: FpgaPart = XCVU13P,
+        telemetry=None,
     ):
         if not mdps:
             raise ValueError("need at least one sub-environment")
@@ -300,10 +315,16 @@ class IndependentPipelinesCycle:
         self.pipes = []
         for i, m in enumerate(self.mdps):
             pipe = QTAccelPipeline(
-                m, config, draws=PolicyDraws.from_config(config, salt=i + 1)
+                m,
+                config,
+                draws=PolicyDraws.from_config(config, salt=i + 1),
+                telemetry=telemetry,
             )
             self.pipes.append(pipe)
             self.sim.add(pipe)
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            session.attach(self.sim, "clock")
 
     @property
     def num_pipelines(self) -> int:

@@ -31,7 +31,6 @@ action into stage 1).  Hazard behaviour is selected by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -39,6 +38,8 @@ import numpy as np
 from ..envs.base import DenseMdp
 from ..fixedpoint import ops
 from ..rtl.register import PipelineRegister
+from ..telemetry.counters import CounterRegistry
+from ..telemetry.session import current_session
 from .config import QTAccelConfig
 from .hazards import (
     ForwardingView,
@@ -55,21 +56,122 @@ from .tables import AcceleratorTables
 TraceRecord = tuple[int, int, int, int]
 
 
-@dataclass
 class PipelineStats:
-    """Counters accumulated while the pipeline runs."""
+    """Counters accumulated while the pipeline runs.
 
-    cycles: int = 0
-    issued: int = 0
-    retired: int = 0
-    stall_cycles: int = 0
-    episodes: int = 0
-    exploits: int = 0
-    explores: int = 0
+    The counters live on a :class:`~repro.telemetry.counters.CounterRegistry`
+    (one per stats object, under ``pipeline.*`` names) so telemetry
+    sessions can snapshot them without a second set of bookkeeping; the
+    original attribute API (``stats.retired``, ``stats.cycles += 1``,
+    keyword construction, equality) is preserved on top of it.  The hot
+    loop bypasses the properties and bumps the ``c_*`` counter objects
+    directly.
+
+    ``stall_cycles`` stays the total bubble count; it now splits into
+    ``hazard_stall_cycles`` (stall-mode conflicts — exactly 0 under the
+    paper's forwarding design) and ``s2_hold_cycles`` (multi-cycle
+    stage-2 selections, e.g. the probability-table binary search).
+    """
+
+    _FIELDS = (
+        "cycles",
+        "issued",
+        "retired",
+        "stall_cycles",
+        "episodes",
+        "exploits",
+        "explores",
+        "hazard_stall_cycles",
+        "s2_hold_cycles",
+    )
+
+    __slots__ = ("registry",) + tuple(f"c_{f}" for f in _FIELDS)
+
+    def __init__(
+        self,
+        cycles: int = 0,
+        issued: int = 0,
+        retired: int = 0,
+        stall_cycles: int = 0,
+        episodes: int = 0,
+        exploits: int = 0,
+        explores: int = 0,
+        *,
+        hazard_stall_cycles: int = 0,
+        s2_hold_cycles: int = 0,
+        registry: Optional[CounterRegistry] = None,
+    ):
+        self.registry = registry if registry is not None else CounterRegistry()
+        values = {
+            "cycles": cycles,
+            "issued": issued,
+            "retired": retired,
+            "stall_cycles": stall_cycles,
+            "episodes": episodes,
+            "exploits": exploits,
+            "explores": explores,
+            "hazard_stall_cycles": hazard_stall_cycles,
+            "s2_hold_cycles": s2_hold_cycles,
+        }
+        for name, value in values.items():
+            counter = self.registry.counter(f"pipeline.{name}")
+            counter.value = value
+            object.__setattr__(self, f"c_{name}", counter)
+
+    # Attribute API over the registry counters ------------------------- #
+
+    cycles = property(
+        lambda self: self.c_cycles.value,
+        lambda self, v: setattr(self.c_cycles, "value", v),
+    )
+    issued = property(
+        lambda self: self.c_issued.value,
+        lambda self, v: setattr(self.c_issued, "value", v),
+    )
+    retired = property(
+        lambda self: self.c_retired.value,
+        lambda self, v: setattr(self.c_retired, "value", v),
+    )
+    stall_cycles = property(
+        lambda self: self.c_stall_cycles.value,
+        lambda self, v: setattr(self.c_stall_cycles, "value", v),
+    )
+    episodes = property(
+        lambda self: self.c_episodes.value,
+        lambda self, v: setattr(self.c_episodes, "value", v),
+    )
+    exploits = property(
+        lambda self: self.c_exploits.value,
+        lambda self, v: setattr(self.c_exploits, "value", v),
+    )
+    explores = property(
+        lambda self: self.c_explores.value,
+        lambda self, v: setattr(self.c_explores, "value", v),
+    )
+    hazard_stall_cycles = property(
+        lambda self: self.c_hazard_stall_cycles.value,
+        lambda self, v: setattr(self.c_hazard_stall_cycles, "value", v),
+    )
+    s2_hold_cycles = property(
+        lambda self: self.c_s2_hold_cycles.value,
+        lambda self, v: setattr(self.c_s2_hold_cycles, "value", v),
+    )
 
     @property
     def cycles_per_sample(self) -> float:
         return self.cycles / self.retired if self.retired else float("inf")
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self._FIELDS}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PipelineStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PipelineStats({inner})"
 
 
 class QTAccelPipeline:
@@ -90,6 +192,7 @@ class QTAccelPipeline:
         draws: Optional[PolicyDraws] = None,
         manage_commit: bool = True,
         stage2_latency: int = 1,
+        telemetry=None,
     ):
         if config.qmax_mode == "exact":
             raise ValueError(
@@ -128,6 +231,16 @@ class QTAccelPipeline:
         self.stats = PipelineStats()
         self.trace: Optional[list[TraceRecord]] = None
         self.on_retire: Optional[Callable[[Sample], None]] = None
+        #: Telemetry hook point: ``None`` (the disabled fast path — one
+        #: pointer test per instrumented site) or a
+        #: :class:`~repro.telemetry.session.PipelineProbe`.  Set by
+        #: :meth:`TelemetrySession.attach`; ``telemetry=`` (an explicit
+        #: session) or an ambient ``with TelemetrySession():`` block
+        #: attaches at construction.
+        self._tel = None
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            session.attach(self)
 
     # ------------------------------------------------------------------ #
     # One clock cycle
@@ -139,6 +252,9 @@ class QTAccelPipeline:
         mode = cfg.hazard_mode
         T = self.tables
         forward = mode == "forward"
+        st = self.stats
+        tel = self._tel
+        cyc = st.c_cycles.value
 
         wb = self.reg34.value if self.reg34.valid else None
         in_s3 = self.reg23.value if self.reg23.valid else None
@@ -146,10 +262,14 @@ class QTAccelPipeline:
 
         # ---------------- Stage 4: write-back ---------------- #
         if wb is not None:
-            T.writeback(wb.s, wb.a, wb.q_new)
-            self.stats.retired += 1
+            qmax_written = T.writeback(wb.s, wb.a, wb.q_new)
+            st.c_retired.value += 1
             if self.trace is not None:
                 self.trace.append((wb.index, wb.s, wb.a, wb.q_new))
+            if tel is not None:
+                tel.retire(cyc, wb.index)
+                if qmax_written:
+                    tel.qmax_raise(cyc, wb.index)
             if self.on_retire is not None:
                 self.on_retire(wb)
 
@@ -158,8 +278,13 @@ class QTAccelPipeline:
         if in_s3 is not None:
             smp = in_s3
             if forward and wb is not None:
-                fix_operand_q(smp, (wb,))
-                fix_operand_qnext(smp, (wb,), cfg.qmax_mode)
+                hits_q = fix_operand_q(smp, (wb,))
+                hits_qn = fix_operand_qnext(smp, (wb,), cfg.qmax_mode)
+                if tel is not None:
+                    if hits_q:
+                        tel.forward(cyc, "S3", "q_operand", smp.index, hits_q)
+                    if hits_qn:
+                        tel.forward(cyc, "S3", "qnext", smp.index, hits_qn)
             smp.q_new = ops.q_update(
                 smp.q_sa,
                 smp.r,
@@ -189,15 +314,25 @@ class QTAccelPipeline:
                 # commit unobserved before the fire-cycle fixup looks.
                 self._s2_busy -= 1
                 if forward:
-                    fix_operand_q(smp, (wb, s3_out))
+                    hits_q = fix_operand_q(smp, (wb, s3_out))
+                    if tel is not None and hits_q:
+                        tel.forward(cyc, "S2", "q_operand", smp.index, hits_q)
                 self.reg12.hold()
-                self.stats.stall_cycles += 1
+                st.c_stall_cycles.value += 1
+                st.c_s2_hold_cycles.value += 1
+                if tel is not None:
+                    tel.hold(cyc, smp.index)
             elif mode == "stall" and conflict_stage2(smp.s_next, (in_s3, wb)):
                 self.reg12.hold()
-                self.stats.stall_cycles += 1
+                st.c_stall_cycles.value += 1
+                st.c_hazard_stall_cycles.value += 1
+                if tel is not None:
+                    tel.stall(cyc, "S2", smp.index)
             else:
                 if forward:
-                    fix_operand_q(smp, (wb, s3_out))
+                    hits_q = fix_operand_q(smp, (wb, s3_out))
+                    if tel is not None and hits_q:
+                        tel.forward(cyc, "S2", "q_operand", smp.index, hits_q)
                 view = ForwardingView(T, (wb, s3_out) if forward else ())
                 sel = select_update(
                     smp.s_next,
@@ -214,18 +349,26 @@ class QTAccelPipeline:
                 )
                 smp.q_next = 0 if smp.terminal_next else sel.q_raw
                 if sel.exploited:
-                    self.stats.exploits += 1
+                    st.c_exploits.value += 1
                 else:
-                    self.stats.explores += 1
+                    st.c_explores.value += 1
                 if cfg.is_on_policy:
                     self._pending_behavior = None if smp.terminal_next else sel.action
                 self.reg23.stage(smp)
                 s2_fired = True
+                if tel is not None:
+                    tel.select(cyc, smp.index)
+                    if view.hits_q:
+                        tel.forward(cyc, "S2", "view_q", smp.index, view.hits_q)
+                    if view.hits_qmax:
+                        tel.forward(cyc, "S2", "view_qmax", smp.index, view.hits_qmax)
 
         # ---------------- Stage 1: issue ---------------- #
+        s1_active = False
         can_issue = (in_s2 is None) or s2_fired
-        budget_left = self._issue_budget is None or self.stats.issued < self._issue_budget
+        budget_left = self._issue_budget is None or st.c_issued.value < self._issue_budget
         if can_issue and budget_left:
+            s1_active = True
             if self._latched_issue is None:
                 if self.arch_state is None:
                     state = draw_start_state(self.draws, self.mdp.start_states)
@@ -236,7 +379,10 @@ class QTAccelPipeline:
             # In-flight writers at issue time: the sample just leaving S2
             # plus those in S3/S4 this cycle.
             if mode == "stall" and conflict_stage1(state, (in_s2, in_s3, wb)):
-                self.stats.stall_cycles += 1
+                st.c_stall_cycles.value += 1
+                st.c_hazard_stall_cycles.value += 1
+                if tel is not None:
+                    tel.stall(cyc, "S1", -1)
             else:
                 self._latched_issue = None
                 forwarded = None
@@ -270,12 +416,21 @@ class QTAccelPipeline:
                 smp.q_sa = view.read_q(state, action)
                 smp.r = T.read_reward(state, action)
                 self.reg12.stage(smp)
-                self.stats.issued += 1
+                st.c_issued.value += 1
+                if tel is not None:
+                    tel.issue(cyc, smp.index)
+                    if view.hits_q:
+                        tel.forward(cyc, "S1", "view_q", smp.index, view.hits_q)
+                    if view.hits_qmax:
+                        tel.forward(cyc, "S1", "view_qmax", smp.index, view.hits_qmax)
                 if smp.terminal_next:
                     self.arch_state = None
-                    self.stats.episodes += 1
+                    st.c_episodes.value += 1
                 else:
                     self.arch_state = s_next
+
+        if tel is not None:
+            tel.occupancy(s1_active, in_s2 is not None, in_s3 is not None, wb is not None)
 
     def tick(self) -> None:
         """Clock edge: advance registers and commit table writes."""
@@ -284,7 +439,7 @@ class QTAccelPipeline:
         self.reg34.tick()
         if self.manage_commit:
             self.tables.commit()
-        self.stats.cycles += 1
+        self.stats.c_cycles.value += 1
 
     def step(self) -> None:
         """One full cycle (eval + tick)."""
@@ -313,9 +468,10 @@ class QTAccelPipeline:
         self._issue_budget = self.stats.issued + num_samples
         if max_cycles is None:
             max_cycles = 8 * num_samples + 64
-        start_cycle = self.stats.cycles
-        while self.stats.retired < self._issue_budget:
-            if self.stats.cycles - start_cycle > max_cycles:
+        c_retired, c_cycles = self.stats.c_retired, self.stats.c_cycles
+        start_cycle = c_cycles.value
+        while c_retired.value < self._issue_budget:
+            if c_cycles.value - start_cycle > max_cycles:
                 raise RuntimeError(
                     f"pipeline did not retire {num_samples} samples within "
                     f"{max_cycles} cycles (deadlock?)"

@@ -97,8 +97,12 @@ class AcceleratorTables:
     # Write-back path (stage 4)
     # ------------------------------------------------------------------ #
 
-    def writeback(self, state: int, action: int, q_new_raw: int) -> None:
-        """Stage writes for the clock edge: Q entry plus Qmax maintenance."""
+    def writeback(self, state: int, action: int, q_new_raw: int) -> bool:
+        """Stage writes for the clock edge: Q entry plus Qmax maintenance.
+
+        Returns whether the Qmax entry was (re)written — the stage-4
+        "Qmax raise" event the telemetry probes record.
+        """
         self.q.write(self.pair_addr(state, action), q_new_raw)
         mode = self.config.qmax_mode
         if mode == "exact":  # ablation: recompute the true row maximum
@@ -107,13 +111,15 @@ class AcceleratorTables:
             best = int(np.argmax(row))
             self.qmax.write(state, int(row[best]))
             self.qmax_action.write(state, best)
-            return
+            return True
         cur_val = self.qmax.read(state)
         cur_act = self.qmax_action.read(state)
         new_val, new_act = apply_qmax_rule(mode, cur_val, cur_act, q_new_raw, action)
         if (new_val, new_act) != (cur_val, cur_act):
             self.qmax.write(state, new_val)
             self.qmax_action.write(state, new_act)
+            return True
+        return False
 
     def writeback_now(self, state: int, action: int, q_new_raw: int) -> None:
         """Unclocked write-back (functional-simulator path), identical
@@ -163,6 +169,18 @@ class AcceleratorTables:
         for monotonic mode when Q and Qmax start equal; tested)."""
         rows = self.q.data.reshape(self.num_states, self.num_actions)
         return bool(np.all(self.qmax.data >= rows.max(axis=1)))
+
+    def telemetry_snapshot(self) -> dict:
+        """Per-RAM access counters, keyed by table name.
+
+        The paper's memory-traffic claim is visible here: reads/writes
+        scale with retirements, not with ``|A|``, because the
+        read-for-max path is served by the Qmax table.
+        """
+        return {
+            ram.name: ram.telemetry_snapshot()
+            for ram in (self.q, self.rewards, self.qmax, self.qmax_action)
+        }
 
     def bram_blocks(self, *, include_qmax_action: bool | None = None) -> int:
         """Block-granular BRAM total, the Fig. 4 resource quantity.

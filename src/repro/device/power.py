@@ -17,7 +17,7 @@ paper's bars.  Shape, not absolute wattage, is the reproduction target.
 from __future__ import annotations
 
 from .resources import ResourceReport
-from .timing import clock_mhz
+from .timing import clock_mhz, wall_time_s
 
 #: Static leakage floor of the power model (mW).
 P_STATIC_MW = 30.0
@@ -47,3 +47,15 @@ def power_mw(report: ResourceReport, *, clock: float | None = None) -> float:
         + C_LUT_MW * report.lut
     )
     return P_STATIC_MW + dynamic * (clock / F_REF_MHZ)
+
+
+def energy_mj(report: ResourceReport, cycles: int, *, clock: float | None = None) -> float:
+    """Modelled energy (millijoules) for a run of ``cycles`` clock cycles.
+
+    The telemetry join: measured cycles x modelled power at the modelled
+    clock (mW x s = mJ).  QForce-RL-style energy-per-sample reporting
+    falls out as ``energy_mj(...) / retired``.
+    """
+    if clock is None:
+        clock = clock_mhz(report.bram_blocks / report.part.bram36, part=report.part)
+    return power_mw(report, clock=clock) * wall_time_s(cycles, clock)

@@ -61,6 +61,19 @@ class ThroughputEstimate:
         return self.samples_per_sec / 1e6
 
 
+def wall_time_s(cycles: int, clock_mhz_value: float) -> float:
+    """Modelled wall-clock seconds for ``cycles`` at ``clock_mhz_value``.
+
+    The join point for telemetry: a cycle-accurate run's measured cycle
+    count against the device model's achievable clock.
+    """
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    if clock_mhz_value <= 0:
+        raise ValueError("clock must be positive")
+    return cycles / (clock_mhz_value * 1e6)
+
+
 def throughput(
     report: ResourceReport,
     *,

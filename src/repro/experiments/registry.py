@@ -79,15 +79,26 @@ def experiment_ids() -> list[str]:
     return list(_REGISTRY)
 
 
-def run_experiment(exp_id: str, *, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(
+    exp_id: str, *, quick: bool = False, telemetry=None
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    With ``telemetry`` (a :class:`~repro.telemetry.TelemetrySession`),
+    the experiment runs inside the session's ambient window, so every
+    engine it constructs attaches automatically — no experiment module
+    needs to know telemetry exists.
+    """
     _load_all()
     if exp_id not in _REGISTRY:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {', '.join(_REGISTRY)}"
         )
     _, fn = _REGISTRY[exp_id]
-    return fn(quick=quick)
+    if telemetry is None:
+        return fn(quick=quick)
+    with telemetry.activate():
+        return fn(quick=quick)
 
 
 def experiment_title(exp_id: str) -> str:

@@ -38,6 +38,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each artifact to DIR/<experiment>.txt",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="collect telemetry per experiment and write "
+        "DIR/<experiment>.profile.json + DIR/<experiment>.trace.json",
+    )
     args = parser.parse_args(argv)
 
     targets = args.experiments
@@ -56,11 +62,23 @@ def main(argv: list[str] | None = None) -> int:
         out_dir = pathlib.Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    tel_dir = None
+    if args.telemetry:
+        import pathlib
+
+        tel_dir = pathlib.Path(args.telemetry)
+        tel_dir.mkdir(parents=True, exist_ok=True)
+
     status = 0
     for eid in targets:
+        session = None
+        if tel_dir is not None:
+            from ..telemetry import TelemetrySession
+
+            session = TelemetrySession()
         t0 = time.perf_counter()
         try:
-            result = run_experiment(eid, quick=args.quick)
+            result = run_experiment(eid, quick=args.quick, telemetry=session)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             status = 2
@@ -71,6 +89,10 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if out_dir is not None:
             (out_dir / f"{eid}.txt").write_text(text + "\n")
+        if session is not None:
+            session.export_profile(tel_dir / f"{eid}.profile.json")
+            session.export_chrome_trace(tel_dir / f"{eid}.trace.json")
+            print(f"[telemetry: {tel_dir / (eid + '.profile.json')}]")
     return status
 
 

@@ -58,6 +58,10 @@ class Simulation:
             self.step()
         return self.cycle
 
+    def telemetry_snapshot(self) -> dict:
+        """Cycle counter for telemetry profiles."""
+        return {"cycle": self.cycle, "components": len(self._components)}
+
     def run_until(self, predicate, max_cycles: int = 10_000_000) -> int:
         """Step until ``predicate()`` is true; returns cycles consumed.
 

@@ -102,6 +102,13 @@ class AccessStats:
         self.writes = 0
         self.write_collisions = 0
 
+    def as_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "write_collisions": self.write_collisions,
+        }
+
 
 class TableRam:
     """A functional dual-port on-chip table of raw fixed-point words.
@@ -214,6 +221,16 @@ class TableRam:
     def snapshot(self) -> np.ndarray:
         """Copy of the committed contents (for tests/metrics)."""
         return self.data.copy()
+
+    def telemetry_snapshot(self) -> dict:
+        """Access counters for telemetry profiles (feeds the memory-traffic
+        section; also what the activity power model would integrate)."""
+        return {
+            "depth": self.depth,
+            "width": self.width,
+            "blocks": self.blocks,
+            **self.stats.as_dict(),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,72 @@
+"""Observability for the QTAccel reproduction.
+
+The paper's headline claims — one retirement per cycle after fill, zero
+stalls under full forwarding, memory traffic independent of ``|A|`` on
+the read-for-max path — deserve to be *measured* per run, not asserted.
+This package is the measuring instrument:
+
+* :mod:`repro.telemetry.counters` — a hierarchical
+  :class:`CounterRegistry` of named counters / gauges / histograms with
+  near-zero overhead when no session is active;
+* :mod:`repro.telemetry.trace` — a bounded ring-buffer
+  :class:`TraceRecorder` of per-cycle stage events (issue, forward,
+  stall-bubble, Qmax-raise, retire);
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON for
+  timeline viewing (``chrome://tracing`` / Perfetto) and flat JSON/CSV
+  profile summaries;
+* :mod:`repro.telemetry.session` — :class:`TelemetrySession`, the
+  context manager that wires everything into the engines
+  (:class:`~repro.core.pipeline.QTAccelPipeline`, the multi-pipeline
+  deployments, the batch fleet engine, the bandit accelerators);
+* :mod:`repro.telemetry.invariants` — :func:`verify_paper_invariants`,
+  assertion-backed checks of the paper's never-stall claim;
+* :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``,
+  a renderer for exported profiles.
+
+Quick use::
+
+    from repro.telemetry import TelemetrySession
+
+    with TelemetrySession() as tel:
+        pipe = QTAccelPipeline(mdp, config)   # auto-attached
+        pipe.run(100_000)
+    tel.export_chrome_trace("run.trace.json")
+    tel.export_profile("run.profile.json")
+"""
+
+from .counters import (
+    Counter,
+    CounterRegistry,
+    Gauge,
+    Histogram,
+    NULL_REGISTRY,
+)
+from .trace import TraceEvent, TraceRecorder
+from .export import (
+    chrome_trace,
+    flatten_profile,
+    write_chrome_trace,
+    write_profile_csv,
+    write_profile_json,
+)
+from .session import TelemetrySession, current_session
+from .invariants import InvariantReport, verify_paper_invariants
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterRegistry",
+    "NULL_REGISTRY",
+    "TraceEvent",
+    "TraceRecorder",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_profile_json",
+    "write_profile_csv",
+    "flatten_profile",
+    "TelemetrySession",
+    "current_session",
+    "InvariantReport",
+    "verify_paper_invariants",
+]

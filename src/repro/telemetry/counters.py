@@ -1,0 +1,275 @@
+"""Named, hierarchical counters, gauges and histograms.
+
+Instruments are plain attribute-bearing objects (``__slots__``, no
+locks, no string formatting on the hot path): incrementing a counter is
+one attribute add, which is what lets the cycle-accurate pipeline keep
+its own bookkeeping on a :class:`CounterRegistry` without measurable
+cost.  Names are dot-separated paths (``pipe0.stage.s2.active``); the
+registry can render them flat (:meth:`CounterRegistry.as_dict`) or as a
+nested tree (:meth:`CounterRegistry.tree`).
+
+When telemetry is disabled there is nothing to pay at all: code that
+*would* emit into a session holds ``None`` and skips the call.  For the
+rarer pattern of an instrument handle that must always exist,
+:data:`NULL_REGISTRY` hands out shared no-op singletons without
+allocating per name.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (powers of two; one overflow
+#: bucket is appended implicitly).
+DEFAULT_BOUNDS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """A monotonically *intended* integer counter.
+
+    ``value`` is a public attribute on purpose — the pipeline's hot loop
+    does ``counter.value += 1`` directly rather than paying a method
+    call.  :meth:`inc` exists for call sites where clarity beats the
+    nanoseconds.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins instrument (occupancy, configured sizes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0):
+        self.name = name
+        self.value = value
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max sidecars.
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything above the last bound.  Bucketing is a bisect over
+    a tuple — cheap enough for per-event observation, and the summary
+    stays bounded no matter how many observations arrive.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[Number] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, v: Number) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def summary(self) -> dict:
+        """JSON-ready digest of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                **{f"le_{b}": n for b, n in zip(self.bounds, self.buckets)},
+                "overflow": self.buckets[-1],
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3g})"
+
+
+class CounterRegistry:
+    """Get-or-create home for named instruments.
+
+    One registry per producer (a pipeline's stats, a telemetry
+    session); readers snapshot with :meth:`as_dict` / :meth:`tree`.
+    Asking for an existing name returns the same object; asking for it
+    as a different instrument kind is an error (it would silently fork
+    the measurement).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, kind):
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Iterable[Number] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict:
+        """Flat ``{dotted.name: value-or-summary}`` snapshot, sorted."""
+        out: dict = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            out[name] = inst.summary() if isinstance(inst, Histogram) else inst.value
+        return out
+
+    def tree(self) -> dict:
+        """Nested-dict view, splitting names on dots."""
+        root: dict = {}
+        for name, value in self.as_dict().items():
+            node = root
+            *path, leaf = name.split(".")
+            for part in path:
+                node = node.setdefault(part, {})
+                if not isinstance(node, dict):
+                    raise ValueError(f"name {name!r} nests under a leaf value")
+            node[leaf] = value
+        return root
+
+    def reset(self) -> None:
+        for inst in self._instruments.values():
+            inst.reset()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, v: Number) -> None:
+        pass
+
+    def observe(self, v: Number) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry that hands out one shared no-op instrument.
+
+    Requesting a thousand names allocates nothing — the disabled-mode
+    guarantee the tests pin.
+    """
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return []
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def tree(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+#: The process-wide disabled registry.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,133 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat profile JSON/CSV.
+
+The Chrome trace format (one JSON object with a ``traceEvents`` list)
+is readable by ``chrome://tracing`` and https://ui.perfetto.dev.  We
+map one simulated clock cycle to one microsecond of trace time, each
+pipeline to a process (``pid``) and each pipeline stage to a thread
+(``tid``), so the four-stage occupancy reads as four swim-lanes per
+pipeline with the sample index attached to every slice.
+
+Profile summaries are plain nested dicts (see
+:meth:`repro.telemetry.session.TelemetrySession.profile`); this module
+serialises them to JSON or to a two-column ``key,value`` CSV via
+:func:`flatten_profile`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Union
+
+from .trace import STAGES, TraceEvent
+
+#: tid assigned to each stage lane (S1 at the top of the swim-lanes).
+_STAGE_TID = {stage: i + 1 for i, stage in enumerate(STAGES)}
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent], *, us_per_cycle: float = 1.0
+) -> dict:
+    """Render events as a Chrome ``trace_event`` JSON object.
+
+    Returns a dict ready for ``json.dump``: ``traceEvents`` holds one
+    complete ("X") slice per event, one cycle wide, plus the metadata
+    ("M") records that name every process (pipeline) and thread
+    (stage).
+    """
+    if us_per_cycle <= 0:
+        raise ValueError("us_per_cycle must be positive")
+    trace: list[dict] = []
+    pids: dict[str, int] = {}
+    for ev in events:
+        pid = pids.get(ev.pipe)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[ev.pipe] = pid
+        args: dict[str, int] = {"cycle": ev.cycle}
+        if ev.index >= 0:
+            args["sample"] = ev.index
+        if ev.arg:
+            args["arg"] = ev.arg
+        trace.append(
+            {
+                "name": ev.kind,
+                "cat": ev.stage,
+                "ph": "X",
+                "ts": ev.cycle * us_per_cycle,
+                "dur": us_per_cycle,
+                "pid": pid,
+                "tid": _STAGE_TID.get(ev.stage, 0),
+                "args": args,
+            }
+        )
+    meta: list[dict] = []
+    for pipe, pid in pids.items():
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": pipe},
+            }
+        )
+        for stage, tid in _STAGE_TID.items():
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": stage},
+                }
+            )
+    return {
+        "traceEvents": meta + trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.telemetry", "us_per_cycle": us_per_cycle},
+    }
+
+
+def write_chrome_trace(
+    path, events: Iterable[TraceEvent], *, us_per_cycle: float = 1.0
+) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(events, us_per_cycle=us_per_cycle), fh)
+
+
+def flatten_profile(profile: dict, prefix: str = "") -> dict[str, Union[int, float, str]]:
+    """Flatten a nested profile dict to ``{dotted.key: scalar}``."""
+    out: dict[str, Union[int, float, str]] = {}
+    for key, value in profile.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten_profile(value, f"{name}."))
+        else:
+            out[name] = value
+    return out
+
+
+def write_profile_json(path, profile: dict) -> None:
+    """Write a profile summary as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(profile, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def profile_csv(profile: dict) -> str:
+    """Render a profile as a two-column ``key,value`` CSV string."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["key", "value"])
+    for key, value in sorted(flatten_profile(profile).items()):
+        writer.writerow([key, value])
+    return buf.getvalue()
+
+
+def write_profile_csv(path, profile: dict) -> None:
+    """Write a profile summary as ``key,value`` CSV."""
+    with open(path, "w", newline="") as fh:
+        fh.write(profile_csv(profile))

@@ -1,0 +1,102 @@
+"""Assertion-backed checks of the paper's headline pipeline claims.
+
+The paper (§I, §IV) asserts that with full forwarding the pipeline never
+stalls and retires one sample per cycle after fill.  With the stats
+counters now split by cause (hazard bubbles vs. multi-cycle stage-2
+holds), those claims are checkable per run instead of taken on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Issue-to-retire latency minus one: a fresh drain-to-empty run of
+#: ``n`` samples takes exactly ``n + PIPELINE_FILL_CYCLES`` cycles when
+#: the never-stall claim holds.
+PIPELINE_FILL_CYCLES = 3
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of :func:`verify_paper_invariants`."""
+
+    ok: bool
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    def failures(self) -> list[str]:
+        return [detail for _, passed, detail in self.checks if not passed]
+
+    def format(self) -> str:
+        lines = []
+        for name, passed, detail in self.checks:
+            lines.append(f"[{'ok' if passed else 'FAIL'}] {name}: {detail}")
+        return "\n".join(lines)
+
+
+def verify_paper_invariants(
+    pipe,
+    *,
+    samples: Optional[int] = None,
+    runs: Optional[int] = None,
+    strict: bool = True,
+) -> InvariantReport:
+    """Check a pipeline's counters against the paper's claims.
+
+    Always checked:
+
+    * the pipeline drained (``retired == issued``);
+    * ``samples``, if given, all retired (``retired == samples``).
+
+    Checked only for the paper's design point (``hazard_mode="forward"``
+    with a single-cycle stage 2):
+
+    * zero stall bubbles of any kind (the never-stall claim);
+    * with ``runs`` (the number of drain-to-empty ``run()`` calls
+      made), exact one-retirement-per-cycle accounting:
+      ``cycles == retired + 3 * runs`` (each fresh fill costs
+      :data:`PIPELINE_FILL_CYCLES` cycles).
+
+    With ``strict`` (default) an :class:`AssertionError` listing every
+    failed check is raised; otherwise the report is returned for the
+    caller to inspect.
+    """
+    st = pipe.stats
+    cfg = pipe.config
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        checks.append((name, bool(passed), detail))
+
+    check(
+        "drained",
+        st.retired == st.issued,
+        f"retired={st.retired} issued={st.issued}",
+    )
+    if samples is not None:
+        check(
+            "retired_equals_samples",
+            st.retired == samples,
+            f"retired={st.retired} samples={samples}",
+        )
+    if cfg.hazard_mode == "forward" and pipe.stage2_latency == 1:
+        check(
+            "forward_never_stalls",
+            st.stall_cycles == 0,
+            f"stall_cycles={st.stall_cycles} "
+            f"(hazard={st.hazard_stall_cycles}, s2_hold={st.s2_hold_cycles})",
+        )
+        if runs is not None:
+            expected = st.retired + PIPELINE_FILL_CYCLES * runs
+            check(
+                "one_retirement_per_cycle",
+                st.cycles == expected,
+                f"cycles={st.cycles} expected={expected} "
+                f"(retired={st.retired}, fill={PIPELINE_FILL_CYCLES}x{runs})",
+            )
+    report = InvariantReport(ok=all(p for _, p, _ in checks), checks=checks)
+    if strict and not report.ok:
+        raise AssertionError(
+            "paper invariants violated:\n" + report.format()
+        )
+    return report

@@ -1,0 +1,145 @@
+"""Render an exported telemetry profile (or Chrome trace) as text.
+
+Usage::
+
+    python -m repro.telemetry.report run.profile.json
+    python -m repro.telemetry.report run.trace.json      # event counts
+    python -m repro.telemetry.report run.profile.json --counters
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _rows(pairs, headers) -> str:
+    """Fixed-width two-plus-column rendering."""
+    cells = [[str(c) for c in row] for row in pairs]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_profile(profile: dict, *, show_counters: bool = False) -> str:
+    """Human-readable summary of a profile dict."""
+    out: list[str] = []
+    totals = profile.get("totals", {})
+    meta = profile.get("meta", {})
+    out.append("== telemetry profile ==")
+    out.append(
+        f"cycles={totals.get('cycles', 0)}  retired={totals.get('retired', 0)}  "
+        f"ipc={_fmt(totals.get('ipc', 0.0))}"
+    )
+    out.append(
+        f"trace events: total={meta.get('events_total', 0)} "
+        f"retained={meta.get('events_retained', 0)} "
+        f"dropped={meta.get('events_dropped', 0)}"
+    )
+    for name, pipe in sorted(profile.get("pipes", {}).items()):
+        stats = pipe.get("stats", {})
+        derived = pipe.get("derived", {})
+        out.append(f"\n-- {name} --")
+        rows = [(k, _fmt(v)) for k, v in sorted(stats.items())]
+        cps = derived.get("cycles_per_sample")
+        rows.append(("cycles_per_sample", _fmt(cps) if cps is not None else "-"))
+        rows.append(("ipc", _fmt(derived.get("ipc", 0.0))))
+        rows.append(("forward_hits_total", _fmt(derived.get("forward_hits_total", 0))))
+        rows.append(("qmax_raises", _fmt(derived.get("qmax_raises", 0))))
+        out.append(_rows(rows, ("stat", "value")))
+        occ = derived.get("occupancy", {})
+        if occ:
+            out.append(
+                "stage occupancy: "
+                + "  ".join(f"{s}={_fmt(f)}" for s, f in sorted(occ.items()))
+            )
+    engines = profile.get("engines", {})
+    if engines:
+        from .export import flatten_profile
+
+        out.append("\n-- attached engines --")
+        for name, snap in sorted(engines.items()):
+            flat = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(flatten_profile(snap).items())
+            )
+            out.append(f"{name}: {flat}")
+    device = profile.get("device")
+    if device:
+        out.append("\n-- device model --")
+        out.append(_rows(sorted((k, _fmt(v)) for k, v in device.items()), ("key", "value")))
+    if show_counters:
+        out.append("\n-- counters --")
+        out.append(
+            _rows(
+                [(k, _fmt(v)) for k, v in sorted(profile.get("counters", {}).items())
+                 if not isinstance(v, dict)],
+                ("counter", "value"),
+            )
+        )
+    return "\n".join(out)
+
+
+def render_chrome_trace(trace: dict) -> str:
+    """Event-count digest of a Chrome trace_event file."""
+    by_kind: dict[str, int] = {}
+    pipes: set = set()
+    lo, hi = None, None
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        by_kind[ev["name"]] = by_kind.get(ev["name"], 0) + 1
+        pipes.add(ev.get("pid"))
+        ts = ev.get("ts", 0)
+        lo = ts if lo is None else min(lo, ts)
+        hi = ts if hi is None else max(hi, ts)
+    out = ["== chrome trace digest =="]
+    out.append(f"pipelines: {len(pipes)}")
+    if lo is not None:
+        out.append(f"span: ts {lo} .. {hi}")
+    out.append(_rows(sorted(by_kind.items()), ("event", "count")))
+    out.append("open in chrome://tracing or https://ui.perfetto.dev")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render an exported telemetry profile or Chrome trace.",
+    )
+    parser.add_argument("path", help="profile .json (or Chrome trace .json)")
+    parser.add_argument(
+        "--counters", action="store_true", help="also dump every raw counter"
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if "traceEvents" in data:
+            print(render_chrome_trace(data))
+        else:
+            print(render_profile(data, show_counters=args.counters))
+    except BrokenPipeError:  # |head and friends — not an error
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

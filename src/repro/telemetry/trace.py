@@ -1,0 +1,103 @@
+"""Per-cycle stage-event recording into a bounded ring buffer.
+
+A :class:`TraceRecorder` captures :class:`TraceEvent` records — one per
+interesting thing a pipeline stage did in a cycle (issue, forward,
+stall-bubble, Qmax-raise, retire).  Memory is bounded by construction:
+the buffer holds ``capacity`` events and overwrites the oldest once
+full, counting what it dropped, so tracing a hundred-million-cycle run
+costs the same memory as tracing a thousand cycles (you keep the tail,
+which is what the timeline viewers want anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+#: Stage labels used by the pipeline probes.
+STAGES = ("S1", "S2", "S3", "S4")
+
+#: Event kinds emitted by the pipeline probes.
+KINDS = (
+    "issue",  # S1 accepted a new sample
+    "select",  # S2 fired its update-policy selection
+    "forward",  # a forwarding path fixed up an in-flight operand (arg = hits)
+    "stall",  # a hazard bubble (stall mode) held a stage this cycle
+    "hold",  # S2 multi-cycle selection held the pipe this cycle
+    "qmax_raise",  # S4 maintenance wrote the Qmax entry
+    "retire",  # S4 wrote back a sample
+)
+
+
+class TraceEvent(NamedTuple):
+    """One per-cycle stage event."""
+
+    cycle: int  #: cycle index at which the event happened
+    pipe: str  #: producer name (``pipe0`` ... for multi-pipeline runs)
+    stage: str  #: one of :data:`STAGES`
+    kind: str  #: one of :data:`KINDS`
+    index: int  #: sample index, or -1 when no sample is associated
+    arg: int = 0  #: kind-specific payload (forwarding hit count, ...)
+
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    ``record`` is a list append until the buffer fills, then an indexed
+    overwrite — O(1) either way, no per-event allocation beyond the
+    tuple itself.
+    """
+
+    __slots__ = ("capacity", "_buf", "_head", "total", "dropped")
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: list[TraceEvent] = []
+        self._head = 0  # next overwrite slot once the buffer is full
+        self.total = 0  # events ever offered
+        self.dropped = 0  # events overwritten (total - retained)
+
+    def record(
+        self, cycle: int, pipe: str, stage: str, kind: str, index: int, arg: int = 0
+    ) -> None:
+        ev = TraceEvent(cycle, pipe, stage, kind, index, arg)
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(ev)
+        else:
+            buf[self._head] = ev
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self) -> list[TraceEvent]:
+        """Retained events in chronological order (oldest first)."""
+        if len(self._buf) < self.capacity or self._head == 0:
+            return list(self._buf)
+        return self._buf[self._head :] + self._buf[: self._head]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events())
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Histogram of the *retained* events by kind."""
+        out: dict[str, int] = {}
+        for ev in self._buf:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        self._buf = []
+        self._head = 0
+        self.total = 0
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder({len(self._buf)}/{self.capacity} retained, "
+            f"{self.dropped} dropped)"
+        )

@@ -108,6 +108,44 @@ class TestGoldenTraces:
         pipe.run(len(GOLDEN_QL))
         assert trace == GOLDEN_QL
 
+    def test_telemetry_counters_on_golden_prefix(self):
+        """Telemetry counters for the first 5 golden QL samples, pinned.
+
+        The values are readable off GOLDEN_QL: samples 3 and 4 update
+        the same (state, action) pair back to back, which exercises the
+        carried-operand fixups (S2/S3 ``q_operand``) and the bootstrap
+        forward (``S3.qnext``); every new Q is <= the 0 initial value,
+        so the monotonic Qmax rule never raises.
+        """
+        from repro.telemetry import TelemetrySession, verify_paper_invariants
+
+        with TelemetrySession() as session:
+            pipe = QTAccelPipeline(_mdp(), QTAccelConfig.qlearning(seed=5))
+            pipe.run(5)
+
+        verify_paper_invariants(pipe, samples=5, runs=1)
+        counters = session.registry.as_dict()
+        assert counters == {
+            "pipe0.forward.S1.view_q": 0,
+            "pipe0.forward.S1.view_qmax": 0,
+            "pipe0.forward.S2.q_operand": 1,
+            "pipe0.forward.S2.view_q": 0,
+            "pipe0.forward.S2.view_qmax": 2,
+            "pipe0.forward.S3.q_operand": 1,
+            "pipe0.forward.S3.qnext": 2,
+            "pipe0.qmax_raises": 0,
+            "pipe0.stage.S1.active": 5,
+            "pipe0.stage.S2.active": 5,
+            "pipe0.stage.S3.active": 5,
+            "pipe0.stage.S4.active": 5,
+        }
+        assert session.recorder.counts_by_kind() == {
+            "issue": 5,
+            "select": 5,
+            "forward": 6,
+            "retire": 5,
+        }
+
     def test_sarsa_wall_grind_is_the_qmax_artifact(self):
         """The golden SARSA trace shows the pinning in miniature: the
         exploit action stays 'left' (0) against a wall while its Q
