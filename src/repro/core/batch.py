@@ -143,6 +143,9 @@ class BatchIndependentSimulator:
 
         self.stats = BatchStats(agents=k)
         self._rows = np.arange(k)
+        #: Optional :class:`repro.robustness.guards.DivergenceGuard`
+        #: observing every lock-step update vector (None = fast path).
+        self.guard = None
 
         from ..telemetry.session import current_session
 
@@ -242,6 +245,8 @@ class BatchIndependentSimulator:
             coef_fmt=cfg.coef_format,
             q_fmt=cfg.q_format,
         )
+        if self.guard is not None:
+            self.guard.observe_array(q_new, cfg.q_format)
 
         # ---- stage-4 equivalent: write-back + Qmax rule ---- #
         self._prev_pair[:] = pair
@@ -280,6 +285,65 @@ class BatchIndependentSimulator:
             self.step()
         self.stats.samples_per_agent += samples_per_agent
         return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (see repro.robustness.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    #: (array attribute, checkpoint key) pairs of the lane-vector state.
+    _STATE_ARRAYS = (
+        ("q", "q"),
+        ("qmax", "qmax"),
+        ("qmax_action", "qmax_action"),
+        ("_arch_state", "arch_state"),
+        ("_forwarded", "forwarded"),
+        ("_prev_pair", "prev_pair"),
+        ("_prev_state", "prev_state"),
+        ("_prev_q", "prev_q"),
+        ("_prev_qmax", "prev_qmax"),
+        ("_prev_qmax_action", "prev_qmax_action"),
+    )
+
+    def state_dict(self) -> dict:
+        """Full fleet checkpoint: every lane vector plus the three LFSR
+        banks and the aggregate stats.  Restoring and re-running replays
+        the exact lock-step trajectory (the engine is deterministic)."""
+        state = {key: getattr(self, attr).copy() for attr, key in self._STATE_ARRAYS}
+        state["lfsr"] = {
+            "start": self._bank_start.states.copy(),
+            "action": self._bank_action.states.copy(),
+            "policy": self._bank_policy.states.copy(),
+        }
+        state["stats"] = vars(self.stats).copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        for attr, key in self._STATE_ARRAYS:
+            getattr(self, attr)[:] = state[key]
+        self._bank_start.states[:] = state["lfsr"]["start"]
+        self._bank_action.states[:] = state["lfsr"]["action"]
+        self._bank_policy.states[:] = state["lfsr"]["policy"]
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+
+    def lane_state(self, k: int, state: dict | None = None) -> dict:
+        """Lane ``k``'s slice of a fleet checkpoint (default: a fresh
+        :meth:`state_dict`), for per-lane rollback."""
+        if state is None:
+            state = self.state_dict()
+        out = {key: state[key][k].copy() for _, key in self._STATE_ARRAYS}
+        out["lfsr"] = {name: int(bank[k]) for name, bank in state["lfsr"].items()}
+        return out
+
+    def load_lane_state(self, k: int, lane: dict) -> None:
+        """Restore one lane from a :meth:`lane_state` slice, leaving the
+        other lanes (and the aggregate stats) untouched."""
+        for attr, key in self._STATE_ARRAYS:
+            getattr(self, attr)[k] = lane[key]
+        self._bank_start.states[k] = lane["lfsr"]["start"]
+        self._bank_action.states[k] = lane["lfsr"]["action"]
+        self._bank_policy.states[k] = lane["lfsr"]["policy"]
 
     # ------------------------------------------------------------------ #
     # Views

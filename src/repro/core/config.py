@@ -62,24 +62,98 @@ class QTAccelConfig:
     lfsr_width: int = 24
     seed: int = 1
     name: str = ""
+    #: Protect the on-chip tables with SECDED ECC (see docs/robustness.md).
+    #: Off by default: the unprotected tables are the paper's design.
+    ecc_tables: bool = False
 
     def __post_init__(self) -> None:
         if self.behavior_policy not in BEHAVIOR_POLICIES:
-            raise ValueError(f"unknown behavior policy {self.behavior_policy!r}")
+            raise ValueError(
+                f"unknown behavior policy {self.behavior_policy!r}; "
+                f"choose one of {BEHAVIOR_POLICIES}"
+            )
         if self.update_policy not in UPDATE_POLICIES:
-            raise ValueError(f"unknown update policy {self.update_policy!r}")
+            raise ValueError(
+                f"unknown update policy {self.update_policy!r}; "
+                f"choose one of {UPDATE_POLICIES}"
+            )
         if self.hazard_mode not in HAZARD_MODES:
-            raise ValueError(f"unknown hazard mode {self.hazard_mode!r}")
+            raise ValueError(
+                f"unknown hazard mode {self.hazard_mode!r}; "
+                f"choose one of {HAZARD_MODES}"
+            )
         if self.qmax_mode not in QMAX_MODES:
-            raise ValueError(f"unknown qmax mode {self.qmax_mode!r}")
+            raise ValueError(
+                f"unknown qmax mode {self.qmax_mode!r}; choose one of {QMAX_MODES}"
+            )
+        for fname in ("alpha", "gamma", "epsilon", "q_init"):
+            value = getattr(self, fname)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"{fname} must be a real number, got "
+                    f"{type(value).__name__} {value!r}"
+                )
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ValueError(f"{fname} must be finite, got {value!r}")
         if not 0.0 < self.alpha <= 1.0:
-            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+            raise ValueError(
+                f"alpha (learning rate) must be in (0, 1], got {self.alpha}; "
+                f"alpha=0 would make every update a no-op"
+            )
+        # gamma=0 is legal: the bandit customisation (§VII-B) is Q-Learning
+        # with no bootstrap term.
         if not 0.0 <= self.gamma <= 1.0:
-            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+            raise ValueError(
+                f"gamma (discount) must be in [0, 1], got {self.gamma}"
+            )
         if not 0.0 <= self.epsilon <= 1.0:
-            raise ValueError(f"epsilon must be in [0, 1], got {self.epsilon}")
+            raise ValueError(
+                f"epsilon (exploration rate) must be in [0, 1], got {self.epsilon}"
+            )
+        for fname in ("q_format", "coef_format"):
+            value = getattr(self, fname)
+            if not isinstance(value, FxpFormat):
+                raise TypeError(
+                    f"{fname} must be an FxpFormat (e.g. repro.fixedpoint.Q_FORMAT), "
+                    f"got {type(value).__name__} {value!r}"
+                )
+        if abs(self.q_init) > self.q_format.max_value:
+            raise ValueError(
+                f"q_init={self.q_init} is outside the representable range "
+                f"[{self.q_format.min_value}, {self.q_format.max_value}] of "
+                f"q_format {self.q_format}"
+            )
+        if isinstance(self.lfsr_width, bool) or not isinstance(self.lfsr_width, int):
+            raise TypeError(
+                f"lfsr_width must be an int, got "
+                f"{type(self.lfsr_width).__name__} {self.lfsr_width!r}"
+            )
         if self.lfsr_width < 8:
-            raise ValueError("lfsr_width must be >= 8")
+            raise ValueError(
+                f"lfsr_width must be >= 8 (narrower registers visibly bias "
+                f"the draw streams), got {self.lfsr_width}"
+            )
+        from ..rtl.lfsr import MAXIMAL_TAPS
+
+        if self.lfsr_width not in MAXIMAL_TAPS:
+            supported = sorted(w for w in MAXIMAL_TAPS if w >= 8)
+            raise ValueError(
+                f"no maximal-length tap table for lfsr_width={self.lfsr_width}; "
+                f"supported widths: {supported}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise TypeError(
+                f"seed must be an int, got {type(self.seed).__name__} {self.seed!r}"
+            )
+        if not isinstance(self.ecc_tables, bool):
+            raise TypeError(
+                f"ecc_tables must be a bool, got "
+                f"{type(self.ecc_tables).__name__} {self.ecc_tables!r}"
+            )
+        if not isinstance(self.name, str):
+            raise TypeError(
+                f"name must be a str, got {type(self.name).__name__} {self.name!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Presets

@@ -83,6 +83,10 @@ class FunctionalSimulator:
         self.trace: Optional[list[TraceRecord]] = None
         #: Optional per-sample state log (for collision studies).
         self.state_log: Optional[list[int]] = None
+        #: Optional :class:`repro.robustness.guards.DivergenceGuard`
+        #: observing every stage-3 result.  None (the default) keeps the
+        #: hot loop free of robustness overhead.
+        self.guard = None
 
     # ------------------------------------------------------------------ #
     # Lagged stage-1 read view
@@ -116,6 +120,8 @@ class FunctionalSimulator:
         terminal = T.terminal
         coef_fmt = cfg.coef_format
         q_fmt = cfg.q_format
+        guard = self.guard
+        ecc = T._ecc
 
         for _ in range(num_samples):
             # -------- stage-1 equivalent: state + behaviour action -------- #
@@ -172,12 +178,19 @@ class FunctionalSimulator:
                 coef_fmt=coef_fmt,
                 q_fmt=q_fmt,
             )
+            if guard is not None:
+                q_new = guard.observe_update(state, action, q_new, q_fmt)
 
             # -------- stage-4 equivalent: write-back -------- #
             lw = self._last_write
             lw.pair = pair
             lw.state = state
             lw.prev_q = q_sa
+            if ecc:
+                # Decode the raw words the lagged view snapshots below
+                # (ECC tables only; plain tables skip the branch).
+                T.qmax.scrub_word(state)
+                T.qmax_action.scrub_word(state)
             lw.prev_qmax = int(T.qmax.data[state])
             lw.prev_qmax_action = int(T.qmax_action.data[state])
             T.writeback_now(state, action, q_new)
@@ -202,6 +215,36 @@ class FunctionalSimulator:
         """Start recording (index, s, a, q_new) per sample."""
         self.trace = []
         return self.trace
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (see repro.robustness.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Full architectural checkpoint: resuming from it replays the
+        exact trajectory an uninterrupted run would produce."""
+        lw = self._last_write
+        return {
+            "tables": self.tables.state_dict(),
+            "draws": self.draws.state_dict(),
+            "arch_state": self.arch_state,
+            "forwarded_action": self._forwarded_action,
+            "last_write": (lw.pair, lw.state, lw.prev_q, lw.prev_qmax, lw.prev_qmax_action),
+            "stats": vars(self.stats).copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        self.tables.load_state_dict(state["tables"])
+        self.draws.load_state_dict(state["draws"])
+        self.arch_state = state["arch_state"]
+        self._forwarded_action = state["forwarded_action"]
+        lw = self._last_write
+        (lw.pair, lw.state, lw.prev_q, lw.prev_qmax, lw.prev_qmax_action) = state[
+            "last_write"
+        ]
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
 
     def q_float(self) -> np.ndarray:
         """Current Q table as floats, ``(S, A)``."""

@@ -263,6 +263,20 @@ class IndependentPipelines:
             episodes=sum(s.stats.episodes for s in self.sims),
         )
 
+    def state_dict(self) -> dict:
+        """Per-lane checkpoints (see repro.robustness.checkpoint)."""
+        return {"lanes": [sim.state_dict() for sim in self.sims]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        lanes = state["lanes"]
+        if len(lanes) != len(self.sims):
+            raise ValueError(
+                f"checkpoint has {len(lanes)} lanes, fleet has {len(self.sims)}"
+            )
+        for sim, lane in zip(self.sims, lanes):
+            sim.load_state_dict(lane)
+
     def resource_report(self) -> ResourceReport:
         """Aggregate resources of all pipelines (independent table sets)."""
         m = self.mdps[0]

@@ -231,6 +231,10 @@ class QTAccelPipeline:
         self.stats = PipelineStats()
         self.trace: Optional[list[TraceRecord]] = None
         self.on_retire: Optional[Callable[[Sample], None]] = None
+        #: Optional :class:`repro.robustness.guards.DivergenceGuard`
+        #: observing every stage-3 result; same None-is-fast-path
+        #: discipline as ``_tel``.
+        self.guard = None
         #: Telemetry hook point: ``None`` (the disabled fast path — one
         #: pointer test per instrumented site) or a
         #: :class:`~repro.telemetry.session.PipelineProbe`.  Set by
@@ -295,6 +299,10 @@ class QTAccelPipeline:
                 coef_fmt=cfg.coef_format,
                 q_fmt=cfg.q_format,
             )
+            if self.guard is not None:
+                smp.q_new = self.guard.observe_update(
+                    smp.s, smp.a, smp.q_new, cfg.q_format
+                )
             s3_out = smp
             self.reg34.stage(smp)
 
@@ -484,6 +492,43 @@ class QTAccelPipeline:
         """Start recording (index, s, a, q_new) per retirement."""
         self.trace = []
         return self.trace
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (see repro.robustness.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Architectural checkpoint, valid only at a *drained* boundary
+        (as after :meth:`run` returns): in-flight samples live in pipeline
+        registers whose contents are derivable, not architectural, so we
+        refuse to snapshot mid-burst rather than capture half a machine."""
+        if self.in_flight or self.reg12.valid or self.reg23.valid or self.reg34.valid:
+            raise RuntimeError(
+                "pipeline checkpoint requires a drained pipeline "
+                f"({self.in_flight} samples in flight)"
+            )
+        return {
+            "tables": self.tables.state_dict(),
+            "draws": self.draws.state_dict(),
+            "arch_state": self.arch_state,
+            "pending_behavior": self._pending_behavior,
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        self.tables.load_state_dict(state["tables"])
+        self.draws.load_state_dict(state["draws"])
+        self.arch_state = state["arch_state"]
+        self._pending_behavior = state["pending_behavior"]
+        self.reg12.flush()
+        self.reg23.flush()
+        self.reg34.flush()
+        self._latched_issue = None
+        self._s2_busy = 0
+        self._s2_started_for = -1
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
 
     def q_float(self) -> np.ndarray:
         """Current Q table as floats, ``(S, A)``."""

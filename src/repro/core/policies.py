@@ -50,6 +50,20 @@ class PolicyDraws:
             policy=UniformSource(Lfsr(w, seed=base + 0x33)),
         )
 
+    def state_dict(self) -> dict:
+        """Checkpoint of the three register states."""
+        return {
+            "start": self.start.lfsr.state,
+            "action": self.action.lfsr.state,
+            "policy": self.policy.lfsr.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        self.start.lfsr.state = state["start"]
+        self.action.lfsr.state = state["action"]
+        self.policy.lfsr.state = state["policy"]
+
 
 @dataclass(frozen=True)
 class UpdateSelection:

@@ -53,14 +53,33 @@ class AcceleratorTables:
         self.num_actions = a
         self.action_bits = bits_for(a)
         self._pow2_actions = a & (a - 1) == 0
+        self._ecc = config.ecc_tables
 
         qf = config.q_format
         q_init_raw = qf.quantize(config.q_init)
-        self.q = TableRam(s * a, qf.wordlen, name="q", fill=q_init_raw)
-        self.rewards = TableRam(s * a, qf.wordlen, name="rewards")
+        if config.ecc_tables:
+            # SECDED-protected variant (see repro.robustness.ecc): same
+            # storage layout plus per-word check bits, decode on read.
+            from ..robustness.ecc import EccTableRam
+
+            def _ram(depth, width, *, name, fill=0, signed=True):
+                return EccTableRam(depth, width, name=name, fill=fill, signed=signed)
+        else:
+
+            def _ram(depth, width, *, name, fill=0, signed=True):
+                return TableRam(depth, width, name=name, fill=fill)
+
+        self.q = _ram(s * a, qf.wordlen, name="q", fill=q_init_raw)
+        self.rewards = _ram(s * a, qf.wordlen, name="rewards")
         self.rewards.data[:] = ops.quantize_array(mdp.rewards.ravel(), qf)
-        self.qmax = TableRam(s, qf.wordlen, name="qmax", fill=q_init_raw)
-        self.qmax_action = TableRam(s, max(1, self.action_bits), name="qmax_action")
+        if config.ecc_tables:
+            self.rewards.check[:] = self.rewards.codec.encode_many(
+                self.rewards.data & np.int64((1 << qf.wordlen) - 1)
+            )
+        self.qmax = _ram(s, qf.wordlen, name="qmax", fill=q_init_raw)
+        self.qmax_action = _ram(
+            s, max(1, self.action_bits), name="qmax_action", signed=False
+        )
         #: Terminal flags live in the transition-function block
         #: (combinational logic), not BRAM; kept as a plain array.
         self.terminal = mdp.terminal
@@ -124,9 +143,19 @@ class AcceleratorTables:
     def writeback_now(self, state: int, action: int, q_new_raw: int) -> None:
         """Unclocked write-back (functional-simulator path), identical
         update semantics."""
+        if self._ecc:
+            # The read-modify-write below reads raw array words; decode
+            # them first or a latent upset would be compared against and
+            # then re-encoded as a valid (but wrong) codeword.
+            self.qmax.scrub_word(state)
+            self.qmax_action.scrub_word(state)
         self.q.write_now(self.pair_addr(state, action), q_new_raw)
         mode = self.config.qmax_mode
         if mode == "exact":
+            if self._ecc:
+                base = self.pair_addr(state, 0)
+                for a in range(self.num_actions):
+                    self.q.scrub_word(base + a)
             row = self.row_q(state).copy()
             row[action] = q_new_raw
             best = int(np.argmax(row))
@@ -169,6 +198,18 @@ class AcceleratorTables:
         for monotonic mode when Q and Qmax start equal; tested)."""
         rows = self.q.data.reshape(self.num_states, self.num_actions)
         return bool(np.all(self.qmax.data >= rows.max(axis=1)))
+
+    def state_dict(self) -> dict:
+        """Checkpoint of all architectural table state."""
+        return {
+            ram.name: ram.state_dict()
+            for ram in (self.q, self.rewards, self.qmax, self.qmax_action)
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        for ram in (self.q, self.rewards, self.qmax, self.qmax_action):
+            ram.load_state_dict(state[ram.name])
 
     def telemetry_snapshot(self) -> dict:
         """Per-RAM access counters, keyed by table name.

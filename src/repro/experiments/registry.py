@@ -119,6 +119,7 @@ def _load_all() -> None:
         ablations,
         cliff,
         convergence,
+        fault_campaign,
         fig3,
         fig4,
         fig5,

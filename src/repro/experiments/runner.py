@@ -13,8 +13,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
-from .registry import experiment_ids, experiment_title, run_experiment
+from .registry import (
+    ExperimentResult,
+    experiment_ids,
+    experiment_title,
+    run_experiment,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,6 +49,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="collect telemetry per experiment and write "
         "DIR/<experiment>.profile.json + DIR/<experiment>.trace.json",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort at the first failing experiment instead of "
+        "continuing with the rest (the default is fail-soft: record "
+        "the error, keep going, exit non-zero at the end)",
     )
     args = parser.parse_args(argv)
 
@@ -80,9 +93,30 @@ def main(argv: list[str] | None = None) -> int:
         try:
             result = run_experiment(eid, quick=args.quick, telemetry=session)
         except KeyError as exc:
+            # Unknown id: a usage error, not an experiment failure.
             print(exc.args[0], file=sys.stderr)
             status = 2
+            if args.fail_fast:
+                return status
             continue
+        except Exception:
+            # Fail-soft: one broken experiment must not cost the whole
+            # `all` sweep.  Emit the traceback where a human looks for
+            # it, leave an error artifact where the table would be, and
+            # exit non-zero once every other experiment has run.
+            tb = traceback.format_exc()
+            print(tb, file=sys.stderr)
+            result = ExperimentResult(
+                exp_id=eid,
+                title=f"ERROR: {experiment_title(eid)}",
+                headers=["error"],
+                rows=[[tb.strip().splitlines()[-1]]],
+                notes=["experiment raised; full traceback on stderr"],
+            )
+            status = 1
+            if args.fail_fast:
+                print(result.format())
+                return status
         text = result.format()
         print(text)
         print(f"[{eid} took {time.perf_counter() - t0:.1f}s]")

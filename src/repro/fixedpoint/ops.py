@@ -159,6 +159,24 @@ def q_update(
     return clamp_raw(raw, q_fmt)
 
 
+def is_saturated(raw: int, fmt: FxpFormat) -> bool:
+    """Whether a raw value sits on a rail of ``fmt``.
+
+    The divergence guards use this as the hardware-observable proxy for
+    overflow: after the single saturation stage, a clipped result is
+    exactly ``raw_min`` or ``raw_max``.  (A legitimately computed rail
+    value is indistinguishable — which is why the guards act on *streaks*,
+    not single hits.)
+    """
+    return raw == fmt.raw_min or raw == fmt.raw_max
+
+
+def saturation_mask(raw: np.ndarray, fmt: FxpFormat) -> np.ndarray:
+    """Elementwise :func:`is_saturated` over an array of raw values."""
+    arr = np.asarray(raw, dtype=_I64)
+    return (arr == fmt.raw_min) | (arr == fmt.raw_max)
+
+
 def coefficient_set(
     alpha: float, gamma: float, coef_fmt: FxpFormat
 ) -> tuple[int, int, int, int]:

@@ -1,0 +1,472 @@
+"""SECDED error protection for the on-chip tables.
+
+FPGA block RAM is the canonical victim of single-event upsets (SEUs):
+a particle strike flips one stored bit and, in a design like QTAccel
+whose entire value proposition is that the Q/Qmax tables stay consistent
+under a never-stalling pipeline, a single flipped Q-word can redirect
+the greedy policy for the rest of training (the ``fault_campaign``
+experiment quantifies exactly that).  Xilinx BRAM36/URAM288 primitives
+ship optional built-in ECC for this reason: a (72, 64) extended Hamming
+code that corrects single-bit and detects double-bit errors per word.
+
+This module models that protection at word granularity:
+
+* :class:`SecDed` — an extended Hamming (SECDED) codec for a ``w``-bit
+  data word: ``r`` Hamming check bits (``2**r >= w + r + 1``) plus one
+  overall-parity bit, exactly the structure of the hardened BRAM macro;
+* :class:`EccTableRam` — a :class:`~repro.rtl.memory.TableRam` whose
+  words carry check bits.  Every read decodes; single-bit errors are
+  corrected *in storage* (write-back correction, like the hardware
+  macro's optional correction port), double-bit errors are counted as
+  detected-uncorrectable and left for the recovery layer;
+* :class:`Scrubber` — the background process that sweeps words so
+  errors are corrected before a second strike can pair up with them,
+  and that repairs Qmax-vs-Q-table *semantic* inconsistencies (a
+  corrupted Qmax entry that dropped below its row maximum) through the
+  ordinary write path.
+
+The data array of an :class:`EccTableRam` holds the same raw words a
+plain :class:`TableRam` would — bulk views (``.data``, ``snapshot()``,
+row slices) keep working — and the check bits live in a parallel array,
+which is also how the hardware lays out the 8 ECC bits of each 72-bit
+BRAM word.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..rtl.memory import BRAM36, BlockKind, TableRam, flip_raw_bit, mask_raw, sign_extend
+
+_I64 = np.int64
+
+#: Decode outcomes (:meth:`SecDed.decode`).
+DECODE_CLEAN = "clean"
+DECODE_CORRECTED = "corrected"
+DECODE_DETECTED = "detected"
+
+
+def _parity_fold(x: np.ndarray) -> np.ndarray:
+    """Elementwise parity of non-negative int64 words (XOR fold)."""
+    x = x.copy()
+    x ^= x >> 32
+    x ^= x >> 16
+    x ^= x >> 8
+    x ^= x >> 4
+    x ^= x >> 2
+    x ^= x >> 1
+    return x & 1
+
+
+class SecDed:
+    """Extended-Hamming SECDED codec for ``width``-bit data words.
+
+    Check bits sit at codeword positions ``1, 2, 4, ...`` (1-based),
+    data bits fill the remaining positions in order, and one extra
+    overall-parity bit covers the whole codeword.  The syndrome of a
+    single flipped bit equals its codeword position; the overall parity
+    distinguishes single (odd) from double (even) errors.
+    """
+
+    def __init__(self, width: int):
+        if not 1 <= width <= 57:
+            # 57 data + 6 check + 1 parity = 64 codeword bits; wider
+            # words would be sliced across two codecs in hardware.
+            raise ValueError(f"SECDED model supports widths 1..57, got {width}")
+        r = 1
+        while (1 << r) < width + r + 1:
+            r += 1
+        self.width = width
+        self.r = r
+        #: Codeword position (1-based) of each data bit.
+        self.data_pos: list[int] = []
+        pos = 1
+        while len(self.data_pos) < width:
+            if pos & (pos - 1):  # not a power of two -> data position
+                self.data_pos.append(pos)
+            pos += 1
+        self._pos_to_data = {p: j for j, p in enumerate(self.data_pos)}
+        #: For check bit ``i``: mask over *data-bit indices* it covers.
+        self.masks: list[int] = []
+        for i in range(r):
+            m = 0
+            for j, p in enumerate(self.data_pos):
+                if p & (1 << i):
+                    m |= 1 << j
+            self.masks.append(m)
+        self._check_positions = {1 << i: i for i in range(r)}
+
+    @property
+    def check_bits(self) -> int:
+        """Stored check bits per word (Hamming bits + overall parity)."""
+        return self.r + 1
+
+    # ------------------------------------------------------------------ #
+    # Scalar paths (read/decode)
+    # ------------------------------------------------------------------ #
+
+    def encode(self, word: int) -> int:
+        """Check word (``r`` Hamming bits then the overall parity bit)
+        for a masked ``width``-bit data word."""
+        check = 0
+        for i, m in enumerate(self.masks):
+            check |= ((word & m).bit_count() & 1) << i
+        parity = (word.bit_count() + check.bit_count()) & 1
+        return check | (parity << self.r)
+
+    def decode(self, word: int, check: int) -> tuple[str, int, int]:
+        """Decode one stored ``(data, check)`` pair.
+
+        Returns ``(status, word, check)`` with the corrected values;
+        ``status`` is :data:`DECODE_CLEAN`, :data:`DECODE_CORRECTED` or
+        :data:`DECODE_DETECTED` (uncorrectable — values unchanged).
+        """
+        syndrome = 0
+        for i, m in enumerate(self.masks):
+            bit = ((word & m).bit_count() & 1) ^ ((check >> i) & 1)
+            syndrome |= bit << i
+        parity = (word.bit_count() + check.bit_count()) & 1
+        if syndrome == 0 and parity == 0:
+            return DECODE_CLEAN, word, check
+        if parity == 1:  # odd number of flipped bits: correct as single
+            if syndrome == 0:
+                return DECODE_CORRECTED, word, check ^ (1 << self.r)
+            i = self._check_positions.get(syndrome)
+            if i is not None:
+                return DECODE_CORRECTED, word, check ^ (1 << i)
+            j = self._pos_to_data.get(syndrome)
+            if j is not None:
+                return DECODE_CORRECTED, word ^ (1 << j), check
+            # Syndrome points outside the codeword: >= 3 flips.
+            return DECODE_DETECTED, word, check
+        # Non-zero syndrome with even parity: double error.
+        return DECODE_DETECTED, word, check
+
+    # ------------------------------------------------------------------ #
+    # Vector path (bulk encode for writes / initial fill)
+    # ------------------------------------------------------------------ #
+
+    def encode_many(self, words: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode` over an array of masked words."""
+        words = np.asarray(words, dtype=_I64)
+        check = np.zeros_like(words)
+        for i, m in enumerate(self.masks):
+            check |= _parity_fold(words & _I64(m)) << i
+        parity = _parity_fold(words) ^ _parity_fold(check)
+        return check | (parity << self.r)
+
+    def syndrome_many(self, words: np.ndarray, checks: np.ndarray) -> np.ndarray:
+        """Non-zero entries mark words whose stored ECC disagrees."""
+        words = np.asarray(words, dtype=_I64)
+        syn = np.zeros_like(words)
+        for i, m in enumerate(self.masks):
+            syn |= (_parity_fold(words & _I64(m)) ^ ((checks >> i) & 1)) << i
+        parity = _parity_fold(words) ^ _parity_fold(checks & _I64((1 << (self.r + 1)) - 1))
+        return syn | (parity << self.r)
+
+
+@lru_cache(maxsize=None)
+def codec_for(width: int) -> SecDed:
+    """Shared :class:`SecDed` instance per word width."""
+    return SecDed(width)
+
+
+class EccTableRam(TableRam):
+    """A :class:`TableRam` whose words carry SECDED check bits.
+
+    Reads decode and correct in place (hardware write-back correction);
+    writes re-encode.  ``ecc_corrected`` / ``ecc_detected`` count what
+    the decoder saw — the detected counter is the *uncorrectable* count
+    the recovery layer watches, since SECDED corrects everything else.
+
+    ``signed`` states how flipped data words re-enter the raw domain:
+    Q/reward/Qmax words are two's complement, the Qmax-action array is
+    an unsigned action index.
+    """
+
+    __slots__ = ("codec", "check", "signed", "ecc_corrected", "ecc_detected")
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        *,
+        name: str = "ram",
+        kind: BlockKind = BRAM36,
+        fill: int = 0,
+        signed: bool = True,
+    ):
+        super().__init__(depth, width, name=name, kind=kind, fill=fill)
+        self.codec = codec_for(width)
+        self.signed = signed
+        fill_check = self.codec.encode(mask_raw(fill, width))
+        self.check = np.full(depth, fill_check, dtype=_I64)
+        self.ecc_corrected = 0
+        self.ecc_detected = 0
+
+    # ------------------------------------------------------------------ #
+    # Encode/decode plumbing
+    # ------------------------------------------------------------------ #
+
+    def _encode_addr(self, addr: int) -> None:
+        self.check[addr] = self.codec.encode(mask_raw(int(self.data[addr]), self.width))
+
+    def _decode_addr(self, addr: int) -> str:
+        """Check one word, correcting storage in place.  Returns status."""
+        word = mask_raw(int(self.data[addr]), self.width)
+        check = int(self.check[addr])
+        status, fixed_word, fixed_check = self.codec.decode(word, check)
+        if status == DECODE_CLEAN:
+            return status
+        if status == DECODE_CORRECTED:
+            self.ecc_corrected += 1
+            if fixed_word != word:
+                self.data[addr] = sign_extend(fixed_word, self.width, self.signed)
+            if fixed_check != check:
+                self.check[addr] = fixed_check
+            return status
+        self.ecc_detected += 1
+        return status
+
+    # ------------------------------------------------------------------ #
+    # Port operations (decode on read, encode on write)
+    # ------------------------------------------------------------------ #
+
+    def read(self, addr: int) -> int:
+        self._decode_addr(addr)
+        return super().read(addr)
+
+    def read_many(self, addrs) -> np.ndarray:
+        addrs = np.asarray(addrs)
+        if addrs.size:
+            uniq = np.unique(addrs)
+            syn = self.codec.syndrome_many(
+                self.data[uniq] & _I64((1 << self.width) - 1), self.check[uniq]
+            )
+            for addr in uniq[syn != 0]:
+                self._decode_addr(int(addr))
+        return super().read_many(addrs)
+
+    def write_now(self, addr: int, value: int) -> None:
+        super().write_now(addr, value)
+        self._encode_addr(addr)
+
+    def write_many_now(self, addrs, values) -> None:
+        super().write_many_now(addrs, values)
+        addrs = np.asarray(addrs)
+        self.check[addrs] = self.codec.encode_many(
+            self.data[addrs] & _I64((1 << self.width) - 1)
+        )
+
+    def commit(self) -> int:
+        written = [addr for addr, _ in self._pending]
+        collisions = super().commit()
+        for addr in written:
+            self._encode_addr(addr)
+        return collisions
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection and scrub surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def codeword_bits(self) -> int:
+        """Bits an SEU can strike per word: data plus stored check bits."""
+        return self.width + self.codec.check_bits
+
+    def inject(self, addr: int, bit: int) -> None:
+        """Flip one stored bit — data (``bit < width``) or check bit."""
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        if not 0 <= bit < self.codeword_bits:
+            raise ValueError(
+                f"{self.name}: bit {bit} outside the {self.codeword_bits}-bit codeword"
+            )
+        if bit < self.width:
+            self.data[addr] = flip_raw_bit(
+                int(self.data[addr]), bit, self.width, signed=self.signed
+            )
+        else:
+            self.check[addr] = int(self.check[addr]) ^ (1 << (bit - self.width))
+
+    def scrub_word(self, addr: int) -> str:
+        """One scrub visit: decode/correct without counting a port read."""
+        return self._decode_addr(addr)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["check"] = self.check.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.check[:] = state["check"]
+
+    def telemetry_snapshot(self) -> dict:
+        snap = super().telemetry_snapshot()
+        snap["ecc_corrected"] = self.ecc_corrected
+        snap["ecc_detected"] = self.ecc_detected
+        return snap
+
+    def __repr__(self) -> str:
+        return (
+            f"EccTableRam({self.name!r}, {self.depth}x{self.width}b"
+            f"+{self.codec.check_bits}ecc, {self.blocks} {self.kind.name})"
+        )
+
+
+class Scrubber:
+    """Background memory scrubber over protected tables.
+
+    Real deployments sweep BRAM continuously so single-bit upsets are
+    corrected before a second strike in the same word turns them into an
+    uncorrectable pair.  :meth:`step` visits ``burst`` words round-robin
+    across everything registered; :meth:`scrub_all` is one full sweep
+    (e.g. before reading a table out for a checkpoint).
+
+    For a full :class:`~repro.core.tables.AcceleratorTables` the
+    scrubber additionally repairs *semantic* damage ECC alone cannot
+    see: under the monotonic write path ``Qmax[s] >= max_a Q[s, a]``
+    always holds, so a visited state violating it has a corrupted (or
+    double-error) Qmax entry — the scrubber rewrites it from the Q row
+    through the ordinary write path, as stage 4 would.  Out-of-range
+    cached argmax actions are repaired the same way.
+    """
+
+    def __init__(self, *, burst: int = 32, telemetry=None):
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.burst = burst
+        self._rams: list[EccTableRam] = []
+        self._tables: list = []  # AcceleratorTables for semantic repair
+        self._cursor = 0
+        self._state_cursor = 0
+        self.words_scrubbed = 0
+        self.corrected = 0
+        self.detected = 0
+        self.scrub_repairs = 0
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            session.attach(self, "scrubber")
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def add_ram(self, ram: EccTableRam) -> None:
+        """Register one protected RAM for sweeping."""
+        if not isinstance(ram, EccTableRam):
+            raise TypeError(f"scrubber needs an EccTableRam, got {type(ram).__name__}")
+        self._rams.append(ram)
+
+    def add_tables(self, tables) -> None:
+        """Register an :class:`AcceleratorTables`: its protected RAMs
+        plus the Qmax-consistency repair pass."""
+        protected = [
+            ram
+            for ram in (tables.q, tables.rewards, tables.qmax, tables.qmax_action)
+            if isinstance(ram, EccTableRam)
+        ]
+        if not protected:
+            raise TypeError(
+                "scrubber needs ECC-backed tables (build with ecc_tables=True)"
+            )
+        for ram in protected:
+            self.add_ram(ram)
+        self._tables.append(tables)
+
+    # ------------------------------------------------------------------ #
+    # Sweeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_words(self) -> int:
+        return sum(r.depth for r in self._rams)
+
+    def _scrub_one(self, index: int) -> None:
+        for ram in self._rams:
+            if index < ram.depth:
+                status = ram.scrub_word(index)
+                self.words_scrubbed += 1
+                if status == DECODE_CORRECTED:
+                    self.corrected += 1
+                elif status == DECODE_DETECTED:
+                    self.detected += 1
+                return
+            index -= ram.depth
+
+    def _repair_state(self, tables, state: int) -> None:
+        if tables.config.qmax_mode != "monotonic":
+            return  # the follow/exact rules allow qmax below the row max
+        # Decode-correct every word this check is about to read: repairing
+        # from *corrupted* data would launder the corruption through the
+        # write path into a perfectly valid codeword.  A word with an
+        # uncorrectable (double) error vetoes the repair — that state is
+        # the supervisor's problem, not the scrubber's.
+        words = [(tables.qmax, state), (tables.qmax_action, state)]
+        base = tables.pair_addr(state, 0)
+        words += [(tables.q, base + a) for a in range(tables.num_actions)]
+        for ram, addr in words:
+            status = ram.scrub_word(addr)
+            self.words_scrubbed += 1
+            if status == DECODE_CORRECTED:
+                self.corrected += 1
+            elif status == DECODE_DETECTED:
+                self.detected += 1
+                return
+        row = tables.row_q(state)
+        best = int(np.argmax(row))
+        row_max = int(row[best])
+        qmax = int(tables.qmax.data[state])
+        qact = int(tables.qmax_action.data[state])
+        if qmax < row_max:
+            tables.qmax.write_now(state, row_max)
+            tables.qmax_action.write_now(state, best)
+            self.scrub_repairs += 1
+        elif not 0 <= qact < tables.num_actions:
+            tables.qmax_action.write_now(state, best)
+            self.scrub_repairs += 1
+
+    def step(self) -> None:
+        """Visit the next ``burst`` words (one scrub interval)."""
+        total = self.total_words
+        if total:
+            for _ in range(min(self.burst, total)):
+                self._scrub_one(self._cursor)
+                self._cursor = (self._cursor + 1) % total
+        for tables in self._tables:
+            n_states = tables.num_states
+            for _ in range(min(self.burst, n_states)):
+                self._repair_state(tables, self._state_cursor % n_states)
+                self._state_cursor = (self._state_cursor + 1) % n_states
+
+    def scrub_all(self) -> None:
+        """One full sweep of every word and every Qmax row."""
+        for ram in self._rams:
+            for addr in range(ram.depth):
+                status = ram.scrub_word(addr)
+                self.words_scrubbed += 1
+                if status == DECODE_CORRECTED:
+                    self.corrected += 1
+                elif status == DECODE_DETECTED:
+                    self.detected += 1
+        for tables in self._tables:
+            for state in range(tables.num_states):
+                self._repair_state(tables, state)
+
+    def telemetry_snapshot(self) -> dict:
+        return {
+            "words_scrubbed": self.words_scrubbed,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "scrub_repairs": self.scrub_repairs,
+        }

@@ -1,0 +1,265 @@
+"""Deterministic, seeded fault injection for SEU campaigns.
+
+A fault campaign needs two properties at once: the fault *process* must
+look like the physical one (independent single-bit upsets, uniform over
+the protected storage, Poisson in time), and the whole run must be
+exactly reproducible — a campaign result that cannot be replayed bit for
+bit cannot be debugged.  :class:`FaultInjector` gives both:
+
+* every random choice comes from one ``numpy`` PCG64 generator seeded at
+  construction, so a (seed, rate, target set, step schedule) tuple fully
+  determines every flip;
+* targets register with their physical bit count, and each upset picks a
+  bit uniformly over the *total* storage — a table twice the size takes
+  twice the hits, like real silicon;
+* :meth:`schedule` pins individual flips to exact sample times for
+  directed tests (the golden-trace pins use this), alongside or instead
+  of the Poisson process;
+* :meth:`corrupt_pipeline` strikes *in-flight* state: a random live
+  pipeline register's numeric payload, modelling upsets in flip-flops
+  rather than BRAM (these bypass memory ECC entirely — the divergence
+  guards and checkpoint layer are the only defences).
+
+When constructed inside an ambient telemetry session the injector's
+counts appear as live registry counters under ``faults.*``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..rtl.memory import TableRam, flip_raw_bit
+from .ecc import EccTableRam
+
+
+class _RamTarget:
+    """One registered :class:`TableRam` (plain or ECC-protected)."""
+
+    __slots__ = ("ram", "signed", "bits_per_word")
+
+    def __init__(self, ram: TableRam, *, signed: bool = True):
+        self.ram = ram
+        self.signed = signed
+        # ECC targets expose their check bits to upsets too: the code
+        # must survive strikes on its own redundancy.
+        self.bits_per_word = (
+            ram.codeword_bits if isinstance(ram, EccTableRam) else ram.width
+        )
+
+    @property
+    def label(self) -> str:
+        return self.ram.name
+
+    @property
+    def total_bits(self) -> int:
+        return self.ram.depth * self.bits_per_word
+
+    def flip(self, addr: int, bit: int) -> None:
+        ram = self.ram
+        if isinstance(ram, EccTableRam):
+            ram.inject(addr, bit)
+        else:
+            ram.data[addr] = flip_raw_bit(
+                int(ram.data[addr]), bit, ram.width, signed=self.signed
+            )
+
+
+class _ArrayTarget:
+    """A raw lane-vector array (the batch engine's per-lane tables)."""
+
+    __slots__ = ("array", "width", "signed", "label", "bits_per_word")
+
+    def __init__(self, array: np.ndarray, width: int, *, signed: bool = True, label: str = "array"):
+        if array.dtype != np.int64:
+            raise TypeError(f"fault target {label!r} must be int64, got {array.dtype}")
+        self.array = array
+        self.width = width
+        self.signed = signed
+        self.label = label
+        self.bits_per_word = width
+
+    @property
+    def total_bits(self) -> int:
+        return int(self.array.size) * self.width
+
+    def flip(self, addr: int, bit: int) -> None:
+        flat = self.array.reshape(-1)
+        flat[addr] = flip_raw_bit(int(flat[addr]), bit, self.width, signed=self.signed)
+
+
+#: Numeric Sample fields a register upset can strike, with the format
+#: each travels in (all are q_format words in the current datapath).
+_REGISTER_FIELDS = ("q_sa", "r", "q_next", "q_new")
+
+
+class FaultInjector:
+    """Seeded single-event-upset process over registered storage.
+
+    ``rate`` is the expected number of upsets *per step unit* (the
+    caller decides whether a step is a sample or a cycle); :meth:`step`
+    advances the process clock and fires Poisson-distributed random
+    flips plus any scheduled ones that came due.
+    """
+
+    def __init__(self, *, seed: int = 0, rate: float = 0.0, telemetry=None):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._targets: list = []
+        self._schedule: list[tuple[int, int, object, int, int]] = []  # heap
+        self._seq = 0  # tie-break so heap never compares targets
+        self.clock = 0
+        self.injected = 0
+        self.injected_scheduled = 0
+        self.injected_registers = 0
+        self._group = None
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            self._group = session.group("faults")
+            session.attach(self, "fault_injector")
+
+    # ------------------------------------------------------------------ #
+    # Target registration
+    # ------------------------------------------------------------------ #
+
+    def add_table(self, ram: TableRam, *, signed: bool = True) -> None:
+        """Register one RAM; strikes hit data bits (and check bits, for
+        ECC-protected RAMs) uniformly."""
+        self._targets.append(_RamTarget(ram, signed=signed))
+
+    def add_tables(self, tables, include: tuple[str, ...] = ("q", "qmax")) -> None:
+        """Register a table set's RAMs by name.  The default hits the
+        *learned* state (Q and Qmax); rewards are typically excluded
+        because a reward upset is a change of environment, not of learner
+        state — include ``"rewards"`` explicitly to model it."""
+        by_name = {
+            "q": (tables.q, True),
+            "rewards": (tables.rewards, True),
+            "qmax": (tables.qmax, True),
+            "qmax_action": (tables.qmax_action, False),
+        }
+        for name in include:
+            if name not in by_name:
+                raise ValueError(
+                    f"unknown table {name!r}; choose from {sorted(by_name)}"
+                )
+            ram, signed = by_name[name]
+            self.add_table(ram, signed=signed)
+
+    def add_array(
+        self, array: np.ndarray, width: int, *, signed: bool = True, label: str = "array"
+    ) -> None:
+        """Register a raw int64 array (batch-engine lane tables)."""
+        self._targets.append(_ArrayTarget(array, width, signed=signed, label=label))
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage bits an upset can strike."""
+        return sum(t.total_bits for t in self._targets)
+
+    # ------------------------------------------------------------------ #
+    # Firing
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, at: int, target, addr: int, bit: int) -> None:
+        """Pin one flip to process time ``at`` (fires during the
+        :meth:`step` that reaches it).  ``target`` is the ram/array
+        object itself; it need not be registered for random strikes."""
+        if at < self.clock:
+            raise ValueError(f"cannot schedule at {at}; clock is already {self.clock}")
+        self._seq += 1
+        heapq.heappush(self._schedule, (at, self._seq, target, addr, bit))
+
+    def _flip_target(self, target, addr: int, bit: int) -> None:
+        if isinstance(target, (_RamTarget, _ArrayTarget)):
+            target.flip(addr, bit)
+        elif isinstance(target, TableRam):
+            _RamTarget(target).flip(addr, bit)
+        elif isinstance(target, np.ndarray):
+            flat = target.reshape(-1)
+            flat[addr] = flip_raw_bit(int(flat[addr]), bit, 64)
+        else:
+            raise TypeError(f"cannot flip bits of {type(target).__name__}")
+
+    def _random_strike(self) -> None:
+        total = self.total_bits
+        if total == 0:
+            return
+        flat = int(self._rng.integers(total))
+        for target in self._targets:
+            if flat < target.total_bits:
+                addr, bit = divmod(flat, target.bits_per_word)
+                target.flip(addr, bit)
+                self.injected += 1
+                if self._group is not None:
+                    self._group.inc("injected")
+                return
+            flat -= target.total_bits
+        raise AssertionError("strike index out of range")
+
+    def step(self, n: int = 1) -> int:
+        """Advance the process clock ``n`` units; returns flips fired."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        before = self.injected + self.injected_scheduled
+        self.clock += n
+        while self._schedule and self._schedule[0][0] <= self.clock:
+            _, _, target, addr, bit = heapq.heappop(self._schedule)
+            self._flip_target(target, addr, bit)
+            self.injected_scheduled += 1
+            if self._group is not None:
+                self._group.inc("injected_scheduled")
+        if self.rate > 0.0 and self._targets:
+            for _ in range(int(self._rng.poisson(self.rate * n))):
+                self._random_strike()
+        return self.injected + self.injected_scheduled - before
+
+    # ------------------------------------------------------------------ #
+    # In-flight register corruption
+    # ------------------------------------------------------------------ #
+
+    def corrupt_pipeline(self, pipe) -> Optional[str]:
+        """Flip one bit of a random live pipeline-register payload.
+
+        Returns a ``"reg.field[bit]"`` description of the strike, or
+        ``None`` if the pipeline had no valid register to corrupt.
+        These upsets bypass table ECC entirely; they are what the
+        divergence guards and checkpoint rollback exist for.
+        """
+        live = [
+            (name, reg.value)
+            for name, reg in (
+                ("reg12", pipe.reg12),
+                ("reg23", pipe.reg23),
+                ("reg34", pipe.reg34),
+            )
+            if reg.valid and reg.value is not None
+        ]
+        if not live:
+            return None
+        name, smp = live[int(self._rng.integers(len(live)))]
+        field = _REGISTER_FIELDS[int(self._rng.integers(len(_REGISTER_FIELDS)))]
+        width = pipe.config.q_format.wordlen
+        bit = int(self._rng.integers(width))
+        setattr(smp, field, flip_raw_bit(getattr(smp, field), bit, width))
+        self.injected_registers += 1
+        if self._group is not None:
+            self._group.inc("injected_registers")
+        return f"{name}.{field}[{bit}]"
+
+    def telemetry_snapshot(self) -> dict:
+        return {
+            "rate": self.rate,
+            "clock": self.clock,
+            "total_bits": self.total_bits,
+            "injected": self.injected,
+            "injected_scheduled": self.injected_scheduled,
+            "injected_registers": self.injected_registers,
+        }

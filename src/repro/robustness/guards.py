@@ -1,0 +1,197 @@
+"""Divergence guards on the fixed-point datapath.
+
+The stage-3 kernel saturates once per update, so a corrupted operand
+(flipped table bit, struck pipeline register) tends to show up at the
+output as one of two signatures:
+
+* an **out-of-range** raw word — impossible from the healthy datapath,
+  which clamps into the format, so any occurrence is hard evidence of
+  corruption downstream of the saturation stage;
+* a **stuck-at rail**: the same (state, action) pair writing a saturated
+  value (``raw_min``/``raw_max``) many samples in a row.  A single rail
+  hit is legal — large negative rewards legitimately clamp — so the
+  guard acts on *streaks*, which a healthy contraction-mapping update
+  does not produce unless the environment genuinely pins the value
+  (compare the golden SARSA wall-grind, whose fixed point -16320 is far
+  from the -32768 rail).
+
+The guard's reaction is configurable, mirroring what a deployed
+accelerator could do:
+
+* ``"raise"`` — stop the machine (:class:`DivergenceError`): the debug /
+  CI posture;
+* ``"clamp"`` — force the value back into range and count the event:
+  the keep-serving posture;
+* ``"quarantine"`` — clamp, and additionally record the (state, action)
+  pair (or fleet lane) as suspect so a supervisor can roll it back or
+  exclude it (see :mod:`repro.robustness.checkpoint`).
+
+Engines hold ``guard = None`` by default — the hot loops pay one pointer
+test per sample, same discipline as the telemetry hook.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..fixedpoint.format import FxpFormat
+from ..fixedpoint.ops import saturation_mask
+
+GUARD_POLICIES = ("raise", "clamp", "quarantine")
+
+
+class DivergenceError(RuntimeError):
+    """Raised by a ``policy="raise"`` guard on datapath divergence."""
+
+
+class DivergenceGuard:
+    """Watches stage-3 results for out-of-range values and stuck-at rails.
+
+    One guard instance serves one engine.  Scalar engines call
+    :meth:`observe_update` per sample; the batch engine calls
+    :meth:`observe_array` per lock-step vector (streaks are then tracked
+    per *lane* rather than per pair).  :meth:`check_finite` is the
+    NaN/Inf tripwire for float-domain readouts (metrics, convergence
+    reports), where non-finite values would otherwise propagate silently.
+    """
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        *,
+        stuck_limit: int = 64,
+        telemetry=None,
+    ):
+        if policy not in GUARD_POLICIES:
+            raise ValueError(
+                f"unknown guard policy {policy!r}; choose one of {GUARD_POLICIES}"
+            )
+        if stuck_limit < 2:
+            raise ValueError("stuck_limit must be >= 2")
+        self.policy = policy
+        self.stuck_limit = stuck_limit
+        # Event counts (also mirrored into telemetry_snapshot()).
+        self.out_of_range = 0
+        self.saturated = 0
+        self.stuck_events = 0
+        self.nonfinite = 0
+        #: Quarantined (state, action) pairs (scalar engines).
+        self.quarantined: set[tuple[int, int]] = set()
+        #: Quarantined lane indices (batch engine).
+        self.quarantined_lanes: set[int] = set()
+        # Streak state: scalar engines track one streak (the consecutive
+        # saturated writes to a single pair, reset on any other write —
+        # the hardware version is a register pair, not a CAM).
+        self._streak_pair: Optional[tuple[int, int]] = None
+        self._streak = 0
+        self._lane_streak: Optional[np.ndarray] = None
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        if session is not None:
+            session.attach(self, "guard")
+
+    # ------------------------------------------------------------------ #
+    # Scalar path
+    # ------------------------------------------------------------------ #
+
+    def observe_update(self, state: int, action: int, raw: int, fmt: FxpFormat) -> int:
+        """Inspect one stage-3 result; returns the (possibly clamped)
+        value the write-back stage should use."""
+        if not fmt.raw_min <= raw <= fmt.raw_max:
+            self.out_of_range += 1
+            if self.policy == "raise":
+                raise DivergenceError(
+                    f"Q update for ({state}, {action}) produced raw {raw}, "
+                    f"outside [{fmt.raw_min}, {fmt.raw_max}] — corrupted operand "
+                    f"or register downstream of the saturation stage"
+                )
+            if self.policy == "quarantine":
+                self.quarantined.add((state, action))
+            raw = fmt.raw_min if raw < fmt.raw_min else fmt.raw_max
+        if raw == fmt.raw_min or raw == fmt.raw_max:
+            self.saturated += 1
+            pair = (state, action)
+            if pair == self._streak_pair:
+                self._streak += 1
+            else:
+                self._streak_pair = pair
+                self._streak = 1
+            if self._streak == self.stuck_limit:
+                self._stuck(pair)
+        else:
+            self._streak_pair = None
+            self._streak = 0
+        return raw
+
+    def _stuck(self, pair: tuple[int, int]) -> None:
+        self.stuck_events += 1
+        if self.policy == "raise":
+            raise DivergenceError(
+                f"Q({pair[0]}, {pair[1]}) wrote a saturated value "
+                f"{self.stuck_limit} samples in a row — stuck-at rail"
+            )
+        if self.policy == "quarantine":
+            self.quarantined.add(pair)
+
+    # ------------------------------------------------------------------ #
+    # Batch path
+    # ------------------------------------------------------------------ #
+
+    def observe_array(self, q_new: np.ndarray, fmt: FxpFormat) -> None:
+        """Inspect one lock-step update vector (one entry per lane)."""
+        sat = saturation_mask(q_new, fmt)
+        n_sat = int(sat.sum())
+        if n_sat:
+            self.saturated += n_sat
+        if self._lane_streak is None or self._lane_streak.shape != sat.shape:
+            self._lane_streak = np.zeros(sat.shape, dtype=np.int64)
+        self._lane_streak = np.where(sat, self._lane_streak + 1, 0)
+        stuck = np.nonzero(self._lane_streak == self.stuck_limit)[0]
+        for lane in stuck:
+            self.stuck_events += 1
+            if self.policy == "raise":
+                raise DivergenceError(
+                    f"lane {int(lane)} wrote saturated values "
+                    f"{self.stuck_limit} samples in a row — stuck-at rail"
+                )
+            if self.policy == "quarantine":
+                self.quarantined_lanes.add(int(lane))
+
+    # ------------------------------------------------------------------ #
+    # Float-domain tripwire
+    # ------------------------------------------------------------------ #
+
+    def check_finite(self, values, where: str = "array") -> bool:
+        """Assert a float readout contains no NaN/Inf.  Returns healthy."""
+        finite = np.isfinite(np.asarray(values, dtype=np.float64))
+        bad = int((~finite).sum())
+        if bad == 0:
+            return True
+        self.nonfinite += bad
+        if self.policy == "raise":
+            raise DivergenceError(f"{bad} non-finite value(s) in {where}")
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> int:
+        """Total guard trips (out-of-range + stuck + non-finite)."""
+        return self.out_of_range + self.stuck_events + self.nonfinite
+
+    def telemetry_snapshot(self) -> dict:
+        return {
+            "policy": self.policy,
+            "out_of_range": self.out_of_range,
+            "saturated": self.saturated,
+            "stuck_events": self.stuck_events,
+            "nonfinite": self.nonfinite,
+            "quarantined_pairs": len(self.quarantined),
+            "quarantined_lanes": len(self.quarantined_lanes),
+        }

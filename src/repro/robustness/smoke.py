@@ -1,0 +1,85 @@
+"""Fault-injection smoke gate: run the campaign, enforce the headline.
+
+CI entry point (``python -m repro.robustness.smoke``): regenerates the
+:mod:`~repro.experiments.fault_campaign` artifact and fails the build
+unless the protection story holds —
+
+* every ECC+scrub run reports **zero uncorrectable** words at the
+  default rate and ends **bit-identical** to the fault-free run;
+* every ECC+scrub run converges at least as well as the clean run
+  (success rate no lower), at the stress rate included.
+
+Everything in the campaign is seeded, so this is a deterministic gate,
+not a flaky statistical one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ..experiments.registry import run_experiment
+
+
+def check_headline(result) -> list[str]:
+    """Return a list of human-readable violations (empty = pass)."""
+    failures: list[str] = []
+    clean = next(r for r in result.rows if r[1] == "none (clean)")
+    clean_success = float(clean[6])
+    protected = [r for r in result.rows if r[1] == "ecc+scrub"]
+    if not protected:
+        return ["campaign produced no ECC-protected rows"]
+    default_rate = min(float(r[0]) for r in protected)
+    for row in protected:
+        rate, _, injected, corrected, uncorrectable, _, success, _, matches = row
+        tag = f"ecc+scrub @ rate {rate}"
+        if float(success) < clean_success:
+            failures.append(
+                f"{tag}: success {success} below clean run's {clean_success}"
+            )
+        if float(rate) == default_rate:
+            if uncorrectable != 0:
+                failures.append(f"{tag}: {uncorrectable} uncorrectable words")
+            if matches != "yes":
+                failures.append(f"{tag}: final Q table not bit-identical to clean")
+        if injected and not corrected:
+            failures.append(f"{tag}: {injected} upsets injected, none corrected")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="qtaccel-fault-smoke",
+        description="Run the SEU campaign and enforce the ECC headline.",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write the campaign artifact to DIR/fault_campaign.txt",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-length campaign (minutes) instead of the quick one",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_experiment("fault_campaign", quick=not args.full)
+    text = result.format()
+    print(text)
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "fault_campaign.txt").write_text(text + "\n")
+
+    failures = check_headline(result)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("fault-injection smoke: headline holds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,6 +116,16 @@ class Lfsr:
         """Current register contents (also the last output word)."""
         return self._state
 
+    @state.setter
+    def state(self, value: int) -> None:
+        """Restore register contents (checkpoint path).  The all-zeros
+        lock-up state is rejected rather than silently remapped: a
+        checkpoint can only ever hold reachable states."""
+        value &= (1 << self.width) - 1
+        if value == 0:
+            raise ValueError("cannot restore the all-zeros LFSR lock-up state")
+        self._state = value
+
     @property
     def period(self) -> int:
         """Sequence period for a maximal-length polynomial."""

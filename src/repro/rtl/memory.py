@@ -83,6 +83,30 @@ def blocks_for_table(depth: int, width: int, kind: BlockKind = BRAM36) -> int:
     return kind.blocks_for(depth, width)
 
 
+def mask_raw(value: int, width: int) -> int:
+    """The ``width`` low bits of a raw word (two's-complement pattern)."""
+    return value & ((1 << width) - 1)
+
+
+def sign_extend(pattern: int, width: int, signed: bool = True) -> int:
+    """Reinterpret a ``width``-bit pattern as the stored raw integer."""
+    if signed and pattern & (1 << (width - 1)):
+        return pattern - (1 << width)
+    return pattern
+
+
+def flip_raw_bit(value: int, bit: int, width: int, signed: bool = True) -> int:
+    """Flip one physical bit of a stored word, as an SEU would.
+
+    Works on the two's-complement bit pattern (what the BRAM actually
+    holds), then maps back to the raw integer domain: flipping bit
+    ``width-1`` of a signed word toggles its sign.
+    """
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} outside a {width}-bit word")
+    return sign_extend(mask_raw(value, width) ^ (1 << bit), width, signed)
+
+
 def table_bits(depth: int, width: int) -> int:
     """Raw payload bits of a ``depth x width`` table (bit-granular view,
     what the paper's Fig. 4 percentages are computed from at small sizes)."""
@@ -221,6 +245,20 @@ class TableRam:
     def snapshot(self) -> np.ndarray:
         """Copy of the committed contents (for tests/metrics)."""
         return self.data.copy()
+
+    def state_dict(self) -> dict:
+        """Checkpoint of the committed contents.
+
+        Only architectural state is captured: staged (uncommitted)
+        writes and access counters are deliberately excluded, so
+        checkpoints must be taken at a drained clock boundary.
+        """
+        return {"data": self.data.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        self.data[:] = state["data"]
+        self._pending.clear()
 
     def telemetry_snapshot(self) -> dict:
         """Access counters for telemetry profiles (feeds the memory-traffic

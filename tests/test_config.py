@@ -57,6 +57,65 @@ class TestValidation:
         with pytest.raises(ValueError):
             QTAccelConfig(lfsr_width=4)
 
+    @pytest.mark.parametrize("field", ["alpha", "gamma", "epsilon", "q_init"])
+    def test_rejects_nonfinite_coefficients(self, field):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                QTAccelConfig(**{field: bad})
+
+    @pytest.mark.parametrize("field", ["alpha", "gamma", "epsilon", "q_init"])
+    def test_rejects_non_numeric_coefficients(self, field):
+        for bad in ("0.5", None, True):
+            with pytest.raises(TypeError, match="real number"):
+                QTAccelConfig(**{field: bad})
+
+    def test_alpha_error_is_actionable(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\].*no-op"):
+            QTAccelConfig(alpha=0.0)
+
+    def test_gamma_zero_is_legal_for_bandits(self):
+        assert QTAccelConfig(gamma=0.0).gamma == 0.0
+
+    def test_rejects_unrepresentable_q_init(self):
+        with pytest.raises(ValueError, match="representable range"):
+            QTAccelConfig(q_init=100000.0)
+
+    def test_q_init_at_format_edge_accepted(self):
+        cfg = QTAccelConfig()
+        edge = cfg.q_format.max_value
+        assert QTAccelConfig(q_init=edge).q_init == edge
+
+    @pytest.mark.parametrize("fmt_field", ["q_format", "coef_format"])
+    def test_rejects_non_fxp_formats(self, fmt_field):
+        with pytest.raises(TypeError, match="FxpFormat"):
+            QTAccelConfig(**{fmt_field: (16, 6)})
+
+    def test_unsupported_lfsr_width_lists_choices(self):
+        with pytest.raises(ValueError, match="supported widths"):
+            QTAccelConfig(lfsr_width=999)
+
+    def test_rejects_non_int_lfsr_width(self):
+        for bad in (24.0, "24", True):
+            with pytest.raises(TypeError, match="lfsr_width"):
+                QTAccelConfig(lfsr_width=bad)
+
+    def test_rejects_non_int_seed(self):
+        for bad in (1.5, "1", True):
+            with pytest.raises(TypeError, match="seed"):
+                QTAccelConfig(seed=bad)
+
+    def test_rejects_non_bool_ecc_tables(self):
+        with pytest.raises(TypeError, match="ecc_tables"):
+            QTAccelConfig(ecc_tables=1)
+
+    def test_rejects_non_str_name(self):
+        with pytest.raises(TypeError, match="name"):
+            QTAccelConfig(name=5)
+
+    def test_enum_errors_list_valid_choices(self):
+        with pytest.raises(ValueError, match="random"):
+            QTAccelConfig(behavior_policy="boltzmann")
+
 
 class TestDerived:
     def test_coefficients_structure(self):

@@ -29,6 +29,7 @@ ALL_IDS = [
     "table2_cache",
     "convergence",
     "cliff",
+    "fault_campaign",
 ]
 
 

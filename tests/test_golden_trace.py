@@ -146,6 +146,58 @@ class TestGoldenTraces:
             "retire": 5,
         }
 
+    def test_robustness_counters_on_golden_prefix(self):
+        """Robustness counters for directed SEUs on the golden QL run,
+        pinned — and the trace itself must stay exactly GOLDEN_QL,
+        because SECDED corrects every strike before it is consumed.
+
+        Strikes: a Q-word flip at pair (37, 0) and a Qmax flip at state
+        37, both landing after sample 2 (the words are next read by
+        sample 3); plus one latent flip in the never-visited pair (0, 0)
+        that only the final scrub sweep can see.
+        """
+        from repro.robustness import FaultInjector, Scrubber
+        from repro.telemetry import TelemetrySession
+
+        with TelemetrySession() as session:
+            sim = FunctionalSimulator(
+                _mdp(), QTAccelConfig.qlearning(seed=5, ecc_tables=True)
+            )
+            trace = sim.enable_trace()
+            T = sim.tables
+            injector = FaultInjector(seed=0)
+            injector.add_tables(T)
+            injector.schedule(3, T.q, T.pair_addr(37, 0), 13)
+            injector.schedule(3, T.qmax, 37, 9)
+            injector.schedule(24, T.q, T.pair_addr(0, 0), 3)
+            scrubber = Scrubber(burst=8)
+            scrubber.add_tables(T)
+
+            sim.run(3)
+            injector.step(3)  # both sample-3 strikes land here
+            sim.run(21)
+            injector.step(21)  # the latent strike lands after the run
+            scrubber.scrub_all()
+
+        assert trace == GOLDEN_QL  # every upset corrected before use
+        assert injector.injected_scheduled == 3
+        assert injector.injected == 0  # no Poisson process configured
+        assert T.q.ecc_corrected == 2  # pair (37,0) on read, pair (0,0) by scrub
+        assert T.qmax.ecc_corrected == 1
+        assert T.q.ecc_detected == T.qmax.ecc_detected == 0
+        assert scrubber.corrected == 1  # only the latent flip was left to sweep
+        assert scrubber.detected == 0
+        assert scrubber.scrub_repairs == 0
+
+        counters = session.registry.as_dict()
+        assert counters["faults.injected_scheduled"] == 3
+        assert "faults.injected" not in counters  # lazy: never fired
+
+        # And the table ends bit-identical to an undisturbed ECC-less run.
+        ref = FunctionalSimulator(_mdp(), QTAccelConfig.qlearning(seed=5))
+        ref.run(24)
+        assert (T.q.data == ref.tables.q.data).all()
+
     def test_sarsa_wall_grind_is_the_qmax_artifact(self):
         """The golden SARSA trace shows the pinning in miniature: the
         exploit action stays 'left' (0) against a wall while its Q

@@ -70,6 +70,50 @@ class TestCli:
         assert "table1:" in out and "fig7:" in out
 
 
+class TestFailSoft:
+    """One broken experiment must not abort the rest of a sweep."""
+
+    def _register_boom(self, monkeypatch):
+        from repro.experiments import registry
+
+        registry._load_all()
+
+        def boom(*, quick=False):
+            raise RuntimeError("synthetic experiment failure")
+
+        monkeypatch.setitem(registry._REGISTRY, "boom", ("Boom", boom))
+
+    def test_failure_continues_and_exits_nonzero(self, monkeypatch, capsys):
+        self._register_boom(monkeypatch)
+        assert main(["boom", "fig4", "--quick"]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic experiment failure" in captured.err
+        assert "Traceback" in captured.err
+        assert "78.1" in captured.out  # fig4 still ran after the failure
+        assert "ERROR" in captured.out
+
+    def test_fail_fast_aborts_immediately(self, monkeypatch, capsys):
+        self._register_boom(monkeypatch)
+        assert main(["boom", "fig4", "--quick", "--fail-fast"]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic experiment failure" in captured.err
+        assert "78.1" not in captured.out  # fig4 never ran
+
+    def test_fail_fast_on_unknown_id(self, capsys):
+        assert main(["fig99", "fig4", "--quick", "--fail-fast"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "78.1" not in captured.out
+
+    def test_error_artifact_written(self, monkeypatch, tmp_path, capsys):
+        self._register_boom(monkeypatch)
+        assert main(["boom", "--quick", "--output", str(tmp_path)]) == 1
+        capsys.readouterr()
+        text = (tmp_path / "boom.txt").read_text()
+        assert "ERROR" in text
+        assert "synthetic experiment failure" in text
+
+
 class TestOutputDir:
     def test_artifacts_written(self, tmp_path, capsys):
         assert main(["fig4", "fig7", "--quick", "--output", str(tmp_path)]) == 0
