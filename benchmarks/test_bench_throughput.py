@@ -76,6 +76,18 @@ def test_telemetry_profile_artifact(grid16_mdp):
     session.export_profile(path)
     session.export_chrome_trace(out_dir / "bench_throughput.trace.json")
 
+    # The same run feeds the bench trajectory: a perf snapshot derived
+    # from the profile's deterministic facts, uploaded by CI alongside
+    # the telemetry profile (works even under --benchmark-disable).
+    from repro.perf.snapshot import snapshot_from_profile, write_snapshot
+
+    snap_path = write_snapshot(
+        snapshot_from_profile(session.profile(), source="experiment:bench_throughput"),
+        out_dir / "bench_throughput.perf.json",
+    )
+    snap = json.loads(snap_path.read_text())
+    assert snap["cases"]["pipe0"]["cycles_per_sample"] < 1.01
+
     data = json.loads(path.read_text())
     assert data["totals"]["retired"] == SAMPLES
     assert data["pipes"]["pipe0"]["stats"]["stall_cycles"] == 0

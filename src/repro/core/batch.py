@@ -150,6 +150,8 @@ class BatchIndependentSimulator:
         from ..telemetry.session import current_session
 
         session = telemetry if telemetry is not None else current_session()
+        #: Session pulsed once per lock-step step for live-metrics export.
+        self._session = session
         if session is not None:
             session.attach(self, "batch")
 
@@ -281,8 +283,11 @@ class BatchIndependentSimulator:
         """Advance every agent by ``samples_per_agent`` updates."""
         if samples_per_agent < 0:
             raise ValueError("samples_per_agent must be non-negative")
+        session = self._session
         for _ in range(samples_per_agent):
             self.step()
+            if session is not None:
+                session.pulse()
         self.stats.samples_per_agent += samples_per_agent
         return self.stats
 

@@ -69,6 +69,8 @@ class SharedPipelines:
         self.config = config
         self.part = part
         self.tables = AcceleratorTables(mdp, config)
+        #: Session pulsed once per shared cycle for live-metrics export.
+        self._session = telemetry if telemetry is not None else current_session()
         self.pipes = [
             QTAccelPipeline(
                 mdp,
@@ -97,6 +99,7 @@ class SharedPipelines:
         guard = 8 * samples_per_pipe + 64
         start = self.pipes[0].stats.cycles
         state_collisions = 0
+        session = self._session
         while any(p.stats.retired < t for p, t in zip(self.pipes, targets)):
             if self.pipes[0].stats.cycles - start > guard:
                 raise RuntimeError("shared pipelines failed to drain")
@@ -104,6 +107,8 @@ class SharedPipelines:
             a, b = self.pipes[0].arch_state, self.pipes[1].arch_state
             if a is not None and a == b:
                 state_collisions += 1
+            if session is not None:
+                session.pulse()
         for p in self.pipes:
             p._issue_budget = None
         return SharedRunStats(

@@ -31,6 +31,7 @@ action into stage 1).  Hazard behaviour is selected by
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
@@ -242,6 +243,11 @@ class QTAccelPipeline:
         #: session) or an ambient ``with TelemetrySession():`` block
         #: attaches at construction.
         self._tel = None
+        #: Sampled per-stage wall-time attribution: ``None`` (the
+        #: default — one pointer test per cycle) or a
+        #: :class:`repro.perf.stagetime.StageTimer`, which timestamps
+        #: the stage boundaries of every Nth cycle.
+        self._stage_timer = None
         session = telemetry if telemetry is not None else current_session()
         if session is not None:
             session.attach(self)
@@ -258,7 +264,15 @@ class QTAccelPipeline:
         forward = mode == "forward"
         st = self.stats
         tel = self._tel
+        # Pure-trace probe events (issue/select/retire/hold/stall) are
+        # no-ops without a recorder; skipping the calls entirely keeps
+        # the counters-only attached tax inside its bench budget.
+        trc = tel if tel is not None and tel.recorder is not None else None
         cyc = st.c_cycles.value
+        timer = self._stage_timer
+        stamps = None
+        if timer is not None and timer.armed(cyc):
+            stamps = [perf_counter()]
 
         wb = self.reg34.value if self.reg34.valid else None
         in_s3 = self.reg23.value if self.reg23.valid else None
@@ -270,12 +284,14 @@ class QTAccelPipeline:
             st.c_retired.value += 1
             if self.trace is not None:
                 self.trace.append((wb.index, wb.s, wb.a, wb.q_new))
-            if tel is not None:
-                tel.retire(cyc, wb.index)
-                if qmax_written:
-                    tel.qmax_raise(cyc, wb.index)
+            if trc is not None:
+                trc.retire(cyc, wb.index)
+            if tel is not None and qmax_written:
+                tel.qmax_raise(cyc, wb.index)
             if self.on_retire is not None:
                 self.on_retire(wb)
+        if stamps is not None:
+            stamps.append(perf_counter())
 
         # ---------------- Stage 3: arithmetic ---------------- #
         s3_out: Optional[Sample] = None
@@ -305,6 +321,8 @@ class QTAccelPipeline:
                 )
             s3_out = smp
             self.reg34.stage(smp)
+        if stamps is not None:
+            stamps.append(perf_counter())
 
         # ---------------- Stage 2: update policy ---------------- #
         s2_fired = False
@@ -328,14 +346,14 @@ class QTAccelPipeline:
                 self.reg12.hold()
                 st.c_stall_cycles.value += 1
                 st.c_s2_hold_cycles.value += 1
-                if tel is not None:
-                    tel.hold(cyc, smp.index)
+                if trc is not None:
+                    trc.hold(cyc, smp.index)
             elif mode == "stall" and conflict_stage2(smp.s_next, (in_s3, wb)):
                 self.reg12.hold()
                 st.c_stall_cycles.value += 1
                 st.c_hazard_stall_cycles.value += 1
-                if tel is not None:
-                    tel.stall(cyc, "S2", smp.index)
+                if trc is not None:
+                    trc.stall(cyc, "S2", smp.index)
             else:
                 if forward:
                     hits_q = fix_operand_q(smp, (wb, s3_out))
@@ -364,12 +382,15 @@ class QTAccelPipeline:
                     self._pending_behavior = None if smp.terminal_next else sel.action
                 self.reg23.stage(smp)
                 s2_fired = True
+                if trc is not None:
+                    trc.select(cyc, smp.index)
                 if tel is not None:
-                    tel.select(cyc, smp.index)
                     if view.hits_q:
                         tel.forward(cyc, "S2", "view_q", smp.index, view.hits_q)
                     if view.hits_qmax:
                         tel.forward(cyc, "S2", "view_qmax", smp.index, view.hits_qmax)
+        if stamps is not None:
+            stamps.append(perf_counter())
 
         # ---------------- Stage 1: issue ---------------- #
         s1_active = False
@@ -389,8 +410,8 @@ class QTAccelPipeline:
             if mode == "stall" and conflict_stage1(state, (in_s2, in_s3, wb)):
                 st.c_stall_cycles.value += 1
                 st.c_hazard_stall_cycles.value += 1
-                if tel is not None:
-                    tel.stall(cyc, "S1", -1)
+                if trc is not None:
+                    trc.stall(cyc, "S1", -1)
             else:
                 self._latched_issue = None
                 forwarded = None
@@ -425,8 +446,9 @@ class QTAccelPipeline:
                 smp.r = T.read_reward(state, action)
                 self.reg12.stage(smp)
                 st.c_issued.value += 1
+                if trc is not None:
+                    trc.issue(cyc, smp.index)
                 if tel is not None:
-                    tel.issue(cyc, smp.index)
                     if view.hits_q:
                         tel.forward(cyc, "S1", "view_q", smp.index, view.hits_q)
                     if view.hits_qmax:
@@ -436,9 +458,21 @@ class QTAccelPipeline:
                     st.c_episodes.value += 1
                 else:
                     self.arch_state = s_next
+        if stamps is not None:
+            stamps.append(perf_counter())
+            timer.commit(stamps)
 
         if tel is not None:
-            tel.occupancy(s1_active, in_s2 is not None, in_s3 is not None, wb is not None)
+            # Inlined tel.occupancy(...): one method call per cycle is
+            # measurable against the counters-only overhead budget.
+            if s1_active:
+                tel.occ_s1.value += 1
+            if in_s2 is not None:
+                tel.occ_s2.value += 1
+            if in_s3 is not None:
+                tel.occ_s3.value += 1
+            if wb is not None:
+                tel.occ_s4.value += 1
 
     def tick(self) -> None:
         """Clock edge: advance registers and commit table writes."""

@@ -126,6 +126,12 @@ def main(argv: list[str] | None = None) -> int:
         if session is not None:
             session.export_profile(tel_dir / f"{eid}.profile.json")
             session.export_chrome_trace(tel_dir / f"{eid}.trace.json")
+            from ..perf.snapshot import snapshot_from_profile, write_snapshot
+
+            write_snapshot(
+                snapshot_from_profile(session.profile(), source=f"experiment:{eid}"),
+                tel_dir / f"{eid}.perf.json",
+            )
             print(f"[telemetry: {tel_dir / (eid + '.profile.json')}]")
     return status
 

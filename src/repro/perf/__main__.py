@@ -1,0 +1,193 @@
+"""CLI for the performance observatory.
+
+Usage::
+
+    python -m repro.perf run                      # next BENCH_<n>.json here
+    python -m repro.perf run --output out.json --repeats 9
+    python -m repro.perf compare BENCH_0.json BENCH_1.json
+    python -m repro.perf report BENCH_1.json
+
+``compare`` exits 0 when the sentinel passes, 1 on a regression, 2 on
+usage errors — the contract the ``perf-regression`` CI job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import BENCH_CASES, measure_stage_attribution, overhead_ratios, run_bench
+from .compare import DEFAULT_K, DEFAULT_REL_TOL, compare_snapshots, render_comparison
+from .snapshot import build_snapshot, load_snapshot, next_bench_path, write_snapshot
+
+
+def _cmd_run(args) -> int:
+    cases = args.cases.split(",") if args.cases else None
+    results = run_bench(
+        cases=cases, repeats=args.repeats, warmup=args.warmup, quick=args.quick
+    )
+    stage = None
+    if not args.no_stages:
+        stage = measure_stage_attribution(
+            samples=400 if args.quick else 4_000, sample_every=args.stage_every
+        )
+    snapshot = build_snapshot(
+        results,
+        config={"repeats": args.repeats, "warmup": args.warmup, "quick": args.quick},
+        overheads=overhead_ratios(results),
+        stage_attribution=stage,
+    )
+    path = args.output if args.output else next_bench_path(".")
+    write_snapshot(snapshot, path)
+    print(render_snapshot(snapshot))
+    print(f"\nsnapshot written to {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    try:
+        base = load_snapshot(args.base)
+        new = load_snapshot(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load snapshot: {exc}", file=sys.stderr)
+        return 2
+    result = compare_snapshots(
+        base, new, rel_tol=args.rel_tol, k=args.k, force_absolute=args.absolute
+    )
+    print(render_comparison(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_report(args) -> int:
+    try:
+        snapshot = load_snapshot(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load snapshot: {exc}", file=sys.stderr)
+        return 2
+    print(render_snapshot(snapshot))
+    return 0
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable rendering of one snapshot."""
+    out = ["== bench snapshot =="]
+    out.append(f"schema: {snapshot.get('schema')}   source: {snapshot.get('source')}")
+    machine = snapshot.get("machine") or {}
+    out.append(
+        "machine: "
+        + " ".join(
+            f"{k}={machine.get(k)}"
+            for k in ("machine", "python", "numpy", "cpu_count")
+        )
+    )
+    header = f"{'case':26s} {'median_s':>10s} {'mad_s':>10s} {'samp/s':>12s} {'cyc/samp':>9s} {'MS/s@189':>9s}"
+    out.append(header)
+    out.append("-" * len(header))
+    for name, case in sorted((snapshot.get("cases") or {}).items()):
+        sec = case.get("seconds") or {}
+        out.append(
+            f"{name:26s} {_fmt(sec.get('median')):>10s} {_fmt(sec.get('mad')):>10s} "
+            f"{_fmt(case.get('samples_per_sec')):>12s} "
+            f"{_fmt(case.get('cycles_per_sample')):>9s} "
+            f"{_fmt(case.get('modelled_msps_at_189mhz')):>9s}"
+        )
+    overheads = snapshot.get("overheads") or {}
+    if overheads:
+        out.append("\noverheads (variant / baseline, per-sample):")
+        for name, entry in sorted(overheads.items()):
+            budget = entry.get("budget")
+            tail = f" (budget {_fmt(budget)})" if budget is not None else " (informational)"
+            out.append(
+                f"  {name}: {_fmt(entry.get('ratio'))} vs {entry.get('baseline')}{tail}"
+            )
+    stage = snapshot.get("stage_attribution")
+    if stage:
+        fr = stage.get("fractions") or {}
+        out.append(
+            f"\nstage wall-time attribution (every {stage.get('sample_every')} cycles, "
+            f"{stage.get('sampled_cycles')} sampled): "
+            + "  ".join(f"{s}={_fmt(fr.get(s))}" for s in ("S1", "S2", "S3", "S4"))
+        )
+    device = snapshot.get("device")
+    if device:
+        out.append("\ndevice model: " + "  ".join(f"{k}={_fmt(v)}" for k, v in sorted(device.items())))
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="QTAccel performance observatory: bench, compare, report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the bench harness and write a snapshot")
+    p_run.add_argument(
+        "--output", metavar="PATH", help="snapshot path (default: next BENCH_<n>.json in .)"
+    )
+    p_run.add_argument("--repeats", type=int, default=7, help="timed repeats per case")
+    p_run.add_argument("--warmup", type=int, default=2, help="untimed warmup runs per case")
+    p_run.add_argument(
+        "--quick", action="store_true", help="tiny workloads (CI smoke / tests)"
+    )
+    p_run.add_argument(
+        "--cases",
+        metavar="A,B,...",
+        help=f"comma-separated subset of: {','.join(sorted(BENCH_CASES))}",
+    )
+    p_run.add_argument(
+        "--stage-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="stage-attribution sampling period in cycles",
+    )
+    p_run.add_argument(
+        "--no-stages", action="store_true", help="skip the stage-attribution pass"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="regression sentinel over two snapshots")
+    p_cmp.add_argument("base", help="baseline snapshot (e.g. BENCH_0.json)")
+    p_cmp.add_argument("new", help="candidate snapshot")
+    p_cmp.add_argument(
+        "--rel-tol",
+        type=float,
+        default=DEFAULT_REL_TOL,
+        help="relative slowdown tolerated before failing",
+    )
+    p_cmp.add_argument(
+        "--k", type=float, default=DEFAULT_K, help="MAD multiplier in the threshold"
+    )
+    p_cmp.add_argument(
+        "--absolute",
+        action="store_true",
+        help="gate wall-clock even across differing machine fingerprints",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_rep = sub.add_parser("report", help="render one snapshot as text")
+    p_rep.add_argument("path", help="snapshot .json")
+    p_rep.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # |head and friends — not an error
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""The regression sentinel: diff two bench snapshots, gate CI.
+
+For every case present in both snapshots the sentinel compares median
+wall-clock with a noise-aware threshold::
+
+    regression  iff  new_median - base_median > max(rel_tol * base_median,
+                                                    k * max(base_mad, new_mad))
+
+``rel_tol`` absorbs run-to-run jitter the MAD underestimates on tiny
+repeat counts; ``k * MAD`` widens the gate when a snapshot admits (via
+its own spread) that its central estimate is soft.  Improvements are
+reported, never fatal.
+
+Wall-clock gating only applies when the two machine fingerprints match
+— a laptop baseline must not fail a CI runner for being a slower
+computer.  Two families gate regardless of machine:
+
+* ``cycles_per_sample`` — deterministic; any increase beyond a strict
+  tolerance is an architectural regression, not noise;
+* overhead ``ratio``s — relative measures taken on one machine, checked
+  against their recorded ``budget`` (the telemetry budget pins the
+  documented <5% claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .snapshot import fingerprints_match
+
+#: Default relative slowdown tolerated before a wall-clock regression.
+DEFAULT_REL_TOL = 0.10
+
+#: Default MAD multiplier in the threshold.
+DEFAULT_K = 4.0
+
+#: Deterministic cycle counts get a much tighter relative gate.
+CYCLES_REL_TOL = 0.01
+
+
+@dataclass
+class Finding:
+    """One sentinel verdict line."""
+
+    kind: str  # "time" | "cycles" | "budget" | "info"
+    case: str
+    verdict: str  # "ok" | "regression" | "improvement" | "skipped"
+    detail: str
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "regression"
+
+
+@dataclass
+class CompareResult:
+    """Everything the CLI renders; ``ok`` drives the exit code."""
+
+    base_source: str
+    new_source: str
+    same_machine: bool
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median_mad(case: dict) -> tuple[Optional[float], float]:
+    sec = case.get("seconds")
+    if not isinstance(sec, dict) or sec.get("median") is None:
+        return None, 0.0
+    return float(sec["median"]), float(sec.get("mad") or 0.0)
+
+
+def compare_snapshots(
+    base: dict,
+    new: dict,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    k: float = DEFAULT_K,
+    force_absolute: bool = False,
+) -> CompareResult:
+    """Run the sentinel over two loaded snapshots."""
+    if rel_tol < 0 or k < 0:
+        raise ValueError("rel_tol and k must be non-negative")
+    same_machine = fingerprints_match(base.get("machine"), new.get("machine"))
+    gate_time = same_machine or force_absolute
+    result = CompareResult(
+        base_source=base.get("source", "?"),
+        new_source=new.get("source", "?"),
+        same_machine=same_machine,
+    )
+    findings = result.findings
+
+    base_cases = base.get("cases", {})
+    new_cases = new.get("cases", {})
+    shared = sorted(set(base_cases) & set(new_cases))
+    for name in sorted(set(base_cases) - set(new_cases)):
+        findings.append(Finding("info", name, "skipped", "case missing from new snapshot"))
+    for name in sorted(set(new_cases) - set(base_cases)):
+        findings.append(Finding("info", name, "skipped", "case new in this snapshot"))
+
+    for name in shared:
+        b, n = base_cases[name], new_cases[name]
+
+        # Wall-clock medians (machine-bound).
+        b_med, b_mad = _median_mad(b)
+        n_med, n_mad = _median_mad(n)
+        if b_med is not None and n_med is not None:
+            if not gate_time:
+                findings.append(
+                    Finding(
+                        "time",
+                        name,
+                        "skipped",
+                        "different machine fingerprint; wall-clock not gated "
+                        "(use --absolute to force)",
+                    )
+                )
+            else:
+                delta = n_med - b_med
+                threshold = max(rel_tol * b_med, k * max(b_mad, n_mad))
+                pct = 100.0 * delta / b_med if b_med else 0.0
+                detail = (
+                    f"median {b_med:.6g}s -> {n_med:.6g}s "
+                    f"({pct:+.1f}%, threshold ±{100.0 * threshold / b_med:.1f}%)"
+                )
+                if delta > threshold:
+                    findings.append(Finding("time", name, "regression", detail))
+                elif -delta > threshold:
+                    findings.append(Finding("time", name, "improvement", detail))
+                else:
+                    findings.append(Finding("time", name, "ok", detail))
+
+        # Cycle counts (deterministic, machine-independent).
+        b_cps, n_cps = b.get("cycles_per_sample"), n.get("cycles_per_sample")
+        if b_cps is not None and n_cps is not None:
+            detail = f"cycles/sample {b_cps:.6g} -> {n_cps:.6g}"
+            if n_cps > b_cps * (1.0 + CYCLES_REL_TOL):
+                findings.append(Finding("cycles", name, "regression", detail))
+            elif n_cps < b_cps * (1.0 - CYCLES_REL_TOL):
+                findings.append(Finding("cycles", name, "improvement", detail))
+            else:
+                findings.append(Finding("cycles", name, "ok", detail))
+
+    # Overhead budgets (relative; machine-independent).
+    new_over = new.get("overheads", {})
+    base_over = base.get("overheads", {})
+    for name in sorted(set(new_over) | set(base_over)):
+        entry = new_over.get(name)
+        if entry is None:
+            findings.append(
+                Finding("budget", name, "skipped", "overhead not measured in new snapshot")
+            )
+            continue
+        ratio = entry.get("ratio")
+        budget = entry.get("budget")
+        if budget is None and name in base_over:
+            budget = base_over[name].get("budget")
+        if ratio is None:
+            findings.append(Finding("budget", name, "skipped", "no ratio recorded"))
+            continue
+        b_ratio = (base_over.get(name) or {}).get("ratio")
+        trend = f" (baseline {b_ratio:.4g})" if b_ratio is not None else ""
+        if budget is None:
+            findings.append(
+                Finding("budget", name, "ok", f"ratio {ratio:.4g}{trend}; informational")
+            )
+        elif ratio > budget:
+            findings.append(
+                Finding(
+                    "budget",
+                    name,
+                    "regression",
+                    f"ratio {ratio:.4g} exceeds budget {budget:.4g}{trend}",
+                )
+            )
+        else:
+            findings.append(
+                Finding("budget", name, "ok", f"ratio {ratio:.4g} within budget {budget:.4g}{trend}")
+            )
+
+    return result
+
+
+def render_comparison(result: CompareResult) -> str:
+    """Human-readable sentinel report."""
+    out = ["== perf sentinel =="]
+    out.append(f"base: {result.base_source}   new: {result.new_source}")
+    out.append(
+        "machine fingerprints match — wall-clock gated"
+        if result.same_machine
+        else "machine fingerprints differ — wall-clock informational only"
+    )
+    width = max((len(f.case) for f in result.findings), default=4)
+    mark = {"ok": " ok ", "regression": "FAIL", "improvement": "GAIN", "skipped": "skip"}
+    for f in result.findings:
+        out.append(f"[{mark[f.verdict]}] {f.kind:7s} {f.case.ljust(width)}  {f.detail}")
+    n_fail = len(result.regressions)
+    out.append(
+        "sentinel: PASS (no regressions)"
+        if result.ok
+        else f"sentinel: FAIL ({n_fail} regression{'s' if n_fail != 1 else ''})"
+    )
+    return "\n".join(out)

@@ -1,0 +1,91 @@
+"""Sampled per-stage wall-time attribution for the cycle pipeline.
+
+The cycle-accurate :class:`~repro.core.pipeline.QTAccelPipeline`
+evaluates its four stages S4..S1 inside one Python call per cycle;
+cycle *counts* say nothing about which stage burns the simulator's
+wall-clock.  A :class:`StageTimer` timestamps the stage boundaries of
+every Nth cycle and accumulates per-stage seconds, giving a
+stage-occupancy answer ("stage 3's arithmetic is 40% of eval time")
+without paying ``perf_counter`` on every cycle.
+
+Cost discipline matches the telemetry probe: a detached pipeline holds
+``None`` in ``pipe._stage_timer`` and pays one pointer test per cycle;
+the non-sampled cycles of an attached pipeline pay the pointer test
+plus one modulo.  The bench snapshot's ``stage_attribution`` section is
+produced by :func:`repro.perf.bench.measure_stage_attribution`.
+"""
+
+from __future__ import annotations
+
+#: Stage keys in pipeline evaluation order (S4 first — see
+#: QTAccelPipeline.eval); ``issue`` time is attributed to S1.
+STAGE_KEYS = ("S4", "S3", "S2", "S1")
+
+
+class StageTimer:
+    """Accumulates sampled stage-boundary timings for one pipeline.
+
+    Attach with :meth:`attach` (or construct the pipeline and assign
+    ``pipe._stage_timer``); the pipeline calls :meth:`armed` once per
+    cycle and, on armed cycles, hands the five boundary timestamps to
+    :meth:`commit`.
+    """
+
+    __slots__ = ("sample_every", "seconds", "sampled_cycles")
+
+    def __init__(self, sample_every: int = 64):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.seconds = {k: 0.0 for k in STAGE_KEYS}
+        self.sampled_cycles = 0
+
+    def attach(self, pipe) -> "StageTimer":
+        """Install this timer on ``pipe`` and return it."""
+        pipe._stage_timer = self
+        return self
+
+    def armed(self, cycle: int) -> bool:
+        """Is ``cycle`` one of the sampled cycles?"""
+        return cycle % self.sample_every == 0
+
+    def commit(self, stamps) -> None:
+        """Record one sampled cycle's boundary timestamps.
+
+        ``stamps`` is the 5-element ``perf_counter`` list the pipeline
+        collected: before S4, after S4, after S3, after S2, after S1.
+        """
+        sec = self.seconds
+        for i, key in enumerate(STAGE_KEYS):
+            sec[key] += stamps[i + 1] - stamps[i]
+        self.sampled_cycles += 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-stage share of sampled eval time, S1..S4 keyed."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {k: 0.0 for k in STAGE_KEYS}
+        return {k: self.seconds[k] / total for k in STAGE_KEYS}
+
+    def summary(self) -> dict:
+        """JSON-ready section for the bench snapshot."""
+        return {
+            "sample_every": self.sample_every,
+            "sampled_cycles": self.sampled_cycles,
+            "seconds": dict(self.seconds),
+            "fractions": self.fractions(),
+        }
+
+    def reset(self) -> None:
+        self.seconds = {k: 0.0 for k in STAGE_KEYS}
+        self.sampled_cycles = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"StageTimer(every={self.sample_every}, "
+            f"sampled={self.sampled_cycles})"
+        )

@@ -276,6 +276,8 @@ class FleetSupervisor:
         from ..telemetry.session import current_session
 
         session = telemetry if telemetry is not None else current_session()
+        #: Session pulsed once per chunk attempt for live-metrics export.
+        self._session = session
         if session is not None:
             self._group = session.group("supervisor")
             session.attach(self, "supervisor")
@@ -332,6 +334,8 @@ class FleetSupervisor:
                     self.lanes.run_chunk(n, self._active_mask())
                 if self.on_chunk is not None:
                     self.on_chunk(attempt, chunk_index)
+                if self._session is not None:
+                    self._session.pulse()
                 bad = self._unhealthy()
                 if not bad:
                     break

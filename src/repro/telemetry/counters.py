@@ -181,6 +181,11 @@ class CounterRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
+    def instruments(self) -> list[Union[Counter, Gauge, Histogram]]:
+        """Every registered instrument, sorted by name (typed view for
+        exporters that must distinguish counter/gauge/histogram)."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
     def as_dict(self) -> dict:
         """Flat ``{dotted.name: value-or-summary}`` snapshot, sorted."""
         out: dict = {}
@@ -253,6 +258,9 @@ class NullRegistry:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def names(self) -> list[str]:
+        return []
+
+    def instruments(self) -> list:
         return []
 
     def as_dict(self) -> dict:

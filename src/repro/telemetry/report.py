@@ -5,6 +5,11 @@ Usage::
     python -m repro.telemetry.report run.profile.json
     python -m repro.telemetry.report run.trace.json      # event counts
     python -m repro.telemetry.report run.profile.json --counters
+    python -m repro.telemetry.report old.profile.json new.profile.json
+
+With two profiles the report becomes a per-counter delta table (new
+minus old, with percentages), for eyeballing what a change did to the
+forwarding-path and stall counters between two runs.
 """
 
 from __future__ import annotations
@@ -92,6 +97,55 @@ def render_profile(profile: dict, *, show_counters: bool = False) -> str:
     return "\n".join(out)
 
 
+def render_profile_delta(base: dict, new: dict) -> str:
+    """Per-counter deltas between two profile dicts (``new - base``).
+
+    Histogram counters (dict-valued) are skipped; counters present in
+    only one profile render with ``-`` on the missing side.
+    """
+    b_counters = {
+        k: v for k, v in base.get("counters", {}).items() if not isinstance(v, dict)
+    }
+    n_counters = {
+        k: v for k, v in new.get("counters", {}).items() if not isinstance(v, dict)
+    }
+    out = ["== telemetry profile delta =="]
+    b_tot, n_tot = base.get("totals", {}), new.get("totals", {})
+    out.append(
+        f"cycles  {b_tot.get('cycles', 0)} -> {n_tot.get('cycles', 0)}   "
+        f"retired {b_tot.get('retired', 0)} -> {n_tot.get('retired', 0)}   "
+        f"ipc {_fmt(b_tot.get('ipc', 0.0))} -> {_fmt(n_tot.get('ipc', 0.0))}"
+    )
+    rows = []
+    changed = 0
+    for key in sorted(set(b_counters) | set(n_counters)):
+        old, cur = b_counters.get(key), n_counters.get(key)
+        if old == cur:
+            continue
+        changed += 1
+        if old is None or cur is None:
+            delta, pct = "-", "-"
+        else:
+            delta = _fmt(cur - old)
+            pct = f"{100.0 * (cur - old) / old:+.1f}%" if old else "-"
+        rows.append(
+            (
+                key,
+                _fmt(old) if old is not None else "-",
+                _fmt(cur) if cur is not None else "-",
+                delta,
+                pct,
+            )
+        )
+    if rows:
+        out.append(_rows(rows, ("counter", "old", "new", "delta", "pct")))
+    unchanged = len(set(b_counters) & set(n_counters)) - sum(
+        1 for k in b_counters if k in n_counters and b_counters[k] != n_counters[k]
+    )
+    out.append(f"{changed} counter(s) differ, {unchanged} unchanged")
+    return "\n".join(out)
+
+
 def render_chrome_trace(trace: dict) -> str:
     """Event-count digest of a Chrome trace_event file."""
     by_kind: dict[str, int] = {}
@@ -121,17 +175,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("path", help="profile .json (or Chrome trace .json)")
     parser.add_argument(
+        "other",
+        nargs="?",
+        help="second profile .json: print per-counter deltas (other - path)",
+    )
+    parser.add_argument(
         "--counters", action="store_true", help="also dump every raw counter"
     )
     args = parser.parse_args(argv)
+    data_by_path = {}
+    for path in filter(None, (args.path, args.other)):
+        try:
+            with open(path) as fh:
+                data_by_path[path] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    data = data_by_path[args.path]
     try:
-        with open(args.path) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
-        return 2
-    try:
-        if "traceEvents" in data:
+        if args.other is not None:
+            other = data_by_path[args.other]
+            if "traceEvents" in data or "traceEvents" in other:
+                print("delta mode needs two profile files, not traces", file=sys.stderr)
+                return 2
+            print(render_profile_delta(data, other))
+        elif "traceEvents" in data:
             print(render_chrome_trace(data))
         else:
             print(render_profile(data, show_counters=args.counters))

@@ -192,6 +192,10 @@ class TelemetrySession:
         self._names: set[str] = set()
         self._seen_ids: dict[int, str] = {}
         self._device: Optional[tuple[object, int, Optional[int]]] = None
+        #: Live-export hooks (see :mod:`repro.perf.metrics_export`):
+        #: long-running engines call :meth:`pulse` inside their run
+        #: loops; each registered emitter rate-limits itself.
+        self._emitters: list = []
 
     # ------------------------------------------------------------------ #
     # Ambient activation
@@ -253,6 +257,26 @@ class TelemetrySession:
     def group(self, name: str) -> CounterGroup:
         """A namespaced counter group for counter-only engines."""
         return CounterGroup(self.registry, self._unique(name))
+
+    # ------------------------------------------------------------------ #
+    # Live export (mid-flight scraping)
+    # ------------------------------------------------------------------ #
+
+    def add_emitter(self, emitter) -> None:
+        """Register a live-metrics emitter (an object with
+        ``maybe_emit(session)``, e.g.
+        :class:`repro.perf.metrics_export.JsonlEmitter`)."""
+        self._emitters.append(emitter)
+
+    def pulse(self) -> None:
+        """Offer every registered emitter a chance to emit.
+
+        Engines call this inside their run loops (the shared and batch
+        fleets, the fleet supervisor); with no emitters registered it is
+        one empty-list iteration, so the hook is safe on hot-ish paths.
+        """
+        for emitter in self._emitters:
+            emitter.maybe_emit(self)
 
     def record_device(
         self,
