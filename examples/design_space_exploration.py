@@ -12,7 +12,7 @@ Run:  python examples/design_space_exploration.py
 """
 
 from repro.baseline import baseline_max_states, baseline_throughput_msps
-from repro.core import FunctionalSimulator, QTAccelConfig
+from repro.core import QTAccelConfig, make_engine
 from repro.core.metrics import convergence_report
 from repro.device import (
     PARTS,
@@ -62,7 +62,7 @@ def wordlen_study() -> None:
     for wordlen, frac in ((8, 2), (12, 4), (16, 6), (24, 12)):
         fmt = FxpFormat(wordlen=wordlen, frac=frac)
         cfg = QTAccelConfig.qlearning(seed=7, q_format=fmt)
-        sim = FunctionalSimulator(mdp, cfg)
+        sim = make_engine(cfg, mdp=mdp)  # engine="functional" default
         sim.run(150_000)
         rep = convergence_report(mdp, sim.q_float(), gamma=cfg.gamma, samples=150_000)
         big = estimate_resources(262144, 8, cfg)

@@ -29,11 +29,24 @@ Quickstart::
     acc.run(500_000)
     print(acc.convergence())
     print(acc.throughput_estimate().msps, "MS/s")
+
+Lower-level engines (functional, cycle-accurate pipeline, lane-stacked
+fleets) are all constructed through one facade — see ``docs/api.md``::
+
+    from repro import make_engine
+
+    sim = make_engine(config, mdp=mdp)                       # functional
+    fleet = make_engine(config, engine="batch", mdps=mdp, num_agents=256)
 """
 
 __version__ = "0.1.0"
 
+from .core.engine import ENGINE_KINDS, Engine, make_engine
+
 __all__ = [
+    "Engine",
+    "ENGINE_KINDS",
+    "make_engine",
     "core",
     "rtl",
     "fixedpoint",

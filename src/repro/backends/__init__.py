@@ -1,0 +1,44 @@
+"""Fleet execution backends: the same learners, different array programs.
+
+``n_lanes`` independent QTAccel learners can be advanced by either of
+two interchangeable backends (see :mod:`repro.backends.base` for the
+shared :class:`FleetBackend` surface):
+
+* ``"vectorized"`` (default) — :class:`VectorizedFleetBackend`, lanes
+  as numpy array programs (the software analogue of Fig. 9's replicated
+  pipelines; 1-2 orders of magnitude faster);
+* ``"scalar"`` — :class:`ScalarFleetBackend`, a pure-Python loop of
+  per-lane functional simulators (the reference baseline).
+
+Both are bit-identical per lane to a scalar
+:class:`~repro.core.functional.FunctionalSimulator` with the same salt.
+Select one via :func:`make_fleet_backend`,
+``BatchIndependentSimulator(..., backend=...)`` or
+``repro.make_engine(..., engine="batch"|"vectorized")``.
+"""
+
+from .base import (
+    BatchStats,
+    FleetBackend,
+    FleetSpec,
+    FleetStats,
+    fleet_backends,
+    make_fleet_backend,
+    normalize_fleet,
+    resolve_fleet_backend,
+)
+from .scalar import ScalarFleetBackend
+from .vectorized import VectorizedFleetBackend
+
+__all__ = [
+    "BatchStats",
+    "FleetBackend",
+    "FleetSpec",
+    "FleetStats",
+    "ScalarFleetBackend",
+    "VectorizedFleetBackend",
+    "fleet_backends",
+    "make_fleet_backend",
+    "normalize_fleet",
+    "resolve_fleet_backend",
+]

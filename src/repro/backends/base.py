@@ -1,0 +1,207 @@
+"""Shared surface of the fleet backends.
+
+A *fleet backend* runs ``n_lanes`` independent QTAccel learners — one
+Q/Qmax table set, one LFSR triple and one architectural latch set per
+lane — behind one lane-oriented interface.  Two implementations exist:
+
+* :class:`~repro.backends.vectorized.VectorizedFleetBackend` — the
+  array program: every per-sample quantity is a length-``n_lanes``
+  numpy vector and the 4-multiplier update rule is applied lane-parallel
+  per lock-step step (the software analogue of the paper's Fig. 9
+  replicated pipelines);
+* :class:`~repro.backends.scalar.ScalarFleetBackend` — a pure-Python
+  loop of per-lane :class:`~repro.core.functional.FunctionalSimulator`
+  instances (Da Silva-style "no batching"), kept as the reference
+  baseline the throughput benches compare against.
+
+Both are **bit-identical per lane** to a scalar functional simulator
+seeded with the same salt — draws, lag semantics, Qmax rules and
+fixed-point arithmetic included (asserted by the test suite) — so the
+backend choice is purely a throughput decision.
+
+This module owns what the implementations share: the fleet-environment
+normalisation/validation, the :class:`BatchStats` counters, the
+:class:`FleetBackend` protocol, and the name registry behind
+``BatchIndependentSimulator(..., backend=...)`` and
+:func:`repro.core.engine.make_engine`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.runstats import RunStatsContract
+from ..envs.base import DenseMdp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import QTAccelConfig
+
+
+@dataclass
+class BatchStats(RunStatsContract):
+    """Aggregate counters of a fleet run (any backend)."""
+
+    agents: int = 0
+    samples_per_agent: int = 0
+    episodes: int = 0
+    exploits: int = 0
+    explores: int = 0
+
+    @property
+    def samples(self) -> int:
+        """Total updates retired across the fleet (the shared contract)."""
+        return self.agents * self.samples_per_agent
+
+    @property
+    def total_samples(self) -> int:
+        """Deprecated spelling of :attr:`samples`."""
+        warnings.warn(
+            "BatchStats.total_samples is deprecated; use BatchStats.samples",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.samples
+
+
+#: Alias under the fleet vocabulary; ``BatchStats`` stays the canonical
+#: name (checkpoints serialise its field dict).
+FleetStats = BatchStats
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Validated, normalised fleet construction inputs."""
+
+    mdps: tuple[DenseMdp, ...]
+    homogeneous: bool
+    salts: np.ndarray  # (n_lanes,) int64
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.mdps)
+
+    @property
+    def num_states(self) -> int:
+        return self.mdps[0].num_states
+
+    @property
+    def num_actions(self) -> int:
+        return self.mdps[0].num_actions
+
+
+def normalize_fleet(
+    mdps: "DenseMdp | Sequence[DenseMdp]",
+    *,
+    n_lanes: int | None = None,
+    salts: Sequence[int] | None = None,
+) -> FleetSpec:
+    """Validate fleet inputs into a :class:`FleetSpec`.
+
+    Accepts either one shared world (requires ``n_lanes``) or a sequence
+    of same-shaped worlds (one per lane).  ``salts`` defaults to
+    ``range(n_lanes)`` — lane ``k`` then matches a scalar simulator built
+    with ``PolicyDraws.from_config(config, salt=k)``.
+    """
+    if isinstance(mdps, DenseMdp):
+        if n_lanes is None:
+            raise ValueError("num_agents is required with a single shared world")
+        fleet = (mdps,) * n_lanes
+        homogeneous = True
+    else:
+        fleet = tuple(mdps)
+        if n_lanes is not None and n_lanes != len(fleet):
+            raise ValueError("num_agents contradicts the mdps list")
+        homogeneous = False
+    if not fleet:
+        raise ValueError("need at least one agent")
+    k = len(fleet)
+    shape = (fleet[0].num_states, fleet[0].num_actions)
+    if any((m.num_states, m.num_actions) != shape for m in fleet):
+        raise ValueError("all agent worlds must share (|S|, |A|)")
+    n_starts = len(fleet[0].start_states)
+    if any(len(m.start_states) != n_starts for m in fleet):
+        raise ValueError(
+            "all agent worlds must have equally many start states "
+            "(the start draw reduces modulo that count)"
+        )
+    if salts is None:
+        salts = range(k)
+    salt_arr = np.asarray(list(salts), dtype=np.int64)
+    if salt_arr.size != k:
+        raise ValueError("need one salt per agent")
+    return FleetSpec(mdps=fleet, homogeneous=homogeneous, salts=salt_arr)
+
+
+@runtime_checkable
+class FleetBackend(Protocol):
+    """The lane-oriented interface both fleet backends implement.
+
+    Attribute vocabulary (kept from the original batch engine so lane
+    adapters like :class:`repro.robustness.checkpoint.BatchLanes` work
+    on either backend): ``K`` lanes over ``S`` states x ``A`` actions,
+    with ``q``/``qmax``/``qmax_action`` exposed as stacked per-lane
+    arrays of shape ``(K, S*A)`` / ``(K, S)`` / ``(K, S)``.
+    """
+
+    K: int
+    S: int
+    A: int
+    stats: BatchStats
+
+    def step(self) -> None: ...
+
+    def run(self, samples_per_agent: int) -> BatchStats: ...
+
+    def state_dict(self) -> dict: ...
+
+    def load_state_dict(self, state: dict) -> None: ...
+
+    def lane_state(self, k: int, state: dict | None = None) -> dict: ...
+
+    def load_lane_state(self, k: int, lane: dict) -> None: ...
+
+    def q_float(self, agent: int) -> np.ndarray: ...
+
+    def q_float_all(self) -> np.ndarray: ...
+
+    def telemetry_snapshot(self) -> dict: ...
+
+
+def fleet_backends() -> dict[str, type]:
+    """Name -> class registry of the available fleet backends."""
+    from .scalar import ScalarFleetBackend
+    from .vectorized import VectorizedFleetBackend
+
+    return {
+        "vectorized": VectorizedFleetBackend,
+        "scalar": ScalarFleetBackend,
+    }
+
+
+def resolve_fleet_backend(name: str) -> type:
+    """Look one backend class up by name, with a helpful error."""
+    registry = fleet_backends()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fleet backend {name!r}; choose one of {sorted(registry)}"
+        ) from None
+
+
+def make_fleet_backend(
+    mdps: "DenseMdp | Sequence[DenseMdp]",
+    config: "QTAccelConfig",
+    *,
+    backend: str = "vectorized",
+    num_agents: int | None = None,
+    salts: Sequence[int] | None = None,
+    telemetry=None,
+) -> FleetBackend:
+    """Construct a fleet backend by name (the functional entry point)."""
+    cls = resolve_fleet_backend(backend)
+    return cls(mdps, config, num_agents=num_agents, salts=salts, telemetry=telemetry)

@@ -1,0 +1,342 @@
+"""Vectorised NumPy fleet backend: ``n_lanes`` learners as one array program.
+
+The Fig. 9 deployment — N pipelines, each learning its own Q table —
+is embarrassingly parallel, which in numpy terms means every per-sample
+quantity becomes a length-``n_lanes`` *lane* vector: LFSR banks step
+``n_lanes`` registers in three ops, table reads are fancy-indexed
+gathers, write-backs are per-lane-row scatters (no conflicts: each lane
+owns its row), and the 4-multiplier fixed-point update rule
+``(1 - a)*Q + a*R + a*g*Qmax[s']`` runs through the same integer array
+kernel the scalar simulators use — fixed-point configs therefore come
+for free via int64 dtype arithmetic.
+
+Bit-fidelity is the design constraint, not an afterthought: lane ``k``
+of a :class:`VectorizedFleetBackend` seeded with ``salts[k]`` produces
+exactly the trajectory of a scalar
+:class:`~repro.core.functional.FunctionalSimulator` built with
+``PolicyDraws.from_config(config, salt=salts[k])`` — draws, lag
+semantics, Qmax rules and all (asserted by the test suite).  That makes
+this backend a drop-in for large fleet studies at 1-2 orders of
+magnitude the scalar throughput (see the ``fleet_throughput`` bench).
+
+Lanes may share one world (ensemble training on the same map) or each
+own a same-shaped world (the partitioned tiles of
+:func:`repro.envs.multi_agent.partition_grid`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import QTAccelConfig
+from ..core.policies import egreedy_cut
+from ..envs.base import DenseMdp
+from ..fixedpoint import ops
+from ..rtl.lfsr_batch import LfsrBank
+from ..rtl.rng import DECIMATION
+from .base import BatchStats, normalize_fleet
+
+_I64 = np.int64
+
+
+class VectorizedFleetBackend:
+    """``n_lanes`` independent QTAccel learners, advanced in vectorised
+    lock-step (Q tables stacked ``(n_lanes, |S|, |A|)``, Qmax
+    ``(n_lanes, |S|)``)."""
+
+    #: Name this engine attaches under in a telemetry session profile.
+    _TELEMETRY_NAME = "batch"
+
+    def __init__(
+        self,
+        mdps: "DenseMdp | Sequence[DenseMdp]",
+        config: QTAccelConfig,
+        *,
+        num_agents: int | None = None,
+        salts: Sequence[int] | None = None,
+        telemetry=None,
+    ):
+        spec = normalize_fleet(mdps, n_lanes=num_agents, salts=salts)
+        self.mdps = list(spec.mdps)
+        self._homogeneous = spec.homogeneous
+        k = spec.n_lanes
+
+        self.config = config
+        self.K = k
+        self.S, self.A = spec.num_states, spec.num_actions
+        qf = config.q_format
+        n_starts = len(self.mdps[0].start_states)
+
+        # Stacked environment tables: (K, S, A) transitions/rewards and
+        # (K, S) terminal flags.  Homogeneous fleets broadcast one copy.
+        if self._homogeneous:
+            base = self.mdps[0]
+            self._next = np.broadcast_to(base.next_state, (k, self.S, self.A))
+            self._rewards = np.broadcast_to(
+                ops.quantize_array(base.rewards, qf), (k, self.S, self.A)
+            )
+            self._terminal = np.broadcast_to(base.terminal, (k, self.S))
+            self._starts = np.broadcast_to(base.start_states, (k, n_starts))
+        else:
+            self._next = np.stack([m.next_state for m in self.mdps])
+            self._rewards = np.stack([ops.quantize_array(m.rewards, qf) for m in self.mdps])
+            self._terminal = np.stack([m.terminal for m in self.mdps])
+            self._starts = np.stack([m.start_states for m in self.mdps])
+
+        # Learner state: per-lane Q / Qmax / argmax tables.
+        q_init = qf.quantize(config.q_init)
+        self.q = np.full((k, self.S * self.A), q_init, dtype=_I64)
+        self.qmax = np.full((k, self.S), q_init, dtype=_I64)
+        self.qmax_action = np.zeros((k, self.S), dtype=_I64)
+
+        # LFSR banks seeded exactly like PolicyDraws.from_config(salt=..).
+        base_seed = config.seed + spec.salts * 0x9E37
+        w = config.lfsr_width
+        self._bank_start = LfsrBank(w, base_seed + 0x11)
+        self._bank_action = LfsrBank(w, base_seed + 0x22)
+        self._bank_policy = LfsrBank(w, base_seed + 0x33)
+        self._egreedy_cut = _I64(egreedy_cut(config.epsilon, w))
+
+        (self._alpha, _, self._one_minus_alpha, self._alpha_gamma) = config.coefficients()
+
+        # Architectural lane state (-1 sentinels = "none").
+        self._arch_state = np.full(k, -1, dtype=_I64)
+        self._forwarded = np.full(k, -1, dtype=_I64)
+        # Lag view of the most recent write (SARSA restart reads).
+        self._prev_pair = np.full(k, -1, dtype=_I64)
+        self._prev_state = np.full(k, -1, dtype=_I64)
+        self._prev_q = np.zeros(k, dtype=_I64)
+        self._prev_qmax = np.zeros(k, dtype=_I64)
+        self._prev_qmax_action = np.zeros(k, dtype=_I64)
+
+        self.stats = BatchStats(agents=k)
+        self._rows = np.arange(k)
+        #: Optional :class:`repro.robustness.guards.DivergenceGuard`
+        #: observing every lock-step update vector (None = fast path).
+        self.guard = None
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        #: Session pulsed once per lock-step step for live-metrics export.
+        self._session = session
+        if session is not None:
+            session.attach(self, self._TELEMETRY_NAME)
+
+    @property
+    def n_lanes(self) -> int:
+        """Lane count (alias of the historical ``K``)."""
+        return self.K
+
+    def telemetry_snapshot(self) -> dict:
+        """Fleet-level counters for a telemetry profile."""
+        return {
+            "agents": self.K,
+            "states": self.S,
+            "actions": self.A,
+            "samples_per_agent": self.stats.samples_per_agent,
+            "total_samples": self.stats.samples,
+            "episodes": self.stats.episodes,
+            "exploits": self.stats.exploits,
+            "explores": self.stats.explores,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Draw helpers (exactly the scalar UniformSource reductions)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _reduce(states: np.ndarray, m: int) -> np.ndarray:
+        if m & (m - 1) == 0:
+            return states & (m - 1)
+        return states % m
+
+    # ------------------------------------------------------------------ #
+    # One lock-step sample for every lane
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        cfg = self.config
+        rows = self._rows
+        on_policy = cfg.is_on_policy
+        A = self.A
+
+        # ---- stage-1 equivalent: state + behaviour action ---- #
+        restart = self._arch_state < 0
+        start_states = self._reduce(
+            self._bank_start.draw_where(restart, DECIMATION), self._starts.shape[1]
+        )
+        state = np.where(restart, self._starts[rows, start_states], self._arch_state)
+
+        if cfg.behavior_policy == "random":
+            action = self._reduce(self._bank_action.draw_all(DECIMATION), A)
+        else:
+            # SARSA: forwarded action, except at restarts where a fresh
+            # e-greedy draw happens against the *lagged* table view.
+            u = self._bank_policy.draw_where(restart, DECIMATION)
+            exploit_b = u < self._egreedy_cut
+            lag_hit = state == self._prev_state
+            qmax_act = np.where(
+                lag_hit, self._prev_qmax_action, self.qmax_action[rows, state]
+            )
+            explore_act = self._reduce(u, A)
+            fresh = np.where(exploit_b, qmax_act, explore_act)
+            action = np.where(restart, fresh, self._forwarded)
+
+        pair = state * A + action
+        s_next = self._next[rows, state, action].astype(_I64)
+        terminal_next = self._terminal[rows, s_next]
+        q_sa = self.q[rows, pair]
+        r = self._rewards[rows, state, action]
+
+        # ---- stage-2 equivalent: update policy ---- #
+        if cfg.update_policy == "greedy":
+            q_next = self.qmax[rows, s_next]
+            a_next = self.qmax_action[rows, s_next]
+            self.stats.exploits += self.K
+        else:
+            u = self._bank_policy.draw_all(DECIMATION)
+            exploit = u < self._egreedy_cut
+            explore_act = self._reduce(u, A)
+            a_next = np.where(exploit, self.qmax_action[rows, s_next], explore_act)
+            q_next = np.where(
+                exploit,
+                self.qmax[rows, s_next],
+                self.q[rows, s_next * A + explore_act],
+            )
+            n_exploit = int(exploit.sum())
+            self.stats.exploits += n_exploit
+            self.stats.explores += self.K - n_exploit
+        q_next = np.where(terminal_next, _I64(0), q_next)
+
+        # ---- stage-3 equivalent: the shared datapath kernel ---- #
+        q_new = ops.q_update(
+            q_sa,
+            r,
+            q_next,
+            alpha=self._alpha,
+            one_minus_alpha=self._one_minus_alpha,
+            alpha_gamma=self._alpha_gamma,
+            coef_fmt=cfg.coef_format,
+            q_fmt=cfg.q_format,
+        )
+        if self.guard is not None:
+            self.guard.observe_array(q_new, cfg.q_format)
+
+        # ---- stage-4 equivalent: write-back + Qmax rule ---- #
+        self._prev_pair[:] = pair
+        self._prev_state[:] = state
+        self._prev_q[:] = q_sa
+        self._prev_qmax[:] = self.qmax[rows, state]
+        self._prev_qmax_action[:] = self.qmax_action[rows, state]
+
+        self.q[rows, pair] = q_new
+        mode = cfg.qmax_mode
+        if mode == "exact":
+            rows_q = self.q.reshape(self.K, self.S, self.A)[rows, state]
+            best = np.argmax(rows_q, axis=1)
+            self.qmax[rows, state] = rows_q[rows, best]
+            self.qmax_action[rows, state] = best
+        else:
+            cur_val = self.qmax[rows, state]
+            cur_act = self.qmax_action[rows, state]
+            if mode == "monotonic":
+                upd = q_new > cur_val
+            else:  # follow
+                upd = (action == cur_act) | (q_new > cur_val)
+            self.qmax[rows, state] = np.where(upd, q_new, cur_val)
+            self.qmax_action[rows, state] = np.where(upd, action, cur_act)
+
+        self.stats.episodes += int(terminal_next.sum())
+        self._arch_state = np.where(terminal_next, _I64(-1), s_next)
+        if on_policy:
+            self._forwarded = np.where(terminal_next, _I64(-1), a_next)
+
+    def run(self, samples_per_agent: int) -> BatchStats:
+        """Advance every lane by ``samples_per_agent`` updates."""
+        if samples_per_agent < 0:
+            raise ValueError("samples_per_agent must be non-negative")
+        session = self._session
+        for _ in range(samples_per_agent):
+            self.step()
+            if session is not None:
+                session.pulse()
+        self.stats.samples_per_agent += samples_per_agent
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (see repro.robustness.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    #: (array attribute, checkpoint key) pairs of the lane-vector state.
+    _STATE_ARRAYS = (
+        ("q", "q"),
+        ("qmax", "qmax"),
+        ("qmax_action", "qmax_action"),
+        ("_arch_state", "arch_state"),
+        ("_forwarded", "forwarded"),
+        ("_prev_pair", "prev_pair"),
+        ("_prev_state", "prev_state"),
+        ("_prev_q", "prev_q"),
+        ("_prev_qmax", "prev_qmax"),
+        ("_prev_qmax_action", "prev_qmax_action"),
+    )
+
+    def state_dict(self) -> dict:
+        """Full fleet checkpoint: every lane vector plus the three LFSR
+        banks and the aggregate stats.  Restoring and re-running replays
+        the exact lock-step trajectory (the engine is deterministic)."""
+        state = {key: getattr(self, attr).copy() for attr, key in self._STATE_ARRAYS}
+        state["lfsr"] = {
+            "start": self._bank_start.states.copy(),
+            "action": self._bank_action.states.copy(),
+            "policy": self._bank_policy.states.copy(),
+        }
+        state["stats"] = vars(self.stats).copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        for attr, key in self._STATE_ARRAYS:
+            getattr(self, attr)[:] = state[key]
+        self._bank_start.states[:] = state["lfsr"]["start"]
+        self._bank_action.states[:] = state["lfsr"]["action"]
+        self._bank_policy.states[:] = state["lfsr"]["policy"]
+        for key, value in state["stats"].items():
+            setattr(self.stats, key, value)
+
+    def lane_state(self, k: int, state: dict | None = None) -> dict:
+        """Lane ``k``'s slice of a fleet checkpoint (default: a fresh
+        :meth:`state_dict`), for per-lane rollback."""
+        if state is None:
+            state = self.state_dict()
+        out = {key: state[key][k].copy() for _, key in self._STATE_ARRAYS}
+        out["lfsr"] = {name: int(bank[k]) for name, bank in state["lfsr"].items()}
+        return out
+
+    def load_lane_state(self, k: int, lane: dict) -> None:
+        """Restore one lane from a :meth:`lane_state` slice, leaving the
+        other lanes (and the aggregate stats) untouched."""
+        for attr, key in self._STATE_ARRAYS:
+            getattr(self, attr)[k] = lane[key]
+        self._bank_start.states[k] = lane["lfsr"]["start"]
+        self._bank_action.states[k] = lane["lfsr"]["action"]
+        self._bank_policy.states[k] = lane["lfsr"]["policy"]
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    def q_float(self, agent: int) -> np.ndarray:
+        """Lane ``agent``'s Q table as floats, ``(S, A)``."""
+        return ops.to_float_array(
+            self.q[agent].reshape(self.S, self.A), self.config.q_format
+        )
+
+    def q_float_all(self) -> np.ndarray:
+        """All Q tables, ``(n_lanes, S, A)``."""
+        return ops.to_float_array(
+            self.q.reshape(self.K, self.S, self.A), self.config.q_format
+        )

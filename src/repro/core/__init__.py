@@ -14,6 +14,7 @@ from .accelerator import (
     SarsaAccelerator,
 )
 from .config import HAZARD_MODES, QMAX_MODES, QTAccelConfig
+from .engine import ENGINE_KINDS, Engine, make_engine
 from .functional import FunctionalSimulator, FunctionalStats
 from .hazards import ForwardingView, Sample
 from .metrics import (
@@ -55,6 +56,9 @@ from .tables import AcceleratorTables, apply_qmax_rule
 
 __all__ = [
     "QTAccelConfig",
+    "Engine",
+    "ENGINE_KINDS",
+    "make_engine",
     "HAZARD_MODES",
     "QMAX_MODES",
     "QTAccelPipeline",

@@ -10,7 +10,8 @@ consume the same object, so an experiment is fully described by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field, fields, replace
 
 from ..fixedpoint.format import COEF_FORMAT, Q_FORMAT, FxpFormat
 from ..fixedpoint import ops
@@ -69,22 +70,23 @@ class QTAccelConfig:
     def __post_init__(self) -> None:
         if self.behavior_policy not in BEHAVIOR_POLICIES:
             raise ValueError(
-                f"unknown behavior policy {self.behavior_policy!r}; "
+                f"behavior_policy: unknown value {self.behavior_policy!r}; "
                 f"choose one of {BEHAVIOR_POLICIES}"
             )
         if self.update_policy not in UPDATE_POLICIES:
             raise ValueError(
-                f"unknown update policy {self.update_policy!r}; "
+                f"update_policy: unknown value {self.update_policy!r}; "
                 f"choose one of {UPDATE_POLICIES}"
             )
         if self.hazard_mode not in HAZARD_MODES:
             raise ValueError(
-                f"unknown hazard mode {self.hazard_mode!r}; "
+                f"hazard_mode: unknown value {self.hazard_mode!r}; "
                 f"choose one of {HAZARD_MODES}"
             )
         if self.qmax_mode not in QMAX_MODES:
             raise ValueError(
-                f"unknown qmax mode {self.qmax_mode!r}; choose one of {QMAX_MODES}"
+                f"qmax_mode: unknown value {self.qmax_mode!r}; "
+                f"choose one of {QMAX_MODES}"
             )
         for fname in ("alpha", "gamma", "epsilon", "q_init"):
             value = getattr(self, fname)
@@ -197,3 +199,46 @@ class QTAccelConfig:
     def with_(self, **changes) -> "QTAccelConfig":
         """Copy with some fields replaced."""
         return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------- #
+# Keyword-only construction (one-release positional shim)
+# ---------------------------------------------------------------------- #
+
+#: Declared field order, used only to interpret legacy positional calls.
+_FIELD_ORDER = tuple(f.name for f in fields(QTAccelConfig))
+
+_dataclass_init = QTAccelConfig.__init__
+
+
+def _kwonly_init(self, *args, **kw) -> None:
+    """Keyword-only ``QTAccelConfig.__init__``.
+
+    Positional arguments were never self-describing for a 14-field
+    config; they still work for one release, mapped onto the declared
+    field order with a :class:`DeprecationWarning` (allow-listed in the
+    tier-1 ``error::DeprecationWarning`` gate — see pyproject.toml).
+    """
+    if args:
+        if len(args) > len(_FIELD_ORDER):
+            raise TypeError(
+                f"QTAccelConfig takes at most {len(_FIELD_ORDER)} arguments "
+                f"({len(args)} given)"
+            )
+        names = _FIELD_ORDER[: len(args)]
+        warnings.warn(
+            "positional QTAccelConfig arguments are deprecated; pass "
+            f"{', '.join(names)} by keyword",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for name, value in zip(names, args):
+            if name in kw:
+                raise TypeError(
+                    f"QTAccelConfig got multiple values for argument {name!r}"
+                )
+            kw[name] = value
+    _dataclass_init(self, **kw)
+
+
+QTAccelConfig.__init__ = _kwonly_init  # type: ignore[method-assign]

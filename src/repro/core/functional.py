@@ -32,12 +32,18 @@ from ..fixedpoint import ops
 from .config import QTAccelConfig
 from .pipeline import TraceRecord
 from .policies import PolicyDraws, draw_start_state, select_behavior, select_update
+from .runstats import RunStatsContract
 from .tables import AcceleratorTables
 
 
 @dataclass
-class FunctionalStats:
-    """Counters accumulated by the functional simulator."""
+class FunctionalStats(RunStatsContract):
+    """Counters accumulated by the functional simulator.
+
+    Satisfies the shared run-stats contract (:mod:`repro.core.runstats`):
+    ``samples`` is a plain counter field and ``cycles`` is ``None`` —
+    the functional engine has no clock.
+    """
 
     samples: int = 0
     episodes: int = 0

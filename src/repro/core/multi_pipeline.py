@@ -31,6 +31,7 @@ from .config import QTAccelConfig
 from .functional import FunctionalSimulator
 from .pipeline import QTAccelPipeline
 from .policies import PolicyDraws
+from .runstats import RunStatsContract
 from .tables import AcceleratorTables
 
 
@@ -221,12 +222,18 @@ def run_shared_functional(
 
 
 @dataclass
-class IndependentRunStats:
-    """Outcome of an N-pipeline independent-learner run."""
+class IndependentRunStats(RunStatsContract):
+    """Outcome of an N-pipeline independent-learner run.
+
+    Satisfies the shared run-stats contract (:mod:`repro.core.runstats`):
+    ``cycles`` is the shared-clock cycle count when the run came from
+    the cycle-accurate system, ``None`` from the functional twin.
+    """
 
     pipelines: int
     samples: int
     episodes: int
+    cycles: Optional[int] = None
 
 
 class IndependentPipelines:
@@ -366,6 +373,7 @@ class IndependentPipelinesCycle:
             pipelines=self.num_pipelines,
             samples=samples_per_pipe * self.num_pipelines,
             episodes=sum(p.stats.episodes for p in self.pipes),
+            cycles=self.sim.cycle,
         )
 
     @property

@@ -162,8 +162,18 @@ class PipelineStats:
     def cycles_per_sample(self) -> float:
         return self.cycles / self.retired if self.retired else float("inf")
 
+    @property
+    def samples(self) -> int:
+        """Updates retired — the shared run-stats spelling
+        (:mod:`repro.core.runstats`) of :attr:`retired`."""
+        return self.retired
+
     def as_dict(self) -> dict:
-        return {f: getattr(self, f) for f in self._FIELDS}
+        """All counters plus the shared run-stats key ``samples``
+        (:mod:`repro.core.runstats`); ``cycles`` is already a counter."""
+        out = {f: getattr(self, f) for f in self._FIELDS}
+        out["samples"] = self.retired
+        return out
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, PipelineStats):
@@ -562,7 +572,9 @@ class QTAccelPipeline:
         self._s2_busy = 0
         self._s2_started_for = -1
         for name, value in state["stats"].items():
-            setattr(self.stats, name, value)
+            # Restore counters only; derived keys ("samples") recompute.
+            if name in PipelineStats._FIELDS:
+                setattr(self.stats, name, value)
 
     def q_float(self) -> np.ndarray:
         """Current Q table as floats, ``(S, A)``."""

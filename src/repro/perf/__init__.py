@@ -13,6 +13,9 @@ machine-readable artifacts, layered on :mod:`repro.telemetry`:
 * :mod:`repro.perf.snapshot` — schema-versioned ``BENCH_<n>.json``
   snapshots (per-engine samples/sec, cycles/sample, modelled MS/s at
   the paper's 189 MHz, overhead ratios, machine fingerprint).
+* :mod:`repro.perf.fleet` — the scalar-vs-vectorized fleet throughput
+  sweep over a ladder of lane counts (updates/sec per backend, paired
+  speedup), recorded under a snapshot's ``fleet_throughput`` key.
 * :mod:`repro.perf.compare` — the regression sentinel: diffs two
   snapshots with ``max(rel_tol, k*MAD)`` thresholds and exits non-zero
   for CI gating.
@@ -25,11 +28,18 @@ machine-readable artifacts, layered on :mod:`repro.telemetry`:
   attribution for :class:`~repro.core.pipeline.QTAccelPipeline`
   (timestamp every Nth cycle; off by default, pointer-test cost only).
 
-CLI: ``python -m repro.perf {run,compare,report}``.
+CLI: ``python -m repro.perf {run,fleet,compare,report}``.
 """
 
 from .bench import BENCH_CASES, BenchResult, run_bench
 from .compare import CompareResult, compare_snapshots, render_comparison
+from .fleet import (
+    LANE_COUNTS,
+    SMOKE_LANE_COUNTS,
+    check_min_speedup,
+    render_fleet_throughput,
+    run_fleet_throughput,
+)
 from .metrics_export import (
     JsonlEmitter,
     OpenMetricsTextfileEmitter,
@@ -57,6 +67,11 @@ __all__ = [
     "CompareResult",
     "compare_snapshots",
     "render_comparison",
+    "LANE_COUNTS",
+    "SMOKE_LANE_COUNTS",
+    "check_min_speedup",
+    "render_fleet_throughput",
+    "run_fleet_throughput",
     "JsonlEmitter",
     "OpenMetricsTextfileEmitter",
     "escape_label_value",

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.perf run                      # next BENCH_<n>.json here
     python -m repro.perf run --output out.json --repeats 9
+    python -m repro.perf run --fleet              # + fleet throughput sweep
+    python -m repro.perf fleet --smoke --min-speedup 5
     python -m repro.perf compare BENCH_0.json BENCH_1.json
     python -m repro.perf report BENCH_1.json
 
@@ -18,6 +20,13 @@ import sys
 
 from .bench import BENCH_CASES, measure_stage_attribution, overhead_ratios, run_bench
 from .compare import DEFAULT_K, DEFAULT_REL_TOL, compare_snapshots, render_comparison
+from .fleet import (
+    LANE_COUNTS,
+    SMOKE_LANE_COUNTS,
+    check_min_speedup,
+    render_fleet_throughput,
+    run_fleet_throughput,
+)
 from .snapshot import build_snapshot, load_snapshot, next_bench_path, write_snapshot
 
 
@@ -31,16 +40,44 @@ def _cmd_run(args) -> int:
         stage = measure_stage_attribution(
             samples=400 if args.quick else 4_000, sample_every=args.stage_every
         )
+    fleet = None
+    if args.fleet:
+        fleet = run_fleet_throughput(
+            lane_counts=SMOKE_LANE_COUNTS if args.quick else LANE_COUNTS,
+            quick=args.quick,
+        )
     snapshot = build_snapshot(
         results,
         config={"repeats": args.repeats, "warmup": args.warmup, "quick": args.quick},
         overheads=overhead_ratios(results),
         stage_attribution=stage,
+        fleet_throughput=fleet,
     )
     path = args.output if args.output else next_bench_path(".")
     write_snapshot(snapshot, path)
     print(render_snapshot(snapshot))
     print(f"\nsnapshot written to {path}")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    record = run_fleet_throughput(
+        lane_counts=SMOKE_LANE_COUNTS if args.smoke else LANE_COUNTS,
+        repeats=args.repeats,
+        quick=args.smoke,
+    )
+    print(render_fleet_throughput(record))
+    if args.output:
+        import json
+
+        with open(args.output, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nfleet sweep written to {args.output}")
+    if args.min_speedup is not None:
+        ok, message = check_min_speedup(record, args.min_speedup)
+        print(message)
+        return 0 if ok else 1
     return 0
 
 
@@ -108,6 +145,10 @@ def render_snapshot(snapshot: dict) -> str:
             out.append(
                 f"  {name}: {_fmt(entry.get('ratio'))} vs {entry.get('baseline')}{tail}"
             )
+    fleet = snapshot.get("fleet_throughput")
+    if fleet:
+        out.append("")
+        out.append(render_fleet_throughput(fleet))
     stage = snapshot.get("stage_attribution")
     if stage:
         fr = stage.get("fractions") or {}
@@ -153,7 +194,33 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--no-stages", action="store_true", help="skip the stage-attribution pass"
     )
+    p_run.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also run the scalar-vs-vectorized fleet throughput sweep "
+        "(recorded under the snapshot's fleet_throughput key)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="scalar vs vectorized fleet throughput sweep"
+    )
+    p_fleet.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke: tiny workloads, lane counts {SMOKE_LANE_COUNTS}",
+    )
+    p_fleet.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per lane count"
+    )
+    p_fleet.add_argument(
+        "--min-speedup",
+        type=float,
+        metavar="X",
+        help="exit 1 unless the largest lane count reaches X x speedup",
+    )
+    p_fleet.add_argument("--output", metavar="PATH", help="write the sweep json here")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_cmp = sub.add_parser("compare", help="regression sentinel over two snapshots")
     p_cmp.add_argument("base", help="baseline snapshot (e.g. BENCH_0.json)")

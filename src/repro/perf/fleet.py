@@ -1,0 +1,208 @@
+"""Fleet throughput sweep: scalar lane loop vs vectorized array program.
+
+The fleet API (:class:`repro.core.batch.BatchIndependentSimulator`) runs
+``n_lanes`` bit-identical learners behind one interface, with two
+backends: ``scalar`` (a pure-Python loop of per-lane functional
+simulators — the reference baseline) and ``vectorized`` (the numpy
+lock-step array program).  This sweep measures both at a ladder of lane
+counts and reports per-update throughput and the paired speedup, the
+number that justifies the array program's existence: the vectorized
+backend amortises interpreter dispatch over the lane axis, so its
+advantage should *grow* with ``n_lanes`` (≈1× at one lane, ≥10× by a
+few thousand).
+
+Noise discipline matches :mod:`repro.perf.bench`: engines are
+constructed untimed, each repeat times the scalar and vectorized runs
+back-to-back in the same round, and the reported speedup is the median
+of per-round per-update ratios (drift-cancelling).  Workloads are
+normalised per *update* (``lanes x steps``), so the two backends may
+run different step counts — the scalar baseline gets a smaller budget
+at high lane counts to keep the sweep affordable.
+
+Results land in BENCH snapshots under the top-level
+``fleet_throughput`` key (see :mod:`repro.perf.snapshot`), and
+``python -m repro.perf fleet --smoke --min-speedup N`` gates CI on the
+vectorization win without wall-clock fingerprint games: a speedup is a
+same-machine relative measure, comparable anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from .stats import mad, median
+
+#: Full-sweep lane ladder (the ISSUE's acceptance points).
+LANE_COUNTS = (1, 16, 256, 4096)
+
+#: Smoke ladder for CI: drops the expensive 4096-lane point.
+SMOKE_LANE_COUNTS = (1, 16, 256)
+
+#: Per-repeat update budgets (total across lanes, before the per-lane
+#: step clamp).  The scalar budget is smaller — it is the slow baseline.
+_VEC_BUDGET = 200_000
+_VEC_STEP_CAP = 2_000
+_SCALAR_BUDGET = 24_000
+_SCALAR_STEP_CAP = 600
+
+
+def _mdp(size: int = 16, actions: int = 8):
+    from ..envs.gridworld import GridWorld
+
+    return GridWorld.empty(size, actions).to_mdp()
+
+
+def _config(**kw):
+    from ..core.config import QTAccelConfig
+
+    kw.setdefault("seed", 11)
+    kw.setdefault("qmax_mode", "follow")
+    return QTAccelConfig.qlearning(**kw)
+
+
+def _steps(budget: int, cap: int, lanes: int) -> int:
+    return max(1, min(cap, budget // lanes))
+
+
+def run_fleet_throughput(
+    *,
+    lane_counts: Sequence[int] = LANE_COUNTS,
+    repeats: int = 3,
+    warmup: int = 1,
+    quick: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Measure scalar vs vectorized fleet throughput per lane count.
+
+    Returns the snapshot-embeddable record::
+
+        {
+          "lane_counts": [1, 16, 256, 4096],
+          "repeats": 3,
+          "points": {
+            "4096": {
+              "scalar":     {"steps", "updates", "seconds_median",
+                             "seconds_mad", "updates_per_sec"},
+              "vectorized": {...same keys...},
+              "speedup": 37.2,        # median of paired per-round ratios
+              "speedup_mad": 0.8,
+            },
+            ...
+          },
+        }
+
+    ``quick`` divides the update budgets by 10 (CI smoke / tests).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    lane_counts = list(lane_counts)
+    if not lane_counts or any(l < 1 for l in lane_counts):
+        raise ValueError(f"lane_counts must be positive, got {lane_counts}")
+
+    from ..backends.scalar import ScalarFleetBackend
+    from ..backends.vectorized import VectorizedFleetBackend
+
+    mdp, cfg = _mdp(), _config()
+    scale = 10 if quick else 1
+    points: dict[str, dict] = {}
+
+    for lanes in lane_counts:
+        vec_steps = _steps(_VEC_BUDGET // scale, _VEC_STEP_CAP // scale, lanes)
+        sc_steps = _steps(_SCALAR_BUDGET // scale, _SCALAR_STEP_CAP // scale, lanes)
+
+        # Constructed once, untimed; each repeat extends the same run —
+        # steady-state throughput, no allocation cost in the loop.
+        vec = VectorizedFleetBackend(mdp, cfg, num_agents=lanes)
+        sc = ScalarFleetBackend(mdp, cfg, num_agents=lanes)
+        for _ in range(warmup):
+            vec.run(vec_steps)
+            sc.run(sc_steps)
+
+        vec_secs: list[float] = []
+        sc_secs: list[float] = []
+        ratios: list[float] = []
+        for _ in range(repeats):
+            t0 = clock()
+            vec.run(vec_steps)
+            t1 = clock()
+            sc.run(sc_steps)
+            t2 = clock()
+            vec_secs.append(t1 - t0)
+            sc_secs.append(t2 - t1)
+            # Per-update times; the ratio is scalar/vectorized = speedup.
+            v = (t1 - t0) / (lanes * vec_steps)
+            s = (t2 - t1) / (lanes * sc_steps)
+            if v > 0:
+                ratios.append(s / v)
+
+        def _side(steps: int, secs: list[float]) -> dict:
+            med = median(secs)
+            updates = lanes * steps
+            return {
+                "steps": steps,
+                "updates": updates,
+                "seconds_median": med,
+                "seconds_mad": mad(secs),
+                "updates_per_sec": updates / med if med > 0 else None,
+            }
+
+        points[str(lanes)] = {
+            "scalar": _side(sc_steps, sc_secs),
+            "vectorized": _side(vec_steps, vec_secs),
+            "speedup": median(ratios) if ratios else None,
+            "speedup_mad": mad(ratios) if ratios else None,
+        }
+
+    return {
+        "lane_counts": lane_counts,
+        "repeats": repeats,
+        "quick": quick,
+        "points": points,
+    }
+
+
+def check_min_speedup(record: dict, min_speedup: float, *, at_lanes: Optional[int] = None) -> tuple[bool, str]:
+    """Gate a sweep record: does the largest measured lane count (or
+    ``at_lanes``) reach ``min_speedup``?  Returns ``(ok, message)``."""
+    points = record.get("points") or {}
+    if not points:
+        return False, "fleet sweep has no measured points"
+    lanes = at_lanes if at_lanes is not None else max(int(k) for k in points)
+    entry = points.get(str(lanes))
+    if entry is None:
+        return False, f"no fleet point at n_lanes={lanes}"
+    speedup = entry.get("speedup")
+    if speedup is None:
+        return False, f"no speedup recorded at n_lanes={lanes}"
+    ok = speedup >= min_speedup
+    verdict = "ok" if ok else "FAIL"
+    return ok, (
+        f"fleet speedup at n_lanes={lanes}: {speedup:.2f}x "
+        f"(floor {min_speedup:g}x) {verdict}"
+    )
+
+
+def render_fleet_throughput(record: dict) -> str:
+    """Human-readable table of one sweep record."""
+    out = ["fleet throughput (vectorized vs scalar lane loop, per update):"]
+    header = (
+        f"{'n_lanes':>8s} {'scalar up/s':>14s} {'vector up/s':>14s} {'speedup':>9s}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+
+    def _fmt(v):
+        return f"{v:,.0f}" if isinstance(v, (int, float)) else "-"
+
+    for lanes in sorted((record.get("points") or {}), key=int):
+        p = record["points"][lanes]
+        sp = p.get("speedup")
+        out.append(
+            f"{lanes:>8s} {_fmt((p.get('scalar') or {}).get('updates_per_sec')):>14s} "
+            f"{_fmt((p.get('vectorized') or {}).get('updates_per_sec')):>14s} "
+            f"{(f'{sp:.2f}x' if sp is not None else '-'):>9s}"
+        )
+    return "\n".join(out)

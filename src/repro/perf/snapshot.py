@@ -22,7 +22,10 @@ Schema (``qtaccel-bench/1``)::
                             "modelled_msps_at_189mhz": ..}},
       "overheads": {"<variant>": {"baseline", "ratio", "budget"}},
       "stage_attribution": {"sample_every", "sampled_cycles",
-                             "seconds", "fractions"}
+                             "seconds", "fractions"},
+      "fleet_throughput": {"lane_counts", "repeats",         # optional
+                            "points": {"<n_lanes>": {"scalar",
+                                       "vectorized", "speedup"}}}
     }
 
 Absolute ``seconds`` are only comparable between snapshots whose
@@ -84,9 +87,10 @@ def build_snapshot(
     config: Optional[dict] = None,
     overheads: Optional[dict] = None,
     stage_attribution: Optional[dict] = None,
+    fleet_throughput: Optional[dict] = None,
 ) -> dict:
     """Assemble a schema-versioned snapshot from harness results."""
-    return {
+    snap = {
         "schema": SCHEMA,
         "source": source,
         "machine": machine_fingerprint(),
@@ -95,6 +99,9 @@ def build_snapshot(
         "overheads": overheads or {},
         "stage_attribution": stage_attribution,
     }
+    if fleet_throughput is not None:
+        snap["fleet_throughput"] = fleet_throughput
+    return snap
 
 
 def snapshot_from_profile(profile: dict, *, source: str = "experiment") -> dict:

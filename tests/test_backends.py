@@ -1,0 +1,198 @@
+"""Tests for the fleet backends package (``repro.backends``).
+
+The headline contract, property-tested across configs: whichever
+backend runs lane ``k``, its trajectory is bit-identical to a scalar
+:class:`FunctionalSimulator` seeded with the same salt — for the
+default fixed-point formats, non-default rounding/overflow variants,
+and wide "float-like" formats alike.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import (
+    BatchStats,
+    FleetBackend,
+    ScalarFleetBackend,
+    VectorizedFleetBackend,
+    fleet_backends,
+    make_fleet_backend,
+    resolve_fleet_backend,
+)
+from repro.core.batch import BatchIndependentSimulator
+from repro.core.config import QTAccelConfig
+from repro.core.functional import FunctionalSimulator
+from repro.core.policies import PolicyDraws
+from repro.envs.gridworld import GridWorld
+from repro.envs.random_mdp import random_dense_mdp
+from repro.fixedpoint import FxpFormat
+
+GRID = GridWorld.random(8, 4, obstacle_density=0.15, seed=2).to_mdp()
+LOOPY = random_dense_mdp(16, 4, seed=9, self_loop_bias=0.5)
+
+#: Formats the bit-identity property sweeps: the default s16.6, a
+#: nearest-rounding variant, a wrap-overflow variant, and a wide
+#: "float-like" word whose resolution makes rounding loss negligible.
+Q_FORMATS = {
+    "default": FxpFormat(16, 6),
+    "nearest": FxpFormat(16, 6, rounding="nearest"),
+    "wrap": FxpFormat(16, 6, overflow="wrap"),
+    "floatlike": FxpFormat(48, 24),
+}
+
+
+def reference_tables(mdp, cfg, salt, n):
+    f = FunctionalSimulator(mdp, cfg, draws=PolicyDraws.from_config(cfg, salt=salt))
+    f.run(n)
+    return f
+
+
+def assert_backend_parity(backend_cls, mdp, cfg, *, num_agents=4, n=400):
+    fleet = backend_cls(mdp, cfg, num_agents=num_agents)
+    fleet.run(n)
+    for k in range(num_agents):
+        f = reference_tables(mdp, cfg, k, n)
+        assert np.array_equal(fleet.q[k], f.tables.q.data), f"lane {k} Q differs"
+        assert np.array_equal(fleet.qmax[k], f.tables.qmax.data)
+        assert np.array_equal(fleet.qmax_action[k], f.tables.qmax_action.data)
+    return fleet
+
+
+class TestBitIdentityProperty:
+    """Hypothesis sweep: vectorized lanes == FunctionalSimulator."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(1, 2**16),
+        alpha=st.sampled_from([0.25, 0.5, 1.0]),
+        gamma=st.sampled_from([0.0, 0.5, 0.9]),
+        algorithm=st.sampled_from(["qlearning", "sarsa"]),
+        qmax_mode=st.sampled_from(["monotonic", "follow"]),
+        fmt=st.sampled_from(sorted(Q_FORMATS)),
+    )
+    def test_vectorized_matches_functional(
+        self, seed, alpha, gamma, algorithm, qmax_mode, fmt
+    ):
+        preset = getattr(QTAccelConfig, algorithm)
+        cfg = preset(
+            seed=seed,
+            alpha=alpha,
+            gamma=gamma,
+            qmax_mode=qmax_mode,
+            q_format=Q_FORMATS[fmt],
+        )
+        assert_backend_parity(VectorizedFleetBackend, LOOPY, cfg, num_agents=3, n=300)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(1, 2**16),
+        fmt=st.sampled_from(["default", "floatlike"]),
+    )
+    def test_scalar_matches_functional(self, seed, fmt):
+        cfg = QTAccelConfig.sarsa(seed=seed, q_format=Q_FORMATS[fmt])
+        assert_backend_parity(ScalarFleetBackend, GRID, cfg, num_agents=3, n=200)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(1, 2**16),
+        algorithm=st.sampled_from(["qlearning", "sarsa"]),
+        fmt=st.sampled_from(sorted(Q_FORMATS)),
+    )
+    def test_backends_agree_with_each_other(self, seed, algorithm, fmt):
+        preset = getattr(QTAccelConfig, algorithm)
+        cfg = preset(seed=seed, q_format=Q_FORMATS[fmt], qmax_mode="follow")
+        vec = VectorizedFleetBackend(GRID, cfg, num_agents=4)
+        sc = ScalarFleetBackend(GRID, cfg, num_agents=4)
+        vec.run(250)
+        sc.run(250)
+        assert np.array_equal(vec.q, sc.q)
+        assert np.array_equal(vec.qmax, sc.qmax)
+        assert np.array_equal(vec.qmax_action, sc.qmax_action)
+        assert vec.stats.as_dict() == sc.stats.as_dict()
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("backend_cls", [VectorizedFleetBackend, ScalarFleetBackend])
+    def test_state_dict_replays_exactly(self, backend_cls):
+        cfg = QTAccelConfig.sarsa(seed=13, qmax_mode="follow")
+        fleet = backend_cls(LOOPY, cfg, num_agents=5)
+        fleet.run(150)
+        ckpt = fleet.state_dict()
+        fleet.run(150)
+        q_after = fleet.q.copy()
+        qmax_after = fleet.qmax.copy()
+        stats_after = fleet.stats.as_dict()
+
+        fresh = backend_cls(LOOPY, cfg, num_agents=5)
+        fresh.load_state_dict(ckpt)
+        fresh.run(150)
+        assert np.array_equal(fresh.q, q_after)
+        assert np.array_equal(fresh.qmax, qmax_after)
+        assert fresh.stats.as_dict() == stats_after
+
+    def test_vectorized_fixed_point_checkpoint(self):
+        cfg = QTAccelConfig.qlearning(seed=3, q_format=Q_FORMATS["nearest"])
+        fleet = VectorizedFleetBackend(GRID, cfg, num_agents=3)
+        fleet.run(100)
+        ckpt = fleet.state_dict()
+        fleet.run(100)
+        expected = fleet.q.copy()
+        fleet.load_state_dict(ckpt)
+        fleet.run(100)
+        assert np.array_equal(fleet.q, expected)
+
+    @pytest.mark.parametrize("backend_cls", [VectorizedFleetBackend, ScalarFleetBackend])
+    def test_lane_state_restores_one_lane(self, backend_cls):
+        """Per-lane rollback: restoring lane 1 replays only lane 1."""
+        cfg = QTAccelConfig.qlearning(seed=8)
+        fleet = backend_cls(GRID, cfg, num_agents=3)
+        fleet.run(120)
+        lane = fleet.lane_state(1)
+        fleet.run(50)
+        expected_other = fleet.q[2].copy()
+        fleet.load_lane_state(1, lane)
+        assert np.array_equal(fleet.q[2], expected_other)  # untouched
+        # The restored lane matches a functional replay to sample 120.
+        f = reference_tables(GRID, cfg, 1, 120)
+        assert np.array_equal(fleet.q[1], f.tables.q.data)
+
+
+class TestRegistryAndDispatch:
+    def test_registry_names(self):
+        assert set(fleet_backends()) == {"scalar", "vectorized"}
+
+    def test_resolve_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown fleet backend 'nope'"):
+            resolve_fleet_backend("nope")
+
+    def test_make_fleet_backend(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        vec = make_fleet_backend(GRID, cfg, num_agents=2)
+        sc = make_fleet_backend(GRID, cfg, backend="scalar", num_agents=2)
+        assert isinstance(vec, VectorizedFleetBackend)
+        assert isinstance(sc, ScalarFleetBackend)
+        assert isinstance(vec, FleetBackend) and isinstance(sc, FleetBackend)
+
+    def test_batch_facade_dispatches(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        default = BatchIndependentSimulator(GRID, cfg, num_agents=2)
+        scalar = BatchIndependentSimulator(GRID, cfg, num_agents=2, backend="scalar")
+        assert isinstance(default, VectorizedFleetBackend)
+        assert isinstance(scalar, ScalarFleetBackend)
+        with pytest.raises(ValueError, match="unknown fleet backend"):
+            BatchIndependentSimulator(GRID, cfg, num_agents=2, backend="gpu")
+
+    def test_stats_contract(self):
+        cfg = QTAccelConfig.qlearning(seed=1)
+        fleet = make_fleet_backend(GRID, cfg, num_agents=2)
+        fleet.run(10)
+        d = fleet.stats.as_dict()
+        assert d["samples"] == 20
+        assert d["cycles"] is None
+        assert fleet.stats.samples == 20
+
+    def test_total_samples_deprecated(self):
+        stats = BatchStats(agents=2, samples_per_agent=5)
+        with pytest.warns(DeprecationWarning, match="total_samples"):
+            assert stats.total_samples == 10
