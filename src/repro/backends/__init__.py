@@ -1,20 +1,25 @@
 """Fleet execution backends: the same learners, different array programs.
 
-``n_lanes`` independent QTAccel learners can be advanced by either of
-two interchangeable backends (see :mod:`repro.backends.base` for the
+``n_lanes`` independent QTAccel learners can be advanced by any of
+three interchangeable backends (see :mod:`repro.backends.base` for the
 shared :class:`FleetBackend` surface):
 
 * ``"vectorized"`` (default) — :class:`VectorizedFleetBackend`, lanes
   as numpy array programs (the software analogue of Fig. 9's replicated
   pipelines; 1-2 orders of magnitude faster);
 * ``"scalar"`` — :class:`ScalarFleetBackend`, a pure-Python loop of
-  per-lane functional simulators (the reference baseline).
+  per-lane functional simulators (the reference baseline);
+* ``"sharded"`` — :class:`ShardedFleetBackend`, the vectorized program
+  partitioned into contiguous lane shards, one spawn-safe
+  ``multiprocessing`` worker per shard with all per-lane state in a
+  ``multiprocessing.shared_memory`` block (multi-core scaling with
+  checkpointed crash recovery; remember to ``close()`` it).
 
-Both are bit-identical per lane to a scalar
+All are bit-identical per lane to a scalar
 :class:`~repro.core.functional.FunctionalSimulator` with the same salt.
 Select one via :func:`make_fleet_backend`,
 ``BatchIndependentSimulator(..., backend=...)`` or
-``repro.make_engine(..., engine="batch"|"vectorized")``.
+``repro.make_engine(..., engine="batch"|"vectorized"|"sharded")``.
 """
 
 from .base import (
@@ -28,6 +33,7 @@ from .base import (
     resolve_fleet_backend,
 )
 from .scalar import ScalarFleetBackend
+from .sharded import ShardedFleetBackend
 from .vectorized import VectorizedFleetBackend
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "FleetSpec",
     "FleetStats",
     "ScalarFleetBackend",
+    "ShardedFleetBackend",
     "VectorizedFleetBackend",
     "fleet_backends",
     "make_fleet_backend",

@@ -2,7 +2,7 @@
 
 A *fleet backend* runs ``n_lanes`` independent QTAccel learners — one
 Q/Qmax table set, one LFSR triple and one architectural latch set per
-lane — behind one lane-oriented interface.  Two implementations exist:
+lane — behind one lane-oriented interface.  Three implementations exist:
 
 * :class:`~repro.backends.vectorized.VectorizedFleetBackend` — the
   array program: every per-sample quantity is a length-``n_lanes``
@@ -12,9 +12,13 @@ lane — behind one lane-oriented interface.  Two implementations exist:
 * :class:`~repro.backends.scalar.ScalarFleetBackend` — a pure-Python
   loop of per-lane :class:`~repro.core.functional.FunctionalSimulator`
   instances (Da Silva-style "no batching"), kept as the reference
-  baseline the throughput benches compare against.
+  baseline the throughput benches compare against;
+* :class:`~repro.backends.sharded.ShardedFleetBackend` — the
+  vectorized array program partitioned into contiguous lane shards,
+  one ``multiprocessing`` worker per shard over shared-memory state
+  (the multi-core analogue of replicating whole accelerators).
 
-Both are **bit-identical per lane** to a scalar functional simulator
+All are **bit-identical per lane** to a scalar functional simulator
 seeded with the same salt — draws, lag semantics, Qmax rules and
 fixed-point arithmetic included (asserted by the test suite) — so the
 backend choice is purely a throughput decision.
@@ -174,11 +178,13 @@ class FleetBackend(Protocol):
 def fleet_backends() -> dict[str, type]:
     """Name -> class registry of the available fleet backends."""
     from .scalar import ScalarFleetBackend
+    from .sharded import ShardedFleetBackend
     from .vectorized import VectorizedFleetBackend
 
     return {
         "vectorized": VectorizedFleetBackend,
         "scalar": ScalarFleetBackend,
+        "sharded": ShardedFleetBackend,
     }
 
 

@@ -1,0 +1,630 @@
+"""Sharded multi-core fleet backend: process-parallel lane shards.
+
+The Fig. 9 deployment scales QTAccel by *replicating* independent
+pipelines; one Python process caps the software analogue at a single
+core no matter how wide the numpy array program gets.  This backend
+breaks that ceiling: ``n_lanes`` is partitioned into ``num_workers``
+contiguous shards, each shard is a full
+:class:`~repro.backends.vectorized.VectorizedFleetBackend` running in
+its own ``multiprocessing`` worker, and every per-lane state array —
+Q/Qmax tables, the architectural latches, the three LFSR banks — lives
+in one ``multiprocessing.shared_memory`` block that both sides map as
+numpy views.  Checkpoints, telemetry reads and result gathers on the
+parent are therefore zero-copy: the parent *is* looking at the
+workers' live state (only ever read between epochs, when workers are
+idle).
+
+Bit-identity is preserved by construction: per-lane salts are a pure
+function of the lane index (``normalize_fleet`` defaults them to
+``range(n_lanes)``), and a shard's worker builds its backend with
+exactly the salt slice its lanes would have had in a single-process
+fleet — so any worker count and any shard split produces the same
+per-lane trajectories as ``VectorizedFleetBackend`` (asserted by the
+test suite across 1/2/odd splits and workers > lanes).
+
+Execution proceeds in *sync epochs* of ``epoch`` lock-step samples:
+the parent broadcasts one ``run`` command per worker, collects per-
+worker stat deltas, refreshes the aggregate :class:`BatchStats`, takes
+a :class:`~repro.robustness.checkpoint.CheckpointStore` snapshot every
+``checkpoint_interval`` epochs, and pulses the ambient telemetry
+session.  A worker that dies mid-epoch (crash, OOM-kill,
+:meth:`ShardedFleetBackend.kill_worker` in the CI smoke) is recovered
+by the rollback-retry-quarantine discipline of
+:mod:`repro.robustness`: its shard's slice of shared memory is
+restored from the last checkpoint, a fresh worker adopts the restored
+state and replays forward to the fleet's current epoch — bit-identical
+thanks to determinism — and a shard that keeps dying is quarantined so
+the rest of the fleet continues.  The existing
+:class:`~repro.robustness.checkpoint.FleetSupervisor` composes on top
+unchanged (via :class:`~repro.robustness.checkpoint.BatchLanes`),
+because the parent exposes the same lane-oriented surface as the
+single-process backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+from types import SimpleNamespace
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import QTAccelConfig
+from ..envs.base import DenseMdp
+from .base import BatchStats, normalize_fleet
+from .vectorized import VectorizedFleetBackend
+
+_I64 = np.int64
+
+
+class _ShmLayout:
+    """Byte layout of the shared lane-state block.
+
+    Every :class:`VectorizedFleetBackend` state array (keys matching its
+    ``_STATE_ARRAYS`` checkpoint vocabulary) plus the three LFSR banks,
+    all int64, concatenated; worker ``w`` touches only rows
+    ``[lo_w, hi_w)`` of each field, so shards never alias each other.
+    """
+
+    def __init__(self, k: int, s: int, a: int):
+        self.fields = (
+            ("q", (k, s * a)),
+            ("qmax", (k, s)),
+            ("qmax_action", (k, s)),
+            ("arch_state", (k,)),
+            ("forwarded", (k,)),
+            ("prev_pair", (k,)),
+            ("prev_state", (k,)),
+            ("prev_q", (k,)),
+            ("prev_qmax", (k,)),
+            ("prev_qmax_action", (k,)),
+            ("lfsr_start", (k,)),
+            ("lfsr_action", (k,)),
+            ("lfsr_policy", (k,)),
+        )
+        self.offsets: dict[str, int] = {}
+        off = 0
+        for key, shape in self.fields:
+            self.offsets[key] = off
+            off += int(np.prod(shape))
+        self.nbytes = off * 8
+
+    def views(self, buf) -> dict[str, np.ndarray]:
+        """Numpy views of every field over a shared-memory buffer."""
+        return {
+            key: np.ndarray(
+                shape, dtype=np.int64, buffer=buf, offset=self.offsets[key] * 8
+            )
+            for key, shape in self.fields
+        }
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    The parent owns the block's lifetime (it unlinks on close).
+    Python 3.13+ has ``track=False`` for exactly this.  On older
+    versions the attach re-registers the name with the resource
+    tracker — harmless, because POSIX ``multiprocessing`` children
+    share the parent's tracker process and its cache is a set, so the
+    parent's single unlink-time unregister still balances it.  (Do
+    *not* unregister here: that would race the parent's unregister on
+    the shared tracker.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the shard's :class:`VectorizedFleetBackend`, rebinds every
+    state array (and the LFSR bank registers) onto the shared-memory
+    rows ``[lo, hi)`` — copying its freshly seeded state in unless
+    ``spec["adopt"]`` says the block already holds restored state —
+    then serves ``("run", n)`` / ``("ping",)`` / ``("stop",)`` commands
+    over the pipe, answering each run with the stat deltas it retired.
+    """
+    shm = _attach_shm(shm_name)
+    backend = None
+    views = None
+    try:
+        try:
+            k, s, a = dims
+            views = _ShmLayout(k, s, a).views(shm.buf)
+            backend = VectorizedFleetBackend(
+                spec["mdps"],
+                spec["config"],
+                num_agents=spec["num_agents"],
+                salts=spec["salts"],
+            )
+            lo, hi = spec["lo"], spec["hi"]
+            adopt = spec["adopt"]
+            for attr, key in VectorizedFleetBackend._STATE_ARRAYS:
+                view = views[key][lo:hi]
+                if not adopt:
+                    view[...] = getattr(backend, attr)
+                setattr(backend, attr, view)
+            for key, bank in (
+                ("lfsr_start", backend._bank_start),
+                ("lfsr_action", backend._bank_action),
+                ("lfsr_policy", backend._bank_policy),
+            ):
+                view = views[key][lo:hi]
+                if not adopt:
+                    view[...] = bank.states
+                bank.states = view
+            backend._rebind_flat_views()
+        except Exception as exc:  # startup failure: report, don't hang
+            conn.send(("error", repr(exc)))
+            return
+        conn.send(("ready", None))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "run":
+                if spec["debug_fail"]:
+                    os._exit(17)  # simulated crash (tests/CI smoke)
+                st = backend.stats
+                before = (st.episodes, st.exploits, st.explores)
+                backend.run(msg[1])
+                conn.send(
+                    (
+                        "done",
+                        {
+                            "episodes": st.episodes - before[0],
+                            "exploits": st.exploits - before[1],
+                            "explores": st.explores - before[2],
+                        },
+                    )
+                )
+            elif cmd == "ping":
+                conn.send(("pong", None))
+            elif cmd == "stop":
+                conn.send(("bye", None))
+                return
+            else:
+                conn.send(("error", f"unknown command {cmd!r}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        backend = None
+        views = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views already dropped
+            pass
+
+
+class ShardedFleetBackend:
+    """``n_lanes`` learners sharded over ``num_workers`` processes,
+    bit-identical per lane to :class:`VectorizedFleetBackend`.
+
+    The parent holds the shared-memory views under the same attribute
+    names as the single-process backends (``q``/``qmax``/... shaped
+    ``(K, S*A)`` / ``(K, S)``), so checkpoints, per-lane rollback,
+    ``q_float_all`` and the :class:`~repro.robustness.checkpoint.BatchLanes`
+    adapter all work unchanged and without copying.
+
+    Construction/teardown is explicit: workers and the shared block are
+    released by :meth:`close` (also a context manager).  ``epoch`` sets
+    the sync-barrier granularity; ``checkpoint_interval`` (in epochs;
+    0 disables) bounds how far a crashed shard must replay.
+    """
+
+    #: Name this engine attaches under in a telemetry session profile.
+    _TELEMETRY_NAME = "sharded"
+
+    _STATE_ARRAYS = VectorizedFleetBackend._STATE_ARRAYS
+
+    def __init__(
+        self,
+        mdps: "DenseMdp | Sequence[DenseMdp]",
+        config: QTAccelConfig,
+        *,
+        num_agents: int | None = None,
+        salts: Sequence[int] | None = None,
+        telemetry=None,
+        num_workers: int | None = None,
+        epoch: int = 256,
+        checkpoint_interval: int = 1,
+        store=None,
+        max_worker_restarts: int = 2,
+        mp_context: str = "spawn",
+        debug_fail_workers: Sequence[int] = (),
+    ):
+        spec = normalize_fleet(mdps, n_lanes=num_agents, salts=salts)
+        self.mdps = list(spec.mdps)
+        self._homogeneous = spec.homogeneous
+        k = spec.n_lanes
+        self.config = config
+        self.K = k
+        self.S, self.A = spec.num_states, spec.num_actions
+        self._salts = [int(x) for x in spec.salts]
+
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be non-negative")
+        if num_workers is None:
+            num_workers = max(1, min(k, os.cpu_count() or 1))
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        #: Workers never outnumber lanes (a shard must be non-empty).
+        self.num_workers = min(num_workers, k)
+        self.epoch = epoch
+        self.checkpoint_interval = checkpoint_interval
+        self.max_worker_restarts = max_worker_restarts
+        self._bounds = [
+            (i * k) // self.num_workers for i in range(self.num_workers + 1)
+        ]
+        self._debug_fail = set(debug_fail_workers)
+        self._ctx = mp.get_context(mp_context)
+
+        # The shared lane-state block, mapped under the standard fleet
+        # attribute names so the whole checkpoint surface is inherited.
+        self._layout = _ShmLayout(k, self.S, self.A)
+        self._shm = shared_memory.SharedMemory(create=True, size=self._layout.nbytes)
+        self._closed = False
+        views = self._layout.views(self._shm.buf)
+        self._views = views
+        for attr, key in self._STATE_ARRAYS:
+            setattr(self, attr, views[key])
+        self._bank_start = SimpleNamespace(states=views["lfsr_start"])
+        self._bank_action = SimpleNamespace(states=views["lfsr_action"])
+        self._bank_policy = SimpleNamespace(states=views["lfsr_policy"])
+
+        self.stats = BatchStats(agents=k)
+        self._stats_base = {"episodes": 0, "exploits": 0, "explores": 0}
+        self._worker_cum = [[0, 0, 0] for _ in range(self.num_workers)]
+        #: Recovery bookkeeping (see ``_recover_worker``).
+        self.restarts = 0
+        self.quarantined_workers: set[int] = set()
+
+        self._procs: list = [None] * self.num_workers
+        self._conns: list = [None] * self.num_workers
+        try:
+            for w in range(self.num_workers):
+                self._spawn_worker(w, adopt=False)
+            for w in range(self.num_workers):
+                self._await_ready(w)
+        except BaseException:
+            self.close()
+            raise
+
+        if store is None:
+            from ..robustness.checkpoint import CheckpointStore
+
+            store = CheckpointStore(capacity=4)
+        self.store = store
+        self._last_ckpt: dict | None = None
+        self._epochs_done = 0
+        if self.checkpoint_interval:
+            self._take_checkpoint()
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        #: Session pulsed once per sync epoch for live-metrics export.
+        self._session = session
+        if session is not None:
+            session.attach(self, self._TELEMETRY_NAME)
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _worker_spec(self, w: int, *, adopt: bool) -> dict:
+        lo, hi = self._bounds[w], self._bounds[w + 1]
+        if self._homogeneous:
+            worlds: object = self.mdps[0]
+            num_agents = hi - lo
+        else:
+            worlds = self.mdps[lo:hi]
+            num_agents = None
+        return {
+            "lo": lo,
+            "hi": hi,
+            "mdps": worlds,
+            "num_agents": num_agents,
+            "config": self.config,
+            "salts": self._salts[lo:hi],
+            "adopt": adopt,
+            "debug_fail": w in self._debug_fail,
+        }
+
+    def _spawn_worker(self, w: int, *, adopt: bool) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                self._shm.name,
+                (self.K, self.S, self.A),
+                self._worker_spec(w, adopt=adopt),
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[w] = proc
+        self._conns[w] = parent_conn
+
+    def _await_ready(self, w: int) -> None:
+        try:
+            tag, info = self._conns[w].recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(f"shard worker {w} died during startup") from exc
+        if tag != "ready":
+            raise RuntimeError(f"shard worker {w} failed to start: {info}")
+
+    def _reap_worker(self, w: int) -> None:
+        proc = self._procs[w]
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5.0)
+            self._procs[w] = None
+        conn = self._conns[w]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._conns[w] = None
+
+    def kill_worker(self, w: int) -> None:
+        """Hard-kill shard worker ``w`` (SIGKILL) — the fault-injection
+        hook used by the recovery tests and the CI crash smoke.  The
+        next epoch detects the dead pipe and triggers recovery."""
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=10.0)
+
+    # ------------------------------------------------------------------ #
+    # Execution: sync epochs + recovery
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """One lock-step sample on every lane (a one-sample epoch)."""
+        self.run(1)
+
+    def run(self, samples_per_agent: int) -> BatchStats:
+        """Advance every lane by ``samples_per_agent`` updates, in sync
+        epochs of at most ``self.epoch`` samples."""
+        if samples_per_agent < 0:
+            raise ValueError("samples_per_agent must be non-negative")
+        session = self._session
+        done = 0
+        while done < samples_per_agent:
+            n = min(self.epoch, samples_per_agent - done)
+            self._run_epoch(n)
+            self.stats.samples_per_agent += n
+            done += n
+            self._epochs_done += 1
+            if (
+                self.checkpoint_interval
+                and self._epochs_done % self.checkpoint_interval == 0
+            ):
+                self._take_checkpoint()
+            if session is not None:
+                session.pulse()
+        return self.stats
+
+    def _run_epoch(self, n: int) -> None:
+        failed: list[int] = []
+        sent: list[int] = []
+        for w in range(self.num_workers):
+            if w in self.quarantined_workers:
+                continue
+            try:
+                self._conns[w].send(("run", n))
+                sent.append(w)
+            except (BrokenPipeError, OSError):
+                failed.append(w)
+        for w in sent:
+            try:
+                tag, delta = self._conns[w].recv()
+            except (EOFError, OSError):
+                failed.append(w)
+                continue
+            if tag != "done":
+                failed.append(w)
+                continue
+            cum = self._worker_cum[w]
+            cum[0] += delta["episodes"]
+            cum[1] += delta["exploits"]
+            cum[2] += delta["explores"]
+        for w in failed:
+            self._recover_worker(w, n)
+        self._refresh_stats()
+
+    def _recover_worker(self, w: int, n: int) -> None:
+        """Rollback-retry-quarantine for a shard whose worker died.
+
+        Restores the shard's shared-memory slice from the last
+        checkpoint, spawns a fresh worker that *adopts* the restored
+        state, and replays forward to the fleet's current position
+        (including the epoch that just failed) — bit-identical, because
+        the engine is deterministic.  A shard that keeps dying is
+        restored to the checkpoint and quarantined; the rest of the
+        fleet keeps training.
+        """
+        snap = self._last_ckpt
+        if snap is None:
+            self._reap_worker(w)
+            raise RuntimeError(
+                f"shard worker {w} died with checkpointing disabled "
+                "(checkpoint_interval=0); cannot replay"
+            )
+        # samples_per_agent is not yet incremented for the failing epoch.
+        replay = self.stats.samples_per_agent + n - snap["samples_per_agent"]
+        self._reap_worker(w)
+        for _ in range(self.max_worker_restarts):
+            self.restarts += 1
+            self._restore_shard(w, snap)
+            try:
+                self._spawn_worker(w, adopt=True)
+                self._await_ready(w)
+                self._conns[w].send(("run", replay))
+                tag, delta = self._conns[w].recv()
+            except (RuntimeError, EOFError, OSError, BrokenPipeError):
+                self._reap_worker(w)
+                continue
+            if tag != "done":
+                self._reap_worker(w)
+                continue
+            cum = self._worker_cum[w]
+            cum[0] += delta["episodes"]
+            cum[1] += delta["exploits"]
+            cum[2] += delta["explores"]
+            return
+        self._restore_shard(w, snap)
+        self.quarantined_workers.add(w)
+
+    def _restore_shard(self, w: int, snap: dict) -> None:
+        lo, hi = self._bounds[w], self._bounds[w + 1]
+        state = snap["state"]
+        for attr, key in self._STATE_ARRAYS:
+            getattr(self, attr)[lo:hi] = state[key][lo:hi]
+        self._bank_start.states[lo:hi] = state["lfsr"]["start"][lo:hi]
+        self._bank_action.states[lo:hi] = state["lfsr"]["action"][lo:hi]
+        self._bank_policy.states[lo:hi] = state["lfsr"]["policy"][lo:hi]
+        self._worker_cum[w] = list(snap["worker_cum"][w])
+
+    def _refresh_stats(self) -> None:
+        st = self.stats
+        base = self._stats_base
+        st.episodes = base["episodes"] + sum(c[0] for c in self._worker_cum)
+        st.exploits = base["exploits"] + sum(c[1] for c in self._worker_cum)
+        st.explores = base["explores"] + sum(c[2] for c in self._worker_cum)
+
+    def _take_checkpoint(self) -> None:
+        state = self.state_dict()
+        self.store.push(("epoch", self._epochs_done), state)
+        self._last_ckpt = {
+            "state": state,
+            "worker_cum": [list(c) for c in self._worker_cum],
+            "samples_per_agent": self.stats.samples_per_agent,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / view surface — the shared-memory arrays sit under the
+    # standard attribute names, so the vectorized implementations apply
+    # verbatim (and read/write worker state zero-copy).
+    # ------------------------------------------------------------------ #
+
+    state_dict = VectorizedFleetBackend.state_dict
+    lane_state = VectorizedFleetBackend.lane_state
+    load_lane_state = VectorizedFleetBackend.load_lane_state
+    q_float = VectorizedFleetBackend.q_float
+    q_float_all = VectorizedFleetBackend.q_float_all
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a fleet checkpoint (from this backend *or* from a
+        :class:`VectorizedFleetBackend` — the payloads are identical)."""
+        VectorizedFleetBackend.load_state_dict(self, state)
+        self._stats_base = {
+            "episodes": self.stats.episodes,
+            "exploits": self.stats.exploits,
+            "explores": self.stats.explores,
+        }
+        self._worker_cum = [[0, 0, 0] for _ in range(self.num_workers)]
+        if self.checkpoint_interval:
+            self._take_checkpoint()
+
+    @property
+    def n_lanes(self) -> int:
+        """Lane count (alias of the historical ``K``)."""
+        return self.K
+
+    def shard_bounds(self, w: int) -> tuple[int, int]:
+        """Worker ``w``'s contiguous lane range as ``(lo, hi)``."""
+        if not 0 <= w < self.num_workers:
+            raise IndexError(f"worker {w} out of range 0..{self.num_workers - 1}")
+        return self._bounds[w], self._bounds[w + 1]
+
+    def telemetry_snapshot(self) -> dict:
+        """Fleet-level counters plus shard/recovery health."""
+        return {
+            "agents": self.K,
+            "states": self.S,
+            "actions": self.A,
+            "samples_per_agent": self.stats.samples_per_agent,
+            "total_samples": self.stats.samples,
+            "episodes": self.stats.episodes,
+            "exploits": self.stats.exploits,
+            "explores": self.stats.explores,
+            "workers": self.num_workers,
+            "epoch": self.epoch,
+            "restarts": self.restarts,
+            "quarantined_workers": len(self.quarantined_workers),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory block.
+
+        Idempotent; also invoked by ``__exit__`` and (best-effort) by
+        ``__del__``.  After close the backend is unusable.
+        """
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for w in range(self.num_workers):
+            conn = self._conns[w]
+            proc = self._procs[w]
+            if conn is not None and proc is not None and proc.is_alive():
+                try:
+                    conn.send(("stop",))
+                    conn.recv()
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                self._procs[w] = None
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._conns[w] = None
+        # Drop every view of the buffer before closing the mapping.
+        for attr, _ in self._STATE_ARRAYS:
+            setattr(self, attr, None)
+        self._bank_start = self._bank_action = self._bank_policy = None
+        self._views = None
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+
+    def __enter__(self) -> "ShardedFleetBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

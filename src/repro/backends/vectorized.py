@@ -79,11 +79,30 @@ class VectorizedFleetBackend:
             )
             self._terminal = np.broadcast_to(base.terminal, (k, self.S))
             self._starts = np.broadcast_to(base.start_states, (k, n_starts))
+            # Flat gather sources: one copy, indexed without lane offsets.
+            self._next_flat = np.ascontiguousarray(base.next_state, dtype=_I64).reshape(-1)
+            self._rewards_flat = np.ascontiguousarray(
+                ops.quantize_array(base.rewards, qf), dtype=_I64
+            ).reshape(-1)
+            self._terminal_flat = np.ascontiguousarray(base.terminal, dtype=bool).reshape(-1)
+            self._starts_flat = np.ascontiguousarray(base.start_states, dtype=_I64).reshape(-1)
+            self._env_sa_off = self._env_s_off = self._env_start_off = None
         else:
             self._next = np.stack([m.next_state for m in self.mdps])
             self._rewards = np.stack([ops.quantize_array(m.rewards, qf) for m in self.mdps])
             self._terminal = np.stack([m.terminal for m in self.mdps])
             self._starts = np.stack([m.start_states for m in self.mdps])
+            # Flat gather sources: per-lane tables, indexed with the
+            # lane's base offset added in.
+            self._next_flat = np.ascontiguousarray(self._next, dtype=_I64).reshape(-1)
+            self._rewards_flat = np.ascontiguousarray(self._rewards, dtype=_I64).reshape(-1)
+            self._terminal_flat = np.ascontiguousarray(self._terminal, dtype=bool).reshape(-1)
+            self._starts_flat = np.ascontiguousarray(self._starts, dtype=_I64).reshape(-1)
+            lanes = np.arange(k, dtype=_I64)
+            self._env_sa_off = lanes * (self.S * self.A)
+            self._env_s_off = lanes * self.S
+            self._env_start_off = lanes * n_starts
+        self._n_starts = n_starts
 
         # Learner state: per-lane Q / Qmax / argmax tables.
         q_init = qf.quantize(config.q_init)
@@ -113,6 +132,25 @@ class VectorizedFleetBackend:
 
         self.stats = BatchStats(agents=k)
         self._rows = np.arange(k)
+
+        # Flat lane offsets + preallocated per-step scratch: step() runs
+        # allocation-free, and every state array is only ever mutated in
+        # place — the sharded backend relies on both when it rebinds the
+        # table attributes to shared-memory slices (then calls
+        # :meth:`_rebind_flat_views`).
+        self._lane_sa_off = np.arange(k, dtype=_I64) * (self.S * self.A)
+        self._lane_s_off = np.arange(k, dtype=_I64) * self.S
+        for name in (
+            "_t_start", "_t_state", "_t_action", "_t_pair", "_t_ienv",
+            "_t_isa", "_t_is", "_t_snext", "_t_r", "_t_qsa", "_t_qnext",
+            "_t_anext", "_t_qnew", "_t_acc", "_t_tmp",
+        ):
+            setattr(self, name, np.empty(k, dtype=_I64))
+        for name in (
+            "_m_restart", "_m_exploit", "_m_lag", "_m_term", "_m_upd", "_m_tmp",
+        ):
+            setattr(self, name, np.empty(k, dtype=bool))
+        self._rebind_flat_views()
         #: Optional :class:`repro.robustness.guards.DivergenceGuard`
         #: observing every lock-step update vector (None = fast path).
         self.guard = None
@@ -153,69 +191,116 @@ class VectorizedFleetBackend:
             return states & (m - 1)
         return states % m
 
+    @staticmethod
+    def _reduce_into(states: np.ndarray, m: int, out: np.ndarray) -> np.ndarray:
+        """:meth:`_reduce` into a preallocated buffer."""
+        if m & (m - 1) == 0:
+            return np.bitwise_and(states, _I64(m - 1), out=out)
+        return np.remainder(states, _I64(m), out=out)
+
+    def _rebind_flat_views(self) -> None:
+        """(Re)derive the flat 1-D aliases of q/qmax/qmax_action.
+
+        Called at construction and again by the sharded backend after it
+        rebinds the table attributes to shared-memory slices — the flat
+        views used by the offset-indexed gathers in :meth:`step` must
+        always alias the current storage (contiguous row slices reshape
+        to views, never copies)."""
+        self._q_flat = self.q.reshape(-1)
+        self._qmax_flat = self.qmax.reshape(-1)
+        self._qmax_action_flat = self.qmax_action.reshape(-1)
+
     # ------------------------------------------------------------------ #
     # One lock-step sample for every lane
     # ------------------------------------------------------------------ #
 
     def step(self) -> None:
         cfg = self.config
-        rows = self._rows
         on_policy = cfg.is_on_policy
         A = self.A
 
         # ---- stage-1 equivalent: state + behaviour action ---- #
-        restart = self._arch_state < 0
-        start_states = self._reduce(
-            self._bank_start.draw_where(restart, DECIMATION), self._starts.shape[1]
+        restart = np.less(self._arch_state, 0, out=self._m_restart)
+        start_idx = self._reduce_into(
+            self._bank_start.draw_where(restart, DECIMATION),
+            self._n_starts,
+            self._t_start,
         )
-        state = np.where(restart, self._starts[rows, start_states], self._arch_state)
+        if self._env_start_off is not None:
+            np.add(start_idx, self._env_start_off, out=start_idx)
+        np.take(self._starts_flat, start_idx, out=start_idx)
+        state = self._t_state
+        np.copyto(state, self._arch_state)
+        np.copyto(state, start_idx, where=restart)
 
+        action = self._t_action
         if cfg.behavior_policy == "random":
-            action = self._reduce(self._bank_action.draw_all(DECIMATION), A)
+            self._reduce_into(self._bank_action.draw_all(DECIMATION), A, action)
         else:
             # SARSA: forwarded action, except at restarts where a fresh
             # e-greedy draw happens against the *lagged* table view.
             u = self._bank_policy.draw_where(restart, DECIMATION)
-            exploit_b = u < self._egreedy_cut
-            lag_hit = state == self._prev_state
-            qmax_act = np.where(
-                lag_hit, self._prev_qmax_action, self.qmax_action[rows, state]
-            )
-            explore_act = self._reduce(u, A)
-            fresh = np.where(exploit_b, qmax_act, explore_act)
-            action = np.where(restart, fresh, self._forwarded)
+            exploit_b = np.less(u, self._egreedy_cut, out=self._m_exploit)
+            lag_hit = np.equal(state, self._prev_state, out=self._m_lag)
+            ist = np.add(state, self._lane_s_off, out=self._t_is)
+            qmax_act = np.take(self._qmax_action_flat, ist, out=self._t_tmp)
+            np.copyto(qmax_act, self._prev_qmax_action, where=lag_hit)
+            self._reduce_into(u, A, action)  # explore action
+            np.copyto(action, qmax_act, where=exploit_b)  # fresh draw
+            held = np.logical_not(restart, out=self._m_tmp)
+            np.copyto(action, self._forwarded, where=held)
 
-        pair = state * A + action
-        s_next = self._next[rows, state, action].astype(_I64)
-        terminal_next = self._terminal[rows, s_next]
-        q_sa = self.q[rows, pair]
-        r = self._rewards[rows, state, action]
+        pair = self._t_pair
+        np.multiply(state, _I64(A), out=pair)
+        np.add(pair, action, out=pair)
+
+        if self._env_sa_off is None:
+            env_sa = pair
+        else:
+            env_sa = np.add(pair, self._env_sa_off, out=self._t_ienv)
+        s_next = np.take(self._next_flat, env_sa, out=self._t_snext)
+        r = np.take(self._rewards_flat, env_sa, out=self._t_r)
+        if self._env_s_off is None:
+            env_s = s_next
+        else:
+            env_s = np.add(s_next, self._env_s_off, out=self._t_ienv)
+        terminal_next = np.take(self._terminal_flat, env_s, out=self._m_term)
+        isa = np.add(pair, self._lane_sa_off, out=self._t_isa)
+        q_sa = np.take(self._q_flat, isa, out=self._t_qsa)
 
         # ---- stage-2 equivalent: update policy ---- #
+        ins = np.add(s_next, self._lane_s_off, out=self._t_is)
+        q_next = self._t_qnext
+        a_next = self._t_anext
         if cfg.update_policy == "greedy":
-            q_next = self.qmax[rows, s_next]
-            a_next = self.qmax_action[rows, s_next]
+            np.take(self._qmax_flat, ins, out=q_next)
+            np.take(self._qmax_action_flat, ins, out=a_next)
             self.stats.exploits += self.K
         else:
             u = self._bank_policy.draw_all(DECIMATION)
-            exploit = u < self._egreedy_cut
-            explore_act = self._reduce(u, A)
-            a_next = np.where(exploit, self.qmax_action[rows, s_next], explore_act)
-            q_next = np.where(
-                exploit,
-                self.qmax[rows, s_next],
-                self.q[rows, s_next * A + explore_act],
-            )
-            n_exploit = int(exploit.sum())
+            exploit = np.less(u, self._egreedy_cut, out=self._m_exploit)
+            self._reduce_into(u, A, a_next)  # explore action
+            iq = np.multiply(s_next, _I64(A), out=self._t_tmp)
+            np.add(iq, a_next, out=iq)
+            np.add(iq, self._lane_sa_off, out=iq)
+            np.take(self._q_flat, iq, out=q_next)  # explore value
+            np.take(self._qmax_flat, ins, out=self._t_tmp)
+            np.copyto(q_next, self._t_tmp, where=exploit)
+            np.take(self._qmax_action_flat, ins, out=self._t_tmp)
+            np.copyto(a_next, self._t_tmp, where=exploit)
+            n_exploit = int(np.count_nonzero(exploit))
             self.stats.exploits += n_exploit
             self.stats.explores += self.K - n_exploit
-        q_next = np.where(terminal_next, _I64(0), q_next)
+        np.copyto(q_next, _I64(0), where=terminal_next)
 
         # ---- stage-3 equivalent: the shared datapath kernel ---- #
-        q_new = ops.q_update(
+        q_new = ops.q_update_into(
             q_sa,
             r,
             q_next,
+            out=self._t_qnew,
+            scratch=self._t_acc,
+            mask_scratch=self._m_tmp,
             alpha=self._alpha,
             one_minus_alpha=self._one_minus_alpha,
             alpha_gamma=self._alpha_gamma,
@@ -226,33 +311,41 @@ class VectorizedFleetBackend:
             self.guard.observe_array(q_new, cfg.q_format)
 
         # ---- stage-4 equivalent: write-back + Qmax rule ---- #
-        self._prev_pair[:] = pair
-        self._prev_state[:] = state
-        self._prev_q[:] = q_sa
-        self._prev_qmax[:] = self.qmax[rows, state]
-        self._prev_qmax_action[:] = self.qmax_action[rows, state]
+        np.copyto(self._prev_pair, pair)
+        np.copyto(self._prev_state, state)
+        np.copyto(self._prev_q, q_sa)
+        ist = np.add(state, self._lane_s_off, out=self._t_is)
+        np.take(self._qmax_flat, ist, out=self._prev_qmax)
+        np.take(self._qmax_action_flat, ist, out=self._prev_qmax_action)
 
-        self.q[rows, pair] = q_new
+        self._q_flat[isa] = q_new
         mode = cfg.qmax_mode
         if mode == "exact":
+            rows = self._rows
             rows_q = self.q.reshape(self.K, self.S, self.A)[rows, state]
             best = np.argmax(rows_q, axis=1)
             self.qmax[rows, state] = rows_q[rows, best]
             self.qmax_action[rows, state] = best
         else:
-            cur_val = self.qmax[rows, state]
-            cur_act = self.qmax_action[rows, state]
-            if mode == "monotonic":
-                upd = q_new > cur_val
-            else:  # follow
-                upd = (action == cur_act) | (q_new > cur_val)
-            self.qmax[rows, state] = np.where(upd, q_new, cur_val)
-            self.qmax_action[rows, state] = np.where(upd, action, cur_act)
+            # cur_val / cur_act were just latched into _prev_qmax[_action].
+            upd = np.greater(q_new, self._prev_qmax, out=self._m_upd)
+            if mode == "follow":
+                hit = np.equal(action, self._prev_qmax_action, out=self._m_tmp)
+                np.logical_or(upd, hit, out=upd)
+            merged = self._t_tmp
+            np.copyto(merged, self._prev_qmax)
+            np.copyto(merged, q_new, where=upd)
+            self._qmax_flat[ist] = merged
+            np.copyto(merged, self._prev_qmax_action)
+            np.copyto(merged, action, where=upd)
+            self._qmax_action_flat[ist] = merged
 
-        self.stats.episodes += int(terminal_next.sum())
-        self._arch_state = np.where(terminal_next, _I64(-1), s_next)
+        self.stats.episodes += int(np.count_nonzero(terminal_next))
+        np.copyto(self._arch_state, s_next)
+        np.copyto(self._arch_state, _I64(-1), where=terminal_next)
         if on_policy:
-            self._forwarded = np.where(terminal_next, _I64(-1), a_next)
+            np.copyto(self._forwarded, a_next)
+            np.copyto(self._forwarded, _I64(-1), where=terminal_next)
 
     def run(self, samples_per_agent: int) -> BatchStats:
         """Advance every lane by ``samples_per_agent`` updates."""

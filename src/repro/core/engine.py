@@ -1,10 +1,10 @@
 """Unified engine construction: :func:`make_engine` and the :class:`Engine` protocol.
 
-The repo grew four ways to run the QTAccel update loop — the
+The repo grew five ways to run the QTAccel update loop — the
 cycle-accurate pipeline, the bit-identical functional fast path, the
-lane-stacked fleet simulator, and the raw vectorized fleet backend.
-They share the same execution contract but historically each had its
-own constructor spelling.  :func:`make_engine` is the single documented
+lane-stacked fleet simulator, the raw vectorized fleet backend, and
+the multi-core sharded fleet backend.  They share the same execution
+contract but historically each had its own constructor spelling.  :func:`make_engine` is the single documented
 entry point (see ``docs/api.md``); everything it returns satisfies
 :class:`Engine`:
 
@@ -29,11 +29,14 @@ Engine kinds
                         (fleet facade; pass ``backend="vectorized"|"scalar"``)
 ``"vectorized"``        :class:`~repro.backends.vectorized.VectorizedFleetBackend`
                         (the numpy array program, addressed directly)
+``"sharded"``           :class:`~repro.backends.sharded.ShardedFleetBackend`
+                        (lane shards across ``num_workers`` processes over
+                        shared memory; remember to ``close()`` it)
 ======================  ====================================================
 
 Scalar engines (``functional``/``pipeline``) take one ``mdp``; fleet
-engines (``batch``/``vectorized``) take ``mdps`` — a single shared world
-plus ``num_agents``, or a sequence of same-shaped worlds.  Either
+engines (``batch``/``vectorized``/``sharded``) take ``mdps`` — a single
+shared world plus ``num_agents``, or a sequence of same-shaped worlds.  Either
 keyword is accepted for either kind (a lone world is a fleet of one
 description; a one-element fleet spec is a world), so callers can write
 ``make_engine(cfg, mdp=world, engine="batch", num_agents=64)``.
@@ -49,7 +52,7 @@ from .config import QTAccelConfig
 __all__ = ["Engine", "ENGINE_KINDS", "make_engine"]
 
 #: Recognised ``engine=`` spellings, in documentation order.
-ENGINE_KINDS = ("functional", "pipeline", "batch", "vectorized")
+ENGINE_KINDS = ("functional", "pipeline", "batch", "vectorized", "sharded")
 
 
 @runtime_checkable
@@ -123,7 +126,8 @@ def make_engine(
     e.g. ``behavior_lag=``/``draws=`` for ``"functional"``,
     ``stage2_latency=``/``telemetry=`` for ``"pipeline"``,
     ``num_agents=``/``salts=``/``backend=``/``telemetry=`` for the fleet
-    kinds.
+    kinds, plus ``num_workers=``/``epoch=``/``checkpoint_interval=`` for
+    ``"sharded"``.
 
     >>> sim = make_engine(QTAccelConfig.qlearning(), mdp=world)
     >>> fleet = make_engine(cfg, engine="batch", mdps=world, num_agents=256)
@@ -149,6 +153,10 @@ def make_engine(
         from ..backends.vectorized import VectorizedFleetBackend
 
         return VectorizedFleetBackend(_fleet_worlds(engine, mdp, mdps), config, **kw)
+    if engine == "sharded":
+        from ..backends.sharded import ShardedFleetBackend
+
+        return ShardedFleetBackend(_fleet_worlds(engine, mdp, mdps), config, **kw)
     raise ValueError(
         f"engine: unknown value {engine!r}; choose one of {ENGINE_KINDS}"
     )

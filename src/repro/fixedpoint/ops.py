@@ -159,6 +159,62 @@ def q_update(
     return clamp_raw(raw, q_fmt)
 
 
+def q_update_into(
+    q: np.ndarray,
+    r: np.ndarray,
+    q_next: np.ndarray,
+    *,
+    out: np.ndarray,
+    scratch: np.ndarray,
+    mask_scratch: np.ndarray,
+    alpha: int,
+    one_minus_alpha: int,
+    alpha_gamma: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> np.ndarray:
+    """:func:`q_update` (array path) into preallocated buffers.
+
+    Bit-identical to :func:`q_update` (asserted by the test suite), but
+    every intermediate lands in ``out``/``scratch`` (int64, same shape
+    as the operands) and ``mask_scratch`` (bool) — the vectorized fleet
+    backend calls this once per lock-step step with zero allocations.
+    ``out`` must not alias ``q``/``r``/``q_next``.
+    """
+    # acc = (1-a)*q + a*r + (a*g)*q_next at full precision.
+    np.multiply(q, _I64(one_minus_alpha), out=scratch)
+    np.multiply(r, _I64(alpha), out=out)
+    np.add(scratch, out, out=scratch)
+    np.multiply(q_next, _I64(alpha_gamma), out=out)
+    np.add(scratch, out, out=scratch)
+    # Single renormalising shift with q_fmt's rounding mode.
+    shift = coef_fmt.frac
+    if shift == 0:
+        np.copyto(out, scratch)
+    elif q_fmt.rounding == "truncate":
+        np.right_shift(scratch, shift, out=out)
+    else:  # round-to-nearest, ties away from zero (matches rshift_round)
+        half = _I64(1 << (shift - 1))
+        neg = np.less(scratch, 0, out=mask_scratch)
+        np.negative(scratch, out=out)
+        np.copyto(scratch, out, where=neg)  # scratch = |acc|
+        np.add(scratch, half, out=scratch)
+        np.right_shift(scratch, shift, out=out)
+        np.negative(out, out=scratch)
+        np.copyto(out, scratch, where=neg)
+    # Single saturate/wrap (matches clamp_raw).
+    if q_fmt.overflow == "saturate":
+        np.clip(out, q_fmt.raw_min, q_fmt.raw_max, out=out)
+    else:
+        span = 1 << q_fmt.wordlen
+        np.bitwise_and(out, _I64(span - 1), out=out)
+        if q_fmt.signed:
+            over = np.greater(out, q_fmt.raw_max, out=mask_scratch)
+            np.subtract(out, _I64(span), out=scratch)
+            np.copyto(out, scratch, where=over)
+    return out
+
+
 def is_saturated(raw: int, fmt: FxpFormat) -> bool:
     """Whether a raw value sits on a rail of ``fmt``.
 

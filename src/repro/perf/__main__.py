@@ -5,7 +5,9 @@ Usage::
     python -m repro.perf run                      # next BENCH_<n>.json here
     python -m repro.perf run --output out.json --repeats 9
     python -m repro.perf run --fleet              # + fleet throughput sweep
+    python -m repro.perf run --fleet --workers 1,2  # + sharded worker sweep
     python -m repro.perf fleet --smoke --min-speedup 5
+    python -m repro.perf fleet --workers 2 --lanes 256 --min-speedup 2 --vs scalar
     python -m repro.perf compare BENCH_0.json BENCH_1.json
     python -m repro.perf report BENCH_1.json
 
@@ -23,9 +25,13 @@ from .compare import DEFAULT_K, DEFAULT_REL_TOL, compare_snapshots, render_compa
 from .fleet import (
     LANE_COUNTS,
     SMOKE_LANE_COUNTS,
+    WORKER_COUNTS,
     check_min_speedup,
+    check_sharded_speedup,
     render_fleet_throughput,
+    render_sharded_throughput,
     run_fleet_throughput,
+    run_sharded_throughput,
 )
 from .snapshot import build_snapshot, load_snapshot, next_bench_path, write_snapshot
 
@@ -46,12 +52,20 @@ def _cmd_run(args) -> int:
             lane_counts=SMOKE_LANE_COUNTS if args.quick else LANE_COUNTS,
             quick=args.quick,
         )
+    sharded = None
+    if args.workers:
+        sharded = run_sharded_throughput(
+            worker_counts=_parse_workers(args.workers),
+            n_lanes=256 if args.quick else 4096,
+            quick=args.quick,
+        )
     snapshot = build_snapshot(
         results,
         config={"repeats": args.repeats, "warmup": args.warmup, "quick": args.quick},
         overheads=overhead_ratios(results),
         stage_attribution=stage,
         fleet_throughput=fleet,
+        sharded_throughput=sharded,
     )
     path = args.output if args.output else next_bench_path(".")
     write_snapshot(snapshot, path)
@@ -60,22 +74,45 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_workers(spec: str) -> list[int]:
+    try:
+        counts = [int(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError:
+        raise KeyError(f"--workers: expected comma-separated ints, got {spec!r}")
+    if not counts:
+        raise KeyError(f"--workers: expected comma-separated ints, got {spec!r}")
+    return counts
+
+
 def _cmd_fleet(args) -> int:
-    record = run_fleet_throughput(
-        lane_counts=SMOKE_LANE_COUNTS if args.smoke else LANE_COUNTS,
-        repeats=args.repeats,
-        quick=args.smoke,
-    )
-    print(render_fleet_throughput(record))
+    sharded = bool(args.workers)
+    if sharded:
+        record = run_sharded_throughput(
+            worker_counts=_parse_workers(args.workers),
+            n_lanes=args.lanes,
+            repeats=args.repeats,
+            quick=args.smoke,
+        )
+        print(render_sharded_throughput(record))
+    else:
+        record = run_fleet_throughput(
+            lane_counts=SMOKE_LANE_COUNTS if args.smoke else LANE_COUNTS,
+            repeats=args.repeats,
+            quick=args.smoke,
+        )
+        print(render_fleet_throughput(record))
     if args.output:
         import json
 
         with open(args.output, "w") as fh:
             json.dump(record, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"\nfleet sweep written to {args.output}")
+        print(f"\nsweep written to {args.output}")
     if args.min_speedup is not None:
-        ok, message = check_min_speedup(record, args.min_speedup)
+        if sharded:
+            ok, message = check_sharded_speedup(record, args.min_speedup, vs=args.vs)
+        else:
+            ok, message = check_min_speedup(record, args.min_speedup)
         print(message)
         return 0 if ok else 1
     return 0
@@ -149,6 +186,10 @@ def render_snapshot(snapshot: dict) -> str:
     if fleet:
         out.append("")
         out.append(render_fleet_throughput(fleet))
+    sharded = snapshot.get("sharded_throughput")
+    if sharded:
+        out.append("")
+        out.append(render_sharded_throughput(sharded))
     stage = snapshot.get("stage_attribution")
     if stage:
         fr = stage.get("fractions") or {}
@@ -200,6 +241,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the scalar-vs-vectorized fleet throughput sweep "
         "(recorded under the snapshot's fleet_throughput key)",
     )
+    p_run.add_argument(
+        "--workers",
+        metavar="A,B,...",
+        help="also run the sharded worker-count sweep at these worker counts "
+        "(recorded under the snapshot's sharded_throughput key)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_fleet = sub.add_parser(
@@ -217,7 +264,28 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup",
         type=float,
         metavar="X",
-        help="exit 1 unless the largest lane count reaches X x speedup",
+        help="exit 1 unless the largest lane count (or worker count, with "
+        "--workers) reaches X x speedup",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        metavar="A,B,...",
+        help="run the sharded worker-count sweep instead (e.g. 1,2,4; "
+        f"full-run default ladder is {WORKER_COUNTS})",
+    )
+    p_fleet.add_argument(
+        "--lanes",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="lane count for the sharded sweep (default 4096)",
+    )
+    p_fleet.add_argument(
+        "--vs",
+        choices=("scalar", "vectorized"),
+        default="scalar",
+        help="which baseline the sharded --min-speedup gate compares against "
+        "(scalar is machine-portable; vectorized needs a multi-core host)",
     )
     p_fleet.add_argument("--output", metavar="PATH", help="write the sweep json here")
     p_fleet.set_defaults(func=_cmd_fleet)

@@ -253,9 +253,11 @@ class BenchResult:
             "workload_samples": self.workload,
             "seconds": digest,
             "samples_per_sec": self.workload / med if med > 0 else None,
-            "cycles_per_sample": None,
-            "modelled_msps_at_189mhz": None,
         }
+        # Cycle-derived figures only exist for cycle-accurate engines;
+        # non-cycle cases omit the keys entirely (snapshot schema 1.1 —
+        # earlier snapshots carried explicit nulls, and the regression
+        # sentinel tolerates both spellings).
         if self.cycles is not None and self.workload:
             cps = self.cycles / self.workload
             out["cycles_per_sample"] = cps

@@ -24,6 +24,13 @@ Results land in BENCH snapshots under the top-level
 ``python -m repro.perf fleet --smoke --min-speedup N`` gates CI on the
 vectorization win without wall-clock fingerprint games: a speedup is a
 same-machine relative measure, comparable anywhere.
+
+:func:`run_sharded_throughput` is the companion sweep for the
+process-parallel :class:`~repro.backends.sharded.ShardedFleetBackend`:
+a worker-count ladder at a fixed lane count, recording both the
+multi-core ratio against single-process vectorized and the
+machine-portable ratio against scalar (``python -m repro.perf fleet
+--workers 1,2,4``; snapshots store it under ``sharded_throughput``).
 """
 
 from __future__ import annotations
@@ -183,6 +190,216 @@ def check_min_speedup(record: dict, min_speedup: float, *, at_lanes: Optional[in
         f"fleet speedup at n_lanes={lanes}: {speedup:.2f}x "
         f"(floor {min_speedup:g}x) {verdict}"
     )
+
+
+# ---------------------------------------------------------------------- #
+# Sharded sweep: worker-count ladder at a fixed lane count
+# ---------------------------------------------------------------------- #
+
+#: Per-repeat update budget for the sharded sweep (larger than the
+#: vectorized sweep's — process fan-out has fixed epoch costs that only
+#: amortise over a meaningful step count).
+_SHARD_BUDGET = 400_000
+_SHARD_STEP_CAP = 4_000
+
+#: Default worker ladder for ``run_sharded_throughput``.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_sharded_throughput(
+    *,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    n_lanes: int = 4096,
+    repeats: int = 3,
+    warmup: int = 1,
+    quick: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+    mp_context: str = "spawn",
+) -> dict:
+    """Measure sharded fleet throughput across a worker-count ladder.
+
+    Every point runs the *same* ``n_lanes``-lane workload three ways —
+    sharded (at that worker count), single-process vectorized, and (once
+    per sweep) the scalar lane loop — so the record carries both
+    speedups: ``speedup_vs_vectorized`` answers "does adding processes
+    pay on this machine?" and ``speedup_vs_scalar`` is the
+    machine-portable CI gate (sharded inherits the array program's
+    10-30x scalar win even on a single core, so the gate holds where
+    the multi-core ratio legitimately cannot).
+
+    Checkpointing is disabled (``checkpoint_interval=0``) and the epoch
+    is set to the whole repeat so the number isolates steady-state shard
+    throughput, not supervisor overhead.  Returns the
+    snapshot-embeddable record stored under ``sharded_throughput``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    worker_counts = list(worker_counts)
+    if not worker_counts or any(w < 1 for w in worker_counts):
+        raise ValueError(f"worker_counts must be positive, got {worker_counts}")
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be positive, got {n_lanes}")
+
+    import os
+
+    from ..backends.scalar import ScalarFleetBackend
+    from ..backends.sharded import ShardedFleetBackend
+    from ..backends.vectorized import VectorizedFleetBackend
+
+    mdp, cfg = _mdp(), _config()
+    scale = 10 if quick else 1
+    steps = _steps(_SHARD_BUDGET // scale, _SHARD_STEP_CAP // scale, n_lanes)
+    sc_steps = _steps(_SCALAR_BUDGET // scale, _SCALAR_STEP_CAP // scale, n_lanes)
+
+    # Scalar baseline: measured once per sweep (it does not vary with
+    # the worker count) and shared by every point's scalar speedup.
+    sc = ScalarFleetBackend(mdp, cfg, num_agents=n_lanes)
+    for _ in range(warmup):
+        sc.run(sc_steps)
+    sc_secs: list[float] = []
+    for _ in range(repeats):
+        t0 = clock()
+        sc.run(sc_steps)
+        sc_secs.append(clock() - t0)
+    sc_med = median(sc_secs)
+    sc_per_update = sc_med / (n_lanes * sc_steps) if sc_med > 0 else None
+
+    def _side(side_steps: int, secs: list[float]) -> dict:
+        med = median(secs)
+        updates = n_lanes * side_steps
+        return {
+            "steps": side_steps,
+            "updates": updates,
+            "seconds_median": med,
+            "seconds_mad": mad(secs),
+            "updates_per_sec": updates / med if med > 0 else None,
+        }
+
+    points: dict[str, dict] = {}
+    for workers in worker_counts:
+        shard = ShardedFleetBackend(
+            mdp,
+            cfg,
+            num_agents=n_lanes,
+            num_workers=workers,
+            epoch=steps,
+            checkpoint_interval=0,
+            mp_context=mp_context,
+        )
+        try:
+            vec = VectorizedFleetBackend(mdp, cfg, num_agents=n_lanes)
+            for _ in range(warmup):
+                shard.run(steps)
+                vec.run(steps)
+            shard_secs: list[float] = []
+            vec_secs: list[float] = []
+            ratios: list[float] = []
+            for _ in range(repeats):
+                t0 = clock()
+                shard.run(steps)
+                t1 = clock()
+                vec.run(steps)
+                t2 = clock()
+                shard_secs.append(t1 - t0)
+                vec_secs.append(t2 - t1)
+                if (t1 - t0) > 0:
+                    ratios.append((t2 - t1) / (t1 - t0))
+        finally:
+            shard.close()
+
+        shard_med = median(shard_secs)
+        shard_per_update = (
+            shard_med / (n_lanes * steps) if shard_med > 0 else None
+        )
+        points[str(workers)] = {
+            "sharded": _side(steps, shard_secs),
+            "vectorized": _side(steps, vec_secs),
+            "speedup_vs_vectorized": median(ratios) if ratios else None,
+            "speedup_vs_vectorized_mad": mad(ratios) if ratios else None,
+            "speedup_vs_scalar": (
+                sc_per_update / shard_per_update
+                if sc_per_update and shard_per_update
+                else None
+            ),
+        }
+
+    return {
+        "n_lanes": n_lanes,
+        "worker_counts": worker_counts,
+        "repeats": repeats,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "steps": steps,
+        "scalar": _side(sc_steps, sc_secs),
+        "points": points,
+    }
+
+
+def check_sharded_speedup(
+    record: dict,
+    min_speedup: float,
+    *,
+    vs: str = "scalar",
+    at_workers: Optional[int] = None,
+) -> tuple[bool, str]:
+    """Gate a sharded sweep record against a speedup floor.
+
+    ``vs`` chooses the ratio: ``"scalar"`` (machine-portable, the CI
+    default) or ``"vectorized"`` (only meaningful on multi-core hosts).
+    Checks the largest measured worker count unless ``at_workers`` pins
+    a specific ladder point.  Returns ``(ok, message)``.
+    """
+    if vs not in ("scalar", "vectorized"):
+        raise ValueError(f"vs must be 'scalar' or 'vectorized', got {vs!r}")
+    points = record.get("points") or {}
+    if not points:
+        return False, "sharded sweep has no measured points"
+    workers = at_workers if at_workers is not None else max(int(k) for k in points)
+    entry = points.get(str(workers))
+    if entry is None:
+        return False, f"no sharded point at workers={workers}"
+    speedup = entry.get(f"speedup_vs_{vs}")
+    if speedup is None:
+        return False, f"no speedup_vs_{vs} recorded at workers={workers}"
+    ok = speedup >= min_speedup
+    verdict = "ok" if ok else "FAIL"
+    return ok, (
+        f"sharded speedup vs {vs} at workers={workers}: {speedup:.2f}x "
+        f"(floor {min_speedup:g}x) {verdict}"
+    )
+
+
+def render_sharded_throughput(record: dict) -> str:
+    """Human-readable table of one sharded sweep record."""
+    lanes = record.get("n_lanes")
+    cpus = record.get("cpu_count")
+    out = [
+        f"sharded fleet throughput (n_lanes={lanes}, host cpus={cpus}, per update):"
+    ]
+    header = (
+        f"{'workers':>8s} {'sharded up/s':>14s} {'vector up/s':>14s} "
+        f"{'vs vector':>10s} {'vs scalar':>10s}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+
+    def _fmt(v):
+        return f"{v:,.0f}" if isinstance(v, (int, float)) else "-"
+
+    def _x(v):
+        return f"{v:.2f}x" if isinstance(v, (int, float)) else "-"
+
+    for workers in sorted((record.get("points") or {}), key=int):
+        p = record["points"][workers]
+        out.append(
+            f"{workers:>8s} {_fmt((p.get('sharded') or {}).get('updates_per_sec')):>14s} "
+            f"{_fmt((p.get('vectorized') or {}).get('updates_per_sec')):>14s} "
+            f"{_x(p.get('speedup_vs_vectorized')):>10s} "
+            f"{_x(p.get('speedup_vs_scalar')):>10s}"
+        )
+    return "\n".join(out)
 
 
 def render_fleet_throughput(record: dict) -> str:

@@ -18,15 +18,23 @@ Schema (``qtaccel-bench/1``)::
       "config": {"repeats": .., "warmup": .., "quick": ..},
       "cases": {"<name>": {"seconds": {median, mad, ci, ...},
                             "samples_per_sec": ..,
-                            "cycles_per_sample": ..,
-                            "modelled_msps_at_189mhz": ..}},
+                            "cycles_per_sample": ..,       # cycle-accurate
+                            "modelled_msps_at_189mhz": ..}},  # cases only
       "overheads": {"<variant>": {"baseline", "ratio", "budget"}},
       "stage_attribution": {"sample_every", "sampled_cycles",
                              "seconds", "fractions"},
       "fleet_throughput": {"lane_counts", "repeats",         # optional
                             "points": {"<n_lanes>": {"scalar",
-                                       "vectorized", "speedup"}}}
+                                       "vectorized", "speedup"}}},
+      "sharded_throughput": {"n_lanes", "worker_counts",     # optional
+                              "points": {"<workers>": {"sharded",
+                                         "vectorized", "speedup_*"}}}
     }
+
+Cases run on engines with no cycle notion (functional, the fleets)
+**omit** ``cycles_per_sample``/``modelled_msps_at_189mhz``; snapshots
+written before schema revision 1.1 carried explicit nulls instead, and
+:mod:`repro.perf.compare` accepts both spellings.
 
 Absolute ``seconds`` are only comparable between snapshots whose
 machine fingerprints match; ``cycles_per_sample`` (deterministic) and
@@ -88,6 +96,7 @@ def build_snapshot(
     overheads: Optional[dict] = None,
     stage_attribution: Optional[dict] = None,
     fleet_throughput: Optional[dict] = None,
+    sharded_throughput: Optional[dict] = None,
 ) -> dict:
     """Assemble a schema-versioned snapshot from harness results."""
     snap = {
@@ -101,6 +110,8 @@ def build_snapshot(
     }
     if fleet_throughput is not None:
         snap["fleet_throughput"] = fleet_throughput
+    if sharded_throughput is not None:
+        snap["sharded_throughput"] = sharded_throughput
     return snap
 
 
@@ -121,14 +132,16 @@ def snapshot_from_profile(profile: dict, *, source: str = "experiment") -> dict:
         retired = stats.get("retired", 0)
         cycles = stats.get("cycles", 0)
         cps = (cycles / retired) if retired else None
-        cases[name] = {
+        entry = {
             "title": f"profiled pipeline {name}",
             "workload_samples": retired,
             "seconds": None,
             "samples_per_sec": None,
-            "cycles_per_sample": cps,
-            "modelled_msps_at_189mhz": (PAPER_CLOCK_MHZ / cps) if cps else None,
         }
+        if cps:
+            entry["cycles_per_sample"] = cps
+            entry["modelled_msps_at_189mhz"] = PAPER_CLOCK_MHZ / cps
+        cases[name] = entry
     snap = {
         "schema": SCHEMA,
         "source": source,
@@ -159,8 +172,6 @@ def snapshot_from_pytest_benchmarks(benchmarks, *, source: str = "pytest-benchma
             "workload_samples": None,
             "seconds": None,
             "samples_per_sec": None,
-            "cycles_per_sample": None,
-            "modelled_msps_at_189mhz": None,
         }
         # ``bm`` is pytest-benchmark's Metadata; ``bm.stats`` is its Stats
         # (older layouts nest one level deeper, hence the second hop).

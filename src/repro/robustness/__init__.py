@@ -10,7 +10,12 @@ The robustness layer of the reproduction (see ``docs/robustness.md``):
 * :mod:`~repro.robustness.guards` — :class:`DivergenceGuard` for the
   fixed-point datapath (saturation/stuck-at/NaN, raise/clamp/quarantine);
 * :mod:`~repro.robustness.checkpoint` — engine checkpoints,
-  :class:`FleetSupervisor` rollback/retry/quarantine, :class:`Watchdog`.
+  :class:`FleetSupervisor` rollback/retry/quarantine, :class:`Watchdog`;
+* :mod:`~repro.robustness.sharded_smoke` — the CI worker-crash recovery
+  smoke for the process-parallel
+  :class:`~repro.backends.sharded.ShardedFleetBackend` (which embeds a
+  :class:`CheckpointStore` and applies the same rollback/retry/
+  quarantine discipline to whole worker processes).
 
 Everything here is opt-in: engines built without these objects run the
 exact PR-1 hot loops (one ``None`` pointer test per hook site).

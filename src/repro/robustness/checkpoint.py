@@ -23,6 +23,16 @@ Layers in this module:
   check every lane after each chunk, roll back and retry poisoned
   chunks, and quarantine lanes that stay unhealthy so the rest of the
   fleet keeps training (graceful degradation).
+
+The process-parallel :class:`~repro.backends.sharded.ShardedFleetBackend`
+reuses :class:`CheckpointStore` as its epoch-snapshot ring and applies
+the same rollback/retry/quarantine discipline at worker-process
+granularity: a crashed worker's shard is restored from the last
+checkpoint and replayed (determinism makes the replay bit-exact), and a
+worker that keeps dying is quarantined so the surviving shards train on.
+:class:`FleetSupervisor` also composes *over* a sharded fleet through
+:class:`BatchLanes`, layering per-lane health checks on top of the
+backend's own crash recovery.
 """
 
 from __future__ import annotations

@@ -48,18 +48,6 @@ DECODE_CORRECTED = "corrected"
 DECODE_DETECTED = "detected"
 
 
-def _parity_fold(x: np.ndarray) -> np.ndarray:
-    """Elementwise parity of non-negative int64 words (XOR fold)."""
-    x = x.copy()
-    x ^= x >> 32
-    x ^= x >> 16
-    x ^= x >> 8
-    x ^= x >> 4
-    x ^= x >> 2
-    x ^= x >> 1
-    return x & 1
-
-
 class SecDed:
     """Extended-Hamming SECDED codec for ``width``-bit data words.
 
@@ -97,6 +85,33 @@ class SecDed:
                     m |= 1 << j
             self.masks.append(m)
         self._check_positions = {1 << i: i for i in range(r)}
+        # Byte-sliced fold tables: encoding/syndroming a word is then
+        # one table hit per data byte instead of ``r`` parity folds.
+        # An entry packs the XOR of the covered data bits' codeword
+        # positions (bits 0..r-1 — bit ``i`` of that XOR is check bit
+        # ``i``'s parity contribution, since check ``i`` covers exactly
+        # the positions with bit ``i`` set) with the byte's popcount
+        # parity in bit ``r``.
+        self._n_bytes = (width + 7) // 8
+        self._r_mask = (1 << r) - 1
+        self._chk_mask = (1 << (r + 1)) - 1
+        enc = np.zeros((self._n_bytes, 256), dtype=_I64)
+        for bp in range(self._n_bytes):
+            for v in range(256):
+                acc = 0
+                ones = 0
+                for b in range(8):
+                    j = 8 * bp + b
+                    if j < width and (v >> b) & 1:
+                        acc ^= self.data_pos[j]
+                        ones += 1
+                enc[bp, v] = acc | ((ones & 1) << r)
+        self._enc_np = enc
+        self._enc_tab = [[int(x) for x in row] for row in enc]
+        self._par_np = np.asarray(
+            [v.bit_count() & 1 for v in range(1 << (r + 1))], dtype=_I64
+        )
+        self._par_chk = [int(x) for x in self._par_np]
 
     @property
     def check_bits(self) -> int:
@@ -110,10 +125,11 @@ class SecDed:
     def encode(self, word: int) -> int:
         """Check word (``r`` Hamming bits then the overall parity bit)
         for a masked ``width``-bit data word."""
-        check = 0
-        for i, m in enumerate(self.masks):
-            check |= ((word & m).bit_count() & 1) << i
-        parity = (word.bit_count() + check.bit_count()) & 1
+        acc = 0
+        for bp in range(self._n_bytes):
+            acc ^= self._enc_tab[bp][(word >> (8 * bp)) & 0xFF]
+        check = acc & self._r_mask
+        parity = (acc >> self.r) ^ self._par_chk[check]
         return check | (parity << self.r)
 
     def decode(self, word: int, check: int) -> tuple[str, int, int]:
@@ -123,11 +139,11 @@ class SecDed:
         ``status`` is :data:`DECODE_CLEAN`, :data:`DECODE_CORRECTED` or
         :data:`DECODE_DETECTED` (uncorrectable — values unchanged).
         """
-        syndrome = 0
-        for i, m in enumerate(self.masks):
-            bit = ((word & m).bit_count() & 1) ^ ((check >> i) & 1)
-            syndrome |= bit << i
-        parity = (word.bit_count() + check.bit_count()) & 1
+        acc = 0
+        for bp in range(self._n_bytes):
+            acc ^= self._enc_tab[bp][(word >> (8 * bp)) & 0xFF]
+        syndrome = (acc ^ check) & self._r_mask
+        parity = (acc >> self.r) ^ self._par_chk[check & self._chk_mask]
         if syndrome == 0 and parity == 0:
             return DECODE_CLEAN, word, check
         if parity == 1:  # odd number of flipped bits: correct as single
@@ -144,26 +160,44 @@ class SecDed:
         # Non-zero syndrome with even parity: double error.
         return DECODE_DETECTED, word, check
 
+    def syndrome(self, word: int, check: int) -> int:
+        """Scalar twin of :meth:`syndrome_many`: non-zero iff the stored
+        pair disagrees (Hamming syndrome in bits ``0..r-1``, overall
+        parity in bit ``r``).  The decode-on-read hot path tests this
+        before paying for the full :meth:`decode` branch ladder."""
+        acc = 0
+        for bp in range(self._n_bytes):
+            acc ^= self._enc_tab[bp][(word >> (8 * bp)) & 0xFF]
+        return ((acc ^ check) & self._r_mask) | (
+            ((acc >> self.r) ^ self._par_chk[check & self._chk_mask]) << self.r
+        )
+
     # ------------------------------------------------------------------ #
     # Vector path (bulk encode for writes / initial fill)
     # ------------------------------------------------------------------ #
 
+    def _fold_many(self, words: np.ndarray) -> np.ndarray:
+        """Vectorised byte-table fold (check bits + popcount parity)."""
+        acc = np.take(self._enc_np[0], words & _I64(0xFF))
+        for bp in range(1, self._n_bytes):
+            acc ^= np.take(self._enc_np[bp], (words >> (8 * bp)) & _I64(0xFF))
+        return acc
+
     def encode_many(self, words: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`encode` over an array of masked words."""
         words = np.asarray(words, dtype=_I64)
-        check = np.zeros_like(words)
-        for i, m in enumerate(self.masks):
-            check |= _parity_fold(words & _I64(m)) << i
-        parity = _parity_fold(words) ^ _parity_fold(check)
+        acc = self._fold_many(words)
+        check = acc & _I64(self._r_mask)
+        parity = (acc >> self.r) ^ np.take(self._par_np, check)
         return check | (parity << self.r)
 
     def syndrome_many(self, words: np.ndarray, checks: np.ndarray) -> np.ndarray:
         """Non-zero entries mark words whose stored ECC disagrees."""
         words = np.asarray(words, dtype=_I64)
-        syn = np.zeros_like(words)
-        for i, m in enumerate(self.masks):
-            syn |= (_parity_fold(words & _I64(m)) ^ ((checks >> i) & 1)) << i
-        parity = _parity_fold(words) ^ _parity_fold(checks & _I64((1 << (self.r + 1)) - 1))
+        checks = np.asarray(checks, dtype=_I64)
+        acc = self._fold_many(words)
+        syn = (acc ^ checks) & _I64(self._r_mask)
+        parity = (acc >> self.r) ^ np.take(self._par_np, checks & _I64(self._chk_mask))
         return syn | (parity << self.r)
 
 
@@ -186,7 +220,15 @@ class EccTableRam(TableRam):
     an unsigned action index.
     """
 
-    __slots__ = ("codec", "check", "signed", "ecc_corrected", "ecc_detected")
+    __slots__ = (
+        "codec",
+        "check",
+        "signed",
+        "ecc_corrected",
+        "ecc_detected",
+        "_w_mask",
+        "_syndrome",
+    )
 
     def __init__(
         self,
@@ -201,6 +243,8 @@ class EccTableRam(TableRam):
         super().__init__(depth, width, name=name, kind=kind, fill=fill)
         self.codec = codec_for(width)
         self.signed = signed
+        self._w_mask = (1 << width) - 1
+        self._syndrome = self.codec.syndrome  # bound once: per-read hot path
         fill_check = self.codec.encode(mask_raw(fill, width))
         self.check = np.full(depth, fill_check, dtype=_I64)
         self.ecc_corrected = 0
@@ -211,11 +255,11 @@ class EccTableRam(TableRam):
     # ------------------------------------------------------------------ #
 
     def _encode_addr(self, addr: int) -> None:
-        self.check[addr] = self.codec.encode(mask_raw(int(self.data[addr]), self.width))
+        self.check[addr] = self.codec.encode(int(self.data[addr]) & self._w_mask)
 
     def _decode_addr(self, addr: int) -> str:
         """Check one word, correcting storage in place.  Returns status."""
-        word = mask_raw(int(self.data[addr]), self.width)
+        word = int(self.data[addr]) & self._w_mask
         check = int(self.check[addr])
         status, fixed_word, fixed_check = self.codec.decode(word, check)
         if status == DECODE_CLEAN:
@@ -235,15 +279,22 @@ class EccTableRam(TableRam):
     # ------------------------------------------------------------------ #
 
     def read(self, addr: int) -> int:
-        self._decode_addr(addr)
-        return super().read(addr)
+        # Clean words (the overwhelmingly common case) pay one table
+        # fold and a compare; only a non-zero syndrome enters the full
+        # decode/correct/count path.
+        value = int(self.data[addr])
+        if self._syndrome(value & self._w_mask, int(self.check[addr])):
+            self._decode_addr(addr)
+            value = int(self.data[addr])
+        self.stats.reads += 1
+        return value
 
     def read_many(self, addrs) -> np.ndarray:
         addrs = np.asarray(addrs)
         if addrs.size:
             uniq = np.unique(addrs)
             syn = self.codec.syndrome_many(
-                self.data[uniq] & _I64((1 << self.width) - 1), self.check[uniq]
+                self.data[uniq] & _I64(self._w_mask), self.check[uniq]
             )
             for addr in uniq[syn != 0]:
                 self._decode_addr(int(addr))
@@ -256,9 +307,7 @@ class EccTableRam(TableRam):
     def write_many_now(self, addrs, values) -> None:
         super().write_many_now(addrs, values)
         addrs = np.asarray(addrs)
-        self.check[addrs] = self.codec.encode_many(
-            self.data[addrs] & _I64((1 << self.width) - 1)
-        )
+        self.check[addrs] = self.codec.encode_many(self.data[addrs] & _I64(self._w_mask))
 
     def commit(self) -> int:
         written = [addr for addr, _ in self._pending]

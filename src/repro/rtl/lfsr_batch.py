@@ -22,9 +22,18 @@ _LEAP_TABLES_NP: dict[tuple[int, int], np.ndarray] = {}
 
 
 class LfsrBank:
-    """K parallel Galois LFSRs of one polynomial, stepped vectorised."""
+    """K parallel Galois LFSRs of one polynomial, stepped vectorised.
 
-    __slots__ = ("width", "mask", "states")
+    All draw/step methods mutate ``states`` **in place** through two
+    preallocated scratch vectors: the hot loop of the vectorized fleet
+    backend allocates nothing per step, and callers may rebind
+    ``states`` to any writable int64 view (e.g. a shared-memory slice,
+    as the sharded backend does) — the bank keeps advancing that exact
+    storage.  Scratch is (re)sized lazily on the first draw after a
+    rebind.
+    """
+
+    __slots__ = ("width", "mask", "states", "_t1", "_t2")
 
     def __init__(self, width: int, seeds, taps: tuple[int, ...] | None = None):
         if taps is None:
@@ -36,6 +45,16 @@ class LfsrBank:
         seeds = np.asarray(seeds, dtype=np.int64) & ((1 << width) - 1)
         seeds = np.where(seeds == 0, 1, seeds)
         self.states = seeds.copy()
+        self._t1 = None
+        self._t2 = None
+
+    def _scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """The two scratch vectors, (re)allocated to match ``states``."""
+        t1 = self._t1
+        if t1 is None or t1.shape != self.states.shape:
+            self._t1 = t1 = np.empty_like(self.states)
+            self._t2 = np.empty_like(self.states)
+        return t1, self._t2
 
     @classmethod
     def from_scalar_seeds(cls, width: int, seeds) -> "LfsrBank":
@@ -50,10 +69,11 @@ class LfsrBank:
     def step_all(self) -> np.ndarray:
         """Advance every lane one clock; returns the new states."""
         s = self.states
-        lsb = s & 1
-        s = s >> 1
-        s ^= self.mask * lsb
-        self.states = s
+        t, _ = self._scratch()
+        np.bitwise_and(s, 1, out=t)
+        np.multiply(t, self.mask, out=t)
+        np.right_shift(s, 1, out=s)
+        np.bitwise_xor(s, t, out=s)
         return s
 
     def step_where(self, mask: np.ndarray) -> np.ndarray:
@@ -63,10 +83,13 @@ class LfsrBank:
         value, held lanes their old one), matching "draw if needed".
         """
         s = self.states
-        lsb = s & 1
-        nxt = (s >> 1) ^ (self.mask * lsb)
-        self.states = np.where(mask, nxt, s)
-        return self.states
+        t, nxt = self._scratch()
+        np.bitwise_and(s, 1, out=t)
+        np.multiply(t, self.mask, out=t)
+        np.right_shift(s, 1, out=nxt)
+        np.bitwise_xor(nxt, t, out=nxt)
+        np.copyto(s, nxt, where=mask)
+        return s
 
     def _leap_table_np(self, d: int) -> np.ndarray:
         """The (mask, d) leap table as an int64 array, cached."""
@@ -85,16 +108,24 @@ class LfsrBank:
         table gather instead of ``decimation`` shift rounds."""
         table = self._leap_table_np(decimation)
         s = self.states
-        self.states = (s >> decimation) ^ table[s & ((1 << decimation) - 1)]
-        return self.states
+        t, _ = self._scratch()
+        np.bitwise_and(s, (1 << decimation) - 1, out=t)
+        np.take(table, t, out=t)  # mode='raise' buffers, so t may alias
+        np.right_shift(s, decimation, out=s)
+        np.bitwise_xor(s, t, out=s)
+        return s
 
     def draw_where(self, mask: np.ndarray, decimation: int) -> np.ndarray:
         """Decimated draw on selected lanes; held lanes keep their state."""
         table = self._leap_table_np(decimation)
         s = self.states
-        nxt = (s >> decimation) ^ table[s & ((1 << decimation) - 1)]
-        self.states = np.where(mask, nxt, s)
-        return self.states
+        t, nxt = self._scratch()
+        np.bitwise_and(s, (1 << decimation) - 1, out=t)
+        np.take(table, t, out=t)
+        np.right_shift(s, decimation, out=nxt)
+        np.bitwise_xor(nxt, t, out=nxt)
+        np.copyto(s, nxt, where=mask)
+        return s
 
     def below(self, m: int, decimation: int = 1) -> np.ndarray:
         """Draw all lanes and reduce into ``[0, m)`` (the scalar

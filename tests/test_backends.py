@@ -15,6 +15,7 @@ from repro.backends import (
     BatchStats,
     FleetBackend,
     ScalarFleetBackend,
+    ShardedFleetBackend,
     VectorizedFleetBackend,
     fleet_backends,
     make_fleet_backend,
@@ -160,7 +161,7 @@ class TestCheckpointRoundTrip:
 
 class TestRegistryAndDispatch:
     def test_registry_names(self):
-        assert set(fleet_backends()) == {"scalar", "vectorized"}
+        assert set(fleet_backends()) == {"scalar", "sharded", "vectorized"}
 
     def test_resolve_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown fleet backend 'nope'"):
@@ -196,3 +197,211 @@ class TestRegistryAndDispatch:
         stats = BatchStats(agents=2, samples_per_agent=5)
         with pytest.warns(DeprecationWarning, match="total_samples"):
             assert stats.total_samples == 10
+
+
+# ---------------------------------------------------------------------- #
+# Sharded (process-parallel) backend
+# ---------------------------------------------------------------------- #
+
+
+def _sharded(mdps, cfg, **kw):
+    """Sharded fleet with test defaults: fork (fast) and small epochs."""
+    kw.setdefault("mp_context", "fork")
+    kw.setdefault("epoch", 32)
+    return ShardedFleetBackend(mdps, cfg, **kw)
+
+
+def assert_fleets_equal(sharded, vec):
+    assert np.array_equal(sharded.q, vec.q)
+    assert np.array_equal(sharded.qmax, vec.qmax)
+    assert np.array_equal(sharded.qmax_action, vec.qmax_action)
+    assert sharded.stats.as_dict() == vec.stats.as_dict()
+
+
+class TestShardedBitIdentity:
+    """The tentpole contract: any worker count, same bits."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(1, 2**16),
+        workers=st.sampled_from([1, 2, 3, 5]),
+        algorithm=st.sampled_from(["qlearning", "sarsa"]),
+        fmt=st.sampled_from(["default", "nearest"]),
+    )
+    def test_sharded_matches_vectorized(self, seed, workers, algorithm, fmt):
+        preset = getattr(QTAccelConfig, algorithm)
+        cfg = preset(seed=seed, q_format=Q_FORMATS[fmt], qmax_mode="follow")
+        vec = VectorizedFleetBackend(LOOPY, cfg, num_agents=6)
+        vec.run(96)
+        fleet = _sharded(LOOPY, cfg, num_agents=6, num_workers=workers)
+        try:
+            fleet.run(96)
+            assert_fleets_equal(fleet, vec)
+        finally:
+            fleet.close()
+
+    def test_workers_exceeding_lanes_clamp(self):
+        cfg = QTAccelConfig.qlearning(seed=4)
+        vec = VectorizedFleetBackend(GRID, cfg, num_agents=3)
+        vec.run(80)
+        fleet = _sharded(GRID, cfg, num_agents=3, num_workers=9)
+        try:
+            assert fleet.num_workers == 3  # one lane per worker at most
+            fleet.run(80)
+            assert_fleets_equal(fleet, vec)
+        finally:
+            fleet.close()
+
+    def test_heterogeneous_worlds_odd_split(self):
+        """Per-lane worlds survive an uneven 5-lanes/2-workers split."""
+        worlds = [random_dense_mdp(16, 4, seed=s, self_loop_bias=0.5) for s in range(20, 25)]
+        cfg = QTAccelConfig.sarsa(seed=6, qmax_mode="follow")
+        vec = VectorizedFleetBackend(worlds, cfg)
+        vec.run(90)
+        fleet = _sharded(worlds, cfg, num_workers=2)
+        try:
+            fleet.run(90)
+            assert_fleets_equal(fleet, vec)
+        finally:
+            fleet.close()
+
+    def test_spawn_context_parity(self):
+        """The default spawn context produces the same bits as fork."""
+        cfg = QTAccelConfig.qlearning(seed=12)
+        vec = VectorizedFleetBackend(GRID, cfg, num_agents=4)
+        vec.run(64)
+        fleet = ShardedFleetBackend(
+            GRID, cfg, num_agents=4, num_workers=2, epoch=32, mp_context="spawn"
+        )
+        try:
+            fleet.run(64)
+            assert_fleets_equal(fleet, vec)
+        finally:
+            fleet.close()
+
+    def test_lane_parity_with_functional(self):
+        """Each shard lane still replays the scalar reference exactly."""
+        cfg = QTAccelConfig.qlearning(seed=17, qmax_mode="follow")
+        fleet = _sharded(GRID, cfg, num_agents=4, num_workers=2)
+        try:
+            fleet.run(120)
+            for k in range(4):
+                f = reference_tables(GRID, cfg, k, 120)
+                assert np.array_equal(fleet.q[k], f.tables.q.data), f"lane {k}"
+        finally:
+            fleet.close()
+
+
+class TestShardedCheckpointAndRecovery:
+    def test_checkpoint_round_trip_across_worker_counts(self):
+        """A 3-worker checkpoint restores into a 2-worker fleet."""
+        cfg = QTAccelConfig.sarsa(seed=13, qmax_mode="follow")
+        fleet = _sharded(LOOPY, cfg, num_agents=5, num_workers=3)
+        try:
+            fleet.run(96)
+            ckpt = fleet.state_dict()
+            fleet.run(96)
+            q_after = fleet.q.copy()
+            stats_after = fleet.stats.as_dict()
+        finally:
+            fleet.close()
+
+        fresh = _sharded(LOOPY, cfg, num_agents=5, num_workers=2)
+        try:
+            fresh.load_state_dict(ckpt)
+            fresh.run(96)
+            assert np.array_equal(fresh.q, q_after)
+            assert fresh.stats.as_dict() == stats_after
+        finally:
+            fresh.close()
+
+    def test_killed_worker_recovers_bit_identically(self):
+        cfg = QTAccelConfig.qlearning(seed=5, qmax_mode="follow")
+        vec = VectorizedFleetBackend(GRID, cfg, num_agents=6)
+        vec.run(192)
+        fleet = _sharded(GRID, cfg, num_agents=6, num_workers=2, checkpoint_interval=1)
+        try:
+            fleet.run(96)
+            fleet.kill_worker(1)
+            fleet.run(96)
+            assert fleet.restarts >= 1
+            assert not fleet.quarantined_workers
+            assert_fleets_equal(fleet, vec)
+        finally:
+            fleet.close()
+
+    def test_unrecoverable_worker_is_quarantined(self):
+        """A worker that dies on every epoch stops retrying; the healthy
+        shard keeps training bit-identically."""
+        cfg = QTAccelConfig.qlearning(seed=7, qmax_mode="follow")
+        fleet = _sharded(
+            GRID,
+            cfg,
+            num_agents=4,
+            num_workers=2,
+            checkpoint_interval=1,
+            max_worker_restarts=1,
+            debug_fail_workers=(1,),
+        )
+        try:
+            fleet.run(64)
+            assert fleet.quarantined_workers == {1}
+            vec = VectorizedFleetBackend(GRID, cfg, num_agents=4)
+            vec.run(64)
+            lo, hi = fleet.shard_bounds(0)
+            assert np.array_equal(fleet.q[lo:hi], vec.q[lo:hi])
+        finally:
+            fleet.close()
+
+    def test_supervisor_composes_over_sharded(self):
+        """FleetSupervisor's lane-level recovery runs on top of the
+        backend's own process-level recovery."""
+        from repro.robustness import BatchLanes, FleetSupervisor
+
+        cfg = QTAccelConfig.qlearning(seed=9, qmax_mode="follow")
+        fleet = _sharded(GRID, cfg, num_agents=4, num_workers=2)
+        try:
+            sup = FleetSupervisor(BatchLanes(fleet), interval=32)
+            report = sup.run(96)
+            assert report.completed
+            assert fleet.stats.samples_per_agent == 96
+        finally:
+            fleet.close()
+
+
+class TestShardedDispatchAndLifecycle:
+    def test_facade_and_engine_dispatch(self):
+        from repro.core.engine import make_engine
+
+        cfg = QTAccelConfig.qlearning(seed=2)
+        via_batch = BatchIndependentSimulator(
+            GRID, cfg, num_agents=2, backend="sharded", num_workers=2, mp_context="fork"
+        )
+        via_engine = make_engine(
+            cfg, engine="sharded", mdp=GRID, num_agents=2, num_workers=2,
+            mp_context="fork",
+        )
+        try:
+            assert isinstance(via_batch, ShardedFleetBackend)
+            assert isinstance(via_engine, ShardedFleetBackend)
+            assert isinstance(via_batch, FleetBackend)
+        finally:
+            via_batch.close()
+            via_engine.close()
+
+    def test_close_is_idempotent_and_context_manager(self):
+        cfg = QTAccelConfig.qlearning(seed=2)
+        with _sharded(GRID, cfg, num_agents=2, num_workers=2) as fleet:
+            fleet.run(32)
+        fleet.close()  # second close is a no-op
+
+    def test_telemetry_snapshot_reports_topology(self):
+        cfg = QTAccelConfig.qlearning(seed=2)
+        fleet = _sharded(GRID, cfg, num_agents=4, num_workers=2)
+        try:
+            fleet.run(32)
+            snap = fleet.telemetry_snapshot()
+            assert snap["workers"] == 2
+            assert snap["restarts"] == 0
+        finally:
+            fleet.close()

@@ -7,7 +7,11 @@ import numpy as np
 import pytest
 
 from repro import ENGINE_KINDS, Engine, make_engine
-from repro.backends import ScalarFleetBackend, VectorizedFleetBackend
+from repro.backends import (
+    ScalarFleetBackend,
+    ShardedFleetBackend,
+    VectorizedFleetBackend,
+)
 from repro.core.batch import BatchIndependentSimulator, BatchStats
 from repro.core.config import QTAccelConfig
 from repro.core.functional import FunctionalSimulator
@@ -21,7 +25,9 @@ CFG = QTAccelConfig.qlearning(seed=6, qmax_mode="follow")
 
 class TestMakeEngine:
     def test_kinds_registry(self):
-        assert ENGINE_KINDS == ("functional", "pipeline", "batch", "vectorized")
+        assert ENGINE_KINDS == (
+            "functional", "pipeline", "batch", "vectorized", "sharded"
+        )
 
     @pytest.mark.parametrize(
         "kind,cls,kw",
@@ -30,15 +36,24 @@ class TestMakeEngine:
             ("pipeline", QTAccelPipeline, {}),
             ("batch", BatchIndependentSimulator, {"num_agents": 3}),
             ("vectorized", VectorizedFleetBackend, {"num_agents": 3}),
+            (
+                "sharded",
+                ShardedFleetBackend,
+                {"num_agents": 3, "num_workers": 2, "mp_context": "fork"},
+            ),
         ],
     )
     def test_constructs_each_kind(self, kind, cls, kw):
         engine = make_engine(CFG, engine=kind, mdp=MDP, **kw)
-        assert isinstance(engine, cls)
-        assert isinstance(engine, Engine)
-        engine.run(40)
-        assert engine.stats.samples > 0
-        engine.load_state_dict(engine.state_dict())
+        try:
+            assert isinstance(engine, cls)
+            assert isinstance(engine, Engine)
+            engine.run(40)
+            assert engine.stats.samples > 0
+            engine.load_state_dict(engine.state_dict())
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
 
     def test_default_is_functional(self):
         assert isinstance(make_engine(CFG, mdp=MDP), FunctionalSimulator)

@@ -221,6 +221,17 @@ class TestSnapshot:
         assert case["cycles_per_sample"] == pytest.approx(1.0, abs=0.05)
         assert case["modelled_msps_at_189mhz"] == pytest.approx(189.0, rel=0.05)
 
+    def test_non_cycle_cases_omit_cycle_keys(self):
+        """Engines with no cycle notion don't carry null cycle keys."""
+        results = run_bench(
+            cases=["functional"], repeats=1, warmup=0, quick=True, clock=_FakeClock()
+        )
+        summary = results["functional"].summary()
+        assert "cycles_per_sample" not in summary
+        assert "modelled_msps_at_189mhz" not in summary
+        # ...while cycle-accurate cases still record them (see
+        # test_repeats_and_cycles_recorded).
+
 
 # ---------------------------------------------------------------------- #
 # Regression sentinel
@@ -293,6 +304,20 @@ class TestSentinel:
         assert not result.ok  # budgets gate even cross-machine
         bloated["machine"]["python"] = "3.99.0"
         assert not compare_snapshots(base, bloated).ok
+
+    def test_null_and_omitted_cycle_keys_both_tolerated(self):
+        """Pre-1.1 snapshots spelled "no cycles" as explicit nulls; the
+        sentinel must accept either spelling on either side."""
+        base = _tiny_snapshot()
+        legacy = copy.deepcopy(base)
+        legacy["cases"]["pipeline"]["cycles_per_sample"] = None
+        legacy["cases"]["pipeline"]["modelled_msps_at_189mhz"] = None
+        modern = copy.deepcopy(base)
+        del modern["cases"]["pipeline"]["cycles_per_sample"]
+        del modern["cases"]["pipeline"]["modelled_msps_at_189mhz"]
+        for a, b in ((legacy, modern), (modern, legacy), (base, modern), (legacy, base)):
+            result = compare_snapshots(a, b)
+            assert result.ok, (a["cases"]["pipeline"].keys(), b["cases"]["pipeline"].keys())
 
     def test_case_set_changes_reported_not_fatal(self):
         base = _tiny_snapshot()
@@ -583,6 +608,68 @@ class TestCli:
         bad.write_text('{"schema": "wrong"}')
         assert perf_main(["report", str(bad)]) == 2
         assert perf_main(["run", "--cases", "bogus", "--quick"]) == 2
+        assert perf_main(["fleet", "--smoke", "--workers", "nope"]) == 2
+
+
+class TestShardedSweep:
+    def test_quick_sweep_records_both_speedups(self):
+        from repro.perf.fleet import (
+            check_sharded_speedup,
+            render_sharded_throughput,
+            run_sharded_throughput,
+        )
+
+        record = run_sharded_throughput(
+            worker_counts=(1, 2),
+            n_lanes=16,
+            repeats=2,
+            warmup=0,
+            quick=True,
+            mp_context="fork",
+        )
+        assert set(record["points"]) == {"1", "2"}
+        for point in record["points"].values():
+            assert point["sharded"]["updates_per_sec"] > 0
+            assert point["speedup_vs_vectorized"] is not None
+            assert point["speedup_vs_scalar"] is not None
+        # The gate reads the largest worker count by default.
+        ok, message = check_sharded_speedup(record, 1e9, vs="scalar")
+        assert not ok and "workers=2" in message
+        ok, _ = check_sharded_speedup(record, 0.0, vs="vectorized", at_workers=1)
+        assert ok
+        with pytest.raises(ValueError, match="vs must be"):
+            check_sharded_speedup(record, 1.0, vs="gpu")
+        text = render_sharded_throughput(record)
+        assert "workers" in text and "n_lanes=16" in text
+
+    def test_snapshot_embeds_sharded_record(self, tmp_path):
+        from repro.perf.fleet import run_sharded_throughput
+
+        results = run_bench(cases=["functional"], repeats=1, warmup=0, quick=True)
+        record = run_sharded_throughput(
+            worker_counts=(2,), n_lanes=8, repeats=1, warmup=0, quick=True,
+            mp_context="fork",
+        )
+        snap = build_snapshot(results, sharded_throughput=record)
+        path = write_snapshot(snap, tmp_path / "BENCH_t.json")
+        loaded = load_snapshot(path)
+        point = loaded["sharded_throughput"]["points"]["2"]
+        assert point["speedup_vs_scalar"] is not None
+
+    def test_cli_sharded_smoke_gate(self, capsys):
+        assert (
+            perf_main(
+                [
+                    "fleet", "--smoke", "--repeats", "1",
+                    "--workers", "2", "--lanes", "16",
+                    "--min-speedup", "0.0001", "--vs", "scalar",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sharded fleet throughput" in out
+        assert "speedup vs scalar" in out
 
 
 # ---------------------------------------------------------------------- #
