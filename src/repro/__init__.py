@@ -17,7 +17,9 @@ multipliers.  This package rebuilds the full system in Python:
 * :mod:`repro.baseline` — the prior state-of-the-art design [11];
 * :mod:`repro.experiments` — one harness per paper table/figure;
 * :mod:`repro.telemetry` — cycle-level tracing, counter registry and
-  exportable profiles (see ``docs/observability.md``).
+  exportable profiles (see ``docs/observability.md``);
+* :mod:`repro.serve` — the multi-tenant session gateway leasing fleet
+  lanes to external clients over NDJSON/TCP (see ``docs/serving.md``).
 
 Quickstart::
 

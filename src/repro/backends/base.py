@@ -174,6 +174,31 @@ class FleetBackend(Protocol):
 
     def telemetry_snapshot(self) -> dict: ...
 
+    # Lane leasing — the ``repro.serve`` surface.  A *leased* lane is
+    # driven by externally supplied transitions instead of the built-in
+    # environment tables: ``reset_lane`` re-seeds lane ``k`` to the
+    # pristine state of a fresh lane with the given salt,
+    # ``apply_transition`` retires one client-supplied ``(s, a, r, s')``
+    # sample through the full 4-stage datapath (one policy draw for
+    # e-greedy update policies, none for greedy), and ``query_action``
+    # recommends an action from the committed tables (consuming one
+    # policy draw only when ``explore=True``).  All three are
+    # bit-identical across backends for the same salt and call sequence.
+
+    def reset_lane(self, k: int, salt: int) -> None: ...
+
+    def apply_transition(
+        self,
+        k: int,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int: ...
+
+    def query_action(self, k: int, state: int, explore: bool = True) -> int: ...
+
 
 def fleet_backends() -> dict[str, type]:
     """Name -> class registry of the available fleet backends."""

@@ -136,6 +136,44 @@ class ScalarFleetBackend:
         }
 
     # ------------------------------------------------------------------ #
+    # Lane leasing (the repro.serve surface): straight delegation to the
+    # per-lane simulators, which are already the reference semantics.
+    # ------------------------------------------------------------------ #
+
+    def reset_lane(self, k: int, salt: int) -> None:
+        """Replace lane ``k`` with a pristine simulator seeded by ``salt``."""
+        if not 0 <= k < self.K:
+            raise IndexError(f"lane {k} out of range 0..{self.K - 1}")
+        sim = FunctionalSimulator(
+            self.mdps[k],
+            self.config,
+            draws=PolicyDraws.from_config(self.config, salt=int(salt)),
+        )
+        sim.guard = self._guard
+        self.sims[k] = sim
+        self._sync_stats()
+
+    def apply_transition(
+        self,
+        k: int,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int:
+        """Apply one external transition to lane ``k`` (see
+        :meth:`FunctionalSimulator.apply_transition
+        <repro.core.functional.FunctionalSimulator.apply_transition>`)."""
+        q_new = self.sims[k].apply_transition(state, action, reward, next_state, terminal)
+        self._sync_stats()
+        return q_new
+
+    def query_action(self, k: int, state: int, explore: bool = True) -> int:
+        """Recommend an action for lane ``k`` at ``state`` (no update)."""
+        return self.sims[k].query_action(state, explore)
+
+    # ------------------------------------------------------------------ #
     # Stacked views (the vectorised backend's attribute vocabulary)
     # ------------------------------------------------------------------ #
 

@@ -43,8 +43,12 @@ single-process backends.
 
 from __future__ import annotations
 
+import atexit
+import functools
 import multiprocessing as mp
 import os
+import signal as _signal
+import weakref
 from multiprocessing import shared_memory
 from types import SimpleNamespace
 from typing import Sequence
@@ -52,11 +56,70 @@ from typing import Sequence
 import numpy as np
 
 from ..core.config import QTAccelConfig
+from ..core.policies import egreedy_cut
 from ..envs.base import DenseMdp
 from .base import BatchStats, normalize_fleet
 from .vectorized import VectorizedFleetBackend
 
 _I64 = np.int64
+
+#: Every live (not yet closed) backend, for the atexit/signal sweeps.
+_LIVE_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Signals :func:`install_signal_cleanup` has already hooked.
+_HOOKED_SIGNALS: dict[int, object] = {}
+
+
+def _atexit_close(ref) -> None:
+    """Per-instance atexit callback (weakref: the hook must not keep a
+    dead backend's shared-memory block alive until interpreter exit)."""
+    backend = ref()
+    if backend is not None:
+        try:
+            backend.close()
+        except Exception:  # pragma: no cover - shutdown is best-effort
+            pass
+
+
+def close_all_backends() -> None:
+    """Close every live :class:`ShardedFleetBackend` (best-effort).
+
+    Idempotent and safe from atexit or a signal handler: ``close`` stops
+    workers, drops the shared-memory views and unlinks the block.
+    """
+    for backend in list(_LIVE_BACKENDS):
+        try:
+            backend.close()
+        except Exception:  # pragma: no cover - shutdown is best-effort
+            pass
+
+
+def install_signal_cleanup(signals: Sequence[int] = (_signal.SIGTERM, _signal.SIGINT)) -> None:
+    """Hook ``signals`` so live backends are closed before the process dies.
+
+    A SIGTERM with the default disposition kills the interpreter without
+    running ``atexit`` — orphaning worker processes and leaking the
+    ``/dev/shm`` block until reboot.  The installed handler closes every
+    live backend, restores the previous (or default) disposition and
+    re-raises the signal, so the exit status still reports the signal
+    death.  Long-running entry points (``python -m repro.serve``, the CI
+    smokes) call this once at startup; calling it twice is a no-op.
+    Main-thread only (CPython restricts ``signal.signal``).
+    """
+    for sig in signals:
+        if sig in _HOOKED_SIGNALS:
+            continue
+
+        def _handler(signum, frame):
+            close_all_backends()
+            previous = _HOOKED_SIGNALS.get(signum)
+            if callable(previous):
+                previous(signum, frame)
+                return
+            _signal.signal(signum, previous if previous is not None else _signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+        _HOOKED_SIGNALS[sig] = _signal.signal(sig, _handler)
 
 
 class _ShmLayout:
@@ -280,6 +343,17 @@ class ShardedFleetBackend:
         self._bank_action = SimpleNamespace(states=views["lfsr_action"])
         self._bank_policy = SimpleNamespace(states=views["lfsr_policy"])
 
+        # Config scalars the borrowed per-lane serve surface needs
+        # (identical derivations to VectorizedFleetBackend.__init__).
+        self._egreedy_cut = _I64(egreedy_cut(config.epsilon, config.lfsr_width))
+        (self._alpha, _, self._one_minus_alpha, self._alpha_gamma) = config.coefficients()
+
+        # Leak hygiene: close on interpreter exit even if the owner never
+        # calls close() (the signal path is opt-in: install_signal_cleanup).
+        self._atexit_cb = functools.partial(_atexit_close, weakref.ref(self))
+        atexit.register(self._atexit_cb)
+        _LIVE_BACKENDS.add(self)
+
         self.stats = BatchStats(agents=k)
         self._stats_base = {"episodes": 0, "exploits": 0, "explores": 0}
         self._worker_cum = [[0, 0, 0] for _ in range(self.num_workers)]
@@ -388,6 +462,43 @@ class ShardedFleetBackend:
         if proc is not None and proc.is_alive():
             proc.kill()
             proc.join(timeout=10.0)
+
+    def check_workers(self, timeout: float = 5.0) -> list[tuple[int, int]]:
+        """Health-probe every worker; recover dead ones immediately.
+
+        The epoch loop only notices a dead worker when it next runs an
+        epoch; a serving deployment (:mod:`repro.serve`) may go long
+        stretches without one, so this probes each non-quarantined
+        worker with a ping and routes failures through the same
+        rollback-retry-quarantine path as a mid-epoch death (replaying
+        zero run-samples — the shard's slice is restored to the last
+        checkpoint either way).  Returns the ``(lo, hi)`` lane ranges
+        that were rolled back, so a caller holding per-lane state built
+        *after* that checkpoint (the serve session manager's journals)
+        knows exactly which lanes to re-restore and replay.
+        """
+        recovered: list[tuple[int, int]] = []
+        for w in range(self.num_workers):
+            if w in self.quarantined_workers:
+                continue
+            proc, conn = self._procs[w], self._conns[w]
+            dead = proc is None or not proc.is_alive()
+            if not dead:
+                try:
+                    conn.send(("ping",))
+                    if conn.poll(timeout):
+                        tag, _ = conn.recv()
+                        dead = tag != "pong"
+                    else:  # pragma: no cover - hung worker
+                        dead = True
+                except (BrokenPipeError, EOFError, OSError):
+                    dead = True
+            if dead:
+                lo, hi = self._bounds[w], self._bounds[w + 1]
+                self._recover_worker(w, 0)
+                self._refresh_stats()
+                recovered.append((lo, hi))
+        return recovered
 
     # ------------------------------------------------------------------ #
     # Execution: sync epochs + recovery
@@ -528,6 +639,29 @@ class ShardedFleetBackend:
     q_float = VectorizedFleetBackend.q_float
     q_float_all = VectorizedFleetBackend.q_float_all
 
+    # The per-lane serve surface (lane leasing + external transitions)
+    # works on the same attribute vocabulary, so it is borrowed too.
+    # Contract: only call these while the workers are idle (between
+    # sync epochs) — the parent and a running worker must never write
+    # the same shard concurrently.
+    reset_lane = VectorizedFleetBackend.reset_lane
+    apply_transition = VectorizedFleetBackend.apply_transition
+    query_action = VectorizedFleetBackend.query_action
+    _lane_draw = VectorizedFleetBackend._lane_draw
+
+    def _count_external(self, exploited: bool, terminal: bool) -> None:
+        """External-transition stat deltas go into the worker-independent
+        base so ``_refresh_stats`` (which rebuilds from worker deltas)
+        cannot erase them."""
+        base = self._stats_base
+        if exploited:
+            base["exploits"] += 1
+        else:
+            base["explores"] += 1
+        if terminal:
+            base["episodes"] += 1
+        self._refresh_stats()
+
     def load_state_dict(self, state: dict) -> None:
         """Restore a fleet checkpoint (from this backend *or* from a
         :class:`VectorizedFleetBackend` — the payloads are identical)."""
@@ -576,12 +710,22 @@ class ShardedFleetBackend:
     def close(self) -> None:
         """Stop the workers and release the shared-memory block.
 
-        Idempotent; also invoked by ``__exit__`` and (best-effort) by
-        ``__del__``.  After close the backend is unusable.
+        Idempotent; also invoked by ``__exit__``, by a per-instance
+        ``atexit`` hook, by :func:`install_signal_cleanup` handlers and
+        (best-effort) by ``__del__`` — so neither a forgotten close nor
+        a SIGTERM leaves orphaned workers or a leaked ``/dev/shm``
+        block.  After close the backend is unusable.
         """
         if getattr(self, "_closed", True):
             return
         self._closed = True
+        _LIVE_BACKENDS.discard(self)
+        cb = getattr(self, "_atexit_cb", None)
+        if cb is not None:
+            try:
+                atexit.unregister(cb)
+            except Exception:  # pragma: no cover - interpreter shutdown
+                pass
         for w in range(self.num_workers):
             conn = self._conns[w]
             proc = self._procs[w]

@@ -32,13 +32,29 @@ import numpy as np
 
 from ..core.config import QTAccelConfig
 from ..core.policies import egreedy_cut
+from ..core.tables import apply_qmax_rule
 from ..envs.base import DenseMdp
 from ..fixedpoint import ops
+from ..rtl.lfsr import Lfsr
 from ..rtl.lfsr_batch import LfsrBank
 from ..rtl.rng import DECIMATION
 from .base import BatchStats, normalize_fleet
 
 _I64 = np.int64
+
+#: Cached per-width leap tables for the scalar per-lane draws of the
+#: serving surface (``apply_transition``/``query_action``).  The tables
+#: are the same ``Lfsr._leap_table`` LUTs the banks gather from, so a
+#: scalar lane draw is bit-identical to one ``UniformSource.bits()``.
+_LANE_LEAP_TABLES: dict[int, list[int]] = {}
+
+
+def _lane_leap_table(width: int) -> list[int]:
+    table = _LANE_LEAP_TABLES.get(width)
+    if table is None:
+        table = Lfsr(width, seed=1)._leap_table(DECIMATION)
+        _LANE_LEAP_TABLES[width] = table
+    return table
 
 
 class VectorizedFleetBackend:
@@ -360,6 +376,184 @@ class VectorizedFleetBackend:
         return self.stats
 
     # ------------------------------------------------------------------ #
+    # Lane leasing: the repro.serve external-transition surface
+    #
+    # These methods are deliberately written against only the shared
+    # attribute vocabulary — the ``(K, ·)`` state arrays, the banks'
+    # ``.states`` registers and the config-derived scalars — so the
+    # sharded backend can borrow them verbatim (its parent maps the
+    # same arrays over shared memory and holds plain ``states`` views
+    # in place of full LfsrBank objects).  On a sharded fleet they must
+    # only run while the workers are idle (between sync epochs), which
+    # is exactly how the serve gateway drives them.
+    # ------------------------------------------------------------------ #
+
+    def _lane_draw(self, bank, k: int) -> int:
+        """One decimated draw on lane ``k`` of ``bank`` — bit-identical
+        to ``UniformSource(Lfsr(w, ...)).bits()`` on that lane's stream."""
+        table = _lane_leap_table(self.config.lfsr_width)
+        s = int(bank.states[k])
+        s = (s >> DECIMATION) ^ table[s & ((1 << DECIMATION) - 1)]
+        bank.states[k] = s
+        return s
+
+    def _count_external(self, exploited: bool, terminal: bool) -> None:
+        """Stat deltas of one external transition (hook: the sharded
+        backend redirects these into its worker-independent base)."""
+        if exploited:
+            self.stats.exploits += 1
+        else:
+            self.stats.explores += 1
+        if terminal:
+            self.stats.episodes += 1
+
+    def reset_lane(self, k: int, salt: int) -> None:
+        """Re-initialise lane ``k`` to the pristine state of a lane
+        seeded with ``salt`` — table fills, architectural latches and
+        all three LFSR registers exactly as construction would have
+        produced them (so the lane's future trajectory is bit-identical
+        to a fresh ``FunctionalSimulator`` built with
+        ``PolicyDraws.from_config(config, salt=salt)``)."""
+        if not 0 <= k < self.K:
+            raise IndexError(f"lane {k} out of range 0..{self.K - 1}")
+        cfg = self.config
+        q_init = cfg.q_format.quantize(cfg.q_init)
+        self.q[k, :] = q_init
+        self.qmax[k, :] = q_init
+        self.qmax_action[k, :] = 0
+        self._arch_state[k] = -1
+        self._forwarded[k] = -1
+        self._prev_pair[k] = -1
+        self._prev_state[k] = -1
+        self._prev_q[k] = 0
+        self._prev_qmax[k] = 0
+        self._prev_qmax_action[k] = 0
+        base = cfg.seed + int(salt) * 0x9E37
+        mask = (1 << cfg.lfsr_width) - 1
+        for bank, off in (
+            (self._bank_start, 0x11),
+            (self._bank_action, 0x22),
+            (self._bank_policy, 0x33),
+        ):
+            seed = (base + off) & mask
+            bank.states[k] = seed if seed else 1
+
+    def apply_transition(
+        self,
+        k: int,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int:
+        """Apply one external ``(s, a, r, s')`` transition to lane ``k``.
+
+        Scalar twin of :meth:`FunctionalSimulator.apply_transition
+        <repro.core.functional.FunctionalSimulator.apply_transition>`:
+        same reward quantisation point, same single update-policy draw
+        for e-greedy configs, same single-rounding datapath call and
+        stage-4 Qmax rule, same lag/episode latch updates — so a lane
+        driven through this surface stays bit-identical to a dedicated
+        functional simulator fed the same calls.  Returns the raw
+        written Q value.
+        """
+        cfg = self.config
+        A = self.A
+        if not 0 <= k < self.K:
+            raise IndexError(f"lane {k} out of range 0..{self.K - 1}")
+        if not 0 <= state < self.S or not 0 <= next_state < self.S:
+            raise ValueError(
+                f"state/next_state out of range [0, {self.S}): {state}, {next_state}"
+            )
+        if not 0 <= action < A:
+            raise ValueError(f"action {action} out of range [0, {A})")
+
+        pair = state * A + action
+        q_sa = int(self.q[k, pair])
+        r = cfg.q_format.quantize(float(reward))
+
+        # ---- stage-2 equivalent: update policy ---- #
+        if cfg.update_policy == "greedy":
+            q_next = int(self.qmax[k, next_state])
+            a_next = int(self.qmax_action[k, next_state])
+            exploited = True
+        else:
+            u = self._lane_draw(self._bank_policy, k)
+            if u < int(self._egreedy_cut):
+                q_next = int(self.qmax[k, next_state])
+                a_next = int(self.qmax_action[k, next_state])
+                exploited = True
+            else:
+                a_next = u & (A - 1) if A & (A - 1) == 0 else u % A
+                q_next = int(self.q[k, next_state * A + a_next])
+                exploited = False
+        if terminal:
+            q_next = 0
+
+        # ---- stage-3 equivalent: the shared datapath kernel ---- #
+        q_new = ops.q_update(
+            q_sa,
+            r,
+            q_next,
+            alpha=self._alpha,
+            one_minus_alpha=self._one_minus_alpha,
+            alpha_gamma=self._alpha_gamma,
+            coef_fmt=cfg.coef_format,
+            q_fmt=cfg.q_format,
+        )
+
+        # ---- stage-4 equivalent: write-back + Qmax rule ---- #
+        self._prev_pair[k] = pair
+        self._prev_state[k] = state
+        self._prev_q[k] = q_sa
+        cur_val = int(self.qmax[k, state])
+        cur_act = int(self.qmax_action[k, state])
+        self._prev_qmax[k] = cur_val
+        self._prev_qmax_action[k] = cur_act
+        self.q[k, pair] = q_new
+        if cfg.qmax_mode == "exact":
+            row = self.q[k, state * A : (state + 1) * A]
+            best = int(np.argmax(row))
+            self.qmax[k, state] = row[best]
+            self.qmax_action[k, state] = best
+        else:
+            new_val, new_act = apply_qmax_rule(
+                cfg.qmax_mode, cur_val, cur_act, int(q_new), action
+            )
+            self.qmax[k, state] = new_val
+            self.qmax_action[k, state] = new_act
+
+        self._count_external(exploited, terminal)
+        if terminal:
+            self._arch_state[k] = -1
+            self._forwarded[k] = -1
+        else:
+            self._arch_state[k] = next_state
+            self._forwarded[k] = a_next if cfg.is_on_policy else -1
+        return int(q_new)
+
+    def query_action(self, k: int, state: int, explore: bool = True) -> int:
+        """Recommend an action for lane ``k`` at ``state`` (no update).
+
+        ``explore=True`` runs the single-draw e-greedy circuit on the
+        lane's ``policy`` stream; ``explore=False`` reads the cached
+        Qmax action and consumes no randomness.  Matches
+        ``FunctionalSimulator.query_action`` draw for draw.
+        """
+        A = self.A
+        if not 0 <= k < self.K:
+            raise IndexError(f"lane {k} out of range 0..{self.K - 1}")
+        if not 0 <= state < self.S:
+            raise ValueError(f"state {state} out of range [0, {self.S})")
+        if not explore:
+            return int(self.qmax_action[k, state])
+        u = self._lane_draw(self._bank_policy, k)
+        if u < int(self._egreedy_cut):
+            return int(self.qmax_action[k, state])
+        return u & (A - 1) if A & (A - 1) == 0 else u % A
+
+    # ------------------------------------------------------------------ #
     # Checkpointing (see repro.robustness.checkpoint)
     # ------------------------------------------------------------------ #
 
@@ -401,10 +595,18 @@ class VectorizedFleetBackend:
             setattr(self.stats, key, value)
 
     def lane_state(self, k: int, state: dict | None = None) -> dict:
-        """Lane ``k``'s slice of a fleet checkpoint (default: a fresh
-        :meth:`state_dict`), for per-lane rollback."""
+        """Lane ``k``'s slice of a fleet checkpoint (default: taken
+        live), for per-lane rollback.  The live path copies only lane
+        ``k``'s rows — O(S·A), not O(K·S·A) — which is what makes
+        per-session checkpoints in :mod:`repro.serve` affordable."""
         if state is None:
-            state = self.state_dict()
+            out = {key: getattr(self, attr)[k].copy() for attr, key in self._STATE_ARRAYS}
+            out["lfsr"] = {
+                "start": int(self._bank_start.states[k]),
+                "action": int(self._bank_action.states[k]),
+                "policy": int(self._bank_policy.states[k]),
+            }
+            return out
         out = {key: state[key][k].copy() for _, key in self._STATE_ARRAYS}
         out["lfsr"] = {name: int(bank[k]) for name, bank in state["lfsr"].items()}
         return out

@@ -31,7 +31,13 @@ from ..envs.base import DenseMdp
 from ..fixedpoint import ops
 from .config import QTAccelConfig
 from .pipeline import TraceRecord
-from .policies import PolicyDraws, draw_start_state, select_behavior, select_update
+from .policies import (
+    PolicyDraws,
+    draw_start_state,
+    egreedy_select,
+    select_behavior,
+    select_update,
+)
 from .runstats import RunStatsContract
 from .tables import AcceleratorTables
 
@@ -216,6 +222,127 @@ class FunctionalSimulator:
                 self._forwarded_action = sel.action if on_policy else None
 
         return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Externally driven transitions (the repro.serve ingress surface)
+    # ------------------------------------------------------------------ #
+
+    def apply_transition(
+        self,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int:
+        """Apply one externally supplied ``(s, a, r, s')`` transition.
+
+        This is stages 2-4 of the accelerator with stage 1 replaced by
+        the caller: the environment lookup and behaviour draw are
+        skipped (the client chose the action and observed the reward),
+        so the only randomness consumed is the update-policy draw of an
+        e-greedy configuration — exactly one ``policy`` LFSR word, as
+        in :meth:`run`.  The reward is quantised into ``q_format`` on
+        ingress (the hardware preloads quantised reward tables; an
+        external sample quantises at the same point).
+
+        Interleaving :meth:`apply_transition` with :meth:`run` is
+        well-defined: the lag latch, episode latch and forwarded-action
+        latch are updated exactly as a :meth:`run` sample would.
+        Divergence guards are not consulted on this path (it must stay
+        bit-identical to the fleet backends' lane ops, which have no
+        guard hook).  Returns the raw written Q value.
+        """
+        cfg = self.config
+        T = self.tables
+        if not 0 <= state < T.num_states or not 0 <= next_state < T.num_states:
+            raise ValueError(
+                f"state/next_state out of range [0, {T.num_states}): "
+                f"{state}, {next_state}"
+            )
+        if not 0 <= action < T.num_actions:
+            raise ValueError(f"action {action} out of range [0, {T.num_actions})")
+
+        pair = T.pair_addr(state, action)
+        q_sa = T.q.read(pair)
+        r = cfg.q_format.quantize(float(reward))
+
+        # -------- stage-2 equivalent: update policy -------- #
+        sel = select_update(
+            next_state,
+            config=cfg,
+            draws=self.draws,
+            read_qmax=T.read_qmax,
+            read_q=T.read_q,
+            num_actions=T.num_actions,
+        )
+        if sel.exploited:
+            self.stats.exploits += 1
+        else:
+            self.stats.explores += 1
+        q_next = 0 if terminal else sel.q_raw
+
+        # -------- stage-3 equivalent: datapath -------- #
+        q_new = ops.q_update(
+            q_sa,
+            r,
+            q_next,
+            alpha=self.alpha_raw,
+            one_minus_alpha=self.one_minus_alpha,
+            alpha_gamma=self.alpha_gamma,
+            coef_fmt=cfg.coef_format,
+            q_fmt=cfg.q_format,
+        )
+
+        # -------- stage-4 equivalent: write-back -------- #
+        lw = self._last_write
+        lw.pair = pair
+        lw.state = state
+        lw.prev_q = q_sa
+        if T._ecc:
+            T.qmax.scrub_word(state)
+            T.qmax_action.scrub_word(state)
+        lw.prev_qmax = int(T.qmax.data[state])
+        lw.prev_qmax_action = int(T.qmax_action.data[state])
+        T.writeback_now(state, action, q_new)
+
+        if self.trace is not None:
+            self.trace.append((self.stats.samples, state, action, q_new))
+        if self.state_log is not None:
+            self.state_log.append(state)
+        self.stats.samples += 1
+
+        if terminal:
+            self.arch_state = None
+            self._forwarded_action = None
+            self.stats.episodes += 1
+        else:
+            self.arch_state = next_state
+            self._forwarded_action = sel.action if cfg.is_on_policy else None
+        return q_new
+
+    def query_action(self, state: int, explore: bool = True) -> int:
+        """Recommend an action for ``state`` without updating any table.
+
+        ``explore=True`` runs the single-draw e-greedy circuit (one
+        ``policy`` LFSR word against the committed tables — queries are
+        not samples, so the lagged stage-1 view does not apply);
+        ``explore=False`` is a pure Qmax-action read and consumes no
+        randomness.  Stats counters are untouched either way.
+        """
+        T = self.tables
+        if not 0 <= state < T.num_states:
+            raise ValueError(f"state {state} out of range [0, {T.num_states})")
+        if not explore:
+            return T.read_qmax(state)[1]
+        return egreedy_select(
+            state,
+            epsilon=self.config.epsilon,
+            draws=self.draws,
+            read_qmax=T.read_qmax,
+            read_q=T.read_q,
+            num_actions=T.num_actions,
+        ).action
 
     def enable_trace(self) -> list[TraceRecord]:
         """Start recording (index, s, a, q_new) per sample."""

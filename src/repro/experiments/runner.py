@@ -23,6 +23,50 @@ from .registry import (
 )
 
 
+def _serve_probe(session, *, quick: bool) -> None:
+    """Drive a small serve load under an experiment's telemetry session.
+
+    Runs sessions straight through the :class:`SessionManager` (no
+    sockets — the counters, not the transport, are the artifact), so
+    the exported profile's ``engines`` section carries the gateway
+    session counters next to the experiment's own engine stats.
+    """
+    import random
+
+    from ..core.config import QTAccelConfig
+    from ..serve.session import SessionManager, build_serve_backend
+
+    num_states, num_actions = 32, 4
+    config = QTAccelConfig.qlearning(seed=11)
+    backend = build_serve_backend(
+        config,
+        engine="vectorized",
+        lanes=4,
+        num_states=num_states,
+        num_actions=num_actions,
+        telemetry=session,
+    )
+    manager = SessionManager(backend, telemetry=session)
+    rng = random.Random(17)
+    n_sessions = 2 if quick else 6
+    steps = 40 if quick else 200
+    for _ in range(n_sessions):
+        rec = manager.open()
+        for _ in range(steps):
+            s = rng.randrange(num_states)
+            manager.learn(
+                rec.sid,
+                s,
+                rng.randrange(num_actions),
+                rng.uniform(-1.0, 1.0),
+                rng.randrange(num_states),
+                rng.random() < 0.05,
+            )
+            manager.act(rec.sid, s)
+        manager.close(rec.sid)
+    session.pulse()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="qtaccel-experiments",
@@ -51,6 +95,13 @@ def main(argv: list[str] | None = None) -> int:
         "DIR/<experiment>.profile.json + DIR/<experiment>.trace.json",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="with --telemetry: also drive a small session-gateway load "
+        "under each experiment's telemetry session, so the profile "
+        "artifact carries engine *and* serving counters",
+    )
+    parser.add_argument(
         "--fail-fast",
         action="store_true",
         help="abort at the first failing experiment instead of "
@@ -58,6 +109,8 @@ def main(argv: list[str] | None = None) -> int:
         "the error, keep going, exit non-zero at the end)",
     )
     args = parser.parse_args(argv)
+    if args.serve and not args.telemetry:
+        parser.error("--serve requires --telemetry DIR")
 
     targets = args.experiments
     if targets == ["list"]:
@@ -123,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if out_dir is not None:
             (out_dir / f"{eid}.txt").write_text(text + "\n")
+        if session is not None and args.serve:
+            _serve_probe(session, quick=args.quick)
         if session is not None:
             session.export_profile(tel_dir / f"{eid}.profile.json")
             session.export_chrome_trace(tel_dir / f"{eid}.trace.json")

@@ -16,6 +16,9 @@ machine-readable artifacts, layered on :mod:`repro.telemetry`:
 * :mod:`repro.perf.fleet` — the scalar-vs-vectorized fleet throughput
   sweep over a ladder of lane counts (updates/sec per backend, paired
   speedup), recorded under a snapshot's ``fleet_throughput`` key.
+* :mod:`repro.perf.serve` — the session-gateway saturation bench
+  (sessions/sec, transitions/sec, p50/p99 action latency over live
+  NDJSON TCP), recorded under a snapshot's ``serve_throughput`` key.
 * :mod:`repro.perf.compare` — the regression sentinel: diffs two
   snapshots with ``max(rel_tol, k*MAD)`` thresholds and exits non-zero
   for CI gating.
@@ -28,7 +31,7 @@ machine-readable artifacts, layered on :mod:`repro.telemetry`:
   attribution for :class:`~repro.core.pipeline.QTAccelPipeline`
   (timestamp every Nth cycle; off by default, pointer-test cost only).
 
-CLI: ``python -m repro.perf {run,fleet,compare,report}``.
+CLI: ``python -m repro.perf {run,fleet,serve,compare,report}``.
 """
 
 from .bench import BENCH_CASES, BenchResult, run_bench
@@ -48,6 +51,7 @@ from .metrics_export import (
     sanitize_metric_name,
     validate_openmetrics,
 )
+from .serve import render_serve_throughput, run_serve_throughput
 from .snapshot import (
     SCHEMA,
     build_snapshot,
@@ -72,6 +76,8 @@ __all__ = [
     "check_min_speedup",
     "render_fleet_throughput",
     "run_fleet_throughput",
+    "render_serve_throughput",
+    "run_serve_throughput",
     "JsonlEmitter",
     "OpenMetricsTextfileEmitter",
     "escape_label_value",

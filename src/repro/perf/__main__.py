@@ -8,6 +8,7 @@ Usage::
     python -m repro.perf run --fleet --workers 1,2  # + sharded worker sweep
     python -m repro.perf fleet --smoke --min-speedup 5
     python -m repro.perf fleet --workers 2 --lanes 256 --min-speedup 2 --vs scalar
+    python -m repro.perf serve --quick          # gateway saturation bench
     python -m repro.perf compare BENCH_0.json BENCH_1.json
     python -m repro.perf report BENCH_1.json
 
@@ -33,6 +34,7 @@ from .fleet import (
     run_fleet_throughput,
     run_sharded_throughput,
 )
+from .serve import render_serve_throughput, run_serve_throughput
 from .snapshot import build_snapshot, load_snapshot, next_bench_path, write_snapshot
 
 
@@ -59,6 +61,9 @@ def _cmd_run(args) -> int:
             n_lanes=256 if args.quick else 4096,
             quick=args.quick,
         )
+    serve = None
+    if args.serve:
+        serve = run_serve_throughput(quick=args.quick)
     snapshot = build_snapshot(
         results,
         config={"repeats": args.repeats, "warmup": args.warmup, "quick": args.quick},
@@ -66,6 +71,7 @@ def _cmd_run(args) -> int:
         stage_attribution=stage,
         fleet_throughput=fleet,
         sharded_throughput=sharded,
+        serve_throughput=serve,
     )
     path = args.output if args.output else next_bench_path(".")
     write_snapshot(snapshot, path)
@@ -115,6 +121,31 @@ def _cmd_fleet(args) -> int:
             ok, message = check_min_speedup(record, args.min_speedup)
         print(message)
         return 0 if ok else 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    record = run_serve_throughput(
+        engine=args.engine,
+        lanes=args.lanes,
+        concurrency=args.concurrency,
+        sessions=args.sessions,
+        transitions_per_session=args.transitions,
+        num_workers=args.workers,
+        quick=args.quick,
+    )
+    print(render_serve_throughput(record))
+    if record.get("errors"):
+        return 1
+    snapshot = build_snapshot(
+        {},
+        source="serve-bench",
+        config={"quick": args.quick},
+        serve_throughput=record,
+    )
+    path = args.output if args.output else next_bench_path(".")
+    write_snapshot(snapshot, path)
+    print(f"\nsnapshot written to {path}")
     return 0
 
 
@@ -190,6 +221,10 @@ def render_snapshot(snapshot: dict) -> str:
     if sharded:
         out.append("")
         out.append(render_sharded_throughput(sharded))
+    serve = snapshot.get("serve_throughput")
+    if serve:
+        out.append("")
+        out.append(render_serve_throughput(serve))
     stage = snapshot.get("stage_attribution")
     if stage:
         fr = stage.get("fractions") or {}
@@ -247,7 +282,34 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the sharded worker-count sweep at these worker counts "
         "(recorded under the snapshot's sharded_throughput key)",
     )
+    p_run.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the session-gateway saturation bench "
+        "(recorded under the snapshot's serve_throughput key)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="session-gateway saturation bench (sessions/sec, act p99)"
+    )
+    p_serve.add_argument(
+        "--engine", default="vectorized", choices=("vectorized", "scalar", "sharded")
+    )
+    p_serve.add_argument("--lanes", type=int, default=32)
+    p_serve.add_argument("--concurrency", type=int, default=8, help="client threads")
+    p_serve.add_argument("--sessions", type=int, default=48, help="session workloads")
+    p_serve.add_argument(
+        "--transitions", type=int, default=256, help="learns per session"
+    )
+    p_serve.add_argument("--workers", type=int, default=2, help="sharded workers")
+    p_serve.add_argument(
+        "--quick", action="store_true", help="tiny load (CI smoke / tests)"
+    )
+    p_serve.add_argument(
+        "--output", metavar="PATH", help="snapshot path (default: next BENCH_<n>.json in .)"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_fleet = sub.add_parser(
         "fleet", help="scalar vs vectorized fleet throughput sweep"

@@ -38,6 +38,15 @@ DEFAULT_K = 4.0
 #: Deterministic cycle counts get a much tighter relative gate.
 CYCLES_REL_TOL = 0.01
 
+#: Serve-path throughput tolerance: loopback sockets + thread scheduling
+#: are far noisier than numpy loops, so the gate is wider than rel_tol.
+SERVE_REL_TOL = 0.25
+
+#: Serve p99 action latency may double before the sentinel calls it a
+#: regression (tail latency on a busy CI host is the noisiest number
+#: the observatory records).
+SERVE_P99_REL_TOL = 1.00
+
 
 @dataclass
 class Finding:
@@ -149,6 +158,14 @@ def compare_snapshots(
             else:
                 findings.append(Finding("cycles", name, "ok", detail))
 
+    # Serve-path throughput and latency (wall-clock; machine-bound).
+    _compare_serve(
+        base.get("serve_throughput"),
+        new.get("serve_throughput"),
+        gate_time=gate_time,
+        findings=findings,
+    )
+
     # Overhead budgets (relative; machine-independent).
     new_over = new.get("overheads", {})
     base_over = base.get("overheads", {})
@@ -187,6 +204,85 @@ def compare_snapshots(
             )
 
     return result
+
+
+def _compare_serve(
+    base: Optional[dict],
+    new: Optional[dict],
+    *,
+    gate_time: bool,
+    findings: list,
+) -> None:
+    """Sentinel findings for the ``serve_throughput`` snapshot key.
+
+    Throughput (sessions/sec, transitions/sec) regresses when it drops
+    by more than ``SERVE_REL_TOL``; p99 action latency regresses when
+    it grows by more than ``SERVE_P99_REL_TOL``.  Both are wall-clock
+    numbers, so — like case timings — they only gate when the machine
+    fingerprints match.  Records taken at different load shapes
+    (engine/lanes/concurrency) are not comparable and are skipped.
+    """
+    if base is None and new is None:
+        return
+    if base is None:
+        findings.append(
+            Finding("info", "serve", "skipped", "serve bench new in this snapshot")
+        )
+        return
+    if new is None:
+        findings.append(
+            Finding("info", "serve", "skipped", "serve bench missing from new snapshot")
+        )
+        return
+    if not gate_time:
+        findings.append(
+            Finding(
+                "time",
+                "serve",
+                "skipped",
+                "different machine fingerprint; serve throughput not gated",
+            )
+        )
+        return
+    shape_keys = ("engine", "lanes", "concurrency", "sessions", "transitions_per_session")
+    if any(base.get(k) != new.get(k) for k in shape_keys):
+        findings.append(
+            Finding(
+                "time",
+                "serve",
+                "skipped",
+                "serve bench shapes differ between snapshots; not comparable",
+            )
+        )
+        return
+
+    for metric in ("sessions_per_sec", "transitions_per_sec"):
+        b, n = base.get(metric), new.get(metric)
+        if b is None or n is None or b <= 0:
+            continue
+        pct = 100.0 * (n - b) / b
+        detail = f"{metric} {b:.6g} -> {n:.6g} ({pct:+.1f}%, floor -{100 * SERVE_REL_TOL:.0f}%)"
+        if n < b * (1.0 - SERVE_REL_TOL):
+            findings.append(Finding("time", f"serve.{metric}", "regression", detail))
+        elif n > b * (1.0 + SERVE_REL_TOL):
+            findings.append(Finding("time", f"serve.{metric}", "improvement", detail))
+        else:
+            findings.append(Finding("time", f"serve.{metric}", "ok", detail))
+
+    b_p99 = (base.get("act_latency_ms") or {}).get("p99")
+    n_p99 = (new.get("act_latency_ms") or {}).get("p99")
+    if b_p99 and n_p99:
+        pct = 100.0 * (n_p99 - b_p99) / b_p99
+        detail = (
+            f"act p99 {b_p99:.4g}ms -> {n_p99:.4g}ms "
+            f"({pct:+.1f}%, ceiling +{100 * SERVE_P99_REL_TOL:.0f}%)"
+        )
+        if n_p99 > b_p99 * (1.0 + SERVE_P99_REL_TOL):
+            findings.append(Finding("time", "serve.act_p99", "regression", detail))
+        elif n_p99 < b_p99 * (1.0 - SERVE_REL_TOL):
+            findings.append(Finding("time", "serve.act_p99", "improvement", detail))
+        else:
+            findings.append(Finding("time", "serve.act_p99", "ok", detail))
 
 
 def render_comparison(result: CompareResult) -> str:

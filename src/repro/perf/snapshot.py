@@ -28,7 +28,10 @@ Schema (``qtaccel-bench/1``)::
                                        "vectorized", "speedup"}}},
       "sharded_throughput": {"n_lanes", "worker_counts",     # optional
                               "points": {"<workers>": {"sharded",
-                                         "vectorized", "speedup_*"}}}
+                                         "vectorized", "speedup_*"}}},
+      "serve_throughput": {"engine", "lanes", "concurrency", # optional
+                            "sessions_per_sec", "transitions_per_sec",
+                            "act_latency_ms": {"p50", "p99", ...}}
     }
 
 Cases run on engines with no cycle notion (functional, the fleets)
@@ -97,6 +100,7 @@ def build_snapshot(
     stage_attribution: Optional[dict] = None,
     fleet_throughput: Optional[dict] = None,
     sharded_throughput: Optional[dict] = None,
+    serve_throughput: Optional[dict] = None,
 ) -> dict:
     """Assemble a schema-versioned snapshot from harness results."""
     snap = {
@@ -112,6 +116,8 @@ def build_snapshot(
         snap["fleet_throughput"] = fleet_throughput
     if sharded_throughput is not None:
         snap["sharded_throughput"] = sharded_throughput
+    if serve_throughput is not None:
+        snap["serve_throughput"] = serve_throughput
     return snap
 
 

@@ -1,0 +1,142 @@
+"""A small blocking client for the session gateway.
+
+:class:`ServeClient` wraps one TCP connection to a gateway and exposes
+the wire protocol as plain method calls; :class:`ServeSession` scopes
+them to one leased session.  Used by the example, the load generator in
+:mod:`repro.perf.serve`, the CI smoke, and the end-to-end tests —
+anything speaking NDJSON (``nc``, a dozen lines of any language) works
+just as well.
+
+Errors come back as :class:`ServeError` carrying the wire error code,
+so callers can branch on ``exc.code == "at_capacity"`` etc.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, Optional, Sequence
+
+from . import protocol
+
+
+class ServeError(Exception):
+    """A gateway-refused request, carrying its wire error code."""
+
+    def __init__(self, code: str, detail: str):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServeClient:
+    """One blocking NDJSON connection to a gateway."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------ #
+
+    def request(self, message: dict) -> dict:
+        """Send one request and block for its response (raises ServeError)."""
+        self._sock.sendall(protocol.encode(message))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", protocol.E_INTERNAL),
+                response.get("detail", "no detail"),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- connection-scoped ops ----------------------------------------- #
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def server_info(self) -> dict:
+        return self.request({"op": "server"})
+
+    def open_session(self) -> "ServeSession":
+        """Lease a lane (raises ``ServeError(at_capacity)`` when full)."""
+        resp = self.request({"op": "open"})
+        return ServeSession(self, resp)
+
+
+class ServeSession:
+    """Session-scoped calls over an open :class:`ServeClient`."""
+
+    def __init__(self, client: ServeClient, opened: dict):
+        self._client = client
+        self.sid = opened["session"]
+        self.lane = opened["lane"]
+        self.salt = opened["salt"]
+        self.num_states = opened["states"]
+        self.num_actions = opened["actions"]
+
+    def _request(self, message: dict) -> dict:
+        message["session"] = self.sid
+        return self._client.request(message)
+
+    def learn(
+        self,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int:
+        """Stream one transition; returns the written raw Q value."""
+        return self._request(
+            {"op": "learn", "s": state, "a": action, "r": reward,
+             "ns": next_state, "t": terminal}
+        )["q"]
+
+    def learn_batch(self, transitions: Iterable[Sequence]) -> int:
+        """Stream many transitions in one round-trip; returns last raw Q."""
+        return self._request(
+            {"op": "learn", "batch": [list(t) for t in transitions]}
+        )["q"]
+
+    def act(self, state: int, explore: bool = True) -> int:
+        """Ask for an action recommendation at ``state``."""
+        return self._request({"op": "act", "s": state, "explore": explore})["action"]
+
+    def table(self, state: Optional[int] = None) -> list[int]:
+        """Raw Q values: one state's row, or the full flattened table."""
+        message: dict = {"op": "table"}
+        if state is not None:
+            message["s"] = state
+        return self._request(message)["q"]
+
+    def checkpoint(self, tag: Optional[str] = None) -> str:
+        message: dict = {"op": "checkpoint"}
+        if tag is not None:
+            message["tag"] = tag
+        return self._request(message)["tag"]
+
+    def restore(self, tag: Optional[str] = None) -> str:
+        message: dict = {"op": "restore"}
+        if tag is not None:
+            message["tag"] = tag
+        return self._request(message)["tag"]
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def close(self) -> None:
+        self._request({"op": "close"})

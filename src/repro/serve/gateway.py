@@ -1,0 +1,364 @@
+"""The asyncio session gateway: NDJSON TCP in front of a fleet backend.
+
+One :class:`Gateway` owns one :class:`~repro.serve.session.SessionManager`
+and serves it over two listeners:
+
+* a **TCP** listener speaking the newline-delimited-JSON protocol of
+  :mod:`repro.serve.protocol` — the data plane;
+* an optional **HTTP** listener answering ``GET /metrics`` with the
+  OpenMetrics rendering of the attached telemetry registry and
+  ``GET /healthz`` with a liveness probe — the observability plane.
+
+Backend lane operations are parent-side numpy work measured in
+microseconds, so they run directly on the event loop; the gateway's
+concurrency problem is admission, not compute.  Admission is a
+queue-with-timeout: when every lane is leased, an ``open`` waits on an
+:class:`asyncio.Condition` that session closes notify, and is refused
+with ``at_capacity`` after ``admission_timeout_s``.
+
+A background maintenance task probes worker health every
+``maintenance_interval_s`` (via ``SessionManager.maintenance()``, which
+recovers sessions hit by a dead shard worker) and pulses the telemetry
+session so live exporters stay fresh.
+
+Connections own their sessions: sessions opened on a connection that
+drops without ``close`` are closed (and their lanes recycled) when the
+connection unwinds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+from typing import Optional
+
+from . import protocol
+from .protocol import ProtocolError
+from .session import SessionManager
+
+log = logging.getLogger("repro.serve")
+
+
+class Gateway:
+    """Serve a :class:`SessionManager` over NDJSON TCP (+ HTTP metrics)."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = None,
+        admission_timeout_s: float = 1.0,
+        maintenance_interval_s: float = 0.25,
+    ):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.admission_timeout_s = admission_timeout_s
+        self.maintenance_interval_s = maintenance_interval_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._http_server: Optional[asyncio.base_events.Server] = None
+        self._maintenance: Optional[asyncio.Task] = None
+        self._admission: Optional[asyncio.Condition] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the listeners (resolving port 0) and start maintenance."""
+        self._admission = asyncio.Condition()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port, limit=protocol.MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, self.host, self.http_port
+            )
+            self.http_port = self._http_server.sockets[0].getsockname()[1]
+        self._maintenance = asyncio.create_task(self._maintenance_loop())
+        log.info(
+            "gateway listening on %s:%d (%d lanes, %d session slots)",
+            self.host,
+            self.port,
+            self.manager.K,
+            self.manager.max_sessions,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop accepting, close sessions + backend."""
+        self._closing = True
+        if self._maintenance is not None:
+            self._maintenance.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._maintenance
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self.manager.close_all()
+        backend_close = getattr(self.manager.backend, "close", None)
+        if backend_close is not None:
+            backend_close()
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    async def _maintenance_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.maintenance_interval_s)
+            try:
+                recovered = await asyncio.to_thread(self.manager.maintenance)
+                if recovered:
+                    log.warning(
+                        "recovered %d session(s) after worker failure: %s",
+                        len(recovered),
+                        recovered,
+                    )
+            except Exception:  # pragma: no cover - defensive
+                log.exception("maintenance probe failed")
+            telemetry = self.manager._telemetry
+            if telemetry is not None:
+                telemetry.pulse()
+
+    # ------------------------------------------------------------------ #
+    # TCP data plane
+    # ------------------------------------------------------------------ #
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        owned: set[str] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized frame or peer reset
+                if not line:
+                    break
+                response = await self._dispatch(line, owned)
+                writer.write(protocol.encode(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            for sid in list(owned):
+                with contextlib.suppress(ProtocolError):
+                    self.manager.close(sid)
+            await self._notify_admission()
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, line: bytes, owned: set[str]) -> dict:
+        req: dict = {}
+        try:
+            req = protocol.decode(line)
+            op = req.get("op")
+            if op not in protocol.OPS:
+                raise ProtocolError(
+                    protocol.E_BAD_REQUEST, f"unknown op {op!r}"
+                )
+            if self._closing:
+                raise ProtocolError(protocol.E_CLOSED, "gateway is shutting down")
+            return await self._handle_op(op, req, owned)
+        except ProtocolError as exc:
+            return protocol.error(exc.code, exc.detail, req=req)
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("internal error serving %r", req.get("op"))
+            return protocol.error(protocol.E_INTERNAL, str(exc), req=req)
+
+    async def _handle_op(self, op: str, req: dict, owned: set[str]) -> dict:
+        manager = self.manager
+        if op == "ping":
+            return protocol.ok({"pong": True}, req=req)
+        if op == "server":
+            info = manager.server_info()
+            info["protocol"] = protocol.PROTOCOL
+            return protocol.ok(info, req=req)
+        if op == "open":
+            rec = await self._admit()
+            owned.add(rec.sid)
+            return protocol.ok(
+                {
+                    "session": rec.sid,
+                    "lane": rec.lane,
+                    "salt": rec.salt,
+                    "states": manager.backend.S,
+                    "actions": manager.backend.A,
+                },
+                req=req,
+            )
+
+        sid = req.get("session")
+        if not isinstance(sid, str):
+            raise ProtocolError(
+                protocol.E_BAD_REQUEST, "field 'session' must be a string"
+            )
+        S, A = manager.backend.S, manager.backend.A
+
+        if op == "learn":
+            if "batch" in req:
+                batch = protocol.parse_batch(req, num_states=S, num_actions=A)
+                q_new = manager.learn_batch(sid, batch)
+                return protocol.ok({"q": q_new, "n": len(batch)}, req=req)
+            s, a, r, ns, t = protocol.parse_transition(
+                req, num_states=S, num_actions=A
+            )
+            q_new = manager.learn(sid, s, a, r, ns, t)
+            return protocol.ok({"q": q_new, "n": 1}, req=req)
+        if op == "act":
+            s = protocol.require_int(req, "s", hi=S)
+            explore = req.get("explore", True)
+            if not isinstance(explore, bool):
+                raise ProtocolError(
+                    protocol.E_BAD_REQUEST, "field 'explore' must be a boolean"
+                )
+            return protocol.ok({"action": manager.act(sid, s, explore)}, req=req)
+        if op == "table":
+            state = None
+            if "s" in req:
+                state = protocol.require_int(req, "s", hi=S)
+            return protocol.ok({"q": manager.q_row(sid, state)}, req=req)
+        if op == "checkpoint":
+            tag = req.get("tag")
+            if tag is not None and not isinstance(tag, str):
+                raise ProtocolError(
+                    protocol.E_BAD_REQUEST, "field 'tag' must be a string"
+                )
+            return protocol.ok({"tag": manager.checkpoint(sid, tag)}, req=req)
+        if op == "restore":
+            tag = req.get("tag")
+            if tag is not None and not isinstance(tag, str):
+                raise ProtocolError(
+                    protocol.E_BAD_REQUEST, "field 'tag' must be a string"
+                )
+            return protocol.ok({"tag": manager.restore(sid, tag)}, req=req)
+        if op == "stats":
+            return protocol.ok(manager.stats(sid), req=req)
+        if op == "close":
+            manager.close(sid)
+            owned.discard(sid)
+            await self._notify_admission()
+            return protocol.ok({"closed": sid}, req=req)
+        raise ProtocolError(protocol.E_BAD_REQUEST, f"unhandled op {op!r}")
+
+    async def _admit(self):
+        """Open a session, waiting up to ``admission_timeout_s`` for a lane."""
+        manager = self.manager
+        if manager.has_capacity():
+            return manager.open()
+        async with self._admission:
+            try:
+                await asyncio.wait_for(
+                    self._admission.wait_for(manager.has_capacity),
+                    timeout=self.admission_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                manager.note_rejected()
+                raise ProtocolError(
+                    protocol.E_AT_CAPACITY,
+                    f"no session slot freed within {self.admission_timeout_s}s",
+                ) from None
+        return manager.open()
+
+    async def _notify_admission(self) -> None:
+        if self._admission is None:
+            return
+        async with self._admission:
+            self._admission.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # HTTP observability plane
+    # ------------------------------------------------------------------ #
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; we only route on the path.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("latin-1") if len(parts) >= 2 else "/"
+            if path == "/healthz":
+                body = b"ok\n"
+                ctype = "text/plain; charset=utf-8"
+                status = "200 OK"
+            elif path == "/metrics":
+                body = self._render_metrics().encode()
+                ctype = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                ctype = "text/plain; charset=utf-8"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, IndexError):  # pragma: no cover - peer reset
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    def _render_metrics(self) -> str:
+        from ..perf.metrics_export import render_openmetrics
+
+        telemetry = self.manager._telemetry
+        if telemetry is None:
+            return "# EOF\n"
+        return render_openmetrics(telemetry.registry, namespace="qtaccel")
+
+
+def run_gateway_in_thread(gateway: Gateway) -> tuple[threading.Thread, asyncio.AbstractEventLoop]:
+    """Boot ``gateway`` on a dedicated event-loop thread (tests, benches).
+
+    Returns once the listeners are bound (``gateway.port`` is resolved).
+    Shut down with::
+
+        asyncio.run_coroutine_threadsafe(gateway.close(), loop).result()
+        loop.call_soon_threadsafe(loop.stop); thread.join()
+    """
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(gateway.start())
+        started.set()
+        loop.run_forever()
+        # Drain cancellations queued by close() before the loop winds down.
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="serve-gateway", daemon=True)
+    thread.start()
+    started.wait()
+    return thread, loop

@@ -1,0 +1,176 @@
+"""Wire protocol of the session gateway.
+
+The gateway speaks **newline-delimited JSON** over TCP: every request
+and every response is one JSON object on one line, UTF-8 encoded,
+terminated by ``\\n``.  Requests carry an ``op`` field and (for
+session-scoped operations) a ``session`` id; responses always carry
+``ok`` plus either the op's payload (``ok: true``) or an ``error``
+code and human-readable ``detail`` (``ok: false``).  Clients may tag
+any request with an ``id`` field, which is echoed verbatim on the
+response — the gateway answers requests from one connection strictly
+in order, so the tag is a convenience, not a correlation requirement.
+
+Operations (see :doc:`docs/serving.md </serving>` for the full spec):
+
+=============  ==========================================================
+``ping``       liveness probe; replies ``{"ok": true, "pong": true}``
+``open``       lease a lane; replies session id, lane, salt, (S, A)
+``learn``      apply one transition (``s, a, r, ns, t``) or a ``batch``
+``act``        recommend an action for ``s`` (``explore`` optional)
+``table``      read the session's raw Q row for ``s`` (or the full table)
+``checkpoint``  snapshot the session's lane under a ``tag``
+``restore``    roll the lane back to a ``tag`` (default: latest)
+``stats``      per-session counters
+``server``     gateway-level info (capacity, open sessions, backend)
+``close``      end the session, recycling its lane
+=============  ==========================================================
+
+Error codes are the closed set in :data:`ERROR_CODES`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Protocol identifier, echoed by the ``server`` op.
+PROTOCOL = "qtaccel-serve/1"
+
+#: Admission refused: every lane is leased and the wait timed out.
+E_AT_CAPACITY = "at_capacity"
+#: The ``session`` id is unknown (never opened, or already closed).
+E_NO_SESSION = "no_session"
+#: The request is malformed (bad JSON, missing/ill-typed fields).
+E_BAD_REQUEST = "bad_request"
+#: The gateway hit an unexpected exception serving the request.
+E_INTERNAL = "internal"
+#: The gateway is shutting down and no longer accepts work.
+E_CLOSED = "closed"
+
+ERROR_CODES = frozenset(
+    {E_AT_CAPACITY, E_NO_SESSION, E_BAD_REQUEST, E_INTERNAL, E_CLOSED}
+)
+
+#: Ops a client may send.
+OPS = frozenset(
+    {
+        "ping",
+        "open",
+        "learn",
+        "act",
+        "table",
+        "checkpoint",
+        "restore",
+        "stats",
+        "server",
+        "close",
+    }
+)
+
+#: Largest accepted ``learn`` batch — bounds per-request gateway latency.
+MAX_BATCH = 4096
+
+#: Largest accepted request line, in bytes (a full MAX_BATCH learn fits).
+MAX_LINE = 1 << 22
+
+
+class ProtocolError(Exception):
+    """A request the gateway refuses, carrying its wire error code."""
+
+    def __init__(self, code: str, detail: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire frame into a request dict.
+
+    Raises :class:`ProtocolError` (``bad_request``) on anything that is
+    not a single JSON object.
+    """
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(E_BAD_REQUEST, f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(E_BAD_REQUEST, "request must be a JSON object")
+    return message
+
+
+def ok(payload: dict | None = None, *, req: dict | None = None) -> dict:
+    """A success response, echoing the request's ``id`` tag if present."""
+    out: dict[str, Any] = {"ok": True}
+    if payload:
+        out.update(payload)
+    if req is not None and "id" in req:
+        out["id"] = req["id"]
+    return out
+
+
+def error(code: str, detail: str, *, req: dict | None = None) -> dict:
+    """An error response in the canonical shape."""
+    if code not in ERROR_CODES:
+        code = E_INTERNAL
+    out: dict[str, Any] = {"ok": False, "error": code, "detail": detail}
+    if req is not None and isinstance(req, dict) and "id" in req:
+        out["id"] = req["id"]
+    return out
+
+
+def require_int(req: dict, field: str, *, lo: int = 0, hi: int | None = None) -> int:
+    """Pull a bounded integer field out of a request, or ``bad_request``."""
+    value = req.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(E_BAD_REQUEST, f"field {field!r} must be an integer")
+    if value < lo or (hi is not None and value >= hi):
+        upper = "" if hi is None else f" < {hi}"
+        raise ProtocolError(
+            E_BAD_REQUEST, f"field {field!r}={value} out of range (>= {lo}{upper})"
+        )
+    return value
+
+
+def parse_transition(req: dict, *, num_states: int, num_actions: int) -> tuple:
+    """Validate one ``(s, a, r, ns, t)`` transition from request fields."""
+    s = require_int(req, "s", hi=num_states)
+    a = require_int(req, "a", hi=num_actions)
+    ns = require_int(req, "ns", hi=num_states)
+    r = req.get("r", 0.0)
+    if isinstance(r, bool) or not isinstance(r, (int, float)):
+        raise ProtocolError(E_BAD_REQUEST, "field 'r' must be a number")
+    t = req.get("t", False)
+    if not isinstance(t, bool):
+        raise ProtocolError(E_BAD_REQUEST, "field 't' must be a boolean")
+    return s, a, float(r), ns, t
+
+
+def parse_batch(req: dict, *, num_states: int, num_actions: int) -> list[tuple]:
+    """Validate a ``learn`` batch: a list of ``[s, a, r, ns, t]`` rows."""
+    rows = req.get("batch")
+    if not isinstance(rows, list):
+        raise ProtocolError(E_BAD_REQUEST, "field 'batch' must be a list")
+    if len(rows) > MAX_BATCH:
+        raise ProtocolError(
+            E_BAD_REQUEST, f"batch of {len(rows)} exceeds MAX_BATCH={MAX_BATCH}"
+        )
+    out = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, (list, tuple)) or not 4 <= len(row) <= 5:
+            raise ProtocolError(
+                E_BAD_REQUEST, f"batch[{i}] must be [s, a, r, ns] or [s, a, r, ns, t]"
+            )
+        fields = {"s": row[0], "a": row[1], "r": row[2], "ns": row[3]}
+        if len(row) == 5:
+            fields["t"] = row[4]
+        out.append(
+            parse_transition(fields, num_states=num_states, num_actions=num_actions)
+        )
+    return out

@@ -1,0 +1,450 @@
+"""Session bookkeeping: leasing fleet lanes to external clients.
+
+The :class:`SessionManager` is the synchronous heart of the gateway —
+it owns the mapping from client sessions to backend lanes and is the
+only component that touches the backend.  The asyncio layer in
+:mod:`repro.serve.gateway` is a thin transport over it, so everything
+behaviourally interesting (admission, recycling, checkpointing, crash
+recovery) is testable without a socket.
+
+A *session* is one leased lane plus its replay journal:
+
+* **lease** — ``open()`` pops a free lane, re-seeds it with a fresh
+  salt via ``backend.reset_lane`` (salts count up from ``backend.K``
+  so they can never collide with the native lane salts ``0..K-1``),
+  and snapshots the pristine lane as the journal's base;
+* **journal** — every ``learn`` and every *exploring* ``act`` is
+  appended (non-exploring queries are pure table reads and consume no
+  LFSR draw, so they need no replay).  The journal is re-based onto a
+  fresh lane snapshot every ``checkpoint_every`` entries, keeping
+  recovery replay O(``checkpoint_every``) regardless of session length;
+* **recovery** — when :meth:`maintenance` learns from
+  ``backend.check_workers()`` that a crashed shard rolled lanes back,
+  each affected session is restored from its journal base and the
+  journal replayed.  Replay re-consumes the same LFSR draws in the
+  same order, so the recovered lane is bit-identical to the pre-crash
+  one (asserted by the test suite);
+* **recycle** — ``close()`` returns the lane to the free pool; the
+  next lease re-seeds it, so sessions can never observe each other's
+  tables.
+
+Per-tenant named checkpoints ride on the existing
+:class:`~repro.robustness.checkpoint.CheckpointStore` (a small ring per
+session); restoring one also re-bases the journal so crash recovery
+and explicit restore compose.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..envs.base import DenseMdp
+from ..robustness.checkpoint import CheckpointStore
+from .protocol import E_AT_CAPACITY, E_NO_SESSION, ProtocolError
+
+
+def serve_world(num_states: int, num_actions: int) -> DenseMdp:
+    """A placeholder world for serve-only fleets.
+
+    External transitions bypass the backend's environment tables
+    entirely — only the ``(|S|, |A|)`` shape matters — so a gateway
+    that never calls ``run()`` can be built over this trivial MDP.
+    """
+    return DenseMdp(
+        next_state=np.zeros((num_states, num_actions), dtype=np.int32),
+        rewards=np.zeros((num_states, num_actions), dtype=np.float64),
+        terminal=np.zeros(num_states, dtype=bool),
+        start_states=np.array([0], dtype=np.int64),
+        name=f"serve-{num_states}x{num_actions}",
+    )
+
+
+def build_serve_backend(
+    config,
+    *,
+    engine: str = "vectorized",
+    lanes: int = 64,
+    num_states: int = 128,
+    num_actions: int = 4,
+    num_workers: int = 2,
+    mp_context: Optional[str] = None,
+    telemetry=None,
+):
+    """Construct a fleet backend sized for serving (via ``make_engine``)."""
+    from ..core.engine import make_engine
+
+    world = serve_world(num_states, num_actions)
+    kw: dict = {"num_agents": lanes, "telemetry": telemetry}
+    if engine == "sharded":
+        kw["num_workers"] = num_workers
+        if mp_context is not None:
+            kw["mp_context"] = mp_context
+        return make_engine(config, engine="sharded", mdps=world, **kw)
+    if engine == "scalar":
+        from ..backends.base import make_fleet_backend
+
+        return make_fleet_backend(world, config, backend="scalar", **kw)
+    return make_engine(config, engine=engine, mdps=world, **kw)
+
+
+@dataclass
+class SessionRecord:
+    """One live client session: a leased lane plus its replay journal."""
+
+    sid: str
+    lane: int
+    salt: int
+    #: Lane snapshot the journal replays on top of.
+    base: dict = field(repr=False, default=None)
+    #: Ops since ``base``: ``("learn", s, a, r, ns, t)`` / ``("act", s)``.
+    journal: list = field(default_factory=list, repr=False)
+    #: Named per-tenant checkpoints (each entry: lane snapshot + journal).
+    store: CheckpointStore = field(default_factory=CheckpointStore, repr=False)
+    samples: int = 0
+    queries: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    recoveries: int = 0
+
+
+class SessionManager:
+    """Multiplexes client sessions onto the lanes of one fleet backend.
+
+    Thread-safe: every public method takes the manager lock, so the
+    asyncio gateway, the load generator's worker threads and the
+    maintenance loop can share one manager.  Admission is *immediate*
+    at this layer — ``open()`` raises ``at_capacity`` when no lane is
+    free; the queue-with-timeout lives in the gateway, which owns the
+    event loop the wait must happen on.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_sessions: Optional[int] = None,
+        checkpoint_every: int = 64,
+        store_capacity: int = 4,
+        telemetry=None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.backend = backend
+        self.K = backend.K
+        self.max_sessions = min(max_sessions or self.K, self.K)
+        if self.max_sessions < 1:
+            raise ValueError("need at least one admissible session")
+        self.checkpoint_every = checkpoint_every
+        self.store_capacity = store_capacity
+        self._lock = threading.RLock()
+        self._free: deque[int] = deque(range(self.K))
+        self._sessions: dict[str, SessionRecord] = {}
+        self._lane_owner: dict[int, str] = {}
+        # Session salts start past the native lane salts 0..K-1 so a
+        # leased lane can never replay a resident agent's draw stream.
+        self._salts = itertools.count(self.K)
+        self._sids = itertools.count(1)
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_rejected = 0
+        self.recoveries = 0
+        self.transitions_total = 0
+        self.queries_total = 0
+
+        from ..telemetry.session import current_session
+
+        session = telemetry if telemetry is not None else current_session()
+        self._telemetry = session
+        self._counters = None
+        if session is not None:
+            session.attach(self, "serve")
+            self._counters = session.group("serve.sessions")
+
+    # ------------------------------------------------------------------ #
+    # Capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def open_sessions(self) -> int:
+        return len(self._sessions)
+
+    def has_capacity(self) -> bool:
+        with self._lock:
+            return bool(self._free) and len(self._sessions) < self.max_sessions
+
+    def note_rejected(self) -> None:
+        """Record one admission refusal (called by the gateway on timeout)."""
+        with self._lock:
+            self.sessions_rejected += 1
+            self._count("sessions_rejected", self.sessions_rejected)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def open(self) -> SessionRecord:
+        """Lease a lane for a new session (``at_capacity`` if none free)."""
+        with self._lock:
+            if not self.has_capacity():
+                self.sessions_rejected += 1
+                self._count("sessions_rejected", self.sessions_rejected)
+                raise ProtocolError(
+                    E_AT_CAPACITY,
+                    f"all {self.max_sessions} session slots are leased",
+                )
+            lane = self._free.popleft()
+            salt = next(self._salts)
+            sid = f"s{next(self._sids):06d}"
+            self.backend.reset_lane(lane, salt)
+            rec = SessionRecord(
+                sid=sid,
+                lane=lane,
+                salt=salt,
+                base=self.backend.lane_state(lane),
+                store=CheckpointStore(capacity=self.store_capacity),
+            )
+            self._sessions[sid] = rec
+            self._lane_owner[lane] = sid
+            self.sessions_opened += 1
+            self._count("sessions_open", len(self._sessions))
+            self._count("sessions_opened", self.sessions_opened)
+            return rec
+
+    def close(self, sid: str) -> None:
+        """End a session, returning its lane to the free pool."""
+        with self._lock:
+            rec = self._get(sid)
+            del self._sessions[sid]
+            del self._lane_owner[rec.lane]
+            self._free.append(rec.lane)
+            self.sessions_closed += 1
+            self._count("sessions_open", len(self._sessions))
+            self._count("sessions_closed", self.sessions_closed)
+
+    def close_all(self) -> None:
+        with self._lock:
+            for sid in list(self._sessions):
+                self.close(sid)
+
+    # ------------------------------------------------------------------ #
+    # Traffic
+    # ------------------------------------------------------------------ #
+
+    def learn(
+        self,
+        sid: str,
+        state: int,
+        action: int,
+        reward: float,
+        next_state: int,
+        terminal: bool = False,
+    ) -> int:
+        """Retire one external transition on the session's lane."""
+        with self._lock:
+            rec = self._get(sid)
+            q_new = self.backend.apply_transition(
+                rec.lane, state, action, reward, next_state, terminal
+            )
+            rec.journal.append(("learn", state, action, reward, next_state, terminal))
+            rec.samples += 1
+            self.transitions_total += 1
+            self._maybe_rebase(rec)
+            if self._counters is not None:
+                self._counters.inc("transitions")
+            return q_new
+
+    def learn_batch(self, sid: str, transitions: Iterable[tuple]) -> int:
+        """Retire a sequence of transitions; returns the last ``q_new``."""
+        q_new = 0
+        for s, a, r, ns, t in transitions:
+            q_new = self.learn(sid, s, a, r, ns, t)
+        return q_new
+
+    def act(self, sid: str, state: int, explore: bool = True) -> int:
+        """Recommend an action from the session's committed tables."""
+        with self._lock:
+            rec = self._get(sid)
+            action = self.backend.query_action(rec.lane, state, explore)
+            if explore:
+                # An exploring query consumes one policy draw, so it
+                # must be journalled for bit-exact crash replay.
+                rec.journal.append(("act", state))
+                self._maybe_rebase(rec)
+            rec.queries += 1
+            self.queries_total += 1
+            if self._counters is not None:
+                self._counters.inc("queries")
+            return action
+
+    def q_row(self, sid: str, state: Optional[int] = None) -> list[int]:
+        """Raw Q values — one state's row, or the whole table flattened."""
+        with self._lock:
+            rec = self._get(sid)
+            table = self.backend.q[rec.lane]
+            if state is None:
+                return [int(v) for v in table]
+            A = self.backend.A
+            return [int(v) for v in table[state * A : (state + 1) * A]]
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, sid: str, tag: Optional[str] = None) -> str:
+        """Snapshot the session's lane under ``tag`` (auto-named if None)."""
+        with self._lock:
+            rec = self._get(sid)
+            rec.checkpoints += 1
+            tag = tag if tag is not None else f"ckpt-{rec.checkpoints}"
+            rec.store.push(tag, self.backend.lane_state(rec.lane))
+            if self._counters is not None:
+                self._counters.inc("checkpoints")
+            return tag
+
+    def restore(self, sid: str, tag: Optional[str] = None) -> str:
+        """Roll the session's lane back to ``tag`` (default: latest)."""
+        with self._lock:
+            rec = self._get(sid)
+            if tag is None:
+                entry = rec.store.latest()
+                if entry is None:
+                    raise ProtocolError(
+                        E_NO_SESSION, f"session {sid} has no checkpoints"
+                    )
+                tag, state = entry
+            else:
+                state = rec.store.get(tag)
+                if state is None:
+                    raise ProtocolError(
+                        E_NO_SESSION, f"session {sid} has no checkpoint {tag!r}"
+                    )
+            self.backend.load_lane_state(rec.lane, state)
+            # The restored snapshot becomes the new journal base so a
+            # later crash recovery replays from here, not from before
+            # the restore.
+            rec.base = state
+            rec.journal = []
+            rec.restores += 1
+            if self._counters is not None:
+                self._counters.inc("restores")
+            return tag
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+
+    def recover_lanes(self, ranges: Sequence[tuple[int, int]]) -> list[str]:
+        """Re-derive sessions whose lanes a shard rollback clobbered.
+
+        ``ranges`` is ``check_workers()``'s list of half-open lane
+        intervals that were rolled back to the shard checkpoint.  Each
+        affected session is restored from its journal base and the
+        journal replayed — the replay re-consumes the identical LFSR
+        draws, so the lane lands bit-exactly where it was.
+        """
+        recovered = []
+        with self._lock:
+            for lo, hi in ranges:
+                for lane in range(lo, hi):
+                    sid = self._lane_owner.get(lane)
+                    if sid is None:
+                        continue  # free lane; next lease re-seeds it anyway
+                    rec = self._sessions[sid]
+                    self.backend.load_lane_state(lane, rec.base)
+                    for entry in rec.journal:
+                        if entry[0] == "learn":
+                            _, s, a, r, ns, t = entry
+                            self.backend.apply_transition(lane, s, a, r, ns, t)
+                        else:
+                            self.backend.query_action(lane, entry[1], True)
+                    rec.recoveries += 1
+                    self.recoveries += 1
+                    recovered.append(sid)
+            if recovered:
+                self._count("recoveries", self.recoveries)
+        return recovered
+
+    def maintenance(self) -> list[str]:
+        """Probe backend health; recover sessions hit by a dead worker.
+
+        Runs under the manager lock: ``check_workers`` rolls crashed
+        shards back to their last checkpoint, which must not race a
+        concurrent parent-side ``apply_transition`` on those lanes.
+        """
+        check = getattr(self.backend, "check_workers", None)
+        if check is None:
+            return []
+        with self._lock:
+            ranges = check()
+            if not ranges:
+                return []
+            return self.recover_lanes(ranges)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self, sid: str) -> dict:
+        with self._lock:
+            rec = self._get(sid)
+            return {
+                "session": rec.sid,
+                "lane": rec.lane,
+                "salt": rec.salt,
+                "samples": rec.samples,
+                "queries": rec.queries,
+                "checkpoints": rec.checkpoints,
+                "restores": rec.restores,
+                "recoveries": rec.recoveries,
+                "journal_depth": len(rec.journal),
+                "tags": rec.store.tags(),
+            }
+
+    def server_info(self) -> dict:
+        with self._lock:
+            return {
+                "lanes": self.K,
+                "max_sessions": self.max_sessions,
+                "open_sessions": len(self._sessions),
+                "free_lanes": len(self._free),
+                "sessions_opened": self.sessions_opened,
+                "sessions_closed": self.sessions_closed,
+                "sessions_rejected": self.sessions_rejected,
+                "recoveries": self.recoveries,
+                "backend": type(self.backend).__name__,
+                "states": self.backend.S,
+                "actions": self.backend.A,
+            }
+
+    def telemetry_snapshot(self) -> dict:
+        """Serve-level counters for a telemetry profile."""
+        info = self.server_info()
+        with self._lock:
+            info["transitions"] = self.transitions_total
+            info["queries"] = self.queries_total
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _get(self, sid: str) -> SessionRecord:
+        rec = self._sessions.get(sid)
+        if rec is None:
+            raise ProtocolError(E_NO_SESSION, f"unknown session {sid!r}")
+        return rec
+
+    def _maybe_rebase(self, rec: SessionRecord) -> None:
+        if len(rec.journal) >= self.checkpoint_every:
+            rec.base = self.backend.lane_state(rec.lane)
+            rec.journal = []
+
+    def _count(self, name: str, value: int) -> None:
+        if self._counters is not None:
+            self._counters.set(name, value)

@@ -1,0 +1,556 @@
+"""The multi-tenant session gateway (`repro.serve`).
+
+Coverage, bottom up:
+
+* the NDJSON wire helpers (`protocol.py`) — encoding, id echo,
+  validation errors;
+* the :class:`SessionManager` — lease/recycle, admission, the
+  lane-recycling isolation property (more sequential sessions than
+  lanes, every one bit-identical to a dedicated scalar simulator),
+  checkpoint/restore, journal re-basing;
+* crash recovery — a SIGKILLed shard worker mid-traffic, recovered
+  bit-exactly through the session journal;
+* the asyncio gateway end to end over real sockets, on the vectorized
+  *and* sharded backends (the acceptance bit-identity claim), plus
+  admission queue-with-timeout behaviour and wire-level error codes;
+* the SIGTERM leak regression for the sharded backend's signal hooks;
+* the serve throughput bench record round-tripping through a snapshot
+  and the regression sentinel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.config import QTAccelConfig
+from repro.serve import (
+    Gateway,
+    ProtocolError,
+    ServeClient,
+    ServeError,
+    SessionManager,
+    build_serve_backend,
+    run_gateway_in_thread,
+)
+from repro.serve.protocol import (
+    E_AT_CAPACITY,
+    E_BAD_REQUEST,
+    E_NO_SESSION,
+    MAX_BATCH,
+    decode,
+    encode,
+    error,
+    ok,
+    parse_batch,
+    parse_transition,
+    require_int,
+)
+from repro.serve.smoke import replay_reference
+
+S, A = 16, 4
+
+
+def _config(**kw):
+    kw.setdefault("seed", 9)
+    return QTAccelConfig.qlearning(**kw)
+
+
+def _backend(engine="vectorized", lanes=3, config=None, **kw):
+    if engine == "sharded":
+        kw.setdefault("num_workers", 2)
+        kw.setdefault("mp_context", "fork")
+    return build_serve_backend(
+        config or _config(),
+        engine=engine,
+        lanes=lanes,
+        num_states=S,
+        num_actions=A,
+        **kw,
+    )
+
+
+def _random_stream(rng, n, explore_frac=0.25):
+    """A reproducible mixed op stream in journal form."""
+    ops = []
+    for _ in range(n):
+        if rng.random() < explore_frac:
+            ops.append(("act", rng.randrange(S)))
+        else:
+            ops.append(
+                (
+                    "learn",
+                    rng.randrange(S),
+                    rng.randrange(A),
+                    rng.uniform(-2.0, 2.0),
+                    rng.randrange(S),
+                    rng.random() < 0.05,
+                )
+            )
+    return ops
+
+
+def _apply_via_manager(manager, sid, ops):
+    for op in ops:
+        if op[0] == "learn":
+            manager.learn(sid, *op[1:])
+        else:
+            manager.act(sid, op[1], True)
+
+
+def _ref_table(config, salt, ops):
+    ref = replay_reference(config, salt, ops, num_states=S, num_actions=A)
+    return [int(v) for v in ref.tables.q.data]
+
+
+# ---------------------------------------------------------------------- #
+# Protocol helpers
+# ---------------------------------------------------------------------- #
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        msg = {"op": "learn", "s": 1, "r": -0.5, "id": "x"}
+        line = encode(msg)
+        assert line.endswith(b"\n") and b" " not in line.split(b'"detail"')[0][:2]
+        assert decode(line) == msg
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode(b"[1,2]\n")
+        assert exc.value.code == E_BAD_REQUEST
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"{nope\n")
+
+    def test_id_echo(self):
+        assert ok({"a": 1}, req={"op": "ping", "id": 7})["id"] == 7
+        assert error(E_NO_SESSION, "gone", req={"id": "t"})["id"] == "t"
+        assert "id" not in ok({}, req={"op": "ping"})
+
+    def test_require_int_bounds(self):
+        assert require_int({"s": 3}, "s", lo=0, hi=15) == 3
+        for bad in ({"s": -1}, {"s": 16}, {"s": 1.5}, {"s": "3"}, {}):
+            with pytest.raises(ProtocolError) as exc:
+                require_int(bad, "s", lo=0, hi=15)
+            assert exc.value.code == E_BAD_REQUEST
+
+    def test_parse_transition(self):
+        req = {"s": 1, "a": 2, "r": 0.25, "ns": 3, "t": True}
+        assert parse_transition(req, num_states=S, num_actions=A) == (
+            1, 2, 0.25, 3, True,
+        )
+        with pytest.raises(ProtocolError):
+            parse_transition(
+                {"s": 1, "a": 9, "r": 0, "ns": 0}, num_states=S, num_actions=A
+            )
+
+    def test_parse_batch_shapes_and_cap(self):
+        rows = [[0, 1, 0.5, 2], [3, 0, -1.0, 4, True]]
+        parsed = parse_batch({"batch": rows}, num_states=S, num_actions=A)
+        assert parsed == [(0, 1, 0.5, 2, False), (3, 0, -1.0, 4, True)]
+        too_big = {"batch": [[0, 0, 0.0, 0]] * (MAX_BATCH + 1)}
+        with pytest.raises(ProtocolError):
+            parse_batch(too_big, num_states=S, num_actions=A)
+
+
+# ---------------------------------------------------------------------- #
+# SessionManager
+# ---------------------------------------------------------------------- #
+
+
+class TestSessionManager:
+    def test_lease_recycle_and_admission(self):
+        manager = SessionManager(_backend(lanes=2))
+        a, b = manager.open(), manager.open()
+        assert {a.lane, b.lane} == {0, 1}
+        assert a.salt != b.salt and min(a.salt, b.salt) >= manager.K
+        with pytest.raises(ProtocolError) as exc:
+            manager.open()
+        assert exc.value.code == E_AT_CAPACITY
+        assert manager.sessions_rejected == 1
+        manager.close(a.sid)
+        c = manager.open()
+        assert c.lane == a.lane and c.salt not in (a.salt, b.salt)
+        with pytest.raises(ProtocolError) as exc:
+            manager.learn(a.sid, 0, 0, 0.0, 0)
+        assert exc.value.code == E_NO_SESSION
+
+    def test_sequential_sessions_never_cross_contaminate(self):
+        """N sessions over K < N lanes: recycling leaks no state.
+
+        Each session's final table must be bit-identical to a dedicated
+        FunctionalSimulator replaying only that session's ops — any
+        cross-session leakage through a recycled lane breaks this.
+        """
+        config = _config(seed=21)
+        manager = SessionManager(_backend(lanes=3, config=config))
+        rng = random.Random(0xA11CE)
+        live: list = []
+        for i in range(9):
+            rec = manager.open()
+            ops = _random_stream(rng, 40 + 10 * (i % 3))
+            _apply_via_manager(manager, rec.sid, ops)
+            live.append((rec, ops))
+            # Interleave lifetimes so lanes are recycled mid-run, not
+            # in strict open/close lockstep.
+            if len(live) == 3:
+                for rec, ops in live:
+                    got = manager.q_row(rec.sid)
+                    assert got == _ref_table(config, rec.salt, ops), rec.sid
+                    manager.close(rec.sid)
+                live = []
+
+    @pytest.mark.parametrize("engine", ["sharded"])
+    def test_sequential_sessions_sharded(self, engine):
+        config = _config(seed=4)
+        backend = _backend(engine=engine, lanes=3, config=config)
+        try:
+            manager = SessionManager(backend)
+            rng = random.Random(7)
+            for _ in range(5):
+                rec = manager.open()
+                ops = _random_stream(rng, 30)
+                _apply_via_manager(manager, rec.sid, ops)
+                assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, ops)
+                manager.close(rec.sid)
+        finally:
+            backend.close()
+
+    def test_checkpoint_restore_rebases_journal(self):
+        config = _config(seed=2)
+        manager = SessionManager(_backend(lanes=1, config=config))
+        rec = manager.open()
+        rng = random.Random(3)
+        pre = _random_stream(rng, 25)
+        _apply_via_manager(manager, rec.sid, pre)
+        tag = manager.checkpoint(rec.sid, "mark")
+        at_mark = manager.q_row(rec.sid)
+        _apply_via_manager(manager, rec.sid, _random_stream(rng, 25))
+        assert manager.q_row(rec.sid) != at_mark  # drifted
+        assert manager.restore(rec.sid) == tag  # default = latest
+        assert manager.q_row(rec.sid) == at_mark
+        stats = manager.stats(rec.sid)
+        assert stats["journal_depth"] == 0 and stats["tags"] == ["mark"]
+        # Post-restore traffic continues the same draw stream the
+        # checkpoint froze: replay pre-ops then post-ops on a reference.
+        post = _random_stream(rng, 20)
+        _apply_via_manager(manager, rec.sid, post)
+        assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, pre + post)
+
+    def test_journal_rebase_caps_depth(self):
+        manager = SessionManager(_backend(lanes=1), checkpoint_every=8)
+        rec = manager.open()
+        rng = random.Random(5)
+        _apply_via_manager(manager, rec.sid, _random_stream(rng, 50))
+        assert manager.stats(rec.sid)["journal_depth"] < 8
+
+    def test_q_row_slices_one_state(self):
+        manager = SessionManager(_backend(lanes=1))
+        rec = manager.open()
+        manager.learn(rec.sid, 2, 1, 1.0, 3)
+        full = manager.q_row(rec.sid)
+        assert len(full) == S * A
+        assert manager.q_row(rec.sid, 2) == full[2 * A : 3 * A]
+
+
+# ---------------------------------------------------------------------- #
+# Crash recovery (sharded)
+# ---------------------------------------------------------------------- #
+
+
+class TestCrashRecovery:
+    def test_killed_worker_recovers_sessions_bit_exactly(self):
+        config = _config(seed=17)
+        backend = _backend(engine="sharded", lanes=4, config=config)
+        try:
+            manager = SessionManager(backend, checkpoint_every=8)
+            rng = random.Random(0xDEAD)
+            recs, streams = [], []
+            for _ in range(3):
+                rec = manager.open()
+                ops = _random_stream(rng, 30)
+                _apply_via_manager(manager, rec.sid, ops)
+                recs.append(rec)
+                streams.append(list(ops))
+
+            backend.kill_worker(0)
+            recovered = manager.maintenance()
+            # Worker 0 owns lanes [0, 2): both leased, so both sessions
+            # must have been restored+replayed.
+            assert set(recovered) == {
+                rec.sid for rec in recs if rec.lane < 2
+            } and recovered
+            assert manager.recoveries == len(recovered)
+
+            # Post-crash traffic continues bit-exactly on every session.
+            for rec, ops in zip(recs, streams):
+                more = _random_stream(rng, 15)
+                _apply_via_manager(manager, rec.sid, more)
+                ops.extend(more)
+                assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, ops)
+        finally:
+            backend.close()
+
+    def test_maintenance_noop_without_check_workers(self):
+        manager = SessionManager(_backend(lanes=1))
+        assert manager.maintenance() == []
+
+
+# ---------------------------------------------------------------------- #
+# Gateway over real sockets
+# ---------------------------------------------------------------------- #
+
+
+def _shutdown(gateway, thread, loop):
+    asyncio.run_coroutine_threadsafe(gateway.close(), loop).result(timeout=10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+@pytest.fixture
+def served(request):
+    """A live gateway on an ephemeral port; param selects the engine."""
+    engine = getattr(request, "param", "vectorized")
+    config = _config(seed=13)
+    backend = _backend(engine=engine, lanes=2, config=config)
+    manager = SessionManager(backend, checkpoint_every=16)
+    gateway = Gateway(
+        manager,
+        admission_timeout_s=0.2,
+        maintenance_interval_s=0.05 if engine == "sharded" else 1.0,
+    )
+    thread, loop = run_gateway_in_thread(gateway)
+    try:
+        yield gateway, config
+    finally:
+        _shutdown(gateway, thread, loop)
+        if hasattr(backend, "close"):
+            backend.close()
+
+
+class TestGateway:
+    @pytest.mark.parametrize("served", ["vectorized", "sharded"], indirect=True)
+    def test_end_to_end_bit_identity(self, served):
+        """A TCP session's table equals the standalone functional replay."""
+        gateway, config = served
+        with ServeClient(port=gateway.port) as client:
+            assert client.ping()
+            sess = client.open_session()
+            assert (sess.num_states, sess.num_actions) == (S, A)
+            rng = random.Random(31)
+            ops = _random_stream(rng, 60)
+            for op in ops:
+                if op[0] == "learn":
+                    sess.learn(*op[1:])
+                else:
+                    sess.act(op[1], explore=True)
+            # Greedy acts are pure reads — not journalled, not replayed.
+            greedy = sess.act(0, explore=False)
+            assert 0 <= greedy < A
+            ref = replay_reference(config, sess.salt, ops, num_states=S, num_actions=A)
+            assert sess.table() == [int(v) for v in ref.tables.q.data]
+            row = sess.table(3)
+            assert row == [int(v) for v in ref.tables.q.data][3 * A : 4 * A]
+            stats = sess.stats()
+            assert stats["samples"] == sum(1 for op in ops if op[0] == "learn")
+            sess.close()
+
+    def test_learn_batch_and_checkpoint_over_wire(self, served):
+        gateway, config = served
+        with ServeClient(port=gateway.port) as client:
+            sess = client.open_session()
+            rows = [(0, 1, 0.5, 2, False), (2, 0, -1.0, 3, True), (3, 2, 1.0, 4, False)]
+            sess.learn_batch(rows)
+            tag = sess.checkpoint("t0")
+            at_tag = sess.table()
+            sess.learn(5, 1, 2.0, 6)
+            assert sess.table() != at_tag
+            assert sess.restore(tag) == "t0"
+            assert sess.table() == at_tag
+            ops = [("learn",) + r for r in rows]
+            assert sess.table() == _ref_table(config, sess.salt, ops)
+            sess.close()
+
+    def test_admission_rejects_then_queues(self, served):
+        gateway, _ = served
+        with ServeClient(port=gateway.port) as c1, ServeClient(port=gateway.port) as c2:
+            held = [c1.open_session(), c1.open_session()]  # both lanes leased
+            with pytest.raises(ServeError) as exc:
+                c2.open_session()
+            assert exc.value.code == "at_capacity"
+            info = c2.server_info()
+            assert info["open_sessions"] == 2 and info["sessions_rejected"] >= 1
+
+            # Queue-with-timeout: an open that arrives while full succeeds
+            # once a lane frees up within the admission window.
+            got: dict = {}
+
+            def _waiter():
+                with ServeClient(port=gateway.port) as c3:
+                    c3.request({"op": "server"})  # connection is live
+                    gateway.admission_timeout_s = 5.0
+                    try:
+                        got["sess"] = c3.open_session().sid
+                    except ServeError as err:
+                        got["err"] = err.code
+
+            gateway.admission_timeout_s = 5.0
+            t = threading.Thread(target=_waiter)
+            t.start()
+            time.sleep(0.15)
+            held.pop().close()
+            t.join(timeout=10)
+            assert got.get("sess"), got
+
+    def test_wire_error_codes(self, served):
+        gateway, _ = served
+        with socket.create_connection(("127.0.0.1", gateway.port), timeout=10) as sock:
+            rfile = sock.makefile("rb")
+
+            def roundtrip(raw: bytes) -> dict:
+                sock.sendall(raw)
+                return json.loads(rfile.readline())
+
+            bad = roundtrip(b"this is not json\n")
+            assert bad == {"ok": False, "error": "bad_request", "detail": bad["detail"]}
+            gone = roundtrip(b'{"op":"learn","session":"s999999","s":0,"a":0,"r":0,"ns":0}\n')
+            assert gone["error"] == "no_session"
+            unknown = roundtrip(b'{"op":"frobnicate","id":42}\n')
+            assert unknown["error"] == "bad_request" and unknown["id"] == 42
+            echoed = roundtrip(b'{"op":"ping","id":"tag-1"}\n')
+            assert echoed["ok"] and echoed["id"] == "tag-1"
+
+    def test_disconnect_closes_owned_sessions(self, served):
+        gateway, _ = served
+        manager = gateway.manager
+        client = ServeClient(port=gateway.port)
+        client.open_session()
+        assert manager.open_sessions == 1
+        client.close()
+        deadline = time.monotonic() + 5
+        while manager.open_sessions and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert manager.open_sessions == 0
+
+
+# ---------------------------------------------------------------------- #
+# SIGTERM leak regression (satellite: signal-safe sharded cleanup)
+# ---------------------------------------------------------------------- #
+
+_SIGTERM_SCRIPT = """
+import json, os, sys, time
+from repro.backends.sharded import ShardedFleetBackend, install_signal_cleanup
+from repro.core.config import QTAccelConfig
+from repro.serve.session import serve_world
+
+install_signal_cleanup()
+backend = ShardedFleetBackend(
+    serve_world(8, 4), QTAccelConfig.qlearning(seed=1),
+    num_agents=2, num_workers=2, mp_context="fork",
+)
+print(json.dumps({
+    "shm": backend._shm.name,
+    "pids": [p.pid for p in backend._procs],
+}), flush=True)
+time.sleep(60)
+"""
+
+
+def test_sigterm_leaks_nothing():
+    """SIGTERM reaps the workers and unlinks the /dev/shm block."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SIGTERM_SCRIPT],
+        stdout=subprocess.PIPE,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        info = json.loads(proc.stdout.readline())
+        shm_path = "/dev/shm/" + info["shm"].lstrip("/")
+        assert os.path.exists(shm_path)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) != 0  # died by signal, not exit(0)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            workers_dead = all(not _pid_alive(p) for p in info["pids"])
+            if workers_dead and not os.path.exists(shm_path):
+                break
+            time.sleep(0.05)
+        assert not os.path.exists(shm_path), "shared memory leaked"
+        for pid in info["pids"]:
+            assert not _pid_alive(pid), f"worker {pid} leaked"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    # Zombies are "alive" to kill(0); check the state field.
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            return fh.read().split(") ", 1)[1][0] != "Z"
+    except (FileNotFoundError, IndexError):
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Bench record → snapshot → sentinel
+# ---------------------------------------------------------------------- #
+
+
+def test_serve_bench_snapshot_passes_sentinel(tmp_path):
+    from repro.perf.compare import compare_snapshots
+    from repro.perf.serve import run_serve_throughput
+    from repro.perf.snapshot import build_snapshot, load_snapshot, write_snapshot
+
+    record = run_serve_throughput(
+        engine="vectorized",
+        lanes=4,
+        concurrency=2,
+        sessions=4,
+        transitions_per_session=24,
+        num_states=S,
+        num_actions=A,
+    )
+    assert record["errors"] == []
+    assert record["sessions_completed"] == 4
+    assert record["sessions_per_sec"] > 0 and record["transitions_per_sec"] > 0
+    assert record["act_latency_ms"]["p99"] >= record["act_latency_ms"]["p50"]
+
+    snap = build_snapshot({}, source="test", serve_throughput=record)
+    path = write_snapshot(snap, tmp_path / "BENCH_serve.json")
+    loaded = load_snapshot(path)
+    assert loaded["serve_throughput"]["engine"] == "vectorized"
+
+    result = compare_snapshots(loaded, loaded)
+    assert result.ok
+    serve_findings = [f for f in result.findings if "serve" in f.case]
+    assert serve_findings and all(f.verdict != "regression" for f in serve_findings)
+
+    # A different load shape must be skipped, not gated.
+    other = dict(record, concurrency=record["concurrency"] + 1)
+    skew = build_snapshot({}, source="test2", serve_throughput=other)
+    assert compare_snapshots(loaded, skew).ok
