@@ -48,6 +48,7 @@ import functools
 import multiprocessing as mp
 import os
 import signal as _signal
+import time
 import weakref
 from multiprocessing import shared_memory
 from types import SimpleNamespace
@@ -62,6 +63,10 @@ from .base import BatchStats, normalize_fleet
 from .vectorized import VectorizedFleetBackend
 
 _I64 = np.int64
+
+#: Samples a worker runs between heartbeat bumps — the hang watchdog's
+#: progress resolution (an epoch of 256 gets 4 bumps).
+_HEARTBEAT_CHUNK = 64
 
 #: Every live (not yet closed) backend, for the atexit/signal sweeps.
 _LIVE_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
@@ -129,6 +134,13 @@ class _ShmLayout:
     ``_STATE_ARRAYS`` checkpoint vocabulary) plus the three LFSR banks,
     all int64, concatenated; worker ``w`` touches only rows
     ``[lo_w, hi_w)`` of each field, so shards never alias each other.
+
+    The extra ``heartbeat`` field is liveness plumbing, not lane state
+    (it is deliberately absent from ``_STATE_ARRAYS``, so checkpoints
+    ignore it): worker ``w`` bumps slot ``lo_w`` as it makes progress
+    through an epoch, and the parent's hang watchdog reads it to tell
+    a *slow* worker (heartbeat advancing) from a *stuck* one (SIGSTOP,
+    livelock — heartbeat frozen).
     """
 
     def __init__(self, k: int, s: int, a: int):
@@ -146,6 +158,7 @@ class _ShmLayout:
             ("lfsr_start", (k,)),
             ("lfsr_action", (k,)),
             ("lfsr_policy", (k,)),
+            ("heartbeat", (k,)),
         )
         self.offsets: dict[str, int] = {}
         off = 0
@@ -225,6 +238,10 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
         except Exception as exc:  # startup failure: report, don't hang
             conn.send(("error", repr(exc)))
             return
+        # Heartbeat slot: bumped as the worker makes progress so the
+        # parent can distinguish slow from stuck (see _ShmLayout).
+        hb = views["heartbeat"]
+        hb[lo] += 1
         conn.send(("ready", None))
         while True:
             msg = conn.recv()
@@ -234,7 +251,16 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
                     os._exit(17)  # simulated crash (tests/CI smoke)
                 st = backend.stats
                 before = (st.episodes, st.exploits, st.explores)
-                backend.run(msg[1])
+                # Run in sub-chunks, bumping the heartbeat between them.
+                # run(a); run(b) is bit-identical to run(a+b) (the epoch
+                # loop above already relies on this), so chunking changes
+                # only the watchdog's resolution, never the trajectories.
+                n, done = msg[1], 0
+                while done < n:
+                    chunk = min(_HEARTBEAT_CHUNK, n - done)
+                    backend.run(chunk)
+                    done += chunk
+                    hb[lo] += 1
                 conn.send(
                     (
                         "done",
@@ -246,6 +272,7 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
                     )
                 )
             elif cmd == "ping":
+                hb[lo] += 1
                 conn.send(("pong", None))
             elif cmd == "stop":
                 conn.send(("bye", None))
@@ -299,6 +326,9 @@ class ShardedFleetBackend:
         max_worker_restarts: int = 2,
         mp_context: str = "spawn",
         debug_fail_workers: Sequence[int] = (),
+        ping_timeout_s: float = 5.0,
+        hang_timeout_s: float = 10.0,
+        stop_timeout_s: float = 5.0,
     ):
         spec = normalize_fleet(mdps, n_lanes=num_agents, salts=salts)
         self.mdps = list(spec.mdps)
@@ -329,6 +359,16 @@ class ShardedFleetBackend:
         ]
         self._debug_fail = set(debug_fail_workers)
         self._ctx = mp.get_context(mp_context)
+        if ping_timeout_s <= 0 or hang_timeout_s <= 0 or stop_timeout_s <= 0:
+            raise ValueError("worker timeouts must be positive")
+        #: Ping-probe patience of :meth:`check_workers`.
+        self.ping_timeout_s = ping_timeout_s
+        #: Mid-epoch watchdog: a worker whose heartbeat makes no
+        #: progress for this long while a result is owed is declared
+        #: hung and escalated to kill + checkpoint-replay recovery.
+        self.hang_timeout_s = hang_timeout_s
+        #: Patience per worker during :meth:`close` before SIGKILL.
+        self.stop_timeout_s = stop_timeout_s
 
         # The shared lane-state block, mapped under the standard fleet
         # attribute names so the whole checkpoint surface is inherited.
@@ -359,6 +399,9 @@ class ShardedFleetBackend:
         self._worker_cum = [[0, 0, 0] for _ in range(self.num_workers)]
         #: Recovery bookkeeping (see ``_recover_worker``).
         self.restarts = 0
+        #: Workers the watchdog declared hung (SIGSTOP, livelock) and
+        #: escalated to the kill -> checkpoint-replay recovery path.
+        self.hangs = 0
         self.quarantined_workers: set[int] = set()
 
         self._procs: list = [None] * self.num_workers
@@ -457,26 +500,52 @@ class ShardedFleetBackend:
     def kill_worker(self, w: int) -> None:
         """Hard-kill shard worker ``w`` (SIGKILL) — the fault-injection
         hook used by the recovery tests and the CI crash smoke.  The
-        next epoch detects the dead pipe and triggers recovery."""
+        next epoch detects the dead pipe and triggers recovery.
+        SIGKILL also terminates a SIGSTOP'd (hung) worker, so this is
+        the watchdog's escalation primitive too."""
         proc = self._procs[w]
         if proc is not None and proc.is_alive():
             proc.kill()
             proc.join(timeout=10.0)
 
-    def check_workers(self, timeout: float = 5.0) -> list[tuple[int, int]]:
-        """Health-probe every worker; recover dead ones immediately.
+    def hang_worker(self, w: int) -> None:
+        """SIGSTOP shard worker ``w`` — the *hang* fault-injection hook.
 
-        The epoch loop only notices a dead worker when it next runs an
+        The worker stays alive (``proc.is_alive()`` is True, its pipe
+        accepts writes) but makes no progress: exactly the failure mode
+        ``check_workers``'s ping timeout and the mid-epoch heartbeat
+        watchdog exist to catch.  Undo with :meth:`resume_worker`.
+        """
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            os.kill(proc.pid, _signal.SIGSTOP)
+
+    def resume_worker(self, w: int) -> None:
+        """SIGCONT a worker previously stopped by :meth:`hang_worker`."""
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            os.kill(proc.pid, _signal.SIGCONT)
+
+    def check_workers(self, timeout: float | None = None) -> list[tuple[int, int]]:
+        """Health-probe every worker; recover dead *and hung* ones.
+
+        The epoch loop only notices a failed worker when it next runs an
         epoch; a serving deployment (:mod:`repro.serve`) may go long
         stretches without one, so this probes each non-quarantined
         worker with a ping and routes failures through the same
         rollback-retry-quarantine path as a mid-epoch death (replaying
         zero run-samples — the shard's slice is restored to the last
-        checkpoint either way).  Returns the ``(lo, hi)`` lane ranges
-        that were rolled back, so a caller holding per-lane state built
-        *after* that checkpoint (the serve session manager's journals)
-        knows exactly which lanes to re-restore and replay.
+        checkpoint either way).  A worker that is alive but does not
+        answer the ping within ``timeout`` (default ``ping_timeout_s``)
+        is *hung* — SIGSTOP'd, livelocked — and is SIGKILL'd first
+        (SIGKILL terminates stopped processes) so recovery is bounded.
+        Returns the ``(lo, hi)`` lane ranges that were rolled back, so
+        a caller holding per-lane state built *after* that checkpoint
+        (the serve session manager's journals) knows exactly which
+        lanes to re-restore and replay.
         """
+        if timeout is None:
+            timeout = self.ping_timeout_s
         recovered: list[tuple[int, int]] = []
         for w in range(self.num_workers):
             if w in self.quarantined_workers:
@@ -489,7 +558,9 @@ class ShardedFleetBackend:
                     if conn.poll(timeout):
                         tag, _ = conn.recv()
                         dead = tag != "pong"
-                    else:  # pragma: no cover - hung worker
+                    else:  # hung: alive but unresponsive — escalate
+                        self.hangs += 1
+                        self.kill_worker(w)
                         dead = True
                 except (BrokenPipeError, EOFError, OSError):
                     dead = True
@@ -530,6 +601,40 @@ class ShardedFleetBackend:
                 session.pulse()
         return self.stats
 
+    def _await_result(self, w: int, timeout: float | None = None) -> bool:
+        """Wait for worker ``w``'s next message, watching its heartbeat.
+
+        Returns True once a message is ready to ``recv``.  Returns
+        False — after SIGKILLing the worker, so the follow-up recovery
+        is bounded — when the worker owes a result but its heartbeat
+        makes no progress for ``timeout`` (default ``hang_timeout_s``)
+        seconds: a *slow* worker keeps bumping its heartbeat between
+        sub-chunks and is waited on indefinitely; a *stuck* one
+        (SIGSTOP, livelock) cannot.
+        """
+        if timeout is None:
+            timeout = self.hang_timeout_s
+        conn = self._conns[w]
+        hb = self._views["heartbeat"]
+        lo = self._bounds[w]
+        last_hb = int(hb[lo])
+        stalled_since = time.monotonic()
+        while True:
+            try:
+                if conn.poll(min(0.05, timeout)):
+                    return True
+            except (BrokenPipeError, OSError):
+                return True  # dead pipe: let the recv raise and recover
+            now = time.monotonic()
+            beat = int(hb[lo])
+            if beat != last_hb:
+                last_hb = beat
+                stalled_since = now
+            elif now - stalled_since >= timeout:
+                self.hangs += 1
+                self.kill_worker(w)
+                return False
+
     def _run_epoch(self, n: int) -> None:
         failed: list[int] = []
         sent: list[int] = []
@@ -543,6 +648,9 @@ class ShardedFleetBackend:
                 failed.append(w)
         for w in sent:
             try:
+                if not self._await_result(w):
+                    failed.append(w)  # hung mid-epoch; worker killed
+                    continue
                 tag, delta = self._conns[w].recv()
             except (EOFError, OSError):
                 failed.append(w)
@@ -586,6 +694,9 @@ class ShardedFleetBackend:
                 self._spawn_worker(w, adopt=True)
                 self._await_ready(w)
                 self._conns[w].send(("run", replay))
+                if not self._await_result(w):
+                    self._reap_worker(w)
+                    continue
                 tag, delta = self._conns[w].recv()
             except (RuntimeError, EOFError, OSError, BrokenPipeError):
                 self._reap_worker(w)
@@ -700,6 +811,7 @@ class ShardedFleetBackend:
             "workers": self.num_workers,
             "epoch": self.epoch,
             "restarts": self.restarts,
+            "hangs": self.hangs,
             "quarantined_workers": len(self.quarantined_workers),
         }
 
@@ -726,20 +838,26 @@ class ShardedFleetBackend:
                 atexit.unregister(cb)
             except Exception:  # pragma: no cover - interpreter shutdown
                 pass
+        # Bounded-time teardown: a hung (e.g. SIGSTOP'd) worker cannot
+        # answer the stop handshake or join, so every wait is capped by
+        # stop_timeout_s and escalates to SIGKILL (which terminates
+        # stopped processes too).
+        stop_timeout = getattr(self, "stop_timeout_s", 5.0)
         for w in range(self.num_workers):
             conn = self._conns[w]
             proc = self._procs[w]
             if conn is not None and proc is not None and proc.is_alive():
                 try:
                     conn.send(("stop",))
-                    conn.recv()
+                    if conn.poll(stop_timeout):
+                        conn.recv()
                 except (EOFError, OSError, BrokenPipeError):
                     pass
             if proc is not None:
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.join(timeout=stop_timeout)
+                if proc.is_alive():  # stuck worker: escalate
                     proc.kill()
-                    proc.join(timeout=5.0)
+                    proc.join(timeout=stop_timeout)
                 self._procs[w] = None
             if conn is not None:
                 try:

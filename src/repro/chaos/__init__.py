@@ -1,0 +1,36 @@
+"""``repro.chaos`` — seeded fault orchestration for the serving stack.
+
+PR 2 hardened the *tables* (ECC, scrubbing, fault campaigns) and the
+sharded backend recovers *dead* workers; this package injects the
+failure modes that live **above** the tables — hung (SIGSTOP'd)
+workers, killed workers, severed/stalled/garbled TCP connections,
+delayed gateway responses, corrupted shared-memory lane state, and
+sustained overload — and drives the serving stack through them while
+checking the only two acceptable tenant-visible outcomes: **bit-exact
+results** or **clean typed errors**.  Never silent corruption, never a
+wedged server.
+
+Layering:
+
+* :mod:`~repro.chaos.proxy` — :class:`ChaosProxy`, a byte-level TCP
+  chaos proxy between clients and the gateway (sever, stall,
+  mid-frame drop, garbage injection);
+* :mod:`~repro.chaos.orchestrator` — :class:`FaultEvent` and the
+  seeded :func:`default_schedule` fault timeline;
+* :mod:`~repro.chaos.campaign` — :func:`run_chaos_campaign`, a full
+  randomized campaign against a live sharded gateway with an
+  automated end-state equivalence check per tenant;
+* :mod:`~repro.chaos.smoke` — the time-boxed CI gate
+  (``python -m repro.chaos.smoke``).
+"""
+
+from .campaign import run_chaos_campaign
+from .orchestrator import FaultEvent, default_schedule
+from .proxy import ChaosProxy
+
+__all__ = [
+    "ChaosProxy",
+    "FaultEvent",
+    "default_schedule",
+    "run_chaos_campaign",
+]

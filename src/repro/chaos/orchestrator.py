@@ -1,0 +1,80 @@
+"""Seeded fault schedules for the chaos campaign.
+
+A schedule is a list of :class:`FaultEvent` objects — ``(at, kind,
+arg)`` — sorted by firing time.  :func:`default_schedule` derives one
+deterministically from a seed: the four **core** faults the acceptance
+criteria pin (worker hang, worker kill, connection drop mid-batch,
+overload burst) always appear exactly once, at seeded jittered times in
+the middle of the run, plus a seeded selection of extras (sever, stall,
+garbage response, gateway delay window, lane-state corruption).
+
+Everything is plain data so the campaign runner, the CI smoke and the
+tests can share one vocabulary; the runner owns the side effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: The fault kinds every default schedule contains exactly once.
+CORE_KINDS = (
+    "worker_hang",
+    "worker_kill",
+    "conn_drop_mid_batch",
+    "overload_burst",
+)
+
+#: Optional extras a seeded schedule may add.
+EXTRA_KINDS = (
+    "sever",
+    "stall",
+    "garbage",
+    "gateway_delay",
+    "lane_corrupt",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fire ``kind`` at ``at`` seconds into the run."""
+
+    at: float
+    kind: str
+    arg: Optional[float] = field(default=None)
+
+
+def default_schedule(
+    seed: int,
+    duration: float,
+    *,
+    extras: int = 3,
+) -> list[FaultEvent]:
+    """The seeded fault timeline for one campaign run.
+
+    Core faults land between 15% and 70% of ``duration`` (so the run
+    has quiet lead-in traffic and enough tail for every recovery to
+    complete and be re-verified); extras land between 20% and 60%.
+    ``lane_corrupt`` extras are additionally capped at 60% so the
+    audit scrub always gets a pass between corruption and the final
+    table read.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+    for kind in CORE_KINDS:
+        at = duration * rng.uniform(0.15, 0.70)
+        events.append(FaultEvent(at=at, kind=kind))
+    for _ in range(max(0, extras)):
+        kind = rng.choice(EXTRA_KINDS)
+        at = duration * rng.uniform(0.20, 0.60)
+        arg = None
+        if kind == "stall":
+            arg = rng.uniform(0.1, 0.4)
+        elif kind == "gateway_delay":
+            arg = rng.uniform(0.01, 0.05)
+        events.append(FaultEvent(at=at, kind=kind, arg=arg))
+    events.sort(key=lambda e: e.at)
+    return events

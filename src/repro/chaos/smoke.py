@@ -1,0 +1,74 @@
+"""Chaos smoke gate (CI entry point).
+
+``python -m repro.chaos.smoke`` runs one time-boxed, fixed-seed chaos
+campaign (see :mod:`repro.chaos.campaign`) and exits 0 iff every
+injected fault — worker hang, worker kill, mid-batch connection cut,
+overload burst, plus the seeded extras — was survived with bit-exact
+tenant results or clean typed errors.
+
+Exit status 0 on success, 1 on any violation (the CI job gates on it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from ..backends.sharded import install_signal_cleanup
+from .campaign import run_chaos_campaign
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.chaos.smoke")
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--seconds", type=float, default=6.0)
+    parser.add_argument("--lanes", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--burst-clients", type=int, default=10)
+    parser.add_argument("--states", type=int, default=48)
+    parser.add_argument("--actions", type=int, default=4)
+    parser.add_argument(
+        "--mp-context", default="fork", help="multiprocessing start method"
+    )
+    parser.add_argument("--extras", type=int, default=3)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    install_signal_cleanup()
+    result = run_chaos_campaign(
+        seed=args.seed,
+        seconds=args.seconds,
+        lanes=args.lanes,
+        workers=args.workers,
+        clients=args.clients,
+        burst_clients=args.burst_clients,
+        num_states=args.states,
+        num_actions=args.actions,
+        mp_context=args.mp_context,
+        extras=args.extras,
+        verbose=args.verbose,
+    )
+    tenants = result["tenants"]
+    print(
+        f"chaos: schedule [{', '.join(result['schedule'])}] -> "
+        f"{tenants['verified']} tenant(s) bit-exact, "
+        f"{tenants['clean']} clean, {tenants['failed']} failed; "
+        f"burst: {result['burst']}; backend: {result['backend']}; "
+        f"proxy: {result['proxy']}"
+    )
+    for outcome in tenants["outcomes"]:
+        if outcome["status"] == "error":
+            print(f"chaos: tenant {outcome['idx']} FAILED: {outcome['detail']}")
+    if args.verbose:
+        print(json.dumps(result["server"], indent=2, default=str))
+    if not result["ok"]:
+        for problem in result["problems"]:
+            print(f"chaos: VIOLATION: {problem}")
+        return 1
+    print("chaos: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro.perf fleet --smoke --min-speedup 5
     python -m repro.perf fleet --workers 2 --lanes 256 --min-speedup 2 --vs scalar
     python -m repro.perf serve --quick          # gateway saturation bench
+    python -m repro.perf serve --quick --chaos  # + degraded (mid-recovery) bench
     python -m repro.perf compare BENCH_0.json BENCH_1.json
     python -m repro.perf report BENCH_1.json
 
@@ -137,11 +138,28 @@ def _cmd_serve(args) -> int:
     print(render_serve_throughput(record))
     if record.get("errors"):
         return 1
+    degraded = None
+    if args.chaos:
+        degraded = run_serve_throughput(
+            engine="sharded",
+            lanes=args.lanes,
+            concurrency=args.concurrency,
+            sessions=args.sessions,
+            transitions_per_session=args.transitions,
+            num_workers=args.workers,
+            quick=args.quick,
+            chaos=True,
+        )
+        print()
+        print(render_serve_throughput(degraded))
+        if degraded.get("errors"):
+            return 1
     snapshot = build_snapshot(
         {},
         source="serve-bench",
         config={"quick": args.quick},
         serve_throughput=record,
+        degraded_throughput=degraded,
     )
     path = args.output if args.output else next_bench_path(".")
     write_snapshot(snapshot, path)
@@ -225,6 +243,10 @@ def render_snapshot(snapshot: dict) -> str:
     if serve:
         out.append("")
         out.append(render_serve_throughput(serve))
+    degraded = snapshot.get("degraded_throughput")
+    if degraded:
+        out.append("")
+        out.append(render_serve_throughput(degraded))
     stage = snapshot.get("stage_attribution")
     if stage:
         fr = stage.get("fractions") or {}
@@ -305,6 +327,13 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--workers", type=int, default=2, help="sharded workers")
     p_serve.add_argument(
         "--quick", action="store_true", help="tiny load (CI smoke / tests)"
+    )
+    p_serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the degraded bench: the same load on a sharded "
+        "backend with worker 0 SIGSTOP'd, timed through the watchdog's "
+        "kill/restart/replay recovery (recorded under degraded_throughput)",
     )
     p_serve.add_argument(
         "--output", metavar="PATH", help="snapshot path (default: next BENCH_<n>.json in .)"

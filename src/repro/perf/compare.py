@@ -158,12 +158,20 @@ def compare_snapshots(
             else:
                 findings.append(Finding("cycles", name, "ok", detail))
 
-    # Serve-path throughput and latency (wall-clock; machine-bound).
+    # Serve-path throughput and latency (wall-clock; machine-bound),
+    # healthy and degraded (mid-recovery) alike.
     _compare_serve(
         base.get("serve_throughput"),
         new.get("serve_throughput"),
         gate_time=gate_time,
         findings=findings,
+    )
+    _compare_serve(
+        base.get("degraded_throughput"),
+        new.get("degraded_throughput"),
+        gate_time=gate_time,
+        findings=findings,
+        label="degraded",
     )
 
     # Overhead budgets (relative; machine-independent).
@@ -212,46 +220,54 @@ def _compare_serve(
     *,
     gate_time: bool,
     findings: list,
+    label: str = "serve",
 ) -> None:
-    """Sentinel findings for the ``serve_throughput`` snapshot key.
+    """Sentinel findings for one serve-bench snapshot key.
 
-    Throughput (sessions/sec, transitions/sec) regresses when it drops
-    by more than ``SERVE_REL_TOL``; p99 action latency regresses when
-    it grows by more than ``SERVE_P99_REL_TOL``.  Both are wall-clock
-    numbers, so — like case timings — they only gate when the machine
+    Used for both ``serve_throughput`` (``label="serve"``) and its
+    chaos-mode twin ``degraded_throughput`` (``label="degraded"``, the
+    same workload timed through a hung-worker recovery).  Throughput
+    (sessions/sec, transitions/sec) regresses when it drops by more
+    than ``SERVE_REL_TOL``; p99 action latency regresses when it grows
+    by more than ``SERVE_P99_REL_TOL``.  Both are wall-clock numbers,
+    so — like case timings — they only gate when the machine
     fingerprints match.  Records taken at different load shapes
-    (engine/lanes/concurrency) are not comparable and are skipped.
+    (engine/lanes/concurrency, healthy vs chaos) are not comparable
+    and are skipped.
     """
     if base is None and new is None:
         return
     if base is None:
         findings.append(
-            Finding("info", "serve", "skipped", "serve bench new in this snapshot")
+            Finding("info", label, "skipped", f"{label} bench new in this snapshot")
         )
         return
     if new is None:
         findings.append(
-            Finding("info", "serve", "skipped", "serve bench missing from new snapshot")
+            Finding("info", label, "skipped", f"{label} bench missing from new snapshot")
         )
         return
     if not gate_time:
         findings.append(
             Finding(
                 "time",
-                "serve",
+                label,
                 "skipped",
-                "different machine fingerprint; serve throughput not gated",
+                f"different machine fingerprint; {label} throughput not gated",
             )
         )
         return
-    shape_keys = ("engine", "lanes", "concurrency", "sessions", "transitions_per_session")
+    shape_keys = (
+        "engine", "lanes", "concurrency", "sessions",
+        "transitions_per_session", "chaos",
+    )
     if any(base.get(k) != new.get(k) for k in shape_keys):
         findings.append(
             Finding(
                 "time",
-                "serve",
+                label,
                 "skipped",
-                "serve bench shapes differ between snapshots; not comparable",
+                f"{label} bench shapes differ between snapshots; not comparable",
             )
         )
         return
@@ -263,11 +279,11 @@ def _compare_serve(
         pct = 100.0 * (n - b) / b
         detail = f"{metric} {b:.6g} -> {n:.6g} ({pct:+.1f}%, floor -{100 * SERVE_REL_TOL:.0f}%)"
         if n < b * (1.0 - SERVE_REL_TOL):
-            findings.append(Finding("time", f"serve.{metric}", "regression", detail))
+            findings.append(Finding("time", f"{label}.{metric}", "regression", detail))
         elif n > b * (1.0 + SERVE_REL_TOL):
-            findings.append(Finding("time", f"serve.{metric}", "improvement", detail))
+            findings.append(Finding("time", f"{label}.{metric}", "improvement", detail))
         else:
-            findings.append(Finding("time", f"serve.{metric}", "ok", detail))
+            findings.append(Finding("time", f"{label}.{metric}", "ok", detail))
 
     b_p99 = (base.get("act_latency_ms") or {}).get("p99")
     n_p99 = (new.get("act_latency_ms") or {}).get("p99")
@@ -278,11 +294,11 @@ def _compare_serve(
             f"({pct:+.1f}%, ceiling +{100 * SERVE_P99_REL_TOL:.0f}%)"
         )
         if n_p99 > b_p99 * (1.0 + SERVE_P99_REL_TOL):
-            findings.append(Finding("time", "serve.act_p99", "regression", detail))
+            findings.append(Finding("time", f"{label}.act_p99", "regression", detail))
         elif n_p99 < b_p99 * (1.0 - SERVE_REL_TOL):
-            findings.append(Finding("time", "serve.act_p99", "improvement", detail))
+            findings.append(Finding("time", f"{label}.act_p99", "improvement", detail))
         else:
-            findings.append(Finding("time", "serve.act_p99", "ok", detail))
+            findings.append(Finding("time", f"{label}.act_p99", "ok", detail))
 
 
 def render_comparison(result: CompareResult) -> str:

@@ -23,6 +23,16 @@ see ``SERVE_REL_TOL`` in :mod:`repro.perf.compare`).
 Everything here is loopback TCP on one host, so the numbers include
 the full protocol cost (JSON, syscalls, the asyncio loop) but no
 network; treat them as upper bounds for remote deployments.
+
+``chaos=True`` (CLI: ``python -m repro.perf serve --chaos``) runs the
+same workload *degraded*: the sharded backend boots with tight hang
+timeouts, worker 0 is SIGSTOP'd just before the load starts, and the
+hung-worker watchdog must detect it, SIGKILL it, restart the shard and
+journal-replay every leased lane mid-bench.  The resulting record lands
+under the snapshot's ``degraded_throughput`` key, so the regression
+sentinel gates not just how fast the gateway is, but how fast it is
+*while recovering* — the robustness number a deployment actually
+plans around.
 """
 
 from __future__ import annotations
@@ -66,13 +76,22 @@ def run_serve_throughput(
     num_workers: int = 2,
     mp_context: Optional[str] = None,
     quick: bool = False,
+    chaos: bool = False,
     clock: Callable[[], float] = time.perf_counter,
 ) -> dict:
     """Measure gateway throughput and action latency under load.
 
     ``quick`` shrinks every axis to the CI smoke shape.  Returns the
-    snapshot-embeddable record stored under ``serve_throughput``.
+    snapshot-embeddable record stored under ``serve_throughput`` — or,
+    with ``chaos=True`` (sharded engine only), under
+    ``degraded_throughput``: worker 0 is SIGSTOP'd before the load
+    starts and the bench times the gateway *through* the watchdog's
+    kill/restart/journal-replay recovery.
     """
+    if chaos and engine != "sharded":
+        raise ValueError(
+            "chaos mode hangs a shard worker; it requires engine='sharded'"
+        )
     if quick:
         lanes = min(lanes, QUICK_LANES)
         concurrency = min(concurrency, QUICK_CONCURRENCY)
@@ -95,6 +114,13 @@ def run_serve_throughput(
     from ..serve.session import SessionManager, build_serve_backend
 
     config = QTAccelConfig.qlearning(seed=11)
+    backend_kw: dict = {}
+    if chaos:
+        # Tight watchdog so the SIGSTOP'd worker is detected, killed and
+        # replay-recovered well inside the bench window.
+        backend_kw = dict(
+            ping_timeout_s=0.5, hang_timeout_s=1.0, stop_timeout_s=2.0
+        )
     backend = build_serve_backend(
         config,
         engine=engine,
@@ -103,10 +129,18 @@ def run_serve_throughput(
         num_actions=num_actions,
         num_workers=num_workers,
         mp_context=mp_context,
+        **backend_kw,
     )
     manager = SessionManager(backend, checkpoint_every=128)
-    gateway = Gateway(manager, port=0, admission_timeout_s=30.0)
+    gateway = Gateway(
+        manager,
+        port=0,
+        admission_timeout_s=30.0,
+        maintenance_interval_s=0.1 if chaos else 0.25,
+    )
     thread, loop = run_gateway_in_thread(gateway)
+    if chaos:
+        backend.hang_worker(0)
 
     work: "queue.SimpleQueue[int]" = queue.SimpleQueue()
     for i in range(sessions):
@@ -158,6 +192,17 @@ def run_serve_throughput(
         c.start()
     for c in clients:
         c.join()
+    if chaos:
+        # The degraded clock stays open until the watchdog has detected
+        # the SIGSTOP'd worker and restarted its shard, so the recovery
+        # window is *inside* the measured wall time even when the load
+        # itself drains quickly (lane ops are served off shared memory
+        # by the parent, so a tiny load can finish before detection).
+        recover_by = time.monotonic() + 30.0
+        while time.monotonic() < recover_by and (
+            backend.hangs < 1 or backend.restarts < 1
+        ):
+            time.sleep(0.02)
     wall = clock() - t_start
 
     info = manager.server_info()
@@ -168,7 +213,7 @@ def run_serve_throughput(
     latencies.sort()
     n_done = completed[0]
     total_transitions = n_done * transitions_per_session
-    return {
+    record = {
         "engine": engine,
         "lanes": lanes,
         "concurrency": concurrency,
@@ -190,6 +235,15 @@ def run_serve_throughput(
         "recoveries": info["recoveries"],
         "errors": errors,
     }
+    if chaos:
+        record["chaos"] = True
+        record["hangs"] = getattr(backend, "hangs", 0)
+        record["restarts"] = getattr(backend, "restarts", 0)
+        if record["hangs"] < 1:
+            record["errors"] = list(errors) + [
+                "chaos: the SIGSTOP'd worker was never detected as hung"
+            ]
+    return record
 
 
 def _ms(seconds: Optional[float]) -> Optional[float]:
@@ -203,8 +257,9 @@ def render_serve_throughput(record: dict) -> str:
     def _fmt(v, suffix=""):
         return f"{v:,.1f}{suffix}" if isinstance(v, (int, float)) else "-"
 
+    label = "degraded (chaos) throughput" if record.get("chaos") else "serve throughput"
     out = [
-        "serve throughput "
+        f"{label} "
         f"(engine={record.get('engine')}, lanes={record.get('lanes')}, "
         f"concurrency={record.get('concurrency')}):",
         f"  sessions:    {record.get('sessions_completed')}/{record.get('sessions')} "
@@ -219,6 +274,11 @@ def render_serve_throughput(record: dict) -> str:
         out.append(f"  rejected:    {record['rejected']} admission refusals")
     if record.get("recoveries"):
         out.append(f"  recoveries:  {record['recoveries']} session recoveries")
+    if record.get("chaos"):
+        out.append(
+            f"  chaos:       {record.get('hangs', 0)} hung worker(s) detected, "
+            f"{record.get('restarts', 0)} shard restart(s)"
+        )
     if record.get("errors"):
         out.append(f"  ERRORS: {record['errors']}")
     return "\n".join(out)

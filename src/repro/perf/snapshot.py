@@ -31,7 +31,10 @@ Schema (``qtaccel-bench/1``)::
                                          "vectorized", "speedup_*"}}},
       "serve_throughput": {"engine", "lanes", "concurrency", # optional
                             "sessions_per_sec", "transitions_per_sec",
-                            "act_latency_ms": {"p50", "p99", ...}}
+                            "act_latency_ms": {"p50", "p99", ...}},
+      "degraded_throughput": {...same shape, "chaos": true,   # optional
+                               "hangs", "restarts"}  # serve bench re-run
+                               # through a hung-worker recovery
     }
 
 Cases run on engines with no cycle notion (functional, the fleets)
@@ -101,6 +104,7 @@ def build_snapshot(
     fleet_throughput: Optional[dict] = None,
     sharded_throughput: Optional[dict] = None,
     serve_throughput: Optional[dict] = None,
+    degraded_throughput: Optional[dict] = None,
 ) -> dict:
     """Assemble a schema-versioned snapshot from harness results."""
     snap = {
@@ -118,6 +122,8 @@ def build_snapshot(
         snap["sharded_throughput"] = sharded_throughput
     if serve_throughput is not None:
         snap["serve_throughput"] = serve_throughput
+    if degraded_throughput is not None:
+        snap["degraded_throughput"] = degraded_throughput
     return snap
 
 

@@ -18,20 +18,40 @@ with ``at_capacity`` after ``admission_timeout_s``.
 
 A background maintenance task probes worker health every
 ``maintenance_interval_s`` (via ``SessionManager.maintenance()``, which
-recovers sessions hit by a dead shard worker) and pulses the telemetry
-session so live exporters stay fresh.
+recovers sessions hit by a dead or hung shard worker, fails over to a
+fresh backend when a shard is quarantined, and scrubs lanes by journal
+replay), expires orphaned sessions whose linger lapsed, and pulses the
+telemetry session so live exporters stay fresh.
 
-Connections own their sessions: sessions opened on a connection that
-drops without ``close`` are closed (and their lanes recycled) when the
-connection unwinds.
+Connections own their sessions, but ownership survives the connection:
+a session whose connection drops is *orphaned* for
+``session_linger_s`` — a reconnecting client presenting the session's
+resume token adopts it mid-stream — and only closed (lane recycled)
+when the grace period lapses.
+
+Graceful degradation under pressure (all tenant-visible outcomes are
+clean typed errors, never silence):
+
+* the admission queue is **bounded** (``max_admission_queue``): open
+  requests beyond it are shed immediately with ``at_capacity`` plus a
+  computed ``retry_after`` hint instead of piling up waiters;
+* every connection has a small **circuit breaker**: after
+  ``breaker_threshold`` consecutive client-fault errors (bad frames,
+  forbidden/unknown sessions) further requests are refused with
+  ``throttled`` until ``breaker_cooldown_s`` passes, capping the cost
+  of a misbehaving or byte-garbling peer;
+* ``response_delay_s`` (chaos hook) injects latency in front of every
+  response so client timeout/retry paths can be exercised end-to-end.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import logging
 import threading
+import time
 from typing import Optional
 
 from . import protocol
@@ -39,6 +59,38 @@ from .protocol import ProtocolError
 from .session import SessionManager
 
 log = logging.getLogger("repro.serve")
+
+#: Error codes that count against a connection's circuit breaker —
+#: client faults only; server-side pressure must not trip the breaker.
+_BREAKER_FAULTS = frozenset(
+    {protocol.E_BAD_REQUEST, protocol.E_FORBIDDEN, protocol.E_NO_SESSION}
+)
+
+
+class _Breaker:
+    """Per-connection consecutive-fault circuit breaker."""
+
+    __slots__ = ("threshold", "cooldown_s", "faults", "open_until")
+
+    def __init__(self, threshold: int, cooldown_s: float):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.faults = 0
+        self.open_until = 0.0
+
+    def check(self, now: float) -> float:
+        """Seconds until the breaker closes again (0.0 = closed)."""
+        return max(0.0, self.open_until - now)
+
+    def record(self, code: Optional[str], now: float) -> None:
+        """Account one response: ``code`` is the error code or None (ok)."""
+        if code is None or code not in _BREAKER_FAULTS:
+            self.faults = 0
+            return
+        self.faults += 1
+        if self.threshold > 0 and self.faults >= self.threshold:
+            self.open_until = now + self.cooldown_s
+            self.faults = 0
 
 
 class Gateway:
@@ -53,6 +105,10 @@ class Gateway:
         http_port: Optional[int] = None,
         admission_timeout_s: float = 1.0,
         maintenance_interval_s: float = 0.25,
+        max_admission_queue: int = 64,
+        breaker_threshold: int = 32,
+        breaker_cooldown_s: float = 1.0,
+        response_delay_s: float = 0.0,
     ):
         self.manager = manager
         self.host = host
@@ -60,10 +116,17 @@ class Gateway:
         self.http_port = http_port
         self.admission_timeout_s = admission_timeout_s
         self.maintenance_interval_s = maintenance_interval_s
+        self.max_admission_queue = max_admission_queue
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        #: Chaos hook: sleep this long before writing every response.
+        self.response_delay_s = response_delay_s
         self._server: Optional[asyncio.base_events.Server] = None
         self._http_server: Optional[asyncio.base_events.Server] = None
         self._maintenance: Optional[asyncio.Task] = None
         self._admission: Optional[asyncio.Condition] = None
+        self._admission_waiters = 0
+        self._conn_ids = itertools.count(1)
         self._closing = False
 
     # ------------------------------------------------------------------ #
@@ -128,6 +191,10 @@ class Gateway:
                         len(recovered),
                         recovered,
                     )
+                expired = await asyncio.to_thread(self.manager.expire_orphans)
+                if expired:
+                    log.info("expired %d orphaned session(s): %s", len(expired), expired)
+                    await self._notify_admission()
             except Exception:  # pragma: no cover - defensive
                 log.exception("maintenance probe failed")
             telemetry = self.manager._telemetry
@@ -141,7 +208,8 @@ class Gateway:
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        owned: set[str] = set()
+        conn_id = next(self._conn_ids)
+        breaker = _Breaker(self.breaker_threshold, self.breaker_cooldown_s)
         try:
             while True:
                 try:
@@ -150,23 +218,32 @@ class Gateway:
                     break  # oversized frame or peer reset
                 if not line:
                     break
-                response = await self._dispatch(line, owned)
+                response = await self._dispatch(line, conn_id, breaker)
+                if self.response_delay_s > 0:
+                    await asyncio.sleep(self.response_delay_s)
                 writer.write(protocol.encode(response))
                 try:
                     await writer.drain()
                 except ConnectionError:
                     break
         finally:
-            for sid in list(owned):
-                with contextlib.suppress(ProtocolError):
-                    self.manager.close(sid)
-            await self._notify_admission()
+            # Orphan (don't close) this connection's sessions: the lane
+            # lingers for session_linger_s so a token-bearing reconnect
+            # can adopt it; the maintenance loop expires the rest.
+            orphaned = self.manager.orphan_owned(conn_id)
+            if orphaned:
+                log.info(
+                    "connection %d dropped; orphaned session(s): %s",
+                    conn_id,
+                    orphaned,
+                )
             writer.close()
             with contextlib.suppress(ConnectionError):
                 await writer.wait_closed()
 
-    async def _dispatch(self, line: bytes, owned: set[str]) -> dict:
+    async def _dispatch(self, line: bytes, conn_id: int, breaker: _Breaker) -> dict:
         req: dict = {}
+        code: Optional[str] = None
         try:
             req = protocol.decode(line)
             op = req.get("op")
@@ -176,15 +253,30 @@ class Gateway:
                 )
             if self._closing:
                 raise ProtocolError(protocol.E_CLOSED, "gateway is shutting down")
-            return await self._handle_op(op, req, owned)
+            cooldown = breaker.check(time.monotonic())
+            if cooldown > 0:
+                return protocol.error(
+                    protocol.E_THROTTLED,
+                    "circuit breaker open after repeated bad requests",
+                    req=req,
+                    retry_after=cooldown,
+                )
+            return await self._handle_op(op, req, conn_id)
         except ProtocolError as exc:
-            return protocol.error(exc.code, exc.detail, req=req)
+            code = exc.code
+            return protocol.error(
+                exc.code, exc.detail, req=req, retry_after=exc.retry_after
+            )
         except Exception as exc:  # pragma: no cover - defensive
+            code = protocol.E_INTERNAL
             log.exception("internal error serving %r", req.get("op"))
             return protocol.error(protocol.E_INTERNAL, str(exc), req=req)
+        finally:
+            breaker.record(code, time.monotonic())
 
-    async def _handle_op(self, op: str, req: dict, owned: set[str]) -> dict:
+    async def _handle_op(self, op: str, req: dict, conn_id: int) -> dict:
         manager = self.manager
+        deadline = protocol.parse_deadline(req, now=time.monotonic())
         if op == "ping":
             return protocol.ok({"pong": True}, req=req)
         if op == "server":
@@ -192,13 +284,13 @@ class Gateway:
             info["protocol"] = protocol.PROTOCOL
             return protocol.ok(info, req=req)
         if op == "open":
-            rec = await self._admit()
-            owned.add(rec.sid)
+            rec = await self._admit(conn_id, deadline)
             return protocol.ok(
                 {
                     "session": rec.sid,
                     "lane": rec.lane,
                     "salt": rec.salt,
+                    "token": rec.token,
                     "states": manager.backend.S,
                     "actions": manager.backend.A,
                 },
@@ -210,72 +302,118 @@ class Gateway:
             raise ProtocolError(
                 protocol.E_BAD_REQUEST, "field 'session' must be a string"
             )
+        token = req.get("token")
+        if token is not None and not isinstance(token, str):
+            raise ProtocolError(
+                protocol.E_BAD_REQUEST, "field 'token' must be a string"
+            )
+        # Ownership gate: pass-through for the owner, adoption with the
+        # resume token, `forbidden` otherwise.
+        manager.attach(sid, conn_id, token)
+        seq = protocol.parse_seq(req)
+        if op in protocol.MUTATING_OPS and seq is not None:
+            cached = manager.seq_check(sid, seq)
+            if cached is not None:
+                return cached  # retried request: replay the cached reply
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ProtocolError(
+                protocol.E_DEADLINE, "deadline expired before the op was applied"
+            )
         S, A = manager.backend.S, manager.backend.A
 
+        # NOTE: no awaits between seq_check above and seq_record below —
+        # the apply-and-record step is atomic on the event loop.
+        reply: Optional[dict] = None
         if op == "learn":
             if "batch" in req:
                 batch = protocol.parse_batch(req, num_states=S, num_actions=A)
-                q_new = manager.learn_batch(sid, batch)
-                return protocol.ok({"q": q_new, "n": len(batch)}, req=req)
-            s, a, r, ns, t = protocol.parse_transition(
-                req, num_states=S, num_actions=A
-            )
-            q_new = manager.learn(sid, s, a, r, ns, t)
-            return protocol.ok({"q": q_new, "n": 1}, req=req)
-        if op == "act":
+                q_new = manager.learn_batch(sid, batch, deadline=deadline)
+                reply = protocol.ok({"q": q_new, "n": len(batch)}, req=req)
+            else:
+                s, a, r, ns, t = protocol.parse_transition(
+                    req, num_states=S, num_actions=A
+                )
+                q_new = manager.learn(sid, s, a, r, ns, t)
+                reply = protocol.ok({"q": q_new, "n": 1}, req=req)
+        elif op == "act":
             s = protocol.require_int(req, "s", hi=S)
             explore = req.get("explore", True)
             if not isinstance(explore, bool):
                 raise ProtocolError(
                     protocol.E_BAD_REQUEST, "field 'explore' must be a boolean"
                 )
-            return protocol.ok({"action": manager.act(sid, s, explore)}, req=req)
-        if op == "table":
+            reply = protocol.ok({"action": manager.act(sid, s, explore)}, req=req)
+        elif op == "table":
             state = None
             if "s" in req:
                 state = protocol.require_int(req, "s", hi=S)
-            return protocol.ok({"q": manager.q_row(sid, state)}, req=req)
-        if op == "checkpoint":
+            reply = protocol.ok({"q": manager.q_row(sid, state)}, req=req)
+        elif op == "checkpoint":
             tag = req.get("tag")
             if tag is not None and not isinstance(tag, str):
                 raise ProtocolError(
                     protocol.E_BAD_REQUEST, "field 'tag' must be a string"
                 )
-            return protocol.ok({"tag": manager.checkpoint(sid, tag)}, req=req)
-        if op == "restore":
+            reply = protocol.ok({"tag": manager.checkpoint(sid, tag)}, req=req)
+        elif op == "restore":
             tag = req.get("tag")
             if tag is not None and not isinstance(tag, str):
                 raise ProtocolError(
                     protocol.E_BAD_REQUEST, "field 'tag' must be a string"
                 )
-            return protocol.ok({"tag": manager.restore(sid, tag)}, req=req)
-        if op == "stats":
-            return protocol.ok(manager.stats(sid), req=req)
-        if op == "close":
+            reply = protocol.ok({"tag": manager.restore(sid, tag)}, req=req)
+        elif op == "stats":
+            reply = protocol.ok(manager.stats(sid), req=req)
+        elif op == "close":
             manager.close(sid)
-            owned.discard(sid)
+            reply = protocol.ok({"closed": sid}, req=req)
             await self._notify_admission()
-            return protocol.ok({"closed": sid}, req=req)
-        raise ProtocolError(protocol.E_BAD_REQUEST, f"unhandled op {op!r}")
+            return reply
+        if reply is None:
+            raise ProtocolError(protocol.E_BAD_REQUEST, f"unhandled op {op!r}")
+        if op in protocol.MUTATING_OPS and seq is not None:
+            manager.seq_record(sid, seq, reply)
+        return reply
 
-    async def _admit(self):
-        """Open a session, waiting up to ``admission_timeout_s`` for a lane."""
+    async def _admit(self, conn_id: Optional[int], deadline: Optional[float] = None):
+        """Open a session, waiting up to ``admission_timeout_s`` for a lane.
+
+        The wait queue is bounded: beyond ``max_admission_queue``
+        concurrent waiters, opens are shed immediately (``at_capacity``
+        with a computed ``retry_after``) instead of stacking up.  A
+        request deadline tightens the wait budget.
+        """
         manager = self.manager
         if manager.has_capacity():
-            return manager.open()
-        async with self._admission:
-            try:
+            return manager.open(owner=conn_id)
+        if self._admission_waiters >= self.max_admission_queue:
+            manager.note_shed()
+            raise ProtocolError(
+                protocol.E_AT_CAPACITY,
+                f"admission queue full ({self._admission_waiters} waiters); "
+                "request shed",
+                retry_after=manager.retry_after_hint(self._admission_waiters),
+            )
+        timeout = self.admission_timeout_s
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - time.monotonic()))
+        self._admission_waiters += 1
+        try:
+            async with self._admission:
                 await asyncio.wait_for(
                     self._admission.wait_for(manager.has_capacity),
-                    timeout=self.admission_timeout_s,
+                    timeout=timeout,
                 )
-            except asyncio.TimeoutError:
-                manager.note_rejected()
-                raise ProtocolError(
-                    protocol.E_AT_CAPACITY,
-                    f"no session slot freed within {self.admission_timeout_s}s",
-                ) from None
-        return manager.open()
+        except asyncio.TimeoutError:
+            manager.note_rejected()
+            raise ProtocolError(
+                protocol.E_AT_CAPACITY,
+                f"no session slot freed within {timeout:.3g}s",
+                retry_after=manager.retry_after_hint(self._admission_waiters - 1),
+            ) from None
+        finally:
+            self._admission_waiters -= 1
+        return manager.open(owner=conn_id)
 
     async def _notify_admission(self) -> None:
         if self._admission is None:

@@ -10,6 +10,28 @@ any request with an ``id`` field, which is echoed verbatim on the
 response — the gateway answers requests from one connection strictly
 in order, so the tag is a convenience, not a correlation requirement.
 
+Three optional request fields harden the protocol against partial
+failure (all additive — protocol ``qtaccel-serve/2`` accepts every
+``/1`` request):
+
+* ``seq`` — a per-session, strictly increasing integer request id on
+  mutating ops (``learn``/``act``/``checkpoint``/``restore``).  It is
+  echoed on the response, and the gateway remembers the last applied
+  ``seq`` per session together with its response: a retried request
+  with the same ``seq`` returns the cached response *without
+  re-applying the op*, which is what makes client reconnect-and-retry
+  exactly-once (a replayed ``learn`` can never double-apply).
+* ``deadline_ms`` — a relative time budget for this request.  The
+  gateway refuses expired work with ``deadline_exceeded`` and budgets
+  the remainder down into backend lane-ops: a ``learn`` batch that
+  runs out of budget mid-application is **rolled back** (nothing
+  applied, journal untouched), so a retry stays exactly-once.
+* ``token`` — the session's resume token (returned by ``open``).  A
+  session whose connection dropped lingers server-side for a grace
+  period; any connection presenting the token adopts it and continues
+  the same lane bit-exactly.  Requests from a connection that neither
+  owns the session nor presents the token are refused (``forbidden``).
+
 Operations (see :doc:`docs/serving.md </serving>` for the full spec):
 
 =============  ==========================================================
@@ -34,9 +56,10 @@ import json
 from typing import Any
 
 #: Protocol identifier, echoed by the ``server`` op.
-PROTOCOL = "qtaccel-serve/1"
+PROTOCOL = "qtaccel-serve/2"
 
-#: Admission refused: every lane is leased and the wait timed out.
+#: Admission refused: every lane is leased and the wait timed out (the
+#: response carries a computed ``retry_after`` hint, in seconds).
 E_AT_CAPACITY = "at_capacity"
 #: The ``session`` id is unknown (never opened, or already closed).
 E_NO_SESSION = "no_session"
@@ -46,9 +69,27 @@ E_BAD_REQUEST = "bad_request"
 E_INTERNAL = "internal"
 #: The gateway is shutting down and no longer accepts work.
 E_CLOSED = "closed"
+#: The request's ``deadline_ms`` budget expired before (or while) the
+#: op could be applied; nothing was applied.
+E_DEADLINE = "deadline_exceeded"
+#: The connection's circuit breaker tripped (too many consecutive
+#: errors); the response carries a ``retry_after`` hint.
+E_THROTTLED = "throttled"
+#: Session exists but belongs to another connection and no (or a
+#: wrong) resume ``token`` was presented.
+E_FORBIDDEN = "forbidden"
 
 ERROR_CODES = frozenset(
-    {E_AT_CAPACITY, E_NO_SESSION, E_BAD_REQUEST, E_INTERNAL, E_CLOSED}
+    {
+        E_AT_CAPACITY,
+        E_NO_SESSION,
+        E_BAD_REQUEST,
+        E_INTERNAL,
+        E_CLOSED,
+        E_DEADLINE,
+        E_THROTTLED,
+        E_FORBIDDEN,
+    }
 )
 
 #: Ops a client may send.
@@ -67,6 +108,10 @@ OPS = frozenset(
     }
 )
 
+#: Ops whose application mutates session state and therefore honour the
+#: ``seq`` exactly-once cache (reads are naturally idempotent).
+MUTATING_OPS = frozenset({"learn", "act", "checkpoint", "restore"})
+
 #: Largest accepted ``learn`` batch — bounds per-request gateway latency.
 MAX_BATCH = 4096
 
@@ -75,14 +120,19 @@ MAX_LINE = 1 << 22
 
 
 class ProtocolError(Exception):
-    """A request the gateway refuses, carrying its wire error code."""
+    """A request the gateway refuses, carrying its wire error code.
 
-    def __init__(self, code: str, detail: str):
+    ``retry_after`` (seconds, optional) rides along for the codes that
+    hint when a retry might succeed (``at_capacity``, ``throttled``).
+    """
+
+    def __init__(self, code: str, detail: str, *, retry_after: float | None = None):
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(detail)
         self.code = code
         self.detail = detail
+        self.retry_after = retry_after
 
 
 def encode(message: dict) -> bytes:
@@ -106,22 +156,36 @@ def decode(line: bytes) -> dict:
 
 
 def ok(payload: dict | None = None, *, req: dict | None = None) -> dict:
-    """A success response, echoing the request's ``id`` tag if present."""
+    """A success response, echoing the request's ``id``/``seq`` tags."""
     out: dict[str, Any] = {"ok": True}
     if payload:
         out.update(payload)
-    if req is not None and "id" in req:
-        out["id"] = req["id"]
+    if req is not None:
+        if "id" in req:
+            out["id"] = req["id"]
+        if "seq" in req:
+            out["seq"] = req["seq"]
     return out
 
 
-def error(code: str, detail: str, *, req: dict | None = None) -> dict:
+def error(
+    code: str,
+    detail: str,
+    *,
+    req: dict | None = None,
+    retry_after: float | None = None,
+) -> dict:
     """An error response in the canonical shape."""
     if code not in ERROR_CODES:
         code = E_INTERNAL
     out: dict[str, Any] = {"ok": False, "error": code, "detail": detail}
-    if req is not None and isinstance(req, dict) and "id" in req:
-        out["id"] = req["id"]
+    if retry_after is not None:
+        out["retry_after"] = round(float(retry_after), 4)
+    if req is not None and isinstance(req, dict):
+        if "id" in req:
+            out["id"] = req["id"]
+        if "seq" in req:
+            out["seq"] = req["seq"]
     return out
 
 
@@ -136,6 +200,38 @@ def require_int(req: dict, field: str, *, lo: int = 0, hi: int | None = None) ->
             E_BAD_REQUEST, f"field {field!r}={value} out of range (>= {lo}{upper})"
         )
     return value
+
+
+def parse_seq(req: dict) -> int | None:
+    """Pull the optional ``seq`` request id (positive int) out of ``req``."""
+    seq = req.get("seq")
+    if seq is None:
+        return None
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+        raise ProtocolError(
+            E_BAD_REQUEST, "field 'seq' must be a positive integer"
+        )
+    return seq
+
+
+def parse_deadline(req: dict, *, now: float) -> float | None:
+    """Resolve ``deadline_ms`` into an absolute monotonic deadline.
+
+    Returns ``None`` when the request carries no deadline; raises
+    ``deadline_exceeded`` straight away for a non-positive budget.
+    """
+    budget = req.get("deadline_ms")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+        raise ProtocolError(
+            E_BAD_REQUEST, "field 'deadline_ms' must be a number"
+        )
+    if budget <= 0:
+        raise ProtocolError(
+            E_DEADLINE, f"deadline_ms={budget} already expired on arrival"
+        )
+    return now + float(budget) / 1e3
 
 
 def parse_transition(req: dict, *, num_states: int, num_actions: int) -> tuple:

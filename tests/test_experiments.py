@@ -30,6 +30,7 @@ ALL_IDS = [
     "convergence",
     "cliff",
     "fault_campaign",
+    "chaos_campaign",
 ]
 
 

@@ -9,7 +9,12 @@ Coverage, bottom up:
   lanes, every one bit-identical to a dedicated scalar simulator),
   checkpoint/restore, journal re-basing;
 * crash recovery — a SIGKILLed shard worker mid-traffic, recovered
-  bit-exactly through the session journal;
+  bit-exactly through the session journal; hypothesis properties for
+  back-to-back kills inside one checkpoint interval and for
+  checkpoint-mediated sharded→vectorized failover migration;
+* protocol /2 resilience surface — `seq` echoed on every response
+  (the exactly-once correlation handle), degraded-bench sentinel
+  gating (the chaos tests proper live in `tests/test_chaos.py`);
 * the asyncio gateway end to end over real sockets, on the vectorized
   *and* sharded backends (the acceptance bit-identity claim), plus
   admission queue-with-timeout behaviour and wire-level error codes;
@@ -32,6 +37,8 @@ import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import QTAccelConfig
 from repro.serve import (
@@ -309,6 +316,79 @@ class TestCrashRecovery:
 
 
 # ---------------------------------------------------------------------- #
+# Recovery properties (hypothesis)
+# ---------------------------------------------------------------------- #
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        n1=st.integers(4, 24),
+        n2=st.integers(1, 8),
+    )
+    def test_back_to_back_kills_within_one_checkpoint_interval(self, seed, n1, n2):
+        """Two SIGKILLs of the same shard inside ONE journal-rebase
+        interval still recover bit-exactly: both replays re-derive the
+        lane from the same base, so the second crash cannot observe a
+        half-rebased journal."""
+        config = _config(seed=5)
+        backend = _backend(engine="sharded", lanes=4, config=config)
+        try:
+            # checkpoint_every far above the traffic: the journal never
+            # rebases, so both kills land in one checkpoint interval.
+            manager = SessionManager(backend, checkpoint_every=10_000)
+            rng = random.Random(seed)
+            rec = manager.open()  # lane 0: worker 0's shard
+            ops = _random_stream(rng, n1)
+            _apply_via_manager(manager, rec.sid, ops)
+
+            backend.kill_worker(0)
+            assert rec.sid in manager.maintenance()
+            mid = _random_stream(rng, n2)
+            _apply_via_manager(manager, rec.sid, mid)
+            ops.extend(mid)
+
+            backend.kill_worker(0)  # the restarted worker dies again
+            assert rec.sid in manager.maintenance()
+            more = _random_stream(rng, 6)
+            _apply_via_manager(manager, rec.sid, more)
+            ops.extend(more)
+
+            assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, ops)
+        finally:
+            manager.backend.close()
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1), n=st.integers(1, 40))
+    def test_checkpoint_migration_sharded_to_vectorized(self, seed, n):
+        """Failover migrates live sessions sharded→vectorized through
+        the checkpoint surface bit-exactly, and traffic continues on
+        the identical draw stream."""
+        config = _config(seed=6)
+        backend = _backend(engine="sharded", lanes=2, config=config)
+        manager = SessionManager(backend, checkpoint_every=16, failover="vectorized")
+        try:
+            rng = random.Random(seed)
+            rec = manager.open()
+            ops = _random_stream(rng, n)
+            _apply_via_manager(manager, rec.sid, ops)
+
+            manager.failover()
+            assert type(manager.backend).__name__ == "VectorizedFleetBackend"
+            assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, ops)
+
+            more = _random_stream(rng, 10)
+            _apply_via_manager(manager, rec.sid, more)
+            ops.extend(more)
+            assert manager.q_row(rec.sid) == _ref_table(config, rec.salt, ops)
+        finally:
+            # After failover the backend is vectorized (no close()); the
+            # sharded workers were already shut down by failover itself.
+            getattr(manager.backend, "close", lambda: None)()
+
+
+# ---------------------------------------------------------------------- #
 # Gateway over real sockets
 # ---------------------------------------------------------------------- #
 
@@ -432,6 +512,31 @@ class TestGateway:
             echoed = roundtrip(b'{"op":"ping","id":"tag-1"}\n')
             assert echoed["ok"] and echoed["id"] == "tag-1"
 
+    def test_seq_echoed_in_every_response(self, served):
+        """`seq` rides back on success AND error responses, so clients
+        can correlate retries; requests without one get no echo."""
+        gateway, _ = served
+        with socket.create_connection(("127.0.0.1", gateway.port), timeout=10) as sock:
+            rfile = sock.makefile("rb")
+
+            def roundtrip(obj: dict) -> dict:
+                sock.sendall(json.dumps(obj).encode() + b"\n")
+                return json.loads(rfile.readline())
+
+            opened = roundtrip({"op": "open"})
+            assert opened["ok"] and "seq" not in opened and opened["token"]
+            sid = opened["session"]
+            good = roundtrip(
+                {"op": "learn", "session": sid, "seq": 1,
+                 "s": 0, "a": 0, "r": 0.5, "ns": 1}
+            )
+            assert good["ok"] and good["seq"] == 1
+            bad = roundtrip(
+                {"op": "learn", "session": sid, "seq": 2,
+                 "s": 99, "a": 0, "r": 0.5, "ns": 1}
+            )
+            assert not bad["ok"] and bad["seq"] == 2
+
     def test_disconnect_closes_owned_sessions(self, served):
         gateway, _ = served
         manager = gateway.manager
@@ -554,3 +659,32 @@ def test_serve_bench_snapshot_passes_sentinel(tmp_path):
     other = dict(record, concurrency=record["concurrency"] + 1)
     skew = build_snapshot({}, source="test2", serve_throughput=other)
     assert compare_snapshots(loaded, skew).ok
+
+
+def test_degraded_throughput_gated_by_sentinel():
+    """The chaos-mode serve record rides the snapshot's
+    degraded_throughput key and regresses independently of the healthy
+    numbers."""
+    from repro.perf.compare import compare_snapshots
+    from repro.perf.snapshot import build_snapshot
+
+    degraded = {
+        "engine": "sharded", "lanes": 8, "concurrency": 4, "sessions": 12,
+        "transitions_per_session": 48, "chaos": True, "hangs": 1, "restarts": 1,
+        "sessions_per_sec": 20.0, "transitions_per_sec": 960.0,
+        "act_latency_ms": {"p50": 0.3, "p99": 1.0},
+    }
+    base = build_snapshot({}, source="base", degraded_throughput=degraded)
+    same = compare_snapshots(base, base)
+    assert same.ok and any(f.case == "degraded.sessions_per_sec" for f in same.findings)
+
+    slower = dict(degraded, sessions_per_sec=10.0)
+    worse = build_snapshot({}, source="new", degraded_throughput=slower)
+    result = compare_snapshots(base, worse)
+    assert not result.ok
+    assert [f.case for f in result.regressions] == ["degraded.sessions_per_sec"]
+
+    # A healthy (non-chaos) record never compares against a degraded one.
+    healthy = {k: v for k, v in degraded.items() if k not in ("chaos", "hangs", "restarts")}
+    mixed = build_snapshot({}, source="new2", degraded_throughput=healthy)
+    assert compare_snapshots(base, mixed).ok
