@@ -39,6 +39,15 @@ the rest of the fleet continues.  The existing
 unchanged (via :class:`~repro.robustness.checkpoint.BatchLanes`),
 because the parent exposes the same lane-oriented surface as the
 single-process backends.
+
+Observability: the serving layer may assign ``obs_tracer`` /
+``obs_recorder`` (:mod:`repro.obs`) after construction.  With a tracer
+set, pipe commands grow an optional trailing trace-context element
+(``("run", n, ctx)``) that the worker uses to parent a ``shard.run``
+span built in *its* process, shipped back in the reply and adopted
+into the parent's ring — so a merged timeline shows the worker-side
+replay of a recovery.  Workers that receive the short command forms
+behave exactly as before; both sides tolerate either length.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ import os
 import signal as _signal
 import time
 import weakref
+from contextlib import nullcontext
 from multiprocessing import shared_memory
 from types import SimpleNamespace
 from typing import Sequence
@@ -63,6 +73,9 @@ from .base import BatchStats, normalize_fleet
 from .vectorized import VectorizedFleetBackend
 
 _I64 = np.int64
+
+#: Reusable no-op context for the untraced path.
+_NOSPAN = nullcontext()
 
 #: Samples a worker runs between heartbeat bumps — the hang watchdog's
 #: progress resolution (an epoch of 256 gets 4 bumps).
@@ -204,7 +217,16 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
     ``spec["adopt"]`` says the block already holds restored state —
     then serves ``("run", n)`` / ``("ping",)`` / ``("stop",)`` commands
     over the pipe, answering each run with the stat deltas it retired.
+
+    A ``run`` command may carry an optional trailing trace context
+    (the wire ``{"trace_id", "span_id"}`` dict); the worker then times
+    the run as a ``shard.run`` span dict in *this* process and ships it
+    back as an optional trailing reply element for the parent to adopt.
     """
+    from ..obs.tracing import _reseed_ids, ctx_from_wire, new_id
+
+    _reseed_ids()  # fresh span-id prefix for this process
+    proc_label = f"shard{spec.get('worker', '?')}"
     shm = _attach_shm(shm_name)
     backend = None
     views = None
@@ -249,6 +271,8 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
             if cmd == "run":
                 if spec["debug_fail"]:
                     os._exit(17)  # simulated crash (tests/CI smoke)
+                ctx = ctx_from_wire(msg[2]) if len(msg) > 2 else None
+                t0 = time.monotonic()
                 st = backend.stats
                 before = (st.episodes, st.exploits, st.explores)
                 # Run in sub-chunks, bumping the heartbeat between them.
@@ -261,6 +285,20 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
                     backend.run(chunk)
                     done += chunk
                     hb[lo] += 1
+                spans = None
+                if ctx is not None:
+                    spans = [
+                        {
+                            "name": "shard.run",
+                            "trace_id": ctx.trace_id,
+                            "span_id": new_id(),
+                            "parent_id": ctx.span_id,
+                            "proc": proc_label,
+                            "start": t0,
+                            "end": time.monotonic(),
+                            "attrs": {"samples": n},
+                        }
+                    ]
                 conn.send(
                     (
                         "done",
@@ -269,6 +307,7 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
                             "exploits": st.exploits - before[1],
                             "explores": st.explores - before[2],
                         },
+                        spans,
                     )
                 )
             elif cmd == "ping":
@@ -403,6 +442,14 @@ class ShardedFleetBackend:
         #: escalated to the kill -> checkpoint-replay recovery path.
         self.hangs = 0
         self.quarantined_workers: set[int] = set()
+        #: Optional observability wiring, assigned by the serving layer
+        #: after construction: a :class:`repro.obs.tracing.Tracer` for
+        #: ``shard.recover`` spans (plus worker-side ``shard.run`` spans
+        #: adopted from replies) and a
+        #: :class:`repro.obs.recorder.FlightRecorder` for structured
+        #: worker lifecycle events (hang/dead/restart/quarantine).
+        self.obs_tracer = None
+        self.obs_recorder = None
 
         self._procs: list = [None] * self.num_workers
         self._conns: list = [None] * self.num_workers
@@ -448,6 +495,7 @@ class ShardedFleetBackend:
         return {
             "lo": lo,
             "hi": hi,
+            "worker": w,
             "mdps": worlds,
             "num_agents": num_agents,
             "config": self.config,
@@ -475,11 +523,39 @@ class ShardedFleetBackend:
 
     def _await_ready(self, w: int) -> None:
         try:
-            tag, info = self._conns[w].recv()
+            msg = self._conns[w].recv()
         except (EOFError, OSError) as exc:
             raise RuntimeError(f"shard worker {w} died during startup") from exc
-        if tag != "ready":
-            raise RuntimeError(f"shard worker {w} failed to start: {info}")
+        if msg[0] != "ready":
+            raise RuntimeError(f"shard worker {w} failed to start: {msg[1]}")
+
+    # -- observability plumbing (no-ops until obs_tracer/obs_recorder
+    #    are assigned by the serving layer) ---------------------------- #
+
+    def _wire_ctx(self):
+        """The ambient trace context as a pipe-command trailing element."""
+        if self.obs_tracer is None:
+            return None
+        from ..obs.tracing import Tracer, ctx_to_wire
+
+        return ctx_to_wire(Tracer.current_context())
+
+    def _obs_span(self, name: str, **attrs):
+        if self.obs_tracer is None:
+            return _NOSPAN
+        return self.obs_tracer.span(name, attrs=attrs or None)
+
+    def _obs_event(self, kind: str, **fields) -> None:
+        if self.obs_recorder is not None:
+            try:
+                self.obs_recorder.record_event(kind, **fields)
+            except Exception:  # pragma: no cover - recorder is best-effort
+                pass
+
+    def _adopt_spans(self, msg) -> None:
+        """File worker-side spans riding as a reply's trailing element."""
+        if self.obs_tracer is not None and len(msg) > 2 and msg[2]:
+            self.obs_tracer.adopt(msg[2])
 
     def _reap_worker(self, w: int) -> None:
         proc = self._procs[w]
@@ -556,16 +632,17 @@ class ShardedFleetBackend:
                 try:
                     conn.send(("ping",))
                     if conn.poll(timeout):
-                        tag, _ = conn.recv()
-                        dead = tag != "pong"
+                        dead = conn.recv()[0] != "pong"
                     else:  # hung: alive but unresponsive — escalate
                         self.hangs += 1
+                        self._obs_event("worker_hang", worker=w)
                         self.kill_worker(w)
                         dead = True
                 except (BrokenPipeError, EOFError, OSError):
                     dead = True
             if dead:
                 lo, hi = self._bounds[w], self._bounds[w + 1]
+                self._obs_event("worker_dead", worker=w, lanes=[lo, hi])
                 self._recover_worker(w, 0)
                 self._refresh_stats()
                 recovered.append((lo, hi))
@@ -632,17 +709,20 @@ class ShardedFleetBackend:
                 stalled_since = now
             elif now - stalled_since >= timeout:
                 self.hangs += 1
+                self._obs_event("worker_hang", worker=w)
                 self.kill_worker(w)
                 return False
 
     def _run_epoch(self, n: int) -> None:
         failed: list[int] = []
         sent: list[int] = []
+        ctx = self._wire_ctx()
+        cmd = ("run", n) if ctx is None else ("run", n, ctx)
         for w in range(self.num_workers):
             if w in self.quarantined_workers:
                 continue
             try:
-                self._conns[w].send(("run", n))
+                self._conns[w].send(cmd)
                 sent.append(w)
             except (BrokenPipeError, OSError):
                 failed.append(w)
@@ -651,13 +731,15 @@ class ShardedFleetBackend:
                 if not self._await_result(w):
                     failed.append(w)  # hung mid-epoch; worker killed
                     continue
-                tag, delta = self._conns[w].recv()
+                msg = self._conns[w].recv()
+                tag, delta = msg[0], msg[1]
             except (EOFError, OSError):
                 failed.append(w)
                 continue
             if tag != "done":
                 failed.append(w)
                 continue
+            self._adopt_spans(msg)
             cum = self._worker_cum[w]
             cum[0] += delta["episodes"]
             cum[1] += delta["exploits"]
@@ -687,30 +769,37 @@ class ShardedFleetBackend:
         # samples_per_agent is not yet incremented for the failing epoch.
         replay = self.stats.samples_per_agent + n - snap["samples_per_agent"]
         self._reap_worker(w)
-        for _ in range(self.max_worker_restarts):
-            self.restarts += 1
-            self._restore_shard(w, snap)
-            try:
-                self._spawn_worker(w, adopt=True)
-                self._await_ready(w)
-                self._conns[w].send(("run", replay))
-                if not self._await_result(w):
+        with self._obs_span("shard.recover", worker=w, replay=replay):
+            ctx = self._wire_ctx()
+            run_cmd = ("run", replay) if ctx is None else ("run", replay, ctx)
+            for _ in range(self.max_worker_restarts):
+                self.restarts += 1
+                self._restore_shard(w, snap)
+                try:
+                    self._spawn_worker(w, adopt=True)
+                    self._await_ready(w)
+                    self._conns[w].send(run_cmd)
+                    if not self._await_result(w):
+                        self._reap_worker(w)
+                        continue
+                    msg = self._conns[w].recv()
+                    tag, delta = msg[0], msg[1]
+                except (RuntimeError, EOFError, OSError, BrokenPipeError):
                     self._reap_worker(w)
                     continue
-                tag, delta = self._conns[w].recv()
-            except (RuntimeError, EOFError, OSError, BrokenPipeError):
-                self._reap_worker(w)
-                continue
-            if tag != "done":
-                self._reap_worker(w)
-                continue
-            cum = self._worker_cum[w]
-            cum[0] += delta["episodes"]
-            cum[1] += delta["exploits"]
-            cum[2] += delta["explores"]
-            return
-        self._restore_shard(w, snap)
-        self.quarantined_workers.add(w)
+                if tag != "done":
+                    self._reap_worker(w)
+                    continue
+                self._adopt_spans(msg)
+                cum = self._worker_cum[w]
+                cum[0] += delta["episodes"]
+                cum[1] += delta["exploits"]
+                cum[2] += delta["explores"]
+                self._obs_event("worker_restarted", worker=w, replay=replay)
+                return
+            self._restore_shard(w, snap)
+            self.quarantined_workers.add(w)
+            self._obs_event("worker_quarantined", worker=w)
 
     def _restore_shard(self, w: int, snap: dict) -> None:
         lo, hi = self._bounds[w], self._bounds[w + 1]

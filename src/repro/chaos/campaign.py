@@ -22,6 +22,14 @@ Every tenant op is acknowledged-before-journalled, and every mutating
 op carries a ``seq``, so the reference journal is exact even across
 reconnects: an op is in the journal iff the gateway applied it exactly
 once.
+
+With ``recorder_dir`` set, a :class:`~repro.obs.recorder.FlightRecorder`
+rides along: every fired fault and every worker/session lifecycle event
+lands in the on-disk ring as it happens, and when the campaign *fails*
+the surviving ring is merged into ``flight_dump.jsonl`` — the crashed
+run's own post-mortem, which CI uploads as an artifact.  ``tracing``
+additionally attaches a full-sampling tracer to every layer and folds
+the span ring into the dump.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ def _tenant_worker(
     config,
     results: list,
     lock: threading.Lock,
+    tracer=None,
 ) -> None:
     """One resilient tenant: random traffic, ack-gated reference journal."""
     outcome: dict = {"idx": idx, "status": "error", "detail": None}
@@ -64,6 +73,9 @@ def _tenant_worker(
             timeout=3.0,
             max_attempts=6,
             rng=random.Random(rng.getrandbits(32)),
+            tracer=tracer,
+            trace_sample=1.0,
+            tenant=f"tenant{idx}",
         ) as client:
             try:
                 sess = client.open_session()
@@ -188,6 +200,9 @@ def run_chaos_campaign(
     mp_context: str = "fork",
     extras: int = 3,
     verbose: bool = False,
+    recorder_dir: Optional[str] = None,
+    tracing: bool = False,
+    dump_always: bool = False,
 ) -> dict:
     """Run one seeded chaos campaign; returns a verdict + evidence dict.
 
@@ -195,8 +210,24 @@ def run_chaos_campaign(
     clean typed outcome, the injected worker hang and kill were both
     detected and recovered, and the overload burst was shed cleanly
     with ``retry_after`` hints.
+
+    ``recorder_dir`` attaches a flight recorder (fault + lifecycle
+    events; dumped on failure, or unconditionally with
+    ``dump_always`` so CI can upload the artifact from green runs
+    too), ``tracing`` a full-sampling tracer whose spans join the
+    dump; see the module docstring.
     """
     clients = lanes if clients is None else clients
+    recorder = None
+    tracer = None
+    if recorder_dir:
+        from ..obs.recorder import open_recorder
+
+        recorder = open_recorder(recorder_dir)
+    if tracing:
+        from ..obs.tracing import SpanRing, Tracer
+
+        tracer = Tracer("client", ring=SpanRing(1 << 17))
     config = QTAccelConfig.qlearning(seed=11)
     backend = build_serve_backend(
         config,
@@ -216,6 +247,8 @@ def run_chaos_campaign(
         session_linger_s=5.0,
         audit_every=lanes,
         failover="vectorized",
+        tracer=tracer.fork("session") if tracer else None,
+        recorder=recorder,
     )
     gateway = Gateway(
         manager,
@@ -223,7 +256,12 @@ def run_chaos_campaign(
         admission_timeout_s=0.25,
         maintenance_interval_s=0.1,
         max_admission_queue=4,
+        tracer=tracer.fork("gateway") if tracer else None,
+        recorder=recorder,
     )
+    if hasattr(backend, "obs_tracer"):
+        backend.obs_tracer = tracer.fork("backend") if tracer else None
+        backend.obs_recorder = recorder
     thread, loop = run_gateway_in_thread(gateway)
     proxy = ChaosProxy(gateway.port)
 
@@ -233,7 +271,7 @@ def run_chaos_campaign(
     tenants = [
         threading.Thread(
             target=_tenant_worker,
-            args=(proxy.port, i, seed, seconds, config, results, lock),
+            args=(proxy.port, i, seed, seconds, config, results, lock, tracer),
         )
         for i in range(clients)
     ]
@@ -285,6 +323,11 @@ def run_chaos_campaign(
                         manager.backend.q[rec.lane, col]
                     ) ^ (1 << bit)
         fault_log.append(f"{ev.at:.2f}s {ev.kind}")
+        if recorder is not None:
+            try:
+                recorder.record_event("fault", kind_fired=ev.kind, at=ev.at)
+            except Exception:  # noqa: BLE001 - recorder is best-effort
+                pass
         if verbose:
             print(f"chaos: t={ev.at:.2f}s fired {ev.kind}")
 
@@ -335,8 +378,28 @@ def run_chaos_campaign(
         r.get("retry_after") is not None for r in burst_rejected
     ):
         problems.append("rejections carried no retry_after hint")
+    recorder_info = None
+    if recorder is not None:
+        recorder_info = {"directory": str(recorder.directory), "dump": None}
+        recorder_info.update(recorder.stats())
+        if problems or dump_always:
+            # The post-mortem: surviving events (+ spans when traced)
+            # merged into one artifact for CI to upload.
+            spans = tracer.ring.spans() if tracer is not None else None
+            recorder_info["dump"] = recorder.dump(spans=spans)
+        recorder.close()
+    trace_info = None
+    if tracer is not None:
+        spans = tracer.ring.spans()
+        trace_info = {
+            "spans": len(spans),
+            "dropped": tracer.ring.dropped,
+            "procs": sorted({s.proc for s in spans}),
+        }
     return {
         "ok": not problems,
+        "recorder": recorder_info,
+        "trace": trace_info,
         "problems": problems,
         "seed": seed,
         "seconds": seconds,

@@ -7,6 +7,13 @@ overload burst, plus the seeded extras — was survived with bit-exact
 tenant results or clean typed errors.
 
 Exit status 0 on success, 1 on any violation (the CI job gates on it).
+
+``--obs-dir DIR`` (default ``chaos-artifacts``) attaches the flight
+recorder: every fired fault and worker/session lifecycle event lands
+on disk as it happens, and the surviving ring is *always* merged into
+``DIR/flight_dump.jsonl`` on exit — pass or fail — so the CI job can
+upload it unconditionally (``if: always()``) and a red run ships its
+own post-mortem.  ``--obs-dir ''`` disables it.
 """
 
 from __future__ import annotations
@@ -32,6 +39,16 @@ def main(argv=None) -> int:
         "--mp-context", default="fork", help="multiprocessing start method"
     )
     parser.add_argument("--extras", type=int, default=3)
+    parser.add_argument(
+        "--obs-dir",
+        default="chaos-artifacts",
+        help="flight-recorder directory ('' disables the recorder)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach a full-sampling tracer; spans join the flight dump",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -48,6 +65,9 @@ def main(argv=None) -> int:
         mp_context=args.mp_context,
         extras=args.extras,
         verbose=args.verbose,
+        recorder_dir=args.obs_dir or None,
+        tracing=args.trace,
+        dump_always=bool(args.obs_dir),
     )
     tenants = result["tenants"]
     print(
@@ -60,6 +80,18 @@ def main(argv=None) -> int:
     for outcome in tenants["outcomes"]:
         if outcome["status"] == "error":
             print(f"chaos: tenant {outcome['idx']} FAILED: {outcome['detail']}")
+    recorder = result.get("recorder")
+    if recorder:
+        print(
+            f"chaos: flight recorder: {recorder.get('records', '?')} record(s) "
+            f"in {recorder['directory']}; dump: {recorder['dump']}"
+        )
+    trace = result.get("trace")
+    if trace:
+        print(
+            f"chaos: trace: {trace['spans']} span(s) "
+            f"({trace['dropped']} dropped) across {', '.join(trace['procs'])}"
+        )
     if args.verbose:
         print(json.dumps(result["server"], indent=2, default=str))
     if not result["ok"]:

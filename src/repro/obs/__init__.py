@@ -1,0 +1,67 @@
+"""Observability for the serving stack: tracing, SLOs, flight recorder.
+
+Three cooperating layers, all optional and all advisory (nothing here
+may ever turn a valid request into an error):
+
+* :mod:`repro.obs.tracing` — distributed trace propagation.  Spans are
+  created per layer (client / gateway / session / shard worker),
+  carried in-process on a :mod:`contextvars` stack, across the wire as
+  the protocol's optional ``trace`` field and across shard worker
+  pipes as a trailing command element; finished spans land in bounded
+  per-process rings, merged by :mod:`repro.obs.collector` into one
+  Chrome ``trace_event`` timeline.
+* :mod:`repro.obs.slo` — per-tenant latency histograms
+  (``serve.slo.<tenant>.<op>.latency_ms``) and error-budget counters
+  in the telemetry registry the gateway already exposes on
+  ``/metrics``; ``python -m repro.obs report --slo thresholds.json``
+  scores them and exits non-zero on budget burn.
+* :mod:`repro.obs.recorder` — a crash-safe bounded on-disk ring of
+  recent structured events plus (at dump time) recent spans; the chaos
+  campaign and the CI smokes dump it on failure as the run's own
+  post-mortem artifact.
+
+:mod:`repro.obs.overhead` pins the cost: tracing enabled must stay
+within ``TRACING_OVERHEAD_BUDGET`` (5%) of untraced end-to-end serve
+throughput, gated by the perf regression sentinel like every other
+overhead budget.
+"""
+
+from .collector import (
+    chrome_trace,
+    merge_spans,
+    validate_chrome_trace,
+    validate_span_tree,
+    write_chrome_trace,
+)
+from .recorder import FlightRecorder, open_recorder
+from .slo import (
+    DEFAULT_TENANT,
+    SLO_LATENCY_BOUNDS_MS,
+    SloTracker,
+    check_slo,
+    sanitize_tenant,
+    slo_report,
+)
+from .tracing import Span, SpanRing, TraceContext, Tracer, ctx_from_wire, ctx_to_wire
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FlightRecorder",
+    "SLO_LATENCY_BOUNDS_MS",
+    "SloTracker",
+    "Span",
+    "SpanRing",
+    "TraceContext",
+    "Tracer",
+    "check_slo",
+    "chrome_trace",
+    "ctx_from_wire",
+    "ctx_to_wire",
+    "merge_spans",
+    "open_recorder",
+    "sanitize_tenant",
+    "slo_report",
+    "validate_chrome_trace",
+    "validate_span_tree",
+    "write_chrome_trace",
+]

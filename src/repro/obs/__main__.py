@@ -1,0 +1,133 @@
+"""CLI for the observability layer.
+
+Usage::
+
+    python -m repro.obs report metrics.txt              # saved /metrics scrape
+    python -m repro.obs report --url http://127.0.0.1:9100/metrics
+    python -m repro.obs report profile.json --slo thresholds.json  # exit 1 on burn
+    python -m repro.obs trace flight_dump.jsonl -o trace.json   # Chrome trace
+    python -m repro.obs smoke                            # the CI obs-smoke gate
+
+``report`` summarizes the per-tenant SLO instruments
+(``serve.slo.*``) out of any counters source and, with ``--slo``,
+exits non-zero when a latency percentile or error budget is burned.
+``trace`` converts the span records of a flight-recorder dump into a
+Chrome ``trace_event`` file (open in ``chrome://tracing`` / Perfetto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_report(args) -> int:
+    from .report import run_report
+
+    source = args.url if args.url else args.source
+    if source is None:
+        print("report: give a counters file/URL (or --url)", file=sys.stderr)
+        return 2
+    try:
+        code, text = run_report(source, slo_path=args.slo, as_json=args.json)
+    except (OSError, ValueError) as exc:
+        print(f"report: cannot read {source!r}: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return code
+
+
+def _cmd_trace(args) -> int:
+    from .collector import write_chrome_trace
+    from .tracing import Span
+
+    spans = []
+    skipped = 0
+    try:
+        with open(args.dump, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if isinstance(record, dict) and record.get("type") == "span":
+                    spans.append(Span.from_dict(record))
+    except OSError as exc:
+        print(f"trace: cannot read {args.dump!r}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"trace: no span records in {args.dump!r}", file=sys.stderr)
+        return 1
+    try:
+        write_chrome_trace(args.output, spans, meta={"source": args.dump})
+    except ValueError as exc:
+        print(f"trace: invalid trace produced: {exc}", file=sys.stderr)
+        return 1
+    print(f"{len(spans)} span(s) -> {args.output}" + (f" ({skipped} torn line(s) skipped)" if skipped else ""))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    from .smoke import run_obs_smoke
+
+    return run_obs_smoke(artifacts_dir=args.artifacts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Serving observability: SLO reports, trace conversion, smoke gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_rep = sub.add_parser("report", help="per-tenant SLO report (+ threshold gate)")
+    p_rep.add_argument(
+        "source",
+        nargs="?",
+        help="counters source: OpenMetrics text, profile JSON, registry JSON, or -",
+    )
+    p_rep.add_argument("--url", metavar="URL", help="scrape a live /metrics endpoint")
+    p_rep.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="threshold JSON; exit 1 when any budget is burned",
+    )
+    p_rep.add_argument("--json", action="store_true", help="machine-readable output")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_tr = sub.add_parser(
+        "trace", help="flight-recorder dump -> Chrome trace_event JSON"
+    )
+    p_tr.add_argument("dump", help="flight_dump.jsonl (or any recorder segment)")
+    p_tr.add_argument(
+        "-o", "--output", default="trace.json", help="output path (default trace.json)"
+    )
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_smoke = sub.add_parser(
+        "smoke",
+        help="CI gate: traced chaos serve run, trace validation, overhead budget",
+    )
+    p_smoke.add_argument(
+        "--artifacts",
+        default="obs-artifacts",
+        metavar="DIR",
+        help="directory for the Chrome trace + flight dump artifacts",
+    )
+    p_smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # |head and friends — not an error
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

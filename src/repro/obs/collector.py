@@ -1,0 +1,240 @@
+"""Span collection: merge per-process rings into one validated timeline.
+
+The gateway process holds spans from the client (same process in the
+benches), the gateway dispatch layer, the SessionManager and the
+sharded parent; shard *worker* processes ship their spans back inside
+Pipe replies (see :mod:`repro.backends.sharded`).  This module merges
+those sources, checks the structural invariants the span-tree property
+test pins (every parent reachable, no span outliving its trace root),
+and renders the result as a Chrome ``trace_event`` JSON document —
+loadable in ``chrome://tracing`` / Perfetto, same format as
+:mod:`repro.telemetry.export` uses for pipeline traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence, Union
+
+from .tracing import Span, SpanRing
+
+SpanLike = Union[Span, dict]
+
+#: Tolerance (seconds) when comparing child/root end times: monotonic
+#: reads in different processes are the same clock on Linux, but a
+#: child's recorded end and its parent's can be captured arbitrarily
+#: close together.
+_END_SLACK_S = 1e-9
+
+
+def _as_span(item: SpanLike) -> Span:
+    return item if isinstance(item, Span) else Span.from_dict(item)
+
+
+def merge_spans(*sources: Union[SpanRing, Iterable[SpanLike]]) -> list[Span]:
+    """Merge span sources (rings, span lists, dict lists) by start time."""
+    out: list[Span] = []
+    for source in sources:
+        if source is None:
+            continue
+        items = source.spans() if isinstance(source, SpanRing) else source
+        out.extend(_as_span(item) for item in items)
+    out.sort(key=lambda s: (s.start, s.end))
+    return out
+
+
+def validate_span_tree(spans: Sequence[SpanLike]) -> list[str]:
+    """Structural problems in a merged span set (empty list == valid).
+
+    Checks, per trace:
+
+    * unique span ids;
+    * every ``parent_id`` resolves to a span of the *same* trace, and
+      following parents always reaches a root (no cycles);
+    * exactly the parentless spans are roots, and no span ends after
+      its trace's root ends (children close before their parents — the
+      "no span outlives its trace's root" property).
+    """
+    problems: list[str] = []
+    by_trace: dict[str, dict[str, Span]] = {}
+    for item in spans:
+        span = _as_span(item)
+        trace = by_trace.setdefault(span.trace_id, {})
+        if span.span_id in trace:
+            problems.append(
+                f"trace {span.trace_id}: duplicate span id {span.span_id}"
+            )
+            continue
+        trace[span.span_id] = span
+
+    for trace_id, trace in by_trace.items():
+        roots = [s for s in trace.values() if s.parent_id is None]
+        if not roots:
+            problems.append(f"trace {trace_id}: no root span")
+        root_end = max((r.end for r in roots), default=None)
+        for span in trace.values():
+            if span.end < span.start:
+                problems.append(
+                    f"trace {trace_id}: span {span.name} ends before it starts"
+                )
+            # Walk to the root, flagging dangling parents and cycles.
+            seen = {span.span_id}
+            node = span
+            while node.parent_id is not None:
+                parent = trace.get(node.parent_id)
+                if parent is None:
+                    problems.append(
+                        f"trace {trace_id}: span {span.name} "
+                        f"({span.span_id}) has unreachable parent "
+                        f"{node.parent_id}"
+                    )
+                    break
+                if parent.span_id in seen:
+                    problems.append(
+                        f"trace {trace_id}: parent cycle at {span.span_id}"
+                    )
+                    break
+                seen.add(parent.span_id)
+                node = parent
+            if (
+                root_end is not None
+                and span.parent_id is not None
+                and span.end > root_end + _END_SLACK_S
+            ):
+                problems.append(
+                    f"trace {trace_id}: span {span.name} ({span.span_id}) "
+                    f"outlives its trace root by "
+                    f"{(span.end - root_end) * 1e3:.3f}ms"
+                )
+    return problems
+
+
+def chrome_trace(spans: Sequence[SpanLike], *, meta: Optional[dict] = None) -> dict:
+    """Render merged spans as a Chrome ``trace_event`` document.
+
+    One ``pid`` per process label (``client`` / ``gateway`` /
+    ``session`` / ``backend`` / ``shard<n>``), one ``tid`` per trace
+    inside that process so concurrent requests stack as separate rows,
+    complete (``ph: "X"``) slices with microsecond timestamps relative
+    to the earliest span.
+    """
+    resolved = [_as_span(item) for item in spans]
+    resolved.sort(key=lambda s: (s.start, s.end))
+    t0 = resolved[0].start if resolved else 0.0
+
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    per_pid_traces: dict[int, int] = {}
+    for span in resolved:
+        pid = pids.setdefault(span.proc, len(pids) + 1)
+        key = (pid, span.trace_id)
+        if key not in tids:
+            per_pid_traces[pid] = per_pid_traces.get(pid, 0) + 1
+            tids[key] = per_pid_traces[pid]
+        tid = tids[key]
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.attrs:
+            args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "obs",
+                "ph": "X",
+                "ts": (span.start - t0) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for proc, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": proc},
+            }
+        )
+    for (pid, trace_id), tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"trace {trace_id[:8]}"},
+            }
+        )
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "spans": len(resolved),
+            "procs": sorted(pids),
+        },
+    }
+    if meta:
+        doc["otherData"].update(meta)
+    return doc
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Problems in a Chrome ``trace_event`` document (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    named_pids: set = set()
+    slice_pids: set = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            continue
+        if ph != "X":
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if isinstance(ts, (int, float)) and ts < 0:
+            problems.append(f"event {i}: negative ts")
+        if isinstance(dur, (int, float)) and dur < 0:
+            problems.append(f"event {i}: negative dur")
+        slice_pids.add(ev.get("pid"))
+    for pid in sorted(p for p in slice_pids if p not in named_pids):
+        problems.append(f"pid {pid}: no process_name metadata")
+    return problems
+
+
+def write_chrome_trace(
+    path, spans: Sequence[SpanLike], *, meta: Optional[dict] = None
+) -> dict:
+    """Render, validate and write a trace file; returns the document.
+
+    Raises ``ValueError`` if the rendered document fails its own
+    validator — a trace artifact that does not load is worse than none.
+    """
+    doc = chrome_trace(spans, meta=meta)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(f"invalid chrome trace: {problems[:5]}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=0, separators=(",", ":"))
+        fh.write("\n")
+    return doc

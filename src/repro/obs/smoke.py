@@ -1,0 +1,172 @@
+"""Observability smoke gate (CI entry point).
+
+``python -m repro.obs smoke`` proves the tracing/SLO/flight-recorder
+layer works end-to-end on a fresh checkout, in three stages:
+
+1. **Traced chaos serve run** — one quick ``run_serve_throughput``
+   pass on the sharded engine with ``chaos=True``: worker 0 is
+   SIGSTOP'd so the merged trace must span client, gateway, session
+   and shard procs *including* the watchdog restart and
+   checkpoint-replay recovery spans.  The Chrome ``trace_event`` file
+   it writes is re-read and validated, the span tree must be sound,
+   and the flight-recorder dump must carry the worker lifecycle
+   events.
+2. **SLO report CLI** — the gateway's OpenMetrics rendering from the
+   same run is fed through :func:`repro.obs.report.run_report` with a
+   permissive threshold file (exercising the exit-code path both
+   ways is the unit suite's job; here the wiring must just work).
+3. **Overhead budget** — ``measure_serve_tracing_overhead`` at the
+   shipped sampling defaults must land within
+   :data:`~repro.obs.overhead.TRACING_OVERHEAD_BUDGET`.
+
+Artifacts (Chrome trace, flight dump, metrics scrape, overhead entry)
+are written under ``--artifacts`` for CI to upload.  Exit 0 iff every
+stage holds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def _stage_traced_run(artifacts: Path, failures: list) -> dict | None:
+    from ..perf.serve import run_serve_throughput
+
+    trace_path = artifacts / "serve_trace.json"
+    recorder_dir = artifacts / "flight"
+    record = run_serve_throughput(
+        engine="sharded",
+        quick=True,
+        chaos=True,
+        trace_path=str(trace_path),
+        recorder_dir=str(recorder_dir),
+    )
+    trace = record.get("trace") or {}
+    if trace.get("problems"):
+        failures.append(f"span tree unsound: {trace['problems'][:3]}")
+    procs = set(trace.get("procs") or ())
+    required = {"client", "gateway", "session"}
+    if not required <= procs:
+        failures.append(f"trace missing procs: {sorted(required - procs)}")
+    if not any(p.startswith("shard") for p in procs):
+        failures.append(f"no shard-worker spans in trace (procs: {sorted(procs)})")
+    if record.get("restarts", 0) < 1:
+        failures.append("chaos run recorded no shard restart")
+    if record.get("errors"):
+        failures.append(f"serve run errors: {record['errors'][:3]}")
+
+    # Re-read the artifact the way a human (or Perfetto) would.
+    from .collector import validate_chrome_trace
+
+    try:
+        with open(trace_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            failures.append(f"chrome trace invalid: {problems[:3]}")
+        else:
+            print(
+                f"obs-smoke: chrome trace OK "
+                f"({len(doc['traceEvents'])} events, {trace_path})"
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        failures.append(f"chrome trace unreadable: {exc}")
+
+    # The flight dump must exist and carry the worker lifecycle story.
+    dump = trace.get("recorder")
+    if not dump or not os.path.exists(dump):
+        failures.append(f"flight dump missing: {dump!r}")
+    else:
+        kinds = set()
+        with open(dump, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if rec.get("type") == "event":
+                    kinds.add(rec.get("kind"))
+        if "worker_restarted" not in kinds:
+            failures.append(
+                f"flight dump has no worker_restarted event (kinds: {sorted(kinds)})"
+            )
+        else:
+            print(f"obs-smoke: flight dump OK ({dump}; events: {sorted(kinds)})")
+    return record
+
+
+def _stage_slo_report(artifacts: Path, failures: list) -> None:
+    """Drive the report CLI against a freshly-rendered metrics scrape."""
+    from ..perf.metrics_export import render_openmetrics
+    from ..telemetry.counters import CounterRegistry
+    from .report import run_report
+    from .slo import SloTracker
+
+    registry = CounterRegistry()
+    slo = SloTracker(registry)
+    for i in range(200):
+        slo.observe("acme", "learn", 0.4 + (i % 7) * 0.01)
+        slo.observe("acme", "act", 0.2)
+    slo.error("acme", "deadline")
+    metrics_path = artifacts / "metrics.txt"
+    metrics_path.write_text(render_openmetrics(registry), encoding="utf-8")
+
+    thresholds = {
+        "default": {"p99_ms": 1000.0, "max_errors": {"deadline": 5}},
+        "tenants": {"acme": {"p95_ms": 500.0}},
+    }
+    slo_path = artifacts / "slo.json"
+    slo_path.write_text(json.dumps(thresholds), encoding="utf-8")
+
+    code, text = run_report(str(metrics_path), slo_path=str(slo_path))
+    if code != 0:
+        failures.append(f"slo report burned on healthy data (exit {code}):\n{text}")
+    else:
+        print("obs-smoke: slo report OK (0 budgets burned)")
+
+
+def _stage_overhead(artifacts: Path, failures: list) -> None:
+    from .overhead import TRACING_OVERHEAD_BUDGET, measure_serve_tracing_overhead
+
+    entry = measure_serve_tracing_overhead(quick=True)
+    (artifacts / "overhead.json").write_text(
+        json.dumps(entry, indent=2), encoding="utf-8"
+    )
+    ratio = entry.get("ratio")
+    if ratio is None:
+        failures.append("overhead measurement produced no ratio")
+    elif ratio > TRACING_OVERHEAD_BUDGET:
+        failures.append(
+            f"tracing overhead {ratio:.3f} exceeds budget "
+            f"{TRACING_OVERHEAD_BUDGET} (1-in-{entry.get('sample_stride')} sampling)"
+        )
+    else:
+        print(
+            f"obs-smoke: overhead OK (ratio {ratio:.3f} <= "
+            f"{TRACING_OVERHEAD_BUDGET}, {entry['passes']} pass(es))"
+        )
+
+
+def run_obs_smoke(*, artifacts_dir: str = "obs-artifacts") -> int:
+    """Run all three gate stages; returns a process exit code."""
+    from ..backends.sharded import install_signal_cleanup
+
+    install_signal_cleanup()
+    artifacts = Path(artifacts_dir)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    failures: list = []
+    _stage_traced_run(artifacts, failures)
+    _stage_slo_report(artifacts, failures)
+    _stage_overhead(artifacts, failures)
+    if failures:
+        for failure in failures:
+            print(f"obs-smoke: FAIL: {failure}")
+        return 1
+    print("obs-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_obs_smoke())

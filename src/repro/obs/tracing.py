@@ -1,0 +1,362 @@
+"""Distributed trace propagation for the serving stack.
+
+A *trace* is one causally-related tree of timed *spans* — one client
+request, or one watchdog recovery pass — identified by a ``trace_id``;
+every span carries its own ``span_id`` and its ``parent_id`` (``None``
+for the trace root).  Timestamps are ``time.monotonic()`` — on Linux
+that is ``CLOCK_MONOTONIC``, a single system-wide clock, so spans
+recorded in the gateway process and in a sharded worker process land
+on one comparable timeline.
+
+Propagation is deliberately tiny:
+
+* in-process, the current span rides a :class:`contextvars.ContextVar`
+  (one module-level stack), so parentage flows correctly through
+  threads **and** interleaved asyncio tasks (each task runs in its own
+  context copy) and across the :class:`Tracer` instances of different
+  layers (client / gateway / session / backend share the stack);
+* across the wire, :func:`ctx_to_wire` renders the current context as
+  the protocol's optional ``trace`` request field
+  (``{"trace_id", "span_id"}``) and :func:`ctx_from_wire` parses it on
+  the far side — the sender's span id becomes the receiver's parent.
+  Parsing is *tolerant*: anything malformed yields ``None`` (no trace)
+  rather than an error, because observability must never break
+  traffic;
+* across a ``multiprocessing`` Pipe, the same wire dict rides as an
+  optional trailing command element (see
+  :mod:`repro.backends.sharded`), and the worker ships its finished
+  spans back in the reply.
+
+Finished spans land in a bounded, thread-safe :class:`SpanRing`
+(oldest dropped first — tracing is a flight recorder, not an audit
+log) and optionally into a ``sink`` callable (the on-disk
+:class:`~repro.obs.recorder.FlightRecorder`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+#: Default bounded capacity of a per-process span ring.
+DEFAULT_RING_CAPACITY = 65536
+
+#: The in-process current-span stack, shared by every Tracer so that
+#: parentage flows across layer boundaries (gateway -> session -> ...).
+#: Held as an immutable tuple: asyncio tasks and threads each see their
+#: own context copy, so pushes never leak between concurrent requests.
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "qtaccel_obs_span_stack", default=()
+)
+
+
+# Id generation is on the serve hot path (every span needs one or two
+# fresh ids), so it must be allocation-cheap: a per-process random
+# prefix (collision avoidance across processes) plus a local counter
+# (uniqueness within the process).  ~10x faster than os.urandom().
+_ID_PREFIX = f"{os.getpid() & 0xFFFF:04x}{int.from_bytes(os.urandom(4), 'big'):08x}"
+_ID_COUNTER = itertools.count(1)
+
+
+def new_id() -> str:
+    """A fresh process-unique hex id (trace or span)."""
+    return f"{_ID_PREFIX}{next(_ID_COUNTER):08x}"
+
+
+def _reseed_ids() -> None:
+    """Refresh the id prefix (called after fork into a worker process)."""
+    global _ID_PREFIX, _ID_COUNTER
+    _ID_PREFIX = (
+        f"{os.getpid() & 0xFFFF:04x}{int.from_bytes(os.urandom(4), 'big'):08x}"
+    )
+    _ID_COUNTER = itertools.count(1)
+
+
+class TraceContext:
+    """The propagated identity of a position in a trace."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext(trace={self.trace_id}, span={self.span_id})"
+
+
+def ctx_to_wire(ctx: Optional[TraceContext]) -> Optional[dict]:
+    """Render a context as the protocol's optional ``trace`` field."""
+    if ctx is None:
+        return None
+    return {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+
+
+def ctx_from_wire(field) -> Optional[TraceContext]:
+    """Parse a ``trace`` request field; tolerant of any malformed shape.
+
+    Returns ``None`` (meaning: no trace context) for anything that is
+    not a dict carrying non-empty string ids — tracing is advisory and
+    must never turn a valid request into an error.
+    """
+    if not isinstance(field, dict):
+        return None
+    trace_id = field.get("trace_id")
+    span_id = field.get("span_id")
+    if (
+        isinstance(trace_id, str)
+        and isinstance(span_id, str)
+        and 0 < len(trace_id) <= 64
+        and 0 < len(span_id) <= 64
+    ):
+        return TraceContext(trace_id, span_id)
+    return None
+
+
+class Span:
+    """One timed operation in a trace; doubles as its own context
+    manager while in flight (single allocation on the serve hot path).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "proc",
+        "start",
+        "end",
+        "attrs",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        proc: str,
+        start: float,
+        end: float = 0.0,
+        attrs: Optional[dict] = None,
+        _tracer: Optional["Tracer"] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.proc = proc
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+        self._tracer = _tracer
+        self._token = None
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the (in-flight) span."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._token = _SPAN_STACK.set(_SPAN_STACK.get() + (self.context,))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        token = self._token
+        if token is not None:
+            _SPAN_STACK.reset(token)
+            self._token = None
+        self.end = time.monotonic()
+        if exc_type is not None:
+            self.set("error", exc_type.__name__)
+        tracer = self._tracer
+        if tracer is not None:
+            self._tracer = None
+            tracer.record(self)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "proc": self.proc,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            str(payload.get("name", "?")),
+            str(payload.get("trace_id", "?")),
+            str(payload.get("span_id", "?")),
+            payload.get("parent_id"),
+            str(payload.get("proc", "?")),
+            float(payload.get("start", 0.0)),
+            float(payload.get("end", 0.0)),
+            payload.get("attrs"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, proc={self.proc}, "
+            f"dur={self.duration * 1e3:.3f}ms)"
+        )
+
+
+class SpanRing:
+    """Bounded, thread-safe ring of finished spans (oldest drop first).
+
+    ``append`` is on the serve hot path, so it leans on the GIL
+    (``deque.append`` with ``maxlen`` is a single atomic operation)
+    instead of a lock; the ``total`` counter is best-effort under
+    concurrent writers, which is fine for a drop statistic.  Snapshot
+    reads retry around the rare concurrent-mutation race.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self.total = 0
+
+    def append(self, span: Span) -> None:
+        self._spans.append(span)
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.total - len(self._spans))
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def _snapshot(self) -> list[Span]:
+        for _ in range(8):
+            try:
+                return list(self._spans)
+            except RuntimeError:  # deque mutated during iteration
+                continue
+        return list(self._spans.copy())
+
+    def spans(self) -> list[Span]:
+        """A snapshot of the retained spans, oldest first."""
+        return self._snapshot()
+
+    def drain(self) -> list[Span]:
+        """Remove and return every retained span."""
+        out = self._snapshot()
+        for _ in out:
+            try:
+                self._spans.popleft()
+            except IndexError:
+                break
+        return out
+
+
+class Tracer:
+    """Creates spans for one layer (``proc`` label) into one ring.
+
+    Several tracers may share a ring (one merged per-process buffer,
+    distinct ``proc`` labels) — the ambient parent stack is
+    module-global either way, so a ``session.learn`` span opened under
+    a ``server.learn`` span parents correctly even though different
+    Tracer instances created them.
+    """
+
+    def __init__(
+        self,
+        proc: str = "main",
+        *,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        ring: Optional[SpanRing] = None,
+        sink: Optional[Callable[[Span], None]] = None,
+    ):
+        self.proc = proc
+        self.ring = ring if ring is not None else SpanRing(capacity)
+        self.sink = sink
+
+    def fork(self, proc: str) -> "Tracer":
+        """A tracer for another layer sharing this ring and sink."""
+        return Tracer(proc, ring=self.ring, sink=self.sink)
+
+    # -- ambient context ------------------------------------------------ #
+
+    @staticmethod
+    def current_context() -> Optional[TraceContext]:
+        stack = _SPAN_STACK.get()
+        return stack[-1] if stack else None
+
+    def wire_context(self) -> Optional[dict]:
+        """The current context as the protocol ``trace`` field (or None)."""
+        return ctx_to_wire(self.current_context())
+
+    # -- span creation --------------------------------------------------- #
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[TraceContext] = None,
+        attrs: Optional[dict] = None,
+    ) -> Span:
+        """Open a span: child of ``parent``, else of the ambient span,
+        else the root of a fresh trace.  Use as a context manager."""
+        if parent is None:
+            stack = _SPAN_STACK.get()
+            parent = stack[-1] if stack else None
+        span_id = new_id()
+        if parent is None:
+            # Root convention: the trace id IS the root's span id.
+            trace_id, parent_id = span_id, None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(
+            name,
+            trace_id,
+            span_id,
+            parent_id,
+            self.proc,
+            time.monotonic(),
+            0.0,
+            attrs,
+            self,
+        )
+
+    def record(self, span: Span) -> None:
+        """File one finished span (ring + optional sink)."""
+        self.ring.append(span)
+        sink = self.sink
+        if sink is not None:
+            try:
+                sink(span)
+            except Exception:  # pragma: no cover - sinks are best-effort
+                pass
+
+    def adopt(self, spans: Iterable) -> int:
+        """File spans shipped back from another process (dicts or Spans)."""
+        n = 0
+        for item in spans or ():
+            self.record(item if isinstance(item, Span) else Span.from_dict(item))
+            n += 1
+        return n

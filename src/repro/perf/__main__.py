@@ -139,7 +139,10 @@ def _cmd_serve(args) -> int:
     if record.get("errors"):
         return 1
     degraded = None
-    if args.chaos:
+    if args.chaos or args.trace:
+        # Only the chaos run is traced: the healthy serve_throughput
+        # record must stay comparable against untraced baselines, and
+        # tracing cost has its own dedicated measurement below.
         degraded = run_serve_throughput(
             engine="sharded",
             lanes=args.lanes,
@@ -149,17 +152,31 @@ def _cmd_serve(args) -> int:
             num_workers=args.workers,
             quick=args.quick,
             chaos=True,
+            trace_path=args.trace,
+            recorder_dir=args.recorder_dir,
         )
         print()
         print(render_serve_throughput(degraded))
         if degraded.get("errors"):
             return 1
+    overheads = None
+    if not args.no_overhead:
+        from ..obs.overhead import measure_serve_tracing_overhead
+
+        entry = measure_serve_tracing_overhead(quick=args.quick)
+        overheads = {"serve_tracing": entry}
+        ratio, budget = entry.get("ratio"), entry.get("budget")
+        print(
+            f"\ntracing overhead: ratio {ratio:.4f} vs serve_untraced "
+            f"(budget {budget}, 1-in-{entry.get('sample_stride')} sampling)"
+        )
     snapshot = build_snapshot(
         {},
         source="serve-bench",
         config={"quick": args.quick},
         serve_throughput=record,
         degraded_throughput=degraded,
+        overheads=overheads,
     )
     path = args.output if args.output else next_bench_path(".")
     write_snapshot(snapshot, path)
@@ -334,6 +351,24 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the degraded bench: the same load on a sharded "
         "backend with worker 0 SIGSTOP'd, timed through the watchdog's "
         "kill/restart/replay recovery (recorded under degraded_throughput)",
+    )
+    p_serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="run the chaos bench fully traced (sample 1.0) and write the "
+        "merged client/gateway/session/shard timeline as a Chrome "
+        "trace_event file at PATH (implies --chaos)",
+    )
+    p_serve.add_argument(
+        "--recorder-dir",
+        metavar="DIR",
+        help="attach a flight recorder to the traced chaos bench and dump "
+        "it (events + spans) under DIR",
+    )
+    p_serve.add_argument(
+        "--no-overhead",
+        action="store_true",
+        help="skip the tracing-overhead measurement (overheads.serve_tracing)",
     )
     p_serve.add_argument(
         "--output", metavar="PATH", help="snapshot path (default: next BENCH_<n>.json in .)"

@@ -33,6 +33,19 @@ under the snapshot's ``degraded_throughput`` key, so the regression
 sentinel gates not just how fast the gateway is, but how fast it is
 *while recovering* — the robustness number a deployment actually
 plans around.
+
+``tracing=True`` (CLI: ``--trace PATH``) attaches a shared-ring
+tracer to every layer — the client threads, the gateway, the session
+manager and the sharded parent (whose workers ship their spans back
+through the Pipe) — with hot-op sampling forced to 1.0 so *every*
+request yields a complete trace, merges the ring into one validated
+Chrome ``trace_event`` file at ``trace_path``, and reports the span
+census under the record's ``trace`` key.  ``recorder_dir`` adds an
+on-disk flight recorder capturing structured chaos events (worker
+kills, restarts, replays) alongside the spans.  The *healthy* bench is
+left untraced so ``serve_throughput`` stays comparable across
+snapshots; tracing cost is pinned separately by
+:mod:`repro.obs.overhead`.
 """
 
 from __future__ import annotations
@@ -77,6 +90,9 @@ def run_serve_throughput(
     mp_context: Optional[str] = None,
     quick: bool = False,
     chaos: bool = False,
+    tracing: bool = False,
+    trace_path: Optional[str] = None,
+    recorder_dir: Optional[str] = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> dict:
     """Measure gateway throughput and action latency under load.
@@ -87,6 +103,10 @@ def run_serve_throughput(
     ``degraded_throughput``: worker 0 is SIGSTOP'd before the load
     starts and the bench times the gateway *through* the watchdog's
     kill/restart/journal-replay recovery.
+
+    ``tracing`` (implied by ``trace_path``) runs the whole stack
+    traced at sample rate 1.0; ``recorder_dir`` attaches and dumps a
+    flight recorder.  See the module docstring.
     """
     if chaos and engine != "sharded":
         raise ValueError(
@@ -113,6 +133,18 @@ def run_serve_throughput(
     from ..serve.gateway import Gateway, run_gateway_in_thread
     from ..serve.session import SessionManager, build_serve_backend
 
+    tracing = tracing or trace_path is not None
+    tracer = None
+    recorder = None
+    if tracing:
+        from ..obs.tracing import SpanRing, Tracer
+
+        tracer = Tracer("client", ring=SpanRing(1 << 17))
+    if recorder_dir:
+        from ..obs.recorder import open_recorder
+
+        recorder = open_recorder(recorder_dir)
+
     config = QTAccelConfig.qlearning(seed=11)
     backend_kw: dict = {}
     if chaos:
@@ -131,13 +163,25 @@ def run_serve_throughput(
         mp_context=mp_context,
         **backend_kw,
     )
-    manager = SessionManager(backend, checkpoint_every=128)
+    manager = SessionManager(
+        backend,
+        checkpoint_every=128,
+        tracer=tracer.fork("session") if tracer else None,
+        recorder=recorder,
+    )
     gateway = Gateway(
         manager,
         port=0,
         admission_timeout_s=30.0,
         maintenance_interval_s=0.1 if chaos else 0.25,
+        tracer=tracer.fork("gateway") if tracer else None,
+        recorder=recorder,
     )
+    # The sharded parent adopts worker-shipped spans into the shared
+    # ring; other engines have no worker processes to trace.
+    if hasattr(backend, "obs_tracer"):
+        backend.obs_tracer = tracer.fork("backend") if tracer else None
+        backend.obs_recorder = recorder
     thread, loop = run_gateway_in_thread(gateway)
     if chaos:
         backend.hang_worker(0)
@@ -155,7 +199,12 @@ def run_serve_throughput(
         local_lat: list[float] = []
         done = 0
         try:
-            with ServeClient(port=gateway.port) as client:
+            # Sample 1.0 when traced: the bench exists to produce
+            # complete traces, not to measure tracing cost (that is
+            # repro.obs.overhead's job).
+            with ServeClient(
+                port=gateway.port, tracer=tracer, trace_sample=1.0
+            ) as client:
                 while True:
                     try:
                         work.get_nowait()
@@ -206,6 +255,36 @@ def run_serve_throughput(
     wall = clock() - t_start
 
     info = manager.server_info()
+    trace_report: Optional[dict] = None
+    if tracer is not None:
+        from ..obs.collector import validate_span_tree, write_chrome_trace
+
+        spans = tracer.ring.spans()
+        problems = validate_span_tree(spans)
+        trace_report = {
+            "spans": len(spans),
+            "dropped": tracer.ring.dropped,
+            "procs": sorted({s.proc for s in spans}),
+            "problems": problems,
+        }
+        if trace_path is not None:
+            try:
+                write_chrome_trace(
+                    trace_path,
+                    spans,
+                    meta={"bench": "serve", "chaos": bool(chaos)},
+                )
+                trace_report["path"] = str(trace_path)
+            except (OSError, ValueError) as exc:
+                trace_report["problems"] = list(problems) + [
+                    f"chrome trace not written: {exc}"
+                ]
+        if recorder is not None:
+            trace_report["recorder"] = recorder.dump(spans=spans)
+    elif recorder is not None:
+        recorder.dump()
+    if recorder is not None:
+        recorder.close()
     asyncio.run_coroutine_threadsafe(gateway.close(), loop).result(timeout=30)
     loop.call_soon_threadsafe(loop.stop)
     thread.join(timeout=10)
@@ -235,6 +314,12 @@ def run_serve_throughput(
         "recoveries": info["recoveries"],
         "errors": errors,
     }
+    if trace_report is not None:
+        record["trace"] = trace_report
+        if trace_report["problems"]:
+            record["errors"] = list(record["errors"]) + [
+                f"trace: {p}" for p in trace_report["problems"][:5]
+            ]
     if chaos:
         record["chaos"] = True
         record["hangs"] = getattr(backend, "hangs", 0)
@@ -279,6 +364,17 @@ def render_serve_throughput(record: dict) -> str:
             f"  chaos:       {record.get('hangs', 0)} hung worker(s) detected, "
             f"{record.get('restarts', 0)} shard restart(s)"
         )
+    trace = record.get("trace")
+    if trace:
+        line = (
+            f"  trace:       {trace.get('spans')} span(s) across "
+            f"{', '.join(trace.get('procs', []))}"
+        )
+        if trace.get("path"):
+            line += f" -> {trace['path']}"
+        out.append(line)
+        if trace.get("recorder"):
+            out.append(f"  recorder:    {trace['recorder']}")
     if record.get("errors"):
         out.append(f"  ERRORS: {record['errors']}")
     return "\n".join(out)

@@ -27,6 +27,21 @@ Resilience (all opt-out via ``max_attempts=1``):
 Errors come back as :class:`ServeError` carrying the wire error code
 (and the server's ``retry_after`` hint when present), so callers can
 branch on ``exc.code == "at_capacity"`` etc.
+
+Observability: constructed with a ``tracer``
+(:class:`repro.obs.tracing.Tracer`), the client opens one
+``client.<op>`` span per request — covering every reconnect/retry
+attempt, i.e. the tenant-visible round-trip — and sends its context as
+the protocol's optional ``trace`` field, so the gateway's server-side
+spans parent under it in a merged timeline.  The hot per-transition
+ops (``protocol.SAMPLED_OPS``) are *head-sampled*: only every
+``1/trace_sample``-th such request starts a trace (default 1-in-16), a
+decision the gateway inherits via the presence of the ``trace`` field,
+which is what keeps tracing inside its <5% throughput budget — pass
+``trace_sample=1.0`` to trace everything.  Structural ops are always
+traced.  A ``tenant`` label, when set, rides on every ``open`` for
+per-tenant SLO accounting.  All of it is ignored by gateways that
+predate the fields.
 """
 
 from __future__ import annotations
@@ -37,6 +52,17 @@ import time
 from typing import Iterable, Optional, Sequence
 
 from . import protocol
+
+#: Default head-sampling rate for the hot ops (``SAMPLED_OPS``): one
+#: traced request in sixteen.  A sampled request pays the full two-span
+#: client+gateway cost (~25us end-to-end on loopback, GIL ping-pong
+#: included), so 1-in-16 keeps steady-state tracing at ~1.5% of serve
+#: throughput — comfortably inside the 5% budget that
+#: :mod:`repro.obs.overhead` gates (see there for the measurement).
+DEFAULT_TRACE_SAMPLE = 0.0625
+
+#: Per-op client span names, precomputed off the hot path.
+_SPAN_NAMES = {op: f"client.{op}" for op in protocol.OPS}
 
 
 class ServeError(Exception):
@@ -66,6 +92,9 @@ class ServeClient:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         rng: Optional[random.Random] = None,
+        tracer=None,
+        tenant: Optional[str] = None,
+        trace_sample: float = DEFAULT_TRACE_SAMPLE,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -75,6 +104,14 @@ class ServeClient:
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.tracer = tracer
+        self.tenant = tenant
+        # Deterministic stride sampling (cheaper than random() and
+        # reproducible in tests): hot ops trace every Nth request.
+        self._trace_stride = (
+            max(1, round(1.0 / trace_sample)) if trace_sample > 0 else 0
+        )
+        self._trace_tick = 0
         self._rng = rng if rng is not None else random.Random()
         self.retries = 0
         self.reconnects = 0
@@ -146,6 +183,35 @@ class ServeClient:
         absorbs the replay.
         """
         retry_safe = idempotent or ("seq" in message and "session" in message)
+        op = message.get("op")
+        if self.tenant is not None and op == "open":
+            message = {**message, "tenant": self.tenant}
+        if self.tracer is None:
+            return self._attempts(message, retry_safe)
+        if op in protocol.SAMPLED_OPS:
+            # Head sampling: only every Nth hot-op request starts a
+            # trace; the gateway inherits the decision from the
+            # presence (or absence) of the `trace` field.
+            tick = self._trace_tick
+            self._trace_tick = tick + 1
+            if self._trace_stride == 0 or tick % self._trace_stride:
+                return self._attempts(message, retry_safe)
+        # One client span covers the whole tenant-visible round-trip,
+        # reconnects and retries included; its context rides the wire so
+        # the gateway's server span parents under it.
+        with self.tracer.span(_SPAN_NAMES.get(op, "client.?")) as span:
+            traced = {
+                **message,
+                "trace": {"trace_id": span.trace_id, "span_id": span.span_id},
+            }
+            before = self.retries
+            try:
+                return self._attempts(traced, retry_safe)
+            finally:
+                if self.retries != before:
+                    span.set("retries", self.retries - before)
+
+    def _attempts(self, message: dict, retry_safe: bool) -> dict:
         attempts = self.max_attempts if retry_safe else 1
         last_exc: Optional[Exception] = None
         for attempt in range(attempts):
@@ -185,11 +251,18 @@ class ServeClient:
     def server_info(self) -> dict:
         return self.request({"op": "server"}, idempotent=True)
 
-    def open_session(self, deadline_ms: Optional[float] = None) -> "ServeSession":
+    def open_session(
+        self,
+        deadline_ms: Optional[float] = None,
+        *,
+        tenant: Optional[str] = None,
+    ) -> "ServeSession":
         """Lease a lane (raises ``ServeError(at_capacity)`` when full)."""
         message: dict = {"op": "open"}
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
+        if tenant is not None:
+            message["tenant"] = tenant
         resp = self.request(message)
         return ServeSession(self, resp)
 

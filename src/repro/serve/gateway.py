@@ -42,6 +42,15 @@ clean typed errors, never silence):
   of a misbehaving or byte-garbling peer;
 * ``response_delay_s`` (chaos hook) injects latency in front of every
   response so client timeout/retry paths can be exercised end-to-end.
+
+Observability (all optional, see :mod:`repro.obs`): a ``tracer`` makes
+the gateway open one ``server.<op>`` span per request — parented under
+the client's span when the request carries the protocol's ``trace``
+field — plus a ``server.admit`` span while an ``open`` waits in the
+admission queue; a ``recorder`` files structured events (breaker
+trips, orphan expiries) into the flight recorder; and when the manager
+has a telemetry session, per-tenant SLO latency histograms and
+error-budget counters land in the same registry ``/metrics`` renders.
 """
 
 from __future__ import annotations
@@ -60,11 +69,17 @@ from .session import SessionManager
 
 log = logging.getLogger("repro.serve")
 
+#: Reusable no-op context for the untraced request path.
+_NOSPAN = contextlib.nullcontext()
+
 #: Error codes that count against a connection's circuit breaker —
 #: client faults only; server-side pressure must not trip the breaker.
 _BREAKER_FAULTS = frozenset(
     {protocol.E_BAD_REQUEST, protocol.E_FORBIDDEN, protocol.E_NO_SESSION}
 )
+
+#: Per-op server span names, precomputed off the hot path.
+_SPAN_NAMES = {op: f"server.{op}" for op in protocol.OPS}
 
 
 class _Breaker:
@@ -82,15 +97,20 @@ class _Breaker:
         """Seconds until the breaker closes again (0.0 = closed)."""
         return max(0.0, self.open_until - now)
 
-    def record(self, code: Optional[str], now: float) -> None:
-        """Account one response: ``code`` is the error code or None (ok)."""
+    def record(self, code: Optional[str], now: float) -> bool:
+        """Account one response: ``code`` is the error code or None (ok).
+
+        Returns True when this response tripped the breaker open.
+        """
         if code is None or code not in _BREAKER_FAULTS:
             self.faults = 0
-            return
+            return False
         self.faults += 1
         if self.threshold > 0 and self.faults >= self.threshold:
             self.open_until = now + self.cooldown_s
             self.faults = 0
+            return True
+        return False
 
 
 class Gateway:
@@ -109,6 +129,8 @@ class Gateway:
         breaker_threshold: int = 32,
         breaker_cooldown_s: float = 1.0,
         response_delay_s: float = 0.0,
+        tracer=None,
+        recorder=None,
     ):
         self.manager = manager
         self.host = host
@@ -128,6 +150,18 @@ class Gateway:
         self._admission_waiters = 0
         self._conn_ids = itertools.count(1)
         self._closing = False
+        #: Optional :class:`repro.obs.tracing.Tracer` (per-request
+        #: ``server.<op>`` spans) and
+        #: :class:`repro.obs.recorder.FlightRecorder` (structured events).
+        self._tracer = tracer
+        self._recorder = recorder
+        #: Per-tenant SLO instruments, written into the same registry
+        #: the ``/metrics`` endpoint renders (None without telemetry).
+        self._slo = None
+        if manager._telemetry is not None:
+            from ..obs.slo import SloTracker
+
+            self._slo = SloTracker(manager._telemetry.registry)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -194,6 +228,7 @@ class Gateway:
                 expired = await asyncio.to_thread(self.manager.expire_orphans)
                 if expired:
                     log.info("expired %d orphaned session(s): %s", len(expired), expired)
+                    self._event("orphans_expired", sessions=expired)
                     await self._notify_admission()
             except Exception:  # pragma: no cover - defensive
                 log.exception("maintenance probe failed")
@@ -244,6 +279,9 @@ class Gateway:
     async def _dispatch(self, line: bytes, conn_id: int, breaker: _Breaker) -> dict:
         req: dict = {}
         code: Optional[str] = None
+        op = None
+        tenant: Optional[str] = None
+        t0 = time.perf_counter()
         try:
             req = protocol.decode(line)
             op = req.get("op")
@@ -253,15 +291,30 @@ class Gateway:
                 )
             if self._closing:
                 raise ProtocolError(protocol.E_CLOSED, "gateway is shutting down")
+            tenant = self._tenant_for(op, req)
             cooldown = breaker.check(time.monotonic())
             if cooldown > 0:
+                code = protocol.E_THROTTLED
+                self.manager.note_throttled(tenant)
                 return protocol.error(
                     protocol.E_THROTTLED,
                     "circuit breaker open after repeated bad requests",
                     req=req,
                     retry_after=cooldown,
                 )
-            return await self._handle_op(op, req, conn_id)
+            if self._tracer is None:
+                return await self._handle_op(op, req, conn_id, tenant)
+            ctx = protocol.parse_trace(req)
+            if ctx is None and op in protocol.SAMPLED_OPS:
+                # Hot ops follow the client's head-sampling decision:
+                # no incoming context means this request was not
+                # sampled, so the server does not trace it either.
+                return await self._handle_op(op, req, conn_id, tenant)
+            # The server-side span of this request, parented under the
+            # client's span when the request carries a `trace` field.
+            with self._tracer.span(_SPAN_NAMES[op], parent=ctx) as span:
+                span.set("conn", conn_id)
+                return await self._handle_op(op, req, conn_id, tenant)
         except ProtocolError as exc:
             code = exc.code
             return protocol.error(
@@ -272,9 +325,38 @@ class Gateway:
             log.exception("internal error serving %r", req.get("op"))
             return protocol.error(protocol.E_INTERNAL, str(exc), req=req)
         finally:
-            breaker.record(code, time.monotonic())
+            if breaker.record(code, time.monotonic()):
+                self._event("breaker_trip", conn=conn_id, tenant=tenant)
+            if self._slo is not None and op in protocol.OPS:
+                self._slo.observe(tenant, op, (time.perf_counter() - t0) * 1e3)
+                if code is not None:
+                    self._slo.error(tenant, code)
 
-    async def _handle_op(self, op: str, req: dict, conn_id: int) -> dict:
+    def _tenant_for(self, op: str, req: dict) -> Optional[str]:
+        """Resolve the tenant a request bills to (None -> ``anon``)."""
+        if op == "open":
+            return protocol.parse_tenant(req)
+        sid = req.get("session")
+        if isinstance(sid, str):
+            return self.manager.tenant_of(sid)
+        return None
+
+    def _span(self, name: str, **attrs):
+        if self._tracer is None:
+            return _NOSPAN
+        attrs = {k: v for k, v in attrs.items() if v is not None}
+        return self._tracer.span(name, attrs=attrs or None)
+
+    def _event(self, kind: str, **fields) -> None:
+        if self._recorder is not None:
+            try:
+                self._recorder.record_event(kind, **fields)
+            except Exception:  # pragma: no cover - recorder is best-effort
+                pass
+
+    async def _handle_op(
+        self, op: str, req: dict, conn_id: int, tenant: Optional[str] = None
+    ) -> dict:
         manager = self.manager
         deadline = protocol.parse_deadline(req, now=time.monotonic())
         if op == "ping":
@@ -284,7 +366,7 @@ class Gateway:
             info["protocol"] = protocol.PROTOCOL
             return protocol.ok(info, req=req)
         if op == "open":
-            rec = await self._admit(conn_id, deadline)
+            rec = await self._admit(conn_id, deadline, tenant)
             return protocol.ok(
                 {
                     "session": rec.sid,
@@ -314,7 +396,11 @@ class Gateway:
         if op in protocol.MUTATING_OPS and seq is not None:
             cached = manager.seq_check(sid, seq)
             if cached is not None:
-                return cached  # retried request: replay the cached reply
+                # Retried request: replay the cached reply.  The replay
+                # is the server-visible trace of a client retry, so it
+                # feeds the tenant's retry budget.
+                manager.note_retry(tenant)
+                return cached
         if deadline is not None and time.monotonic() >= deadline:
             raise ProtocolError(
                 protocol.E_DEADLINE, "deadline expired before the op was applied"
@@ -375,7 +461,12 @@ class Gateway:
             manager.seq_record(sid, seq, reply)
         return reply
 
-    async def _admit(self, conn_id: Optional[int], deadline: Optional[float] = None):
+    async def _admit(
+        self,
+        conn_id: Optional[int],
+        deadline: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ):
         """Open a session, waiting up to ``admission_timeout_s`` for a lane.
 
         The wait queue is bounded: beyond ``max_admission_queue``
@@ -385,9 +476,9 @@ class Gateway:
         """
         manager = self.manager
         if manager.has_capacity():
-            return manager.open(owner=conn_id)
+            return manager.open(owner=conn_id, tenant=tenant)
         if self._admission_waiters >= self.max_admission_queue:
-            manager.note_shed()
+            manager.note_shed(tenant)
             raise ProtocolError(
                 protocol.E_AT_CAPACITY,
                 f"admission queue full ({self._admission_waiters} waiters); "
@@ -399,13 +490,16 @@ class Gateway:
             timeout = min(timeout, max(0.0, deadline - time.monotonic()))
         self._admission_waiters += 1
         try:
-            async with self._admission:
-                await asyncio.wait_for(
-                    self._admission.wait_for(manager.has_capacity),
-                    timeout=timeout,
-                )
+            # The queueing wait gets its own span so a merged trace
+            # shows admission time distinct from lane execution.
+            with self._span("server.admit", tenant=tenant):
+                async with self._admission:
+                    await asyncio.wait_for(
+                        self._admission.wait_for(manager.has_capacity),
+                        timeout=timeout,
+                    )
         except asyncio.TimeoutError:
-            manager.note_rejected()
+            manager.note_rejected(tenant)
             raise ProtocolError(
                 protocol.E_AT_CAPACITY,
                 f"no session slot freed within {timeout:.3g}s",
@@ -413,7 +507,7 @@ class Gateway:
             ) from None
         finally:
             self._admission_waiters -= 1
-        return manager.open(owner=conn_id)
+        return manager.open(owner=conn_id, tenant=tenant)
 
     async def _notify_admission(self) -> None:
         if self._admission is None:

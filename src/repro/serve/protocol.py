@@ -32,6 +32,20 @@ failure (all additive — protocol ``qtaccel-serve/2`` accepts every
   the same lane bit-exactly.  Requests from a connection that neither
   owns the session nor presents the token are refused (``forbidden``).
 
+Two further optional fields feed the observability layer
+(:mod:`repro.obs`); both are advisory, and — like every unknown
+optional field — a ``/2`` peer that does not understand them MUST
+ignore them rather than reject the request:
+
+* ``trace`` — a span context ``{"trace_id": str, "span_id": str}``
+  naming the client-side span this request belongs to; the gateway
+  parents its server-side spans under it so one request's timeline
+  spans client, gateway, session and shard worker.  Malformed values
+  are ignored (the request is served untraced), never rejected.
+* ``tenant`` — on ``open`` only: a tenant label for per-tenant SLO
+  accounting (latency histograms, shed/throttle/deadline error
+  budgets).  Sessions opened without it are accounted to ``anon``.
+
 Operations (see :doc:`docs/serving.md </serving>` for the full spec):
 
 =============  ==========================================================
@@ -111,6 +125,15 @@ OPS = frozenset(
 #: Ops whose application mutates session state and therefore honour the
 #: ``seq`` exactly-once cache (reads are naturally idempotent).
 MUTATING_OPS = frozenset({"learn", "act", "checkpoint", "restore"})
+
+#: The hot per-transition ops, traced only when head-sampled: the
+#: client decides (1-in-N) whether such a request starts a trace, and
+#: the gateway follows that decision by only tracing them when the
+#: request carries a ``trace`` context.  Every other op is structural
+#: (rare, milliseconds) and is always traced.  This is what keeps full
+#: tracing under its <5% overhead budget without losing whole-stack
+#: traces: a sampled trace is complete end to end.
+SAMPLED_OPS = frozenset({"learn", "act"})
 
 #: Largest accepted ``learn`` batch — bounds per-request gateway latency.
 MAX_BATCH = 4096
@@ -232,6 +255,34 @@ def parse_deadline(req: dict, *, now: float) -> float | None:
             E_DEADLINE, f"deadline_ms={budget} already expired on arrival"
         )
     return now + float(budget) / 1e3
+
+
+def parse_trace(req: dict):
+    """Pull the optional ``trace`` span context out of a request.
+
+    Returns a :class:`repro.obs.tracing.TraceContext` or ``None``.
+    Never raises: a malformed ``trace`` field means "untraced", not
+    ``bad_request`` — observability must not break traffic, and peers
+    that predate the field must stay compatible with ones that send it.
+    """
+    field = req.get("trace")
+    if field is None:
+        return None
+    from ..obs.tracing import ctx_from_wire
+
+    return ctx_from_wire(field)
+
+
+def parse_tenant(req: dict) -> str | None:
+    """Pull the optional ``open`` tenant label (None when absent/bad).
+
+    Like ``trace``, advisory: a non-string or empty tenant is treated
+    as absent rather than rejected.
+    """
+    tenant = req.get("tenant")
+    if isinstance(tenant, str) and tenant.strip():
+        return tenant.strip()[:64]
+    return None
 
 
 def parse_transition(req: dict, *, num_states: int, num_actions: int) -> tuple:

@@ -41,6 +41,7 @@ import secrets
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -56,6 +57,11 @@ from .protocol import (
     E_NO_SESSION,
     ProtocolError,
 )
+from ..obs.slo import DEFAULT_TENANT, sanitize_tenant
+
+#: Reusable no-op context for the untraced hot path (nullcontext is
+#: stateless, so one shared instance serves every call).
+_NOSPAN = nullcontext()
 
 
 def serve_world(num_states: int, num_actions: int) -> DenseMdp:
@@ -129,6 +135,9 @@ class SessionRecord:
     sid: str
     lane: int
     salt: int
+    #: Sanitized tenant label (``anon`` when ``open`` carried none);
+    #: keys the per-tenant SLO histograms and error budgets.
+    tenant: str = DEFAULT_TENANT
     #: Resume token: a connection that presents it adopts the session.
     token: str = ""
     #: Opaque id of the owning connection (None for direct API users).
@@ -178,6 +187,8 @@ class SessionManager:
         audit_every: int = 0,
         failover: Optional[str] = "vectorized",
         telemetry=None,
+        tracer=None,
+        recorder=None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -223,15 +234,33 @@ class SessionManager:
         self.transitions_total = 0
         self.queries_total = 0
         self.deadline_aborts = 0
+        self.throttled = 0
+        #: Per-tenant error-budget/lifecycle totals
+        #: (``{tenant: {key: n}}``), mirrored into the registry as
+        #: ``serve.tenant.<tenant>.<key>`` counters so one noisy tenant
+        #: cannot hide another's burn in the OpenMetrics output.
+        self.tenant_stats: dict[str, dict[str, int]] = {}
+        #: Optional :class:`repro.obs.tracing.Tracer` — spans the
+        #: structural ops (open/close/checkpoint/restore/batch/replay/
+        #: recovery/audit/failover); single learns/acts stay span-free
+        #: here because the gateway's per-request server span already
+        #: times them.
+        self._tracer = tracer
+        #: Optional :class:`repro.obs.recorder.FlightRecorder` for
+        #: structured events (recoveries, failovers, audit repairs,
+        #: deadline aborts).
+        self._recorder = recorder
 
         from ..telemetry.session import current_session
 
         session = telemetry if telemetry is not None else current_session()
         self._telemetry = session
         self._counters = None
+        self._tenant_counters = None
         if session is not None:
             session.attach(self, "serve")
             self._counters = session.group("serve.sessions")
+            self._tenant_counters = session.group("serve.tenant")
 
     # ------------------------------------------------------------------ #
     # Capacity
@@ -245,19 +274,34 @@ class SessionManager:
         with self._lock:
             return bool(self._free) and len(self._sessions) < self.max_sessions
 
-    def note_rejected(self) -> None:
+    def note_rejected(self, tenant: Optional[str] = None) -> None:
         """Record one admission refusal (called by the gateway on timeout)."""
         with self._lock:
             self.sessions_rejected += 1
             self._count("sessions_rejected", self.sessions_rejected)
+            self._tenant_count(tenant, "sessions_rejected")
 
-    def note_shed(self) -> None:
+    def note_shed(self, tenant: Optional[str] = None) -> None:
         """Record one load-shed refusal (admission queue already full)."""
         with self._lock:
             self.sessions_rejected += 1
             self.sessions_shed += 1
             self._count("sessions_rejected", self.sessions_rejected)
             self._count("sessions_shed", self.sessions_shed)
+            self._tenant_count(tenant, "sessions_rejected")
+            self._tenant_count(tenant, "sessions_shed")
+
+    def note_throttled(self, tenant: Optional[str] = None) -> None:
+        """Record one circuit-breaker refusal (gateway ``throttled``)."""
+        with self._lock:
+            self.throttled += 1
+            self._count("throttled", self.throttled)
+            self._tenant_count(tenant, "throttled")
+
+    def note_retry(self, tenant: Optional[str] = None) -> None:
+        """Record one exactly-once cache replay (a client retried)."""
+        with self._lock:
+            self._tenant_count(tenant, "retries")
 
     def retry_after_hint(self, pending: int = 0) -> float:
         """A computed retry hint for ``at_capacity`` refusals, in seconds.
@@ -278,12 +322,15 @@ class SessionManager:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
-    def open(self, owner: Optional[int] = None) -> SessionRecord:
+    def open(
+        self, owner: Optional[int] = None, tenant: Optional[str] = None
+    ) -> SessionRecord:
         """Lease a lane for a new session (``at_capacity`` if none free)."""
-        with self._lock:
+        with self._lock, self._span("session.open", tenant=tenant):
             if not self.has_capacity():
                 self.sessions_rejected += 1
                 self._count("sessions_rejected", self.sessions_rejected)
+                self._tenant_count(tenant, "sessions_rejected")
                 raise ProtocolError(
                     E_AT_CAPACITY,
                     f"all {self.max_sessions} session slots are leased",
@@ -297,6 +344,7 @@ class SessionManager:
                 sid=sid,
                 lane=lane,
                 salt=salt,
+                tenant=sanitize_tenant(tenant),
                 token=secrets.token_hex(8),
                 owner=owner,
                 opened_at=time.monotonic(),
@@ -308,6 +356,7 @@ class SessionManager:
             self.sessions_opened += 1
             self._count("sessions_open", len(self._sessions))
             self._count("sessions_opened", self.sessions_opened)
+            self._tenant_count(tenant, "sessions_opened")
             return rec
 
     def close(self, sid: str) -> None:
@@ -325,6 +374,7 @@ class SessionManager:
                 self._lifetime_ewma += 0.2 * (lifetime - self._lifetime_ewma)
             self._count("sessions_open", len(self._sessions))
             self._count("sessions_closed", self.sessions_closed)
+            self._tenant_count(rec.tenant, "sessions_closed")
 
     def close_all(self) -> None:
         with self._lock:
@@ -472,7 +522,7 @@ class SessionManager:
         retry of the whole batch stays exactly-once.
         """
         rows = list(transitions)
-        with self._lock:
+        with self._lock, self._span("session.learn_batch", size=len(rows)):
             rec = self._get(sid)
             undo = None
             if deadline is not None:
@@ -509,6 +559,14 @@ class SessionManager:
                     rec.journal = journal
                 self.deadline_aborts += 1
                 self._count("deadline_aborts", self.deadline_aborts)
+                self._tenant_count(rec.tenant, "deadline_aborts")
+                self._event(
+                    "deadline_abort",
+                    sid=sid,
+                    tenant=rec.tenant,
+                    applied=applied,
+                    batch=len(rows),
+                )
                 raise
             rec.samples += applied
             self.transitions_total += applied
@@ -549,7 +607,7 @@ class SessionManager:
 
     def checkpoint(self, sid: str, tag: Optional[str] = None) -> str:
         """Snapshot the session's lane under ``tag`` (auto-named if None)."""
-        with self._lock:
+        with self._lock, self._span("session.checkpoint"):
             rec = self._get(sid)
             rec.checkpoints += 1
             tag = tag if tag is not None else f"ckpt-{rec.checkpoints}"
@@ -560,7 +618,7 @@ class SessionManager:
 
     def restore(self, sid: str, tag: Optional[str] = None) -> str:
         """Roll the session's lane back to ``tag`` (default: latest)."""
-        with self._lock:
+        with self._lock, self._span("session.restore"):
             rec = self._get(sid)
             if tag is None:
                 entry = rec.store.latest()
@@ -600,19 +658,27 @@ class SessionManager:
         draws, so the lane lands bit-exactly where it was.
         """
         recovered = []
-        with self._lock:
+        with self._lock, self._span("session.recover_lanes", ranges=len(ranges)):
             for lo, hi in ranges:
                 for lane in range(lo, hi):
                     sid = self._lane_owner.get(lane)
                     if sid is None:
                         continue  # free lane; next lease re-seeds it anyway
                     rec = self._sessions[sid]
-                    self._replay(rec)
+                    with self._span(
+                        "session.replay", sid=sid, journal=len(rec.journal)
+                    ):
+                        self._replay(rec)
                     rec.recoveries += 1
                     self.recoveries += 1
                     recovered.append(sid)
             if recovered:
                 self._count("recoveries", self.recoveries)
+                self._event(
+                    "sessions_recovered",
+                    sessions=list(recovered),
+                    ranges=[list(r) for r in ranges],
+                )
         return recovered
 
     def _replay(self, rec: SessionRecord) -> None:
@@ -661,6 +727,7 @@ class SessionManager:
                     rec.repairs += 1
                     self.repairs += 1
                     repaired.append(sid)
+                    self._event("audit_repair", sid=sid, lane=rec.lane)
             self._audit_cursor = (self._audit_cursor + min(limit, len(sids))) % max(
                 1, len(sids)
             )
@@ -707,7 +774,7 @@ class SessionManager:
         copying: the next lease re-seeds them.  Tenants observe nothing
         but a brief stall.
         """
-        with self._lock:
+        with self._lock, self._span("session.failover"):
             old = self.backend
             from ..backends.base import make_fleet_backend
 
@@ -728,6 +795,11 @@ class SessionManager:
             self.backend = new
             self.failovers += 1
             self._count("failovers", self.failovers)
+            self._event(
+                "failover",
+                to=type(new).__name__,
+                sessions=len(self._sessions),
+            )
             old_close = getattr(old, "close", None)
             if old_close is not None:
                 try:
@@ -777,6 +849,8 @@ class SessionManager:
                 "audits": self.audits,
                 "repairs": self.repairs,
                 "deadline_aborts": self.deadline_aborts,
+                "throttled": self.throttled,
+                "tenants": {t: dict(v) for t, v in self.tenant_stats.items()},
                 "backend": type(self.backend).__name__,
                 "states": self.backend.S,
                 "actions": self.backend.A,
@@ -808,3 +882,32 @@ class SessionManager:
     def _count(self, name: str, value: int) -> None:
         if self._counters is not None:
             self._counters.set(name, value)
+
+    def _tenant_count(self, tenant: Optional[str], key: str, n: int = 1) -> None:
+        """Bump one per-tenant error-budget/lifecycle counter."""
+        t = tenant if tenant in self.tenant_stats else sanitize_tenant(tenant)
+        stats = self.tenant_stats.setdefault(t, {})
+        stats[key] = stats.get(key, 0) + n
+        if self._tenant_counters is not None:
+            self._tenant_counters.inc(f"{t}.{key}", n)
+
+    def tenant_of(self, sid: str) -> Optional[str]:
+        """The (sanitized) tenant of ``sid``, or ``None`` when unknown."""
+        with self._lock:
+            rec = self._sessions.get(sid)
+            return rec.tenant if rec is not None else None
+
+    def _span(self, name: str, **attrs):
+        """A session-layer span, or the shared no-op context untraced."""
+        if self._tracer is None:
+            return _NOSPAN
+        attrs = {k: v for k, v in attrs.items() if v is not None}
+        return self._tracer.span(name, attrs=attrs or None)
+
+    def _event(self, kind: str, **fields) -> None:
+        """Best-effort structured event into the flight recorder."""
+        if self._recorder is not None:
+            try:
+                self._recorder.record_event(kind, **fields)
+            except Exception:  # pragma: no cover - recorder is best-effort
+                pass

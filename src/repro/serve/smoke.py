@@ -14,6 +14,11 @@ slots for a few seconds, SIGKILLs a shard worker mid-run, and asserts:
   replay were all invisible to the tenant.
 
 Exit status 0 on success, 1 on any violation (the CI job gates on it).
+
+``--obs-dir DIR`` attaches a flight recorder (see
+:mod:`repro.obs.recorder`); on a red run the surviving event ring is
+merged into ``DIR/flight_dump.jsonl`` so the failure ships its own
+post-mortem.
 """
 
 from __future__ import annotations
@@ -113,8 +118,15 @@ def main(argv=None) -> int:
         "--kill-at", type=float, default=0.4,
         help="inject the worker kill at this fraction of the run",
     )
+    parser.add_argument(
+        "--obs-dir", default=None,
+        help="flight-recorder directory (dumped on failure)",
+    )
     args = parser.parse_args(argv)
 
+    from ..obs.recorder import open_recorder
+
+    recorder = open_recorder(args.obs_dir)
     config = QTAccelConfig.qlearning(seed=11)
     backend = build_serve_backend(
         config,
@@ -125,10 +137,16 @@ def main(argv=None) -> int:
         num_workers=args.workers,
         mp_context=args.mp_context,
     )
-    manager = SessionManager(backend, checkpoint_every=32)
+    manager = SessionManager(backend, checkpoint_every=32, recorder=recorder)
     gateway = Gateway(
-        manager, port=0, admission_timeout_s=0.25, maintenance_interval_s=0.1
+        manager,
+        port=0,
+        admission_timeout_s=0.25,
+        maintenance_interval_s=0.1,
+        recorder=recorder,
     )
+    if hasattr(backend, "obs_recorder"):
+        backend.obs_recorder = recorder
     thread, loop = run_gateway_in_thread(gateway)
 
     results: list[dict] = []
@@ -169,16 +187,22 @@ def main(argv=None) -> int:
     for r in failed:
         print(f"smoke: client {r['idx']} FAILED: {r['detail']}")
 
+    verdict = 0
     if failed:
-        return 1
-    if not ok:
+        verdict = 1
+    elif not ok:
         print("smoke: no session completed — nothing was exercised")
-        return 1
-    if recoveries == 0:
+        verdict = 1
+    elif recoveries == 0:
         print("smoke: worker kill was never recovered")
-        return 1
-    print("smoke: OK")
-    return 0
+        verdict = 1
+    if recorder is not None:
+        if verdict:
+            print(f"smoke: flight dump: {recorder.dump()}")
+        recorder.close()
+    if verdict == 0:
+        print("smoke: OK")
+    return verdict
 
 
 if __name__ == "__main__":

@@ -512,6 +512,48 @@ class TestGateway:
             echoed = roundtrip(b'{"op":"ping","id":"tag-1"}\n')
             assert echoed["ok"] and echoed["id"] == "tag-1"
 
+    def test_unknown_optional_fields_tolerated(self, served):
+        """`/2` peers must IGNORE unknown optional fields, not reject them.
+
+        The `trace` span context added for distributed tracing rides on
+        this guarantee: an old gateway (or one built without the obs
+        layer) must serve a traced request normally.  Same for any
+        future optional field — and a malformed `trace` value must
+        degrade to "untraced", never to an error.
+        """
+        gateway, _ = served
+        with socket.create_connection(("127.0.0.1", gateway.port), timeout=10) as sock:
+            rfile = sock.makefile("rb")
+
+            def roundtrip(obj: dict) -> dict:
+                sock.sendall(json.dumps(obj).encode() + b"\n")
+                return json.loads(rfile.readline())
+
+            opened = roundtrip({"op": "open", "x_future_field": {"a": [1, 2]}})
+            assert opened["ok"], opened
+            sid = opened["session"]
+            # Well-formed trace context: served, and not echoed back.
+            good = roundtrip(
+                {"op": "learn", "session": sid, "s": 0, "a": 0, "r": 0.5,
+                 "ns": 1, "trace": {"trace_id": "t" * 16, "span_id": "s" * 16}}
+            )
+            assert good["ok"] and "trace" not in good
+            # Malformed trace values of every JSON shape: still served.
+            for garbage in ("not-a-dict", 17, [1, 2], {"trace_id": 9},
+                            {"trace_id": "x" * 999, "span_id": "ok"}, None):
+                resp = roundtrip(
+                    {"op": "learn", "session": sid, "s": 1, "a": 1,
+                     "r": 0.25, "ns": 2, "trace": garbage}
+                )
+                assert resp["ok"], (garbage, resp)
+            # Unknown fields on a read op too.
+            acted = roundtrip(
+                {"op": "act", "session": sid, "s": 0, "explore": True,
+                 "trace": {"trace_id": "t" * 16, "span_id": "u" * 16},
+                 "baggage": {"k": "v"}}
+            )
+            assert acted["ok"] and 0 <= acted["action"] < A
+
     def test_seq_echoed_in_every_response(self, served):
         """`seq` rides back on success AND error responses, so clients
         can correlate retries; requests without one get no echo."""
