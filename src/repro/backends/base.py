@@ -142,18 +142,35 @@ def normalize_fleet(
 
 @runtime_checkable
 class FleetBackend(Protocol):
-    """The lane-oriented interface both fleet backends implement.
+    """The lane-oriented interface every fleet backend implements.
 
     Attribute vocabulary (kept from the original batch engine so lane
     adapters like :class:`repro.robustness.checkpoint.BatchLanes` work
     on either backend): ``K`` lanes over ``S`` states x ``A`` actions,
     with ``q``/``qmax``/``qmax_action`` exposed as stacked per-lane
     arrays of shape ``(K, S*A)`` / ``(K, S)`` / ``(K, S)``.
+
+    Update rules (:mod:`repro.algorithms`): every backend honours
+    ``config.update_rule`` uniformly — the accelerated rules' extra
+    per-lane tables (momentum iterate, Polyak target) are allocated,
+    stepped, checkpointed in :meth:`state_dict`/:meth:`lane_state`, and
+    reset by :meth:`reset_lane` exactly like the Q table, and every
+    backend stays bit-identical per lane to a scalar functional
+    simulator built with the same config and salt.  Rule selection
+    errors are typed (:class:`repro.algorithms.UnknownUpdateRuleError`,
+    :class:`repro.algorithms.IncompatibleRuleError`) and raised at
+    :class:`~repro.core.config.QTAccelConfig` construction, before any
+    backend is built; combinations a specific engine cannot honour
+    raise :class:`repro.algorithms.UnsupportedRuleError` from its
+    constructor (e.g. the cycle-accurate pipeline with a hard
+    ``target_sync_period`` — a wholesale table copy has no single-cycle
+    implementation).
     """
 
     K: int
     S: int
     A: int
+    config: "QTAccelConfig"
     stats: BatchStats
 
     def step(self) -> None: ...

@@ -192,6 +192,25 @@ class ScalarFleetBackend:
         """Stacked cached argmax rows, ``(n_lanes, S)`` (a fresh copy)."""
         return np.stack([s.tables.qmax_action.data.copy() for s in self.sims])
 
+    def _stacked_extra(self, name: str) -> "np.ndarray | None":
+        if name not in self.config.rule.extra_tables:
+            return None
+        return np.stack(
+            [s.tables.extra_rams[name].data.copy() for s in self.sims]
+        )
+
+    @property
+    def momentum(self) -> "np.ndarray | None":
+        """Stacked momentum tables, ``(n_lanes, S*A)``, or ``None`` when
+        the configured rule allocates none (matches the vectorised
+        backend's attribute vocabulary)."""
+        return self._stacked_extra("momentum")
+
+    @property
+    def target(self) -> "np.ndarray | None":
+        """Stacked target tables, ``(n_lanes, S*A)``, or ``None``."""
+        return self._stacked_extra("target")
+
     # ------------------------------------------------------------------ #
     # Checkpointing (see repro.robustness.checkpoint)
     # ------------------------------------------------------------------ #

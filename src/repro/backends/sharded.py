@@ -156,8 +156,8 @@ class _ShmLayout:
     livelock — heartbeat frozen).
     """
 
-    def __init__(self, k: int, s: int, a: int):
-        self.fields = (
+    def __init__(self, k: int, s: int, a: int, config: QTAccelConfig | None = None):
+        fields: list[tuple[str, tuple]] = [
             ("q", (k, s * a)),
             ("qmax", (k, s)),
             ("qmax_action", (k, s)),
@@ -168,11 +168,25 @@ class _ShmLayout:
             ("prev_q", (k,)),
             ("prev_qmax", (k,)),
             ("prev_qmax_action", (k,)),
+        ]
+        # Update-rule extra lane state (momentum iterate / Polyak target
+        # table + sync counter): same keys as the backend's per-instance
+        # _STATE_ARRAYS, inserted before the LFSR/heartbeat plumbing so
+        # rule-free layouts are byte-for-byte what they always were.
+        if config is not None:
+            kind = config.rule.kind
+            if kind == "momentum":
+                fields.append(("momentum", (k, s * a)))
+            elif kind == "target":
+                fields.append(("target", (k, s * a)))
+                fields.append(("target_count", (k,)))
+        fields += [
             ("lfsr_start", (k,)),
             ("lfsr_action", (k,)),
             ("lfsr_policy", (k,)),
             ("heartbeat", (k,)),
-        )
+        ]
+        self.fields = tuple(fields)
         self.offsets: dict[str, int] = {}
         off = 0
         for key, shape in self.fields:
@@ -233,7 +247,7 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
     try:
         try:
             k, s, a = dims
-            views = _ShmLayout(k, s, a).views(shm.buf)
+            views = _ShmLayout(k, s, a, spec["config"]).views(shm.buf)
             backend = VectorizedFleetBackend(
                 spec["mdps"],
                 spec["config"],
@@ -242,7 +256,10 @@ def _shard_worker_main(conn, shm_name: str, dims: tuple, spec: dict) -> None:
             )
             lo, hi = spec["lo"], spec["hi"]
             adopt = spec["adopt"]
-            for attr, key in VectorizedFleetBackend._STATE_ARRAYS:
+            # The *instance* tuple: includes the update rule's extra
+            # tables (momentum/target), which must ride in shared memory
+            # like every other lane-state array.
+            for attr, key in backend._STATE_ARRAYS:
                 view = views[key][lo:hi]
                 if not adopt:
                     view[...] = getattr(backend, attr)
@@ -348,7 +365,9 @@ class ShardedFleetBackend:
     #: Name this engine attaches under in a telemetry session profile.
     _TELEMETRY_NAME = "sharded"
 
-    _STATE_ARRAYS = VectorizedFleetBackend._STATE_ARRAYS
+    #: Rule-free default; construction replaces it with the instance
+    #: tuple (base + the configured rule's extra tables).
+    _STATE_ARRAYS = VectorizedFleetBackend._BASE_STATE_ARRAYS
 
     def __init__(
         self,
@@ -409,9 +428,26 @@ class ShardedFleetBackend:
         #: Patience per worker during :meth:`close` before SIGKILL.
         self.stop_timeout_s = stop_timeout_s
 
+        # Update-rule resolution (same per-instance _STATE_ARRAYS
+        # protocol as the vectorized backend: base pairs + the rule's
+        # extra tables, so checkpoints/restores/teardown all carry them).
+        self._bind_rule(config)
+        extra_state: list[tuple[str, str]] = []
+        self.momentum = None
+        self.target = None
+        self._target_count = None
+        if self._rule_kind == "momentum":
+            extra_state.append(("momentum", "momentum"))
+        elif self._rule_kind == "target":
+            extra_state.append(("target", "target"))
+            extra_state.append(("_target_count", "target_count"))
+        self._STATE_ARRAYS = (
+            VectorizedFleetBackend._BASE_STATE_ARRAYS + tuple(extra_state)
+        )
+
         # The shared lane-state block, mapped under the standard fleet
         # attribute names so the whole checkpoint surface is inherited.
-        self._layout = _ShmLayout(k, self.S, self.A)
+        self._layout = _ShmLayout(k, self.S, self.A, config)
         self._shm = shared_memory.SharedMemory(create=True, size=self._layout.nbytes)
         self._closed = False
         views = self._layout.views(self._shm.buf)
@@ -848,6 +884,7 @@ class ShardedFleetBackend:
     apply_transition = VectorizedFleetBackend.apply_transition
     query_action = VectorizedFleetBackend.query_action
     _lane_draw = VectorizedFleetBackend._lane_draw
+    _bind_rule = VectorizedFleetBackend._bind_rule
 
     def _count_external(self, exploited: bool, terminal: bool) -> None:
         """External-transition stat deltas go into the worker-independent

@@ -126,6 +126,25 @@ class VectorizedFleetBackend:
         self.qmax = np.full((k, self.S), q_init, dtype=_I64)
         self.qmax_action = np.zeros((k, self.S), dtype=_I64)
 
+        # Update-rule extra lane state (see repro.algorithms): the
+        # momentum/target tables are full (K, S*A) checkpoint members,
+        # appended to the per-instance _STATE_ARRAYS tuple so every
+        # state_dict/lane_state/shared-memory path carries them.
+        self._bind_rule(config)
+        extra_state: list[tuple[str, str]] = []
+        self.momentum = None
+        self.target = None
+        self._target_count = None
+        if self._rule_kind == "momentum":
+            self.momentum = np.full((k, self.S * self.A), q_init, dtype=_I64)
+            extra_state.append(("momentum", "momentum"))
+        elif self._rule_kind == "target":
+            self.target = np.full((k, self.S * self.A), q_init, dtype=_I64)
+            self._target_count = np.zeros(k, dtype=_I64)
+            extra_state.append(("target", "target"))
+            extra_state.append(("_target_count", "target_count"))
+        self._STATE_ARRAYS = self._BASE_STATE_ARRAYS + tuple(extra_state)
+
         # LFSR banks seeded exactly like PolicyDraws.from_config(salt=..).
         base_seed = config.seed + spec.salts * 0x9E37
         w = config.lfsr_width
@@ -162,6 +181,12 @@ class VectorizedFleetBackend:
             "_t_anext", "_t_qnew", "_t_acc", "_t_tmp",
         ):
             setattr(self, name, np.empty(k, dtype=_I64))
+        if self._rule_kind != "plain":
+            # Rule-specific temporaries: the momentum/target gather and
+            # the Polyak result (kept separate from _t_tmp, which stage 4
+            # still owns for the Qmax merge).
+            self._t_rule = np.empty(k, dtype=_I64)
+            self._t_rule2 = np.empty(k, dtype=_I64)
         for name in (
             "_m_restart", "_m_exploit", "_m_lag", "_m_term", "_m_upd", "_m_tmp",
         ):
@@ -214,8 +239,17 @@ class VectorizedFleetBackend:
             return np.bitwise_and(states, _I64(m - 1), out=out)
         return np.remainder(states, _I64(m), out=out)
 
+    def _bind_rule(self, config: QTAccelConfig) -> None:
+        """Resolve the configured update rule and its raw coefficients
+        (shared with the sharded backend, which borrows the lane-op
+        surface and needs the same scalars without a full construct)."""
+        self.rule = config.rule
+        self._rule_kind = self.rule.kind
+        self._rule_coefs = self.rule.coefficients(config)
+
     def _rebind_flat_views(self) -> None:
-        """(Re)derive the flat 1-D aliases of q/qmax/qmax_action.
+        """(Re)derive the flat 1-D aliases of q/qmax/qmax_action (and
+        the rule extra tables when present).
 
         Called at construction and again by the sharded backend after it
         rebinds the table attributes to shared-memory slices — the flat
@@ -225,6 +259,10 @@ class VectorizedFleetBackend:
         self._q_flat = self.q.reshape(-1)
         self._qmax_flat = self.qmax.reshape(-1)
         self._qmax_action_flat = self.qmax_action.reshape(-1)
+        if self.momentum is not None:
+            self._momentum_flat = self.momentum.reshape(-1)
+        if self.target is not None:
+            self._target_flat = self.target.reshape(-1)
 
     # ------------------------------------------------------------------ #
     # One lock-step sample for every lane
@@ -289,8 +327,16 @@ class VectorizedFleetBackend:
         q_next = self._t_qnext
         a_next = self._t_anext
         if cfg.update_policy == "greedy":
-            np.take(self._qmax_flat, ins, out=q_next)
             np.take(self._qmax_action_flat, ins, out=a_next)
+            if self._rule_kind == "target":
+                # Select with the online Qmax cache, evaluate with the
+                # target table: bootstrap = T[s', argmax_a Q(s', a)].
+                iq = np.multiply(s_next, _I64(A), out=self._t_tmp)
+                np.add(iq, a_next, out=iq)
+                np.add(iq, self._lane_sa_off, out=iq)
+                np.take(self._target_flat, iq, out=q_next)
+            else:
+                np.take(self._qmax_flat, ins, out=q_next)
             self.stats.exploits += self.K
         else:
             u = self._bank_policy.draw_all(DECIMATION)
@@ -310,19 +356,37 @@ class VectorizedFleetBackend:
         np.copyto(q_next, _I64(0), where=terminal_next)
 
         # ---- stage-3 equivalent: the shared datapath kernel ---- #
-        q_new = ops.q_update_into(
-            q_sa,
-            r,
-            q_next,
-            out=self._t_qnew,
-            scratch=self._t_acc,
-            mask_scratch=self._m_tmp,
-            alpha=self._alpha,
-            one_minus_alpha=self._one_minus_alpha,
-            alpha_gamma=self._alpha_gamma,
-            coef_fmt=cfg.coef_format,
-            q_fmt=cfg.q_format,
-        )
+        if self._rule_kind == "momentum":
+            m = np.take(self._momentum_flat, isa, out=self._t_rule)
+            q_new = ops.q_update_momentum_into(
+                q_sa,
+                r,
+                q_next,
+                m,
+                out=self._t_qnew,
+                scratch=self._t_acc,
+                mask_scratch=self._m_tmp,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                beta=self._rule_coefs.beta,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+        else:
+            q_new = ops.q_update_into(
+                q_sa,
+                r,
+                q_next,
+                out=self._t_qnew,
+                scratch=self._t_acc,
+                mask_scratch=self._m_tmp,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
         if self.guard is not None:
             self.guard.observe_array(q_new, cfg.q_format)
 
@@ -355,6 +419,35 @@ class VectorizedFleetBackend:
             np.copyto(merged, self._prev_qmax_action)
             np.copyto(merged, action, where=upd)
             self._qmax_action_flat[ist] = merged
+
+        if self._rule_kind == "momentum":
+            # Stage-4 momentum write: the *pre-update* Q(s, a) operand
+            # becomes the historical iterate for the next visit.
+            self._momentum_flat[isa] = q_sa
+        elif self._rule_kind == "target":
+            # Stage-4 lazy Polyak read-modify-write on the written pair.
+            t = np.take(self._target_flat, isa, out=self._t_rule)
+            t_new = ops.polyak_update_into(
+                t,
+                q_new,
+                out=self._t_rule2,
+                scratch=self._t_acc,
+                mask_scratch=self._m_tmp,
+                tau=self._rule_coefs.tau,
+                one_minus_tau=self._rule_coefs.one_minus_tau,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+            self._target_flat[isa] = t_new
+            self._target_count += 1
+            period = cfg.target_sync_period
+            if period:
+                due = np.greater_equal(
+                    self._target_count, _I64(period), out=self._m_tmp
+                )
+                if np.any(due):
+                    np.copyto(self.target, self.q, where=due[:, None])
+                    np.copyto(self._target_count, _I64(0), where=due)
 
         self.stats.episodes += int(np.count_nonzero(terminal_next))
         np.copyto(self._arch_state, s_next)
@@ -428,6 +521,11 @@ class VectorizedFleetBackend:
         self._prev_q[k] = 0
         self._prev_qmax[k] = 0
         self._prev_qmax_action[k] = 0
+        if self.momentum is not None:
+            self.momentum[k, :] = q_init
+        if self.target is not None:
+            self.target[k, :] = q_init
+            self._target_count[k] = 0
         base = cfg.seed + int(salt) * 0x9E37
         mask = (1 << cfg.lfsr_width) - 1
         for bank, off in (
@@ -475,8 +573,11 @@ class VectorizedFleetBackend:
 
         # ---- stage-2 equivalent: update policy ---- #
         if cfg.update_policy == "greedy":
-            q_next = int(self.qmax[k, next_state])
             a_next = int(self.qmax_action[k, next_state])
+            if self._rule_kind == "target":
+                q_next = int(self.target[k, next_state * A + a_next])
+            else:
+                q_next = int(self.qmax[k, next_state])
             exploited = True
         else:
             u = self._lane_draw(self._bank_policy, k)
@@ -492,16 +593,30 @@ class VectorizedFleetBackend:
             q_next = 0
 
         # ---- stage-3 equivalent: the shared datapath kernel ---- #
-        q_new = ops.q_update(
-            q_sa,
-            r,
-            q_next,
-            alpha=self._alpha,
-            one_minus_alpha=self._one_minus_alpha,
-            alpha_gamma=self._alpha_gamma,
-            coef_fmt=cfg.coef_format,
-            q_fmt=cfg.q_format,
-        )
+        if self._rule_kind == "momentum":
+            q_new = ops.q_update_momentum(
+                q_sa,
+                r,
+                q_next,
+                int(self.momentum[k, pair]),
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                beta=self._rule_coefs.beta,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+        else:
+            q_new = ops.q_update(
+                q_sa,
+                r,
+                q_next,
+                alpha=self._alpha,
+                one_minus_alpha=self._one_minus_alpha,
+                alpha_gamma=self._alpha_gamma,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
 
         # ---- stage-4 equivalent: write-back + Qmax rule ---- #
         self._prev_pair[k] = pair
@@ -523,6 +638,23 @@ class VectorizedFleetBackend:
             )
             self.qmax[k, state] = new_val
             self.qmax_action[k, state] = new_act
+
+        if self._rule_kind == "momentum":
+            self.momentum[k, pair] = q_sa
+        elif self._rule_kind == "target":
+            self.target[k, pair] = ops.polyak_update(
+                int(self.target[k, pair]),
+                int(q_new),
+                tau=self._rule_coefs.tau,
+                one_minus_tau=self._rule_coefs.one_minus_tau,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+            self._target_count[k] += 1
+            period = cfg.target_sync_period
+            if period and self._target_count[k] >= period:
+                self.target[k, :] = self.q[k, :]
+                self._target_count[k] = 0
 
         self._count_external(exploited, terminal)
         if terminal:
@@ -557,8 +689,12 @@ class VectorizedFleetBackend:
     # Checkpointing (see repro.robustness.checkpoint)
     # ------------------------------------------------------------------ #
 
-    #: (array attribute, checkpoint key) pairs of the lane-vector state.
-    _STATE_ARRAYS = (
+    #: (array attribute, checkpoint key) pairs of the lane-vector state
+    #: common to every update rule.  Construction appends the rule's
+    #: extra tables (momentum / target [+ target_count]) and stores the
+    #: full tuple as the *instance* attribute ``_STATE_ARRAYS`` — always
+    #: iterate that one, never this class constant.
+    _BASE_STATE_ARRAYS = (
         ("q", "q"),
         ("qmax", "qmax"),
         ("qmax_action", "qmax_action"),
@@ -570,6 +706,8 @@ class VectorizedFleetBackend:
         ("_prev_qmax", "prev_qmax"),
         ("_prev_qmax_action", "prev_qmax_action"),
     )
+    #: Backwards-compatible default (plain rules have no extras).
+    _STATE_ARRAYS = _BASE_STATE_ARRAYS
 
     def state_dict(self) -> dict:
         """Full fleet checkpoint: every lane vector plus the three LFSR

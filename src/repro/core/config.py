@@ -42,12 +42,25 @@ UPDATE_POLICIES = ("greedy", "egreedy")
 class QTAccelConfig:
     """Static configuration of one accelerator pipeline.
 
-    The two paper algorithms are presets:
+    The algorithm is named by ``update_rule`` — a key into the
+    :mod:`repro.algorithms` registry — with one preset per registered
+    rule:
 
     * :meth:`qlearning` — random behaviour policy, greedy update policy
       (off-policy; §V-A).
     * :meth:`sarsa` — e-greedy on-policy; the stage-2 sampled action is
       forwarded to stage 1 as the next behaviour action (§V-B).
+    * :meth:`momentum` — momentum-accelerated Q-learning
+      (arXiv:1910.11673; one extra table, stage-3 momentum term).
+    * :meth:`target_q` — Polyak target-table Q-learning
+      (arXiv:1905.02841; one extra table, stage-4 soft sync).
+
+    ``behavior_policy``/``update_policy`` remain as derived plumbing for
+    the engines; for the plain rules they stay authoritative (so
+    ``with_(update_policy=...)`` keeps working), while the accelerated
+    rules pin ``update_policy="greedy"`` and reject anything else with
+    a typed error.  Constructing with explicit policy strings but no
+    ``update_rule`` is deprecated (one-release shim).
     """
 
     behavior_policy: str = "random"
@@ -66,6 +79,19 @@ class QTAccelConfig:
     #: Protect the on-chip tables with SECDED ECC (see docs/robustness.md).
     #: Off by default: the unprotected tables are the paper's design.
     ecc_tables: bool = False
+    #: Canonical update-rule name (see :mod:`repro.algorithms`).  Empty
+    #: means "derive from update_policy" (the legacy plain rules);
+    #: ``__post_init__`` always canonicalises it to a registered name.
+    update_rule: str = ""
+    #: Momentum weight ``b`` for ``update_rule="momentum_qlearning"``.
+    momentum_beta: float = 0.3
+    #: Polyak step ``tau`` for ``update_rule="target_qlearning"``.
+    target_tau: float = 0.05
+    #: Optional hard-sync period for the target rule: copy the whole
+    #: target table from the online table every N updates (0 = pure
+    #: Polyak trailing; the only mode the cycle-accurate pipeline can
+    #: host).
+    target_sync_period: int = 0
 
     def __post_init__(self) -> None:
         if self.behavior_policy not in BEHAVIOR_POLICIES:
@@ -156,6 +182,61 @@ class QTAccelConfig:
             raise TypeError(
                 f"name must be a str, got {type(self.name).__name__} {self.name!r}"
             )
+        if not isinstance(self.update_rule, str):
+            raise TypeError(
+                f"update_rule must be a str, got "
+                f"{type(self.update_rule).__name__} {self.update_rule!r}"
+            )
+        for fname in ("momentum_beta", "target_tau"):
+            value = getattr(self, fname)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"{fname} must be a real number, got "
+                    f"{type(value).__name__} {value!r}"
+                )
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ValueError(f"{fname} must be finite, got {value!r}")
+        if not 0.0 <= self.momentum_beta < 1.0:
+            raise ValueError(
+                f"momentum_beta must be in [0, 1), got {self.momentum_beta}"
+            )
+        if not 0.0 < self.target_tau <= 1.0:
+            raise ValueError(
+                f"target_tau must be in (0, 1], got {self.target_tau}"
+            )
+        if isinstance(self.target_sync_period, bool) or not isinstance(
+            self.target_sync_period, int
+        ):
+            raise TypeError(
+                f"target_sync_period must be an int, got "
+                f"{type(self.target_sync_period).__name__} "
+                f"{self.target_sync_period!r}"
+            )
+        if self.target_sync_period < 0:
+            raise ValueError(
+                f"target_sync_period must be non-negative, got "
+                f"{self.target_sync_period}"
+            )
+
+        # Resolve the update rule (lazy import: repro.algorithms must not
+        # be imported at module level from here or the cycle closes).
+        from ..algorithms.rules import canonical_rule_name, get_rule
+
+        rule_name = self.update_rule
+        if rule_name:
+            rule_name = canonical_rule_name(rule_name)
+        else:
+            rule_name = "qlearning" if self.update_policy == "greedy" else "sarsa"
+        rule = get_rule(rule_name)
+        if rule.kind == "plain":
+            # For the plain pair the policy strings stay authoritative:
+            # dataclasses.replace() (== with_()) passes every current
+            # field, so ``with_(update_policy="egreedy")`` must flip the
+            # rule rather than trip a stale-name error.
+            rule_name = "qlearning" if self.update_policy == "greedy" else "sarsa"
+            rule = get_rule(rule_name)
+        object.__setattr__(self, "update_rule", rule_name)
+        rule.validate(self)
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -165,13 +246,29 @@ class QTAccelConfig:
     def qlearning(cls, **kw) -> "QTAccelConfig":
         """The paper's Q-Learning customisation (§V-A)."""
         kw.setdefault("name", "qlearning")
-        return cls(behavior_policy="random", update_policy="greedy", **kw)
+        kw.setdefault("update_rule", "qlearning")
+        return cls(**kw)
 
     @classmethod
     def sarsa(cls, **kw) -> "QTAccelConfig":
         """The paper's SARSA customisation (§V-B)."""
         kw.setdefault("name", "sarsa")
-        return cls(behavior_policy="egreedy", update_policy="egreedy", **kw)
+        kw.setdefault("update_rule", "sarsa")
+        return cls(**kw)
+
+    @classmethod
+    def momentum(cls, **kw) -> "QTAccelConfig":
+        """Momentum-accelerated Q-learning (arXiv:1910.11673)."""
+        kw.setdefault("name", "momentum_qlearning")
+        kw.setdefault("update_rule", "momentum_qlearning")
+        return cls(**kw)
+
+    @classmethod
+    def target_q(cls, **kw) -> "QTAccelConfig":
+        """Polyak target-table Q-learning (arXiv:1905.02841)."""
+        kw.setdefault("name", "target_qlearning")
+        kw.setdefault("update_rule", "target_qlearning")
+        return cls(**kw)
 
     # ------------------------------------------------------------------ #
     # Derived values
@@ -179,12 +276,16 @@ class QTAccelConfig:
 
     @property
     def algorithm(self) -> str:
-        """Canonical algorithm label for reports."""
-        if self.update_policy == "greedy":
-            return "qlearning"
-        if self.update_policy == "egreedy":
-            return "sarsa"
-        return f"{self.behavior_policy}/{self.update_policy}"
+        """Canonical algorithm label for reports: the registered rule
+        name (``update_rule`` is always canonical after construction)."""
+        return self.update_rule
+
+    @property
+    def rule(self):
+        """The registered :class:`~repro.algorithms.UpdateRule`."""
+        from ..algorithms.rules import get_rule
+
+        return get_rule(self.update_rule)
 
     @property
     def is_on_policy(self) -> bool:
@@ -195,6 +296,11 @@ class QTAccelConfig:
         """Raw ``(alpha, gamma, 1 - alpha, alpha * gamma)`` as stage 1
         computes them (see :func:`repro.fixedpoint.ops.coefficient_set`)."""
         return ops.coefficient_set(self.alpha, self.gamma, self.coef_format)
+
+    def rule_coefficients(self):
+        """The configured rule's full raw coefficient set (a
+        :class:`~repro.algorithms.RuleCoefficients`)."""
+        return self.rule.coefficients(self)
 
     def with_(self, **changes) -> "QTAccelConfig":
         """Copy with some fields replaced."""
@@ -218,7 +324,20 @@ def _kwonly_init(self, *args, **kw) -> None:
     config; they still work for one release, mapped onto the declared
     field order with a :class:`DeprecationWarning` (allow-listed in the
     tier-1 ``error::DeprecationWarning`` gate — see pyproject.toml).
+
+    Constructing the algorithm from bare ``behavior_policy``/
+    ``update_policy`` strings without naming an ``update_rule`` is
+    likewise deprecated for one release: the rule registry is the API
+    now (``QTAccelConfig(update_rule=...)`` or the presets).  The shim
+    only fires on *explicit* policy kwargs with no rule — ``with_()``
+    (``dataclasses.replace``) always passes the current ``update_rule``,
+    so copies never warn.
     """
+    stringly = (
+        ("behavior_policy" in kw or "update_policy" in kw)
+        and not kw.get("update_rule")
+        and not args
+    )
     if args:
         if len(args) > len(_FIELD_ORDER):
             raise TypeError(
@@ -238,6 +357,26 @@ def _kwonly_init(self, *args, **kw) -> None:
                     f"QTAccelConfig got multiple values for argument {name!r}"
                 )
             kw[name] = value
+    if stringly:
+        warnings.warn(
+            "constructing QTAccelConfig from behavior_policy/update_policy "
+            "strings is deprecated; pass update_rule=... (or use a preset "
+            "such as QTAccelConfig.qlearning()/.sarsa()/.momentum()/"
+            ".target_q())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    rule_name = kw.get("update_rule")
+    if rule_name:
+        # Resolve early so the rule's default policies fill any the
+        # caller left unspecified (and unknown names fail fast with the
+        # typed error, before field validation).
+        from ..algorithms.rules import get_rule
+
+        if isinstance(rule_name, str):
+            rule = get_rule(rule_name)
+            kw.setdefault("behavior_policy", rule.behavior_policy)
+            kw.setdefault("update_policy", rule.update_policy)
     _dataclass_init(self, **kw)
 
 

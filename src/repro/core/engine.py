@@ -40,6 +40,24 @@ shared world plus ``num_agents``, or a sequence of same-shaped worlds.  Either
 keyword is accepted for either kind (a lone world is a fleet of one
 description; a one-element fleet spec is a world), so callers can write
 ``make_engine(cfg, mdp=world, engine="batch", num_agents=64)``.
+
+Update rules
+------------
+
+Every engine kind honours ``config.update_rule`` (see
+:mod:`repro.algorithms`): plain Q-Learning/SARSA plus the accelerated
+``momentum_qlearning`` and ``target_qlearning`` rules run bit-identically
+across all five kinds.  Rule errors are typed and raised as early as
+possible: an unknown name or an incompatible policy combination fails at
+``QTAccelConfig`` construction
+(:class:`~repro.algorithms.UnknownUpdateRuleError`,
+:class:`~repro.algorithms.IncompatibleRuleError`), and a combination a
+specific engine cannot honour fails inside :func:`make_engine` from that
+engine's constructor
+(:class:`~repro.algorithms.UnsupportedRuleError` — currently only the
+cycle-accurate pipeline with a hard ``target_sync_period``, because a
+wholesale table copy has no single-cycle hardware analogue; use the
+default Polyak-only sync, or a fleet/functional engine).
 """
 
 from __future__ import annotations

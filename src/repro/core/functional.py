@@ -87,6 +87,15 @@ class FunctionalSimulator:
         (_, _, self.one_minus_alpha, self.alpha_gamma) = config.coefficients()
         self.alpha_raw = config.coefficients()[0]
         self.behavior_lag = behavior_lag
+        #: The configured stage-3 update rule and its raw coefficients
+        #: (see :mod:`repro.algorithms`).  The plain rules keep the
+        #: original inline hot path; the accelerated kinds branch.
+        self.rule = config.rule
+        self._rule_kind = self.rule.kind
+        self._rule_coefs = self.rule.coefficients(config)
+        #: Updates since the last hard target sync (target rule with
+        #: ``target_sync_period > 0`` only).
+        self._target_count = 0
 
         self.arch_state: Optional[int] = None
         self._forwarded_action: Optional[int] = None
@@ -134,6 +143,11 @@ class FunctionalSimulator:
         q_fmt = cfg.q_format
         guard = self.guard
         ecc = T._ecc
+        rule_kind = self._rule_kind
+        coefs = self._rule_coefs
+        mom_ram = T.momentum
+        tgt_ram = T.target
+        sync_period = cfg.target_sync_period
 
         for _ in range(num_samples):
             # -------- stage-1 equivalent: state + behaviour action -------- #
@@ -177,19 +191,39 @@ class FunctionalSimulator:
                 self.stats.exploits += 1
             else:
                 self.stats.explores += 1
-            q_next = 0 if terminal_next else sel.q_raw
+            if rule_kind == "target" and not terminal_next:
+                # Select-online / evaluate-target: the argmax comes from
+                # the online Qmax cache, the bootstrap value from the
+                # target table.
+                q_next = tgt_ram.read(T.pair_addr(s_next, sel.action))
+            else:
+                q_next = 0 if terminal_next else sel.q_raw
 
             # -------- stage-3 equivalent: datapath -------- #
-            q_new = ops.q_update(
-                q_sa,
-                r,
-                q_next,
-                alpha=self.alpha_raw,
-                one_minus_alpha=self.one_minus_alpha,
-                alpha_gamma=self.alpha_gamma,
-                coef_fmt=coef_fmt,
-                q_fmt=q_fmt,
-            )
+            if rule_kind == "momentum":
+                q_new = ops.q_update_momentum(
+                    q_sa,
+                    r,
+                    q_next,
+                    mom_ram.read(pair),
+                    alpha=self.alpha_raw,
+                    one_minus_alpha=self.one_minus_alpha,
+                    alpha_gamma=self.alpha_gamma,
+                    beta=coefs.beta,
+                    coef_fmt=coef_fmt,
+                    q_fmt=q_fmt,
+                )
+            else:
+                q_new = ops.q_update(
+                    q_sa,
+                    r,
+                    q_next,
+                    alpha=self.alpha_raw,
+                    one_minus_alpha=self.one_minus_alpha,
+                    alpha_gamma=self.alpha_gamma,
+                    coef_fmt=coef_fmt,
+                    q_fmt=q_fmt,
+                )
             if guard is not None:
                 q_new = guard.observe_update(state, action, q_new, q_fmt)
 
@@ -206,6 +240,25 @@ class FunctionalSimulator:
             lw.prev_qmax = int(T.qmax.data[state])
             lw.prev_qmax_action = int(T.qmax_action.data[state])
             T.writeback_now(state, action, q_new)
+            if rule_kind == "momentum":
+                # Historical iterate: M(s,a) <- the pre-update Q(s,a).
+                mom_ram.write_now(pair, q_sa)
+            elif rule_kind == "target":
+                # Lazy Polyak RMW of the written entry, then the
+                # optional periodic hard sync.
+                t_new = ops.polyak_update(
+                    tgt_ram.read(pair),
+                    q_new,
+                    tau=coefs.tau,
+                    one_minus_tau=coefs.one_minus_tau,
+                    coef_fmt=coef_fmt,
+                    q_fmt=q_fmt,
+                )
+                tgt_ram.write_now(pair, t_new)
+                self._target_count += 1
+                if sync_period and self._target_count >= sync_period:
+                    T.sync_target()
+                    self._target_count = 0
 
             if self.trace is not None:
                 self.trace.append((self.stats.samples, state, action, q_new))
@@ -280,19 +333,38 @@ class FunctionalSimulator:
             self.stats.exploits += 1
         else:
             self.stats.explores += 1
-        q_next = 0 if terminal else sel.q_raw
+        rule_kind = self._rule_kind
+        coefs = self._rule_coefs
+        if rule_kind == "target" and not terminal:
+            q_next = T.target.read(T.pair_addr(next_state, sel.action))
+        else:
+            q_next = 0 if terminal else sel.q_raw
 
         # -------- stage-3 equivalent: datapath -------- #
-        q_new = ops.q_update(
-            q_sa,
-            r,
-            q_next,
-            alpha=self.alpha_raw,
-            one_minus_alpha=self.one_minus_alpha,
-            alpha_gamma=self.alpha_gamma,
-            coef_fmt=cfg.coef_format,
-            q_fmt=cfg.q_format,
-        )
+        if rule_kind == "momentum":
+            q_new = ops.q_update_momentum(
+                q_sa,
+                r,
+                q_next,
+                T.momentum.read(pair),
+                alpha=self.alpha_raw,
+                one_minus_alpha=self.one_minus_alpha,
+                alpha_gamma=self.alpha_gamma,
+                beta=coefs.beta,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+        else:
+            q_new = ops.q_update(
+                q_sa,
+                r,
+                q_next,
+                alpha=self.alpha_raw,
+                one_minus_alpha=self.one_minus_alpha,
+                alpha_gamma=self.alpha_gamma,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
 
         # -------- stage-4 equivalent: write-back -------- #
         lw = self._last_write
@@ -305,6 +377,22 @@ class FunctionalSimulator:
         lw.prev_qmax = int(T.qmax.data[state])
         lw.prev_qmax_action = int(T.qmax_action.data[state])
         T.writeback_now(state, action, q_new)
+        if rule_kind == "momentum":
+            T.momentum.write_now(pair, q_sa)
+        elif rule_kind == "target":
+            t_new = ops.polyak_update(
+                T.target.read(pair),
+                q_new,
+                tau=coefs.tau,
+                one_minus_tau=coefs.one_minus_tau,
+                coef_fmt=cfg.coef_format,
+                q_fmt=cfg.q_format,
+            )
+            T.target.write_now(pair, t_new)
+            self._target_count += 1
+            if cfg.target_sync_period and self._target_count >= cfg.target_sync_period:
+                T.sync_target()
+                self._target_count = 0
 
         if self.trace is not None:
             self.trace.append((self.stats.samples, state, action, q_new))
@@ -364,6 +452,7 @@ class FunctionalSimulator:
             "forwarded_action": self._forwarded_action,
             "last_write": (lw.pair, lw.state, lw.prev_q, lw.prev_qmax, lw.prev_qmax_action),
             "stats": vars(self.stats).copy(),
+            "rule": self.rule.state_dict(self.tables, self._target_count),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -378,6 +467,10 @@ class FunctionalSimulator:
         ]
         for key, value in state["stats"].items():
             setattr(self.stats, key, value)
+        rule_state = state.get("rule")
+        self._target_count = (
+            self.rule.load_state_dict(rule_state) if rule_state is not None else 0
+        )
 
     def q_float(self) -> np.ndarray:
         """Current Q table as floats, ``(S, A)``."""

@@ -61,6 +61,10 @@ class Sample:
     q_next: int = 0  # raw Q(s', a') operand (terminal-masked)
     q_new: int = 0  # stage-3 result
     exploited: bool = False
+    #: Stage-4 Polyak result for the target rule (the value the sample
+    #: writes into the target table); forwarded to younger samples'
+    #: target-table reads exactly like ``q_new`` is for the Q table.
+    t_new: int = 0
 
     def writes_pair(self) -> int:
         """The Q-table address this sample will write at stage 4."""

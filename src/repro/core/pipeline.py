@@ -211,12 +211,28 @@ class QTAccelPipeline:
                 "paths (monotonic/follow); use the functional simulator for "
                 "the 'exact' ablation"
             )
+        if config.rule.kind == "target" and config.target_sync_period > 0:
+            from ..algorithms.rules import UnsupportedRuleError
+
+            raise UnsupportedRuleError(
+                "the cycle-accurate pipeline cannot host "
+                "target_sync_period > 0 (a whole-table copy is not a "
+                "single-cycle write path); use target_sync_period=0 (pure "
+                "Polyak trailing) or the functional/fleet engines"
+            )
         self.mdp = mdp
         self.config = config
         self.tables = tables if tables is not None else AcceleratorTables(mdp, config)
         self.draws = draws if draws is not None else PolicyDraws.from_config(config)
         (_, _, self.one_minus_alpha, self.alpha_gamma) = config.coefficients()
         self.alpha_raw = config.coefficients()[0]
+        #: The configured stage-3 update rule (see :mod:`repro.algorithms`)
+        #: and its raw coefficients.  Plain rules keep the original hot
+        #: path; the accelerated kinds add the stage-3/stage-4 branches
+        #: documented in DESIGN.md ("update-rule forwarding").
+        self.rule = config.rule
+        self._rule_kind = self.rule.kind
+        self._rule_coefs = self.rule.coefficients(config)
         #: When False the pipeline stages table writes but leaves the
         #: clock-edge commit to an external arbiter (shared-table mode).
         self.manage_commit = manage_commit
@@ -288,9 +304,33 @@ class QTAccelPipeline:
         in_s3 = self.reg23.value if self.reg23.valid else None
         in_s2 = self.reg12.value if self.reg12.valid else None
 
+        rule_kind = self._rule_kind
+
         # ---------------- Stage 4: write-back ---------------- #
         if wb is not None:
             qmax_written = T.writeback(wb.s, wb.a, wb.q_new)
+            if rule_kind == "momentum":
+                # Historical iterate: stage the pre-update Q(s,a) into
+                # the momentum table (wb.q_sa is final — it was fixed up
+                # at wb's own stage 3 — and equals the value a sequential
+                # machine would have read).
+                T.momentum.write(wb.pair, wb.q_sa)
+            elif rule_kind == "target":
+                # Lazy Polyak RMW of the written entry.  The committed
+                # target table already reflects every sample up to k-2
+                # (their stage-4 writes committed at earlier ticks), so
+                # this read-modify-write chain is sequential; wb.t_new is
+                # forwarded to younger samples' target reads below.
+                coefs = self._rule_coefs
+                wb.t_new = ops.polyak_update(
+                    T.target.read(wb.pair),
+                    wb.q_new,
+                    tau=coefs.tau,
+                    one_minus_tau=coefs.one_minus_tau,
+                    coef_fmt=cfg.coef_format,
+                    q_fmt=cfg.q_format,
+                )
+                T.target.write(wb.pair, wb.t_new)
             st.c_retired.value += 1
             if self.trace is not None:
                 self.trace.append((wb.index, wb.s, wb.a, wb.q_new))
@@ -309,22 +349,53 @@ class QTAccelPipeline:
             smp = in_s3
             if forward and wb is not None:
                 hits_q = fix_operand_q(smp, (wb,))
-                hits_qn = fix_operand_qnext(smp, (wb,), cfg.qmax_mode)
+                if rule_kind == "target":
+                    # Target-sourced bootstrap: the only younger write to
+                    # the target table is wb's Polyak result, computed in
+                    # this cycle's stage 4 above.
+                    hits_qn = 0
+                    if not smp.terminal_next and wb.pair == smp.pair_next:
+                        smp.q_next = wb.t_new
+                        hits_qn = 1
+                else:
+                    hits_qn = fix_operand_qnext(smp, (wb,), cfg.qmax_mode)
                 if tel is not None:
                     if hits_q:
                         tel.forward(cyc, "S3", "q_operand", smp.index, hits_q)
                     if hits_qn:
                         tel.forward(cyc, "S3", "qnext", smp.index, hits_qn)
-            smp.q_new = ops.q_update(
-                smp.q_sa,
-                smp.r,
-                smp.q_next,
-                alpha=self.alpha_raw,
-                one_minus_alpha=self.one_minus_alpha,
-                alpha_gamma=self.alpha_gamma,
-                coef_fmt=cfg.coef_format,
-                q_fmt=cfg.q_format,
-            )
+            if rule_kind == "momentum":
+                # The momentum operand is read here, at stage 3, from the
+                # committed table (every write up to sample k-2 has
+                # committed) with one forwarding fixup for k-1: its
+                # staged momentum write is its pre-update q_sa.
+                m = T.momentum.read(smp.pair)
+                if forward and wb is not None and wb.pair == smp.pair:
+                    m = wb.q_sa
+                coefs = self._rule_coefs
+                smp.q_new = ops.q_update_momentum(
+                    smp.q_sa,
+                    smp.r,
+                    smp.q_next,
+                    m,
+                    alpha=self.alpha_raw,
+                    one_minus_alpha=self.one_minus_alpha,
+                    alpha_gamma=self.alpha_gamma,
+                    beta=coefs.beta,
+                    coef_fmt=cfg.coef_format,
+                    q_fmt=cfg.q_format,
+                )
+            else:
+                smp.q_new = ops.q_update(
+                    smp.q_sa,
+                    smp.r,
+                    smp.q_next,
+                    alpha=self.alpha_raw,
+                    one_minus_alpha=self.one_minus_alpha,
+                    alpha_gamma=self.alpha_gamma,
+                    coef_fmt=cfg.coef_format,
+                    q_fmt=cfg.q_format,
+                )
             if self.guard is not None:
                 smp.q_new = self.guard.observe_update(
                     smp.s, smp.a, smp.q_new, cfg.q_format
@@ -380,10 +451,31 @@ class QTAccelPipeline:
                 )
                 smp.a_next = sel.action
                 smp.exploited = sel.exploited
-                smp.pair_next = (
-                    -1 if sel.exploited else T.pair_addr(smp.s_next, sel.action)
-                )
-                smp.q_next = 0 if smp.terminal_next else sel.q_raw
+                if rule_kind == "target":
+                    # Select-online / evaluate-target: the argmax came
+                    # from the (forwarded) online Qmax view; the
+                    # bootstrap value reads the target table.  pair_next
+                    # is always a concrete address here — the stage-3
+                    # fixup needs it to track wb's Polyak write.
+                    smp.pair_next = T.pair_addr(smp.s_next, sel.action)
+                    if smp.terminal_next:
+                        smp.q_next = 0
+                    else:
+                        t_val = T.target.read(smp.pair_next)
+                        if (
+                            forward
+                            and wb is not None
+                            and wb.pair == smp.pair_next
+                        ):
+                            # wb's stage-4 Polyak write is staged, not
+                            # committed; forward its result.
+                            t_val = wb.t_new
+                        smp.q_next = t_val
+                else:
+                    smp.pair_next = (
+                        -1 if sel.exploited else T.pair_addr(smp.s_next, sel.action)
+                    )
+                    smp.q_next = 0 if smp.terminal_next else sel.q_raw
                 if sel.exploited:
                     st.c_exploits.value += 1
                 else:
@@ -557,6 +649,10 @@ class QTAccelPipeline:
             "arch_state": self.arch_state,
             "pending_behavior": self._pending_behavior,
             "stats": self.stats.as_dict(),
+            # The pipeline never hosts target_sync_period > 0, so the
+            # rule state is just its name (extra tables are inside
+            # "tables" already).
+            "rule": self.rule.state_dict(self.tables, 0),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -571,6 +667,9 @@ class QTAccelPipeline:
         self._latched_issue = None
         self._s2_busy = 0
         self._s2_started_for = -1
+        rule_state = state.get("rule")
+        if rule_state is not None:
+            self.rule.load_state_dict(rule_state)
         for name, value in state["stats"].items():
             # Restore counters only; derived keys ("samples") recompute.
             if name in PipelineStats._FIELDS:

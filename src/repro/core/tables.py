@@ -80,9 +80,31 @@ class AcceleratorTables:
         self.qmax_action = _ram(
             s, max(1, self.action_bits), name="qmax_action", signed=False
         )
+        #: Update-rule extra tables (momentum iterate, Polyak target, …),
+        #: declared by ``config.rule.extra_tables``.  Allocated through
+        #: the same ``_ram`` factory, so they are ECC-protected,
+        #: checkpointed, and fault-injectable exactly like the Q table.
+        self.extra_rams: dict[str, object] = {
+            tname: _ram(s * a, qf.wordlen, name=tname, fill=q_init_raw)
+            for tname in config.rule.extra_tables
+        }
+        #: Convenience handles (``None`` when the rule has no such table).
+        self.momentum = self.extra_rams.get("momentum")
+        self.target = self.extra_rams.get("target")
         #: Terminal flags live in the transition-function block
         #: (combinational logic), not BRAM; kept as a plain array.
         self.terminal = mdp.terminal
+
+    def _all_rams(self) -> tuple:
+        """Every RAM in checkpoint/telemetry order (core four + rule
+        extras)."""
+        return (
+            self.q,
+            self.rewards,
+            self.qmax,
+            self.qmax_action,
+            *self.extra_rams.values(),
+        )
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -174,7 +196,19 @@ class AcceleratorTables:
         collisions = self.q.commit()
         collisions += self.qmax.commit()
         self.qmax_action.commit()
+        for ram in self.extra_rams.values():
+            collisions += ram.commit()
         return collisions
+
+    def sync_target(self) -> None:
+        """Hard target sync: copy the whole online Q table into the
+        target table (``target_sync_period`` expiry).  Stored codewords
+        are copied verbatim under ECC, so a latent upset in Q propagates
+        exactly as a bulk BRAM copy would."""
+        target = self.extra_rams["target"]
+        target.data[:] = self.q.data
+        if self._ecc:
+            target.check[:] = self.q.check
 
     # ------------------------------------------------------------------ #
     # Bulk views (metrics / functional simulator)
@@ -201,14 +235,11 @@ class AcceleratorTables:
 
     def state_dict(self) -> dict:
         """Checkpoint of all architectural table state."""
-        return {
-            ram.name: ram.state_dict()
-            for ram in (self.q, self.rewards, self.qmax, self.qmax_action)
-        }
+        return {ram.name: ram.state_dict() for ram in self._all_rams()}
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` checkpoint in place."""
-        for ram in (self.q, self.rewards, self.qmax, self.qmax_action):
+        for ram in self._all_rams():
             ram.load_state_dict(state[ram.name])
 
     def telemetry_snapshot(self) -> dict:
@@ -218,20 +249,25 @@ class AcceleratorTables:
         scale with retirements, not with ``|A|``, because the
         read-for-max path is served by the Qmax table.
         """
-        return {
-            ram.name: ram.telemetry_snapshot()
-            for ram in (self.q, self.rewards, self.qmax, self.qmax_action)
-        }
+        return {ram.name: ram.telemetry_snapshot() for ram in self._all_rams()}
 
     def bram_blocks(self, *, include_qmax_action: bool | None = None) -> int:
         """Block-granular BRAM total, the Fig. 4 resource quantity.
 
-        The Qmax *action* array is only needed by e-greedy update policies
-        (SARSA); Q-Learning's greedy update consumes the value alone.
+        The Qmax *action* array is needed by e-greedy update policies
+        (SARSA) and by the target rule (its bootstrap indexes the target
+        table at the cached online argmax); Q-Learning's greedy update
+        consumes the value alone.  Update-rule extra tables
+        (momentum/target) always count.
         """
         if include_qmax_action is None:
-            include_qmax_action = self.config.update_policy == "egreedy"
+            include_qmax_action = (
+                self.config.update_policy == "egreedy"
+                or self.config.rule.kind == "target"
+            )
         total = self.q.blocks + self.rewards.blocks + self.qmax.blocks
         if include_qmax_action:
             total += self.qmax_action.blocks
+        for ram in self.extra_rams.values():
+            total += ram.blocks
         return total

@@ -31,6 +31,17 @@ from .parts import FpgaPart, XCVU13P
 DATAPATH_DSPS = 4
 
 
+def datapath_dsps(config: QTAccelConfig) -> int:
+    """Stage-3 multiplier count for the configured update rule.
+
+    The plain rules keep the paper's flat 4 DSPs; accelerated rules add
+    their declared extra products (momentum: +1 for ``b * (Q - M)``;
+    target: +2 for the stage-4 Polyak read-modify-write) — still flat
+    with problem size, which is the Fig. 3 claim being preserved.
+    """
+    return DATAPATH_DSPS + config.rule.device_cost.extra_dsps
+
+
 @dataclass(frozen=True)
 class ResourceReport:
     """Resource usage of one accelerator instance on one device."""
@@ -122,16 +133,21 @@ def table_blocks(
 
     Q table and reward table are ``|S| x |A|`` words of the Q format;
     Qmax value is ``|S|`` words; the Qmax *argmax-action* array
-    (``|S| x log2|A|``) is only present for e-greedy update policies
-    (SARSA), since Q-Learning's greedy update consumes the value alone.
-    ``prob_table`` adds the third ``|S| x |A|`` table of §IV-B for
-    probability-distribution policies (Boltzmann, EXP3, eq. 4).
+    (``|S| x log2|A|``) is present for e-greedy update policies (SARSA)
+    and for the target rule (whose bootstrap indexes the target table at
+    the cached online argmax), since Q-Learning's greedy update consumes
+    the value alone.  The configured update rule's extra pair tables
+    (momentum iterate, Polyak target — see ``config.rule.device_cost``)
+    are full ``|S| x |A|`` Q-format tables.  ``prob_table`` adds the
+    third ``|S| x |A|`` table of §IV-B for probability-distribution
+    policies (Boltzmann, EXP3, eq. 4).
     """
     pairs = num_states * num_actions
     qw = config.q_format.wordlen
-    blocks = 2 * kind.blocks_for(pairs, qw)  # Q + rewards
+    n_pair_tables = 2 + config.rule.device_cost.extra_pair_tables
+    blocks = n_pair_tables * kind.blocks_for(pairs, qw)  # Q + rewards + rule
     blocks += kind.blocks_for(num_states, qw)  # Qmax value
-    if config.update_policy == "egreedy":
+    if config.update_policy == "egreedy" or config.rule.kind == "target":
         blocks += kind.blocks_for(num_states, max(1, bits_for(num_actions)))
     if prob_table:
         blocks += kind.blocks_for(pairs, 16)  # quantised weight entries
@@ -142,8 +158,9 @@ def table_bits_total(num_states: int, num_actions: int, config: QTAccelConfig) -
     """Raw payload bits of the table set (bit-granular Fig. 4 view)."""
     pairs = num_states * num_actions
     qw = config.q_format.wordlen
-    bits = 2 * pairs * qw + num_states * qw
-    if config.update_policy == "egreedy":
+    n_pair_tables = 2 + config.rule.device_cost.extra_pair_tables
+    bits = n_pair_tables * pairs * qw + num_states * qw
+    if config.update_policy == "egreedy" or config.rule.kind == "target":
         bits += num_states * max(1, bits_for(num_actions))
     return bits
 
@@ -205,14 +222,15 @@ def estimate_resources(
     if spill_to_uram:
         pairs = num_states * num_actions
         qw = config.q_format.wordlen
-        uram_blocks = 2 * URAM288.blocks_for(pairs, qw)
-        blocks -= 2 * BRAM36.blocks_for(pairs, qw)
+        n_pair = 2 + config.rule.device_cost.extra_pair_tables
+        uram_blocks = n_pair * URAM288.blocks_for(pairs, qw)
+        blocks -= n_pair * BRAM36.blocks_for(pairs, qw)
     return ResourceReport(
         part=part,
         num_states=num_states,
         num_actions=num_actions,
         algorithm=config.algorithm,
-        dsp=DATAPATH_DSPS * pipelines,
+        dsp=datapath_dsps(config) * pipelines,
         bram_blocks=blocks * pipelines,
         bram_bits=bits * pipelines,
         uram_blocks=uram_blocks * pipelines,
@@ -237,7 +255,7 @@ def estimate_shared(
         num_states=num_states,
         num_actions=num_actions,
         algorithm=config.algorithm,
-        dsp=2 * DATAPATH_DSPS,
+        dsp=2 * datapath_dsps(config),
         bram_blocks=single.bram_blocks,
         bram_bits=single.bram_bits,
         uram_blocks=single.uram_blocks,

@@ -117,6 +117,7 @@ def _load_all() -> None:
         return
     from . import (  # noqa: F401
         ablations,
+        algorithms,
         chaos_campaign,
         cliff,
         convergence,

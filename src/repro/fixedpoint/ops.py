@@ -187,8 +187,23 @@ def q_update_into(
     np.add(scratch, out, out=scratch)
     np.multiply(q_next, _I64(alpha_gamma), out=out)
     np.add(scratch, out, out=scratch)
-    # Single renormalising shift with q_fmt's rounding mode.
-    shift = coef_fmt.frac
+    _shift_round_clamp_into(
+        scratch, out, mask_scratch, coef_fmt.frac, q_fmt
+    )
+    return out
+
+
+def _shift_round_clamp_into(
+    scratch: np.ndarray,
+    out: np.ndarray,
+    mask_scratch: np.ndarray,
+    shift: int,
+    q_fmt: FxpFormat,
+) -> None:
+    """Shared allocation-free tail of every ``*_into`` kernel: one
+    renormalising shift of the wide accumulator in ``scratch`` (with
+    ``q_fmt``'s rounding mode) into ``out``, then one saturate/wrap.
+    ``scratch`` is clobbered."""
     if shift == 0:
         np.copyto(out, scratch)
     elif q_fmt.rounding == "truncate":
@@ -212,6 +227,174 @@ def q_update_into(
             over = np.greater(out, q_fmt.raw_max, out=mask_scratch)
             np.subtract(out, _I64(span), out=scratch)
             np.copyto(out, scratch, where=over)
+
+
+def q_update_momentum(
+    q: RawLike,
+    r: RawLike,
+    q_next: RawLike,
+    m: RawLike,
+    *,
+    alpha: int,
+    one_minus_alpha: int,
+    alpha_gamma: int,
+    beta: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> RawLike:
+    """Momentum-accelerated stage-3 datapath (arXiv:1910.11673), elementwise.
+
+    ``Q_new = (1 - a) * Q(s,a) + a * R + (a * g) * Q(s', a')
+              + b * (Q(s,a) - M(s,a))``
+
+    ``M`` holds the historical iterate — the previous Q-value written to
+    ``(s, a)`` — so ``b * (Q - M)`` is the per-entry momentum term
+    ``b * (Q_t - Q_{t-1})``.  One extra DSP product joins the wide adder
+    tree; the single-rounding/single-saturation structure of
+    :func:`q_update` is unchanged.  All operands are raw integers:
+    ``q``, ``r``, ``q_next``, ``m`` in ``q_fmt``; the coefficients
+    (including raw ``beta``) in ``coef_fmt``.
+    """
+    if (
+        type(q) is int
+        and type(r) is int
+        and type(q_next) is int
+        and type(m) is int
+    ):
+        # Pure-int fast path, mirroring q_update (per-sample hot spot).
+        acc = (
+            one_minus_alpha * q
+            + alpha * r
+            + alpha_gamma * q_next
+            + beta * (q - m)
+        )
+        shift = coef_fmt.frac
+        if shift == 0:
+            raw = acc
+        elif q_fmt.rounding == "truncate":
+            raw = acc >> shift
+        else:
+            half = 1 << (shift - 1)
+            raw = (acc + half) >> shift if acc >= 0 else -((-acc + half) >> shift)
+        if q_fmt.overflow == "saturate":
+            lo, hi = q_fmt.raw_min, q_fmt.raw_max
+            return lo if raw < lo else hi if raw > hi else raw
+        return clamp_raw(raw, q_fmt)
+
+    q64 = np.asarray(q, dtype=_I64)
+    r64 = np.asarray(r, dtype=_I64)
+    qn64 = np.asarray(q_next, dtype=_I64)
+    m64 = np.asarray(m, dtype=_I64)
+    acc = (
+        _I64(one_minus_alpha) * q64
+        + _I64(alpha) * r64
+        + _I64(alpha_gamma) * qn64
+        + _I64(beta) * (q64 - m64)
+    )
+    raw = rshift_round(acc, coef_fmt.frac, q_fmt)
+    return clamp_raw(raw, q_fmt)
+
+
+def q_update_momentum_into(
+    q: np.ndarray,
+    r: np.ndarray,
+    q_next: np.ndarray,
+    m: np.ndarray,
+    *,
+    out: np.ndarray,
+    scratch: np.ndarray,
+    mask_scratch: np.ndarray,
+    alpha: int,
+    one_minus_alpha: int,
+    alpha_gamma: int,
+    beta: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> np.ndarray:
+    """:func:`q_update_momentum` (array path) into preallocated buffers.
+
+    Same buffer contract as :func:`q_update_into`; ``out`` must not
+    alias any operand.
+    """
+    # acc = b*(q - m) + (1-a)*q + a*r + (a*g)*q_next at full precision.
+    np.subtract(q, m, out=out)
+    np.multiply(out, _I64(beta), out=out)
+    np.multiply(q, _I64(one_minus_alpha), out=scratch)
+    np.add(scratch, out, out=scratch)
+    np.multiply(r, _I64(alpha), out=out)
+    np.add(scratch, out, out=scratch)
+    np.multiply(q_next, _I64(alpha_gamma), out=out)
+    np.add(scratch, out, out=scratch)
+    _shift_round_clamp_into(
+        scratch, out, mask_scratch, coef_fmt.frac, q_fmt
+    )
+    return out
+
+
+def polyak_update(
+    t: RawLike,
+    q_new: RawLike,
+    *,
+    tau: int,
+    one_minus_tau: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> RawLike:
+    """Polyak (soft) target-table update (arXiv:1905.02841), elementwise.
+
+    ``T_new = (1 - tau) * T(s,a) + tau * Q_new``
+
+    The stage-4 read-modify-write applied to the target-table entry of
+    the pair being written back: two DSP products into the wide adder,
+    one renormalising shift, one saturation — the same structure as the
+    stage-3 datapath.  ``t``/``q_new`` are raw in ``q_fmt``; ``tau`` and
+    ``one_minus_tau`` raw in ``coef_fmt``.
+    """
+    if type(t) is int and type(q_new) is int:
+        acc = one_minus_tau * t + tau * q_new
+        shift = coef_fmt.frac
+        if shift == 0:
+            raw = acc
+        elif q_fmt.rounding == "truncate":
+            raw = acc >> shift
+        else:
+            half = 1 << (shift - 1)
+            raw = (acc + half) >> shift if acc >= 0 else -((-acc + half) >> shift)
+        if q_fmt.overflow == "saturate":
+            lo, hi = q_fmt.raw_min, q_fmt.raw_max
+            return lo if raw < lo else hi if raw > hi else raw
+        return clamp_raw(raw, q_fmt)
+
+    t64 = np.asarray(t, dtype=_I64)
+    q64 = np.asarray(q_new, dtype=_I64)
+    acc = _I64(one_minus_tau) * t64 + _I64(tau) * q64
+    raw = rshift_round(acc, coef_fmt.frac, q_fmt)
+    return clamp_raw(raw, q_fmt)
+
+
+def polyak_update_into(
+    t: np.ndarray,
+    q_new: np.ndarray,
+    *,
+    out: np.ndarray,
+    scratch: np.ndarray,
+    mask_scratch: np.ndarray,
+    tau: int,
+    one_minus_tau: int,
+    coef_fmt: FxpFormat,
+    q_fmt: FxpFormat,
+) -> np.ndarray:
+    """:func:`polyak_update` (array path) into preallocated buffers.
+
+    Same buffer contract as :func:`q_update_into`; ``out`` must not
+    alias any operand.
+    """
+    np.multiply(t, _I64(one_minus_tau), out=scratch)
+    np.multiply(q_new, _I64(tau), out=out)
+    np.add(scratch, out, out=scratch)
+    _shift_round_clamp_into(
+        scratch, out, mask_scratch, coef_fmt.frac, q_fmt
+    )
     return out
 
 
@@ -255,3 +438,19 @@ def coefficient_set(
     one_minus_a = clamp_raw(one - a_raw, coef_fmt)
     ag = fxp_mul(a_raw, coef_fmt, g_raw, coef_fmt, coef_fmt)
     return a_raw, g_raw, int(one_minus_a), int(ag)
+
+
+def complement_coefficient(value: float, coef_fmt: FxpFormat) -> tuple[int, int]:
+    """Quantise a [0, 1] coefficient and derive raw ``(value, 1 - value)``.
+
+    The complement is computed the same way stage 1 derives
+    ``1 - alpha``: subtraction from the exact raw 1.0 of ``coef_fmt``.
+    Used for the Polyak ``tau`` pair and any future blend coefficient.
+    """
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"coefficient must be in [0, 1], got {value}")
+    one = 1 << coef_fmt.frac
+    if one > coef_fmt.raw_max:
+        raise ValueError(f"coef format {coef_fmt.describe()} cannot represent 1.0")
+    raw = coef_fmt.quantize(value)
+    return int(raw), int(clamp_raw(one - raw, coef_fmt))

@@ -26,13 +26,17 @@ from .bench import BENCH_CASES, measure_stage_attribution, overhead_ratios, run_
 from .compare import DEFAULT_K, DEFAULT_REL_TOL, compare_snapshots, render_comparison
 from .fleet import (
     LANE_COUNTS,
+    RULE_NAMES,
     SMOKE_LANE_COUNTS,
     WORKER_COUNTS,
     check_min_speedup,
+    check_rule_overhead,
     check_sharded_speedup,
     render_fleet_throughput,
+    render_rule_throughput,
     render_sharded_throughput,
     run_fleet_throughput,
+    run_rule_throughput,
     run_sharded_throughput,
 )
 from .serve import render_serve_throughput, run_serve_throughput
@@ -62,6 +66,9 @@ def _cmd_run(args) -> int:
             n_lanes=256 if args.quick else 4096,
             quick=args.quick,
         )
+    rule_sweep = None
+    if args.rules:
+        rule_sweep = run_rule_throughput(quick=args.quick)
     serve = None
     if args.serve:
         serve = run_serve_throughput(quick=args.quick)
@@ -72,6 +79,7 @@ def _cmd_run(args) -> int:
         stage_attribution=stage,
         fleet_throughput=fleet,
         sharded_throughput=sharded,
+        rule_throughput=rule_sweep,
         serve_throughput=serve,
     )
     path = args.output if args.output else next_bench_path(".")
@@ -93,7 +101,15 @@ def _parse_workers(spec: str) -> list[int]:
 
 def _cmd_fleet(args) -> int:
     sharded = bool(args.workers)
-    if sharded:
+    if args.rules:
+        record = run_rule_throughput(
+            rules=RULE_NAMES if args.rules == "all" else args.rules.split(","),
+            n_lanes=min(args.lanes, 256),
+            repeats=args.repeats,
+            quick=args.smoke,
+        )
+        print(render_rule_throughput(record))
+    elif sharded:
         record = run_sharded_throughput(
             worker_counts=_parse_workers(args.workers),
             n_lanes=args.lanes,
@@ -115,7 +131,11 @@ def _cmd_fleet(args) -> int:
             json.dump(record, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nsweep written to {args.output}")
-    if args.min_speedup is not None:
+    if args.rules and args.max_rule_overhead is not None:
+        ok, message = check_rule_overhead(record, args.max_rule_overhead)
+        print(message)
+        return 0 if ok else 1
+    if args.min_speedup is not None and not args.rules:
         if sharded:
             ok, message = check_sharded_speedup(record, args.min_speedup, vs=args.vs)
         else:
@@ -256,6 +276,10 @@ def render_snapshot(snapshot: dict) -> str:
     if sharded:
         out.append("")
         out.append(render_sharded_throughput(sharded))
+    rule_sweep = snapshot.get("rule_throughput")
+    if rule_sweep:
+        out.append("")
+        out.append(render_rule_throughput(rule_sweep))
     serve = snapshot.get("serve_throughput")
     if serve:
         out.append("")
@@ -320,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="A,B,...",
         help="also run the sharded worker-count sweep at these worker counts "
         "(recorded under the snapshot's sharded_throughput key)",
+    )
+    p_run.add_argument(
+        "--rules",
+        action="store_true",
+        help="also run the per-update-rule vectorized throughput sweep "
+        "(recorded under the snapshot's rule_throughput key)",
     )
     p_run.add_argument(
         "--serve",
@@ -412,6 +442,19 @@ def main(argv: list[str] | None = None) -> int:
         default="scalar",
         help="which baseline the sharded --min-speedup gate compares against "
         "(scalar is machine-portable; vectorized needs a multi-core host)",
+    )
+    p_fleet.add_argument(
+        "--rules",
+        metavar="A,B,...|all",
+        help="run the per-update-rule vectorized throughput sweep instead "
+        f"(registered rules: {','.join(RULE_NAMES)})",
+    )
+    p_fleet.add_argument(
+        "--max-rule-overhead",
+        type=float,
+        metavar="X",
+        help="with --rules: exit 1 if any rule's per-update overhead vs "
+        "plain Q-Learning exceeds X",
     )
     p_fleet.add_argument("--output", metavar="PATH", help="write the sweep json here")
     p_fleet.set_defaults(func=_cmd_fleet)

@@ -25,6 +25,13 @@ Results land in BENCH snapshots under the top-level
 vectorization win without wall-clock fingerprint games: a speedup is a
 same-machine relative measure, comparable anywhere.
 
+:func:`run_rule_throughput` prices the accelerated update rules
+(:mod:`repro.algorithms`): each registered rule timed back-to-back with
+the plain Q-Learning baseline in the same vectorized harness, reported
+as a per-update overhead ratio (``python -m repro.perf fleet --rules
+all --max-rule-overhead 3`` is the CI gate; snapshots store the record
+under ``rule_throughput``).
+
 :func:`run_sharded_throughput` is the companion sweep for the
 process-parallel :class:`~repro.backends.sharded.ShardedFleetBackend`:
 a worker-count ladder at a fixed lane count, recording both the
@@ -70,6 +77,29 @@ def _config(**kw):
 
 def _steps(budget: int, cap: int, lanes: int) -> int:
     return max(1, min(cap, budget // lanes))
+
+
+#: Update rules covered by :func:`run_rule_throughput` (every registered
+#: rule, through its preset constructor so policies are consistent).
+RULE_NAMES = ("qlearning", "sarsa", "momentum_qlearning", "target_qlearning")
+
+
+def _rule_config(rule: str, **kw):
+    from ..core.config import QTAccelConfig
+
+    presets = {
+        "qlearning": QTAccelConfig.qlearning,
+        "sarsa": QTAccelConfig.sarsa,
+        "momentum_qlearning": QTAccelConfig.momentum,
+        "target_qlearning": QTAccelConfig.target_q,
+    }
+    if rule not in presets:
+        raise KeyError(
+            f"unknown rule {rule!r}; choose from {sorted(presets)}"
+        )
+    kw.setdefault("seed", 11)
+    kw.setdefault("qmax_mode", "follow")
+    return presets[rule](**kw)
 
 
 def run_fleet_throughput(
@@ -190,6 +220,143 @@ def check_min_speedup(record: dict, min_speedup: float, *, at_lanes: Optional[in
         f"fleet speedup at n_lanes={lanes}: {speedup:.2f}x "
         f"(floor {min_speedup:g}x) {verdict}"
     )
+
+
+# ---------------------------------------------------------------------- #
+# Update-rule sweep: vectorized throughput per registered rule
+# ---------------------------------------------------------------------- #
+
+
+def run_rule_throughput(
+    *,
+    rules: Sequence[str] = RULE_NAMES,
+    n_lanes: int = 256,
+    repeats: int = 3,
+    warmup: int = 1,
+    quick: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Measure vectorized fleet throughput for each update rule.
+
+    The accelerated rules (:mod:`repro.algorithms`) add extra per-lane
+    tables and stage-3/4 arithmetic; this sweep prices that in software
+    the way Fig. 3 prices it in DSPs.  Each rule is timed back-to-back
+    with the plain Q-Learning baseline in the same round, and
+    ``overhead`` is the median of the paired per-update ratios
+    (rule/baseline — 1.0 means free, 2.0 means half the throughput).
+
+    Returns the snapshot-embeddable record stored under the
+    ``rule_throughput`` key::
+
+        {
+          "n_lanes": 256, "repeats": 3,
+          "points": {
+            "momentum_qlearning": {"steps", "updates", "seconds_median",
+                                   "seconds_mad", "updates_per_sec",
+                                   "overhead", "overhead_mad"},
+            ...
+          },
+        }
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    rules = list(rules)
+    if not rules:
+        raise ValueError("rules must be non-empty")
+    if n_lanes < 1:
+        raise ValueError(f"n_lanes must be positive, got {n_lanes}")
+
+    from ..backends.vectorized import VectorizedFleetBackend
+
+    mdp = _mdp()
+    scale = 10 if quick else 1
+    steps = _steps(_VEC_BUDGET // scale, _VEC_STEP_CAP // scale, n_lanes)
+
+    base = VectorizedFleetBackend(
+        mdp, _rule_config("qlearning"), num_agents=n_lanes
+    )
+    points: dict[str, dict] = {}
+    for rule in rules:
+        eng = VectorizedFleetBackend(mdp, _rule_config(rule), num_agents=n_lanes)
+        for _ in range(warmup):
+            eng.run(steps)
+            base.run(steps)
+        secs: list[float] = []
+        ratios: list[float] = []
+        for _ in range(repeats):
+            t0 = clock()
+            eng.run(steps)
+            t1 = clock()
+            base.run(steps)
+            t2 = clock()
+            secs.append(t1 - t0)
+            if (t2 - t1) > 0:
+                ratios.append((t1 - t0) / (t2 - t1))
+        med = median(secs)
+        updates = n_lanes * steps
+        points[rule] = {
+            "steps": steps,
+            "updates": updates,
+            "seconds_median": med,
+            "seconds_mad": mad(secs),
+            "updates_per_sec": updates / med if med > 0 else None,
+            "overhead": median(ratios) if ratios else None,
+            "overhead_mad": mad(ratios) if ratios else None,
+        }
+
+    return {
+        "n_lanes": n_lanes,
+        "repeats": repeats,
+        "quick": quick,
+        "steps": steps,
+        "points": points,
+    }
+
+
+def check_rule_overhead(record: dict, max_overhead: float) -> tuple[bool, str]:
+    """Gate a rule sweep record: every rule's per-update overhead vs the
+    plain Q-Learning baseline must stay at or under ``max_overhead``.
+    Returns ``(ok, message)``."""
+    points = record.get("points") or {}
+    if not points:
+        return False, "rule sweep has no measured points"
+    worst_rule, worst = None, None
+    for rule, entry in points.items():
+        overhead = entry.get("overhead")
+        if overhead is None:
+            return False, f"no overhead recorded for rule {rule!r}"
+        if worst is None or overhead > worst:
+            worst_rule, worst = rule, overhead
+    ok = worst <= max_overhead
+    verdict = "ok" if ok else "FAIL"
+    return ok, (
+        f"worst rule overhead: {worst_rule} {worst:.2f}x vs qlearning "
+        f"(ceiling {max_overhead:g}x) {verdict}"
+    )
+
+
+def render_rule_throughput(record: dict) -> str:
+    """Human-readable table of one rule sweep record."""
+    out = [
+        f"update-rule throughput (vectorized, n_lanes={record.get('n_lanes')}, "
+        "per update):"
+    ]
+    header = f"{'rule':>20s} {'up/s':>14s} {'overhead':>9s}"
+    out.append(header)
+    out.append("-" * len(header))
+
+    def _fmt(v):
+        return f"{v:,.0f}" if isinstance(v, (int, float)) else "-"
+
+    for rule, p in (record.get("points") or {}).items():
+        ov = p.get("overhead")
+        out.append(
+            f"{rule:>20s} {_fmt(p.get('updates_per_sec')):>14s} "
+            f"{(f'{ov:.2f}x' if ov is not None else '-'):>9s}"
+        )
+    return "\n".join(out)
 
 
 # ---------------------------------------------------------------------- #

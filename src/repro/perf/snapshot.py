@@ -103,6 +103,7 @@ def build_snapshot(
     stage_attribution: Optional[dict] = None,
     fleet_throughput: Optional[dict] = None,
     sharded_throughput: Optional[dict] = None,
+    rule_throughput: Optional[dict] = None,
     serve_throughput: Optional[dict] = None,
     degraded_throughput: Optional[dict] = None,
 ) -> dict:
@@ -120,6 +121,8 @@ def build_snapshot(
         snap["fleet_throughput"] = fleet_throughput
     if sharded_throughput is not None:
         snap["sharded_throughput"] = sharded_throughput
+    if rule_throughput is not None:
+        snap["rule_throughput"] = rule_throughput
     if serve_throughput is not None:
         snap["serve_throughput"] = serve_throughput
     if degraded_throughput is not None:

@@ -138,13 +138,18 @@ class FaultInjector:
         """Register a table set's RAMs by name.  The default hits the
         *learned* state (Q and Qmax); rewards are typically excluded
         because a reward upset is a change of environment, not of learner
-        state — include ``"rewards"`` explicitly to model it."""
+        state — include ``"rewards"`` explicitly to model it.  Update-rule
+        extra tables (``"momentum"``, ``"target"``) are valid names
+        whenever the configured rule allocates them — they are learned
+        state in BRAM and therefore SECDED victims like the Q table."""
         by_name = {
             "q": (tables.q, True),
             "rewards": (tables.rewards, True),
             "qmax": (tables.qmax, True),
             "qmax_action": (tables.qmax_action, False),
         }
+        for name, ram in tables.extra_rams.items():
+            by_name[name] = (ram, True)
         for name in include:
             if name not in by_name:
                 raise ValueError(

@@ -46,7 +46,12 @@ def verify_paper_invariants(
     Always checked:
 
     * the pipeline drained (``retired == issued``);
-    * ``samples``, if given, all retired (``retired == samples``).
+    * ``samples``, if given, all retired (``retired == samples``);
+    * for update rules with extra tables (momentum/target — see
+      :mod:`repro.algorithms`), the tables the rule declares exist and
+      hold no staged (uncommitted) writes after the drain — the stage-4
+      extra-table write path obeys the same clock-edge discipline as
+      the Q table.
 
     Checked only for the paper's design point (``hazard_mode="forward"``
     with a single-cycle stage 2):
@@ -78,6 +83,24 @@ def verify_paper_invariants(
             "retired_equals_samples",
             st.retired == samples,
             f"retired={st.retired} samples={samples}",
+        )
+    rule = getattr(cfg, "rule", None)
+    if rule is not None and rule.extra_tables:
+        tables = pipe.tables
+        missing = [t for t in rule.extra_tables if t not in tables.extra_rams]
+        check(
+            "rule_tables_present",
+            not missing,
+            f"rule={rule.name} extra_tables={rule.extra_tables} missing={missing}",
+        )
+        staged = {
+            name: len(getattr(ram, "_pending", ()))
+            for name, ram in tables.extra_rams.items()
+        }
+        check(
+            "rule_tables_drained",
+            all(v == 0 for v in staged.values()),
+            f"staged extra-table writes pending after drain: {staged}",
         )
     if cfg.hazard_mode == "forward" and pipe.stage2_latency == 1:
         check(

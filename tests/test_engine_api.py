@@ -128,12 +128,19 @@ class TestDeprecationShims:
     def test_positional_config_warns_and_works(self):
         with pytest.warns(DeprecationWarning, match="positional QTAccelConfig"):
             cfg = QTAccelConfig("egreedy", "egreedy")
-        assert cfg == QTAccelConfig(behavior_policy="egreedy", update_policy="egreedy")
+        assert cfg == QTAccelConfig(update_rule="sarsa")
+
+    def test_stringly_policy_config_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="update_rule"):
+            cfg = QTAccelConfig(behavior_policy="egreedy", update_policy="egreedy")
+        assert cfg == QTAccelConfig(update_rule="sarsa")
 
     def test_keyword_config_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            QTAccelConfig(behavior_policy="random", update_policy="greedy")
+            QTAccelConfig(update_rule="qlearning")
+            QTAccelConfig(update_rule="sarsa", epsilon=0.25)
+            QTAccelConfig()  # defaults name no policies: no shim fires
 
     def test_too_many_positionals(self):
         with pytest.raises(TypeError, match="at most"):

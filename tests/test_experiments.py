@@ -24,6 +24,7 @@ ALL_IDS = [
     "ablation_hazards",
     "ablation_qmax",
     "ablation_wordlen",
+    "algorithms",
     "prob_policy",
     "fleet",
     "table2_cache",
