@@ -73,6 +73,34 @@ class RuleCost:
 
 
 @dataclass(frozen=True)
+class RuleKernel:
+    """Native-kernel lowering descriptor of one rule — the device-cost
+    descriptor pattern (:class:`RuleCost`) applied to software lowering.
+
+    A compiled fleet kernel (:mod:`repro.backends.native`) fuses the
+    whole per-step program into one pass and cannot call back into
+    Python per sample, so each rule declares up front how its stage-3 /
+    stage-4 arithmetic lowers: ``kernel_id`` is the integer the fused
+    kernel branches on, and the flags name the extra operand streams the
+    lowering must wire (so a backend can reject an unlowered rule with a
+    typed :class:`UnsupportedRuleError` at construction, never mid-run).
+    """
+
+    #: Integer dispatch tag inside the fused kernel (0 = plain
+    #: 3-product datapath, 1 = momentum 4-product, 2 = target-bootstrap
+    #: + Polyak write-back).  New rules without a lowering keep an id
+    #: outside the compiled set and are rejected at construction.
+    kernel_id: int = 0
+    #: Stage 3 streams a second per-pair operand (momentum/target read).
+    reads_extra_table: bool = False
+    #: Stage 4 writes the extra table (momentum iterate / Polyak RMW).
+    writes_extra_table: bool = False
+    #: Stage 4 performs the two-product Polyak read-modify-write.
+    polyak_writeback: bool = False
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class RuleCoefficients:
     """Raw fixed-point coefficients of one configured rule.
 
@@ -117,6 +145,9 @@ class UpdateRule:
     has_sync_counter: bool = False
     #: Device-model increment (see :class:`RuleCost`).
     device_cost: RuleCost = RuleCost()
+    #: Native-kernel lowering (see :class:`RuleKernel`).  The default
+    #: lowers as the plain 3-product datapath.
+    kernel: RuleKernel = RuleKernel()
 
     # ------------------------------------------------------------------ #
     # Hooks
@@ -195,6 +226,7 @@ class QLearningRule(UpdateRule):
     update_policy = "greedy"
     aliases = ("q", "q_learning", "greedy")
     device_cost = RuleCost(note="paper baseline")
+    kernel = RuleKernel(kernel_id=0, note="plain 3-product datapath")
 
 
 class SarsaRule(UpdateRule):
@@ -207,6 +239,7 @@ class SarsaRule(UpdateRule):
     update_policy = "egreedy"
     aliases = ("egreedy",)
     device_cost = RuleCost(note="paper baseline")
+    kernel = RuleKernel(kernel_id=0, note="plain 3-product datapath")
 
 
 class MomentumQLearningRule(UpdateRule):
@@ -231,6 +264,12 @@ class MomentumQLearningRule(UpdateRule):
         extra_pair_tables=1,
         extra_dsps=1,
         note="momentum table + b*(Q - M) product",
+    )
+    kernel = RuleKernel(
+        kernel_id=1,
+        reads_extra_table=True,
+        writes_extra_table=True,
+        note="momentum operand + pre-update iterate write",
     )
 
     def validate(self, config) -> None:
@@ -305,6 +344,13 @@ class TargetQLearningRule(UpdateRule):
         extra_pair_tables=1,
         extra_dsps=2,
         note="target table + Polyak RMW products",
+    )
+    kernel = RuleKernel(
+        kernel_id=2,
+        reads_extra_table=True,
+        writes_extra_table=True,
+        polyak_writeback=True,
+        note="target bootstrap + Polyak RMW",
     )
 
     def validate(self, config) -> None:

@@ -1,7 +1,7 @@
 """Fleet execution backends: the same learners, different array programs.
 
 ``n_lanes`` independent QTAccel learners can be advanced by any of
-three interchangeable backends (see :mod:`repro.backends.base` for the
+four interchangeable backends (see :mod:`repro.backends.base` for the
 shared :class:`FleetBackend` surface):
 
 * ``"vectorized"`` (default) — :class:`VectorizedFleetBackend`, lanes
@@ -13,13 +13,18 @@ shared :class:`FleetBackend` surface):
   partitioned into contiguous lane shards, one spawn-safe
   ``multiprocessing`` worker per shard with all per-lane state in a
   ``multiprocessing.shared_memory`` block (multi-core scaling with
-  checkpointed crash recovery; remember to ``close()`` it).
+  checkpointed crash recovery; remember to ``close()`` it);
+* ``"native"`` — :class:`NativeFleetBackend`, the whole lock-step
+  program fused into one compiled pass per chunk of steps (numba JIT
+  via the ``repro[native]`` extra, or a runtime-compiled C kernel);
+  raises :class:`NativeBackendUnavailableError` when no compiled tier
+  exists (see :func:`fleet_backend_availability`).
 
 All are bit-identical per lane to a scalar
 :class:`~repro.core.functional.FunctionalSimulator` with the same salt.
 Select one via :func:`make_fleet_backend`,
 ``BatchIndependentSimulator(..., backend=...)`` or
-``repro.make_engine(..., engine="batch"|"vectorized"|"sharded")``.
+``repro.make_engine(..., engine="batch"|"vectorized"|"sharded"|"native")``.
 """
 
 from .base import (
@@ -27,10 +32,17 @@ from .base import (
     FleetBackend,
     FleetSpec,
     FleetStats,
+    fleet_backend_availability,
     fleet_backends,
     make_fleet_backend,
     normalize_fleet,
     resolve_fleet_backend,
+)
+from .native import (
+    NativeBackendUnavailableError,
+    NativeFleetBackend,
+    native_available,
+    native_kernel_tiers,
 )
 from .scalar import ScalarFleetBackend
 from .sharded import ShardedFleetBackend
@@ -41,11 +53,16 @@ __all__ = [
     "FleetBackend",
     "FleetSpec",
     "FleetStats",
+    "NativeBackendUnavailableError",
+    "NativeFleetBackend",
     "ScalarFleetBackend",
     "ShardedFleetBackend",
     "VectorizedFleetBackend",
+    "fleet_backend_availability",
     "fleet_backends",
     "make_fleet_backend",
+    "native_available",
+    "native_kernel_tiers",
     "normalize_fleet",
     "resolve_fleet_backend",
 ]

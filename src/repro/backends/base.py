@@ -218,7 +218,14 @@ class FleetBackend(Protocol):
 
 
 def fleet_backends() -> dict[str, type]:
-    """Name -> class registry of the available fleet backends."""
+    """Name -> class registry of the known fleet backends.
+
+    Registration is unconditional — constructing ``"native"`` on a host
+    with no compiled kernel tier raises a typed
+    :class:`~repro.backends.native.NativeBackendUnavailableError`; use
+    :func:`fleet_backend_availability` to probe without constructing.
+    """
+    from .native import NativeFleetBackend
     from .scalar import ScalarFleetBackend
     from .sharded import ShardedFleetBackend
     from .vectorized import VectorizedFleetBackend
@@ -227,7 +234,26 @@ def fleet_backends() -> dict[str, type]:
         "vectorized": VectorizedFleetBackend,
         "scalar": ScalarFleetBackend,
         "sharded": ShardedFleetBackend,
+        "native": NativeFleetBackend,
     }
+
+
+def fleet_backend_availability() -> dict[str, dict]:
+    """Per-backend availability report, ``name -> {available, detail}``.
+
+    The pure-Python/numpy backends are always available; ``"native"``
+    needs a compiled kernel tier (numba via the ``repro[native]`` extra,
+    or a system C compiler).
+    """
+    from .native import native_available
+
+    report = {
+        name: {"available": True, "detail": ""}
+        for name in ("vectorized", "scalar", "sharded")
+    }
+    ok, detail = native_available()
+    report["native"] = {"available": ok, "detail": detail}
+    return report
 
 
 def resolve_fleet_backend(name: str) -> type:
@@ -249,7 +275,15 @@ def make_fleet_backend(
     num_agents: int | None = None,
     salts: Sequence[int] | None = None,
     telemetry=None,
+    **kw,
 ) -> FleetBackend:
-    """Construct a fleet backend by name (the functional entry point)."""
+    """Construct a fleet backend by name (the functional entry point).
+
+    Extra keyword arguments forward to the chosen backend's constructor
+    — e.g. ``num_workers=`` for ``"sharded"``, ``kernel=`` for
+    ``"native"`` — matching the batch facade and ``make_engine``.
+    """
     cls = resolve_fleet_backend(backend)
-    return cls(mdps, config, num_agents=num_agents, salts=salts, telemetry=telemetry)
+    return cls(
+        mdps, config, num_agents=num_agents, salts=salts, telemetry=telemetry, **kw
+    )

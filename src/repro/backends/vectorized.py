@@ -179,18 +179,23 @@ class VectorizedFleetBackend:
             "_t_start", "_t_state", "_t_action", "_t_pair", "_t_ienv",
             "_t_isa", "_t_is", "_t_snext", "_t_r", "_t_qsa", "_t_qnext",
             "_t_anext", "_t_qnew", "_t_acc", "_t_tmp",
-        ):
-            setattr(self, name, np.empty(k, dtype=_I64))
-        if self._rule_kind != "plain":
             # Rule-specific temporaries: the momentum/target gather and
             # the Polyak result (kept separate from _t_tmp, which stage 4
-            # still owns for the Qmax merge).
-            self._t_rule = np.empty(k, dtype=_I64)
-            self._t_rule2 = np.empty(k, dtype=_I64)
+            # still owns for the Qmax merge).  Allocated unconditionally
+            # so every rule path stays allocation-free and _bind_rule can
+            # be re-run (checkpoint load) without reshaping scratch.
+            "_t_rule", "_t_rule2",
+        ):
+            setattr(self, name, np.empty(k, dtype=_I64))
         for name in (
             "_m_restart", "_m_exploit", "_m_lag", "_m_term", "_m_upd", "_m_tmp",
         ):
             setattr(self, name, np.empty(k, dtype=bool))
+        # Target-sync due mask, kept as a (k, 1) column so the whole-table
+        # `where=` broadcast in step() reuses this buffer instead of
+        # materialising `due[:, None]` every sync check.
+        self._m_due_col = np.empty((k, 1), dtype=bool)
+        self._m_due = self._m_due_col[:, 0]
         self._rebind_flat_views()
         #: Optional :class:`repro.robustness.guards.DivergenceGuard`
         #: observing every lock-step update vector (None = fast path).
@@ -443,10 +448,10 @@ class VectorizedFleetBackend:
             period = cfg.target_sync_period
             if period:
                 due = np.greater_equal(
-                    self._target_count, _I64(period), out=self._m_tmp
+                    self._target_count, _I64(period), out=self._m_due
                 )
                 if np.any(due):
-                    np.copyto(self.target, self.q, where=due[:, None])
+                    np.copyto(self.target, self.q, where=self._m_due_col)
                     np.copyto(self._target_count, _I64(0), where=due)
 
         self.stats.episodes += int(np.count_nonzero(terminal_next))

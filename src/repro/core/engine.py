@@ -1,9 +1,10 @@
 """Unified engine construction: :func:`make_engine` and the :class:`Engine` protocol.
 
-The repo grew five ways to run the QTAccel update loop — the
+The repo grew six ways to run the QTAccel update loop — the
 cycle-accurate pipeline, the bit-identical functional fast path, the
-lane-stacked fleet simulator, the raw vectorized fleet backend, and
-the multi-core sharded fleet backend.  They share the same execution
+lane-stacked fleet simulator, the raw vectorized fleet backend, the
+multi-core sharded fleet backend, and the native fused-kernel
+backend.  They share the same execution
 contract but historically each had its own constructor spelling.  :func:`make_engine` is the single documented
 entry point (see ``docs/api.md``); everything it returns satisfies
 :class:`Engine`:
@@ -32,6 +33,12 @@ Engine kinds
 ``"sharded"``           :class:`~repro.backends.sharded.ShardedFleetBackend`
                         (lane shards across ``num_workers`` processes over
                         shared memory; remember to ``close()`` it)
+``"native"``            :class:`~repro.backends.native.NativeFleetBackend`
+                        (the lock-step program fused into one compiled
+                        pass — numba JIT via the ``repro[native]`` extra or
+                        a runtime-compiled C kernel; raises a typed
+                        :class:`~repro.backends.native.NativeBackendUnavailableError`
+                        when neither exists)
 ======================  ====================================================
 
 Scalar engines (``functional``/``pipeline``) take one ``mdp``; fleet
@@ -70,7 +77,7 @@ from .config import QTAccelConfig
 __all__ = ["Engine", "ENGINE_KINDS", "make_engine"]
 
 #: Recognised ``engine=`` spellings, in documentation order.
-ENGINE_KINDS = ("functional", "pipeline", "batch", "vectorized", "sharded")
+ENGINE_KINDS = ("functional", "pipeline", "batch", "vectorized", "sharded", "native")
 
 
 @runtime_checkable
@@ -175,6 +182,10 @@ def make_engine(
         from ..backends.sharded import ShardedFleetBackend
 
         return ShardedFleetBackend(_fleet_worlds(engine, mdp, mdps), config, **kw)
+    if engine == "native":
+        from ..backends.native import NativeFleetBackend
+
+        return NativeFleetBackend(_fleet_worlds(engine, mdp, mdps), config, **kw)
     raise ValueError(
         f"engine: unknown value {engine!r}; choose one of {ENGINE_KINDS}"
     )

@@ -6,7 +6,9 @@ Usage::
     python -m repro.perf run --output out.json --repeats 9
     python -m repro.perf run --fleet              # + fleet throughput sweep
     python -m repro.perf run --fleet --workers 1,2  # + sharded worker sweep
+    python -m repro.perf run --fleet --native     # + native fused-kernel sweep
     python -m repro.perf fleet --smoke --min-speedup 5
+    python -m repro.perf fleet --backend native --min-speedup 3
     python -m repro.perf fleet --workers 2 --lanes 256 --min-speedup 2 --vs scalar
     python -m repro.perf serve --quick          # gateway saturation bench
     python -m repro.perf serve --quick --chaos  # + degraded (mid-recovery) bench
@@ -30,12 +32,15 @@ from .fleet import (
     SMOKE_LANE_COUNTS,
     WORKER_COUNTS,
     check_min_speedup,
+    check_native_speedup,
     check_rule_overhead,
     check_sharded_speedup,
     render_fleet_throughput,
+    render_native_throughput,
     render_rule_throughput,
     render_sharded_throughput,
     run_fleet_throughput,
+    run_native_throughput,
     run_rule_throughput,
     run_sharded_throughput,
 )
@@ -69,6 +74,12 @@ def _cmd_run(args) -> int:
     rule_sweep = None
     if args.rules:
         rule_sweep = run_rule_throughput(quick=args.quick)
+    native = None
+    if args.native:
+        native = run_native_throughput(
+            lane_counts=SMOKE_LANE_COUNTS if args.quick else LANE_COUNTS,
+            quick=args.quick,
+        )
     serve = None
     if args.serve:
         serve = run_serve_throughput(quick=args.quick)
@@ -80,6 +91,7 @@ def _cmd_run(args) -> int:
         fleet_throughput=fleet,
         sharded_throughput=sharded,
         rule_throughput=rule_sweep,
+        native_throughput=native,
         serve_throughput=serve,
     )
     path = args.output if args.output else next_bench_path(".")
@@ -101,7 +113,18 @@ def _parse_workers(spec: str) -> list[int]:
 
 def _cmd_fleet(args) -> int:
     sharded = bool(args.workers)
-    if args.rules:
+    native = args.backend == "native"
+    if native and (args.rules or sharded):
+        raise KeyError("--backend native cannot combine with --rules/--workers")
+    if native:
+        record = run_native_throughput(
+            lane_counts=SMOKE_LANE_COUNTS if args.smoke else LANE_COUNTS,
+            repeats=args.repeats,
+            quick=args.smoke,
+            kernel=args.kernel,
+        )
+        print(render_native_throughput(record))
+    elif args.rules:
         record = run_rule_throughput(
             rules=RULE_NAMES if args.rules == "all" else args.rules.split(","),
             n_lanes=min(args.lanes, 256),
@@ -136,7 +159,9 @@ def _cmd_fleet(args) -> int:
         print(message)
         return 0 if ok else 1
     if args.min_speedup is not None and not args.rules:
-        if sharded:
+        if native:
+            ok, message = check_native_speedup(record, args.min_speedup)
+        elif sharded:
             ok, message = check_sharded_speedup(record, args.min_speedup, vs=args.vs)
         else:
             ok, message = check_min_speedup(record, args.min_speedup)
@@ -280,6 +305,10 @@ def render_snapshot(snapshot: dict) -> str:
     if rule_sweep:
         out.append("")
         out.append(render_rule_throughput(rule_sweep))
+    native = snapshot.get("native_throughput")
+    if native:
+        out.append("")
+        out.append(render_native_throughput(native))
     serve = snapshot.get("serve_throughput")
     if serve:
         out.append("")
@@ -352,6 +381,12 @@ def main(argv: list[str] | None = None) -> int:
         "(recorded under the snapshot's rule_throughput key)",
     )
     p_run.add_argument(
+        "--native",
+        action="store_true",
+        help="also run the native fused-kernel sweep "
+        "(recorded under the snapshot's native_throughput key)",
+    )
+    p_run.add_argument(
         "--serve",
         action="store_true",
         help="also run the session-gateway saturation bench "
@@ -422,6 +457,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="X",
         help="exit 1 unless the largest lane count (or worker count, with "
         "--workers) reaches X x speedup",
+    )
+    p_fleet.add_argument(
+        "--backend",
+        choices=("auto", "native"),
+        default="auto",
+        help="'native' runs the fused-kernel sweep (native vs vectorized) "
+        "instead of the scalar-vs-vectorized sweep",
+    )
+    p_fleet.add_argument(
+        "--kernel",
+        choices=("auto", "numba", "cc", "python"),
+        default=None,
+        help="with --backend native: pin a kernel tier (default: "
+        "QTACCEL_NATIVE_KERNEL env, then numba, then cc)",
     )
     p_fleet.add_argument(
         "--workers",

@@ -47,6 +47,12 @@ SERVE_REL_TOL = 0.25
 #: the observatory records).
 SERVE_P99_REL_TOL = 1.00
 
+#: Native-kernel speedup ratio tolerance.  ``speedup_vs_vectorized`` is
+#: a same-process relative measure (both sides timed back-to-back on
+#: one machine), so it gates across fingerprints — but it still moves
+#: with cache pressure and core count, hence a wide band.
+NATIVE_REL_TOL = 0.25
+
 
 @dataclass
 class Finding:
@@ -174,6 +180,15 @@ def compare_snapshots(
         label="degraded",
     )
 
+    # Native fused-kernel sweep (speedup ratio machine-portable;
+    # absolute updates/sec machine-bound).
+    _compare_native(
+        base.get("native_throughput"),
+        new.get("native_throughput"),
+        gate_time=gate_time,
+        findings=findings,
+    )
+
     # Overhead budgets (relative; machine-independent).
     new_over = new.get("overheads", {})
     base_over = base.get("overheads", {})
@@ -299,6 +314,102 @@ def _compare_serve(
             findings.append(Finding("time", f"{label}.act_p99", "improvement", detail))
         else:
             findings.append(Finding("time", f"{label}.act_p99", "ok", detail))
+
+
+def _compare_native(
+    base: Optional[dict],
+    new: Optional[dict],
+    *,
+    gate_time: bool,
+    findings: list,
+) -> None:
+    """Sentinel findings for the ``native_throughput`` sweep.
+
+    Two gates with different portability.  ``speedup_vs_vectorized``
+    is a ratio of two back-to-back timings in one process, so it is
+    meaningful across machine fingerprints and gates unconditionally
+    (band ``NATIVE_REL_TOL``) — this is the sentinel that pins the
+    native kernel's headline claim.  Absolute native ``updates_per_sec``
+    is wall-clock and only gates when the fingerprints match.  Records
+    taken with different kernel tiers or sweep shapes (quick vs full)
+    are not comparable and are skipped.
+    """
+    if base is None and new is None:
+        return
+    if base is None:
+        findings.append(
+            Finding("info", "native", "skipped", "native bench new in this snapshot")
+        )
+        return
+    if new is None:
+        findings.append(
+            Finding("info", "native", "skipped", "native bench missing from new snapshot")
+        )
+        return
+    if any(base.get(k) != new.get(k) for k in ("kernel", "quick")):
+        findings.append(
+            Finding(
+                "time",
+                "native",
+                "skipped",
+                "native bench shapes differ (kernel tier or sweep size); "
+                "not comparable",
+            )
+        )
+        return
+    common = sorted(
+        set(base.get("points", {})) & set(new.get("points", {})), key=int
+    )
+    if not common:
+        findings.append(
+            Finding("time", "native", "skipped", "no common lane counts between sweeps")
+        )
+        return
+    lanes = common[-1]
+    b_pt, n_pt = base["points"][lanes], new["points"][lanes]
+
+    b_sp, n_sp = b_pt.get("speedup_vs_vectorized"), n_pt.get("speedup_vs_vectorized")
+    if b_sp and n_sp:
+        pct = 100.0 * (n_sp - b_sp) / b_sp
+        detail = (
+            f"speedup@{lanes} lanes {b_sp:.3g}x -> {n_sp:.3g}x "
+            f"({pct:+.1f}%, floor -{100 * NATIVE_REL_TOL:.0f}%)"
+        )
+        if n_sp < b_sp * (1.0 - NATIVE_REL_TOL):
+            findings.append(Finding("time", "native.speedup", "regression", detail))
+        elif n_sp > b_sp * (1.0 + NATIVE_REL_TOL):
+            findings.append(Finding("time", "native.speedup", "improvement", detail))
+        else:
+            findings.append(Finding("time", "native.speedup", "ok", detail))
+
+    b_ups = (b_pt.get("native") or {}).get("updates_per_sec")
+    n_ups = (n_pt.get("native") or {}).get("updates_per_sec")
+    if b_ups and n_ups:
+        if not gate_time:
+            findings.append(
+                Finding(
+                    "time",
+                    "native.updates_per_sec",
+                    "skipped",
+                    "different machine fingerprint; native wall-clock not gated",
+                )
+            )
+        else:
+            pct = 100.0 * (n_ups - b_ups) / b_ups
+            detail = (
+                f"native updates/s@{lanes} lanes {b_ups:.4g} -> {n_ups:.4g} "
+                f"({pct:+.1f}%, floor -{100 * NATIVE_REL_TOL:.0f}%)"
+            )
+            if n_ups < b_ups * (1.0 - NATIVE_REL_TOL):
+                findings.append(
+                    Finding("time", "native.updates_per_sec", "regression", detail)
+                )
+            elif n_ups > b_ups * (1.0 + NATIVE_REL_TOL):
+                findings.append(
+                    Finding("time", "native.updates_per_sec", "improvement", detail)
+                )
+            else:
+                findings.append(Finding("time", "native.updates_per_sec", "ok", detail))
 
 
 def render_comparison(result: CompareResult) -> str:

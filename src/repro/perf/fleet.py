@@ -38,6 +38,13 @@ a worker-count ladder at a fixed lane count, recording both the
 multi-core ratio against single-process vectorized and the
 machine-portable ratio against scalar (``python -m repro.perf fleet
 --workers 1,2,4``; snapshots store it under ``sharded_throughput``).
+
+:func:`run_native_throughput` covers the fused compiled kernel
+(:class:`~repro.backends.native.NativeFleetBackend`): native vs
+vectorized back-to-back per lane count, with the machine-portable
+``speedup_vs_vectorized`` ratio as the sentinel gate (``python -m
+repro.perf fleet --backend native --min-speedup 3``; snapshots store it
+under ``native_throughput``).
 """
 
 from __future__ import annotations
@@ -565,6 +572,182 @@ def render_sharded_throughput(record: dict) -> str:
             f"{_fmt((p.get('vectorized') or {}).get('updates_per_sec')):>14s} "
             f"{_x(p.get('speedup_vs_vectorized')):>10s} "
             f"{_x(p.get('speedup_vs_scalar')):>10s}"
+        )
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------- #
+# Native sweep: fused compiled kernel vs the vectorized array program
+# ---------------------------------------------------------------------- #
+
+#: Per-repeat update budget for the native sweep (the fused kernel
+#: retires updates 5-50x faster than the numpy program, so it gets a
+#: proportionally larger budget at the same wall-clock cost).
+_NATIVE_BUDGET = 2_000_000
+_NATIVE_STEP_CAP = 20_000
+
+
+def run_native_throughput(
+    *,
+    lane_counts: Sequence[int] = LANE_COUNTS,
+    repeats: int = 3,
+    warmup: int = 1,
+    quick: bool = False,
+    kernel: Optional[str] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Measure native fused-kernel vs vectorized fleet throughput.
+
+    The native backend (:class:`~repro.backends.native.NativeFleetBackend`)
+    fuses the whole lock-step program — which the vectorized backend
+    spreads over ~40 numpy array ops and ~10 temporaries per step —
+    into one compiled lane-outer/step-inner pass.  This sweep times both
+    back-to-back at each lane count; ``speedup_vs_vectorized`` is the
+    median of paired per-update ratios (machine-portable, the CI
+    sentinel's gate at 4096 lanes).
+
+    ``kernel`` forwards a tier request (``numba``/``cc``/``python``);
+    default resolves like the backend (env var, then auto).  Raises
+    :class:`~repro.backends.native.NativeBackendUnavailableError` when
+    no compiled tier exists.  Returns the snapshot-embeddable record
+    stored under ``native_throughput``::
+
+        {
+          "lane_counts": [1, 16, 256, 4096],
+          "repeats": 3, "kernel": "numba",
+          "points": {
+            "4096": {
+              "native":     {"steps", "updates", "seconds_median",
+                             "seconds_mad", "updates_per_sec"},
+              "vectorized": {...same keys...},
+              "speedup_vs_vectorized": 6.1,
+              "speedup_vs_vectorized_mad": 0.2,
+            },
+            ...
+          },
+        }
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    lane_counts = list(lane_counts)
+    if not lane_counts or any(l < 1 for l in lane_counts):
+        raise ValueError(f"lane_counts must be positive, got {lane_counts}")
+
+    from ..backends.native import NativeFleetBackend
+    from ..backends.vectorized import VectorizedFleetBackend
+
+    mdp, cfg = _mdp(), _config()
+    scale = 10 if quick else 1
+    points: dict[str, dict] = {}
+    kernel_tier = None
+
+    for lanes in lane_counts:
+        nat_steps = _steps(_NATIVE_BUDGET // scale, _NATIVE_STEP_CAP // scale, lanes)
+        vec_steps = _steps(_VEC_BUDGET // scale, _VEC_STEP_CAP // scale, lanes)
+
+        nat = NativeFleetBackend(mdp, cfg, num_agents=lanes, kernel=kernel)
+        vec = VectorizedFleetBackend(mdp, cfg, num_agents=lanes)
+        kernel_tier = nat.kernel_tier
+        # First native run also pays any one-time JIT/compile cost —
+        # always warm at least once so repeats see the steady state.
+        nat.run(nat_steps)
+        vec.run(vec_steps)
+        for _ in range(max(0, warmup - 1)):
+            nat.run(nat_steps)
+            vec.run(vec_steps)
+
+        nat_secs: list[float] = []
+        vec_secs: list[float] = []
+        ratios: list[float] = []
+        for _ in range(repeats):
+            t0 = clock()
+            nat.run(nat_steps)
+            t1 = clock()
+            vec.run(vec_steps)
+            t2 = clock()
+            nat_secs.append(t1 - t0)
+            vec_secs.append(t2 - t1)
+            n = (t1 - t0) / (lanes * nat_steps)
+            v = (t2 - t1) / (lanes * vec_steps)
+            if n > 0:
+                ratios.append(v / n)
+
+        def _side(steps: int, secs: list[float]) -> dict:
+            med = median(secs)
+            updates = lanes * steps
+            return {
+                "steps": steps,
+                "updates": updates,
+                "seconds_median": med,
+                "seconds_mad": mad(secs),
+                "updates_per_sec": updates / med if med > 0 else None,
+            }
+
+        points[str(lanes)] = {
+            "native": _side(nat_steps, nat_secs),
+            "vectorized": _side(vec_steps, vec_secs),
+            "speedup_vs_vectorized": median(ratios) if ratios else None,
+            "speedup_vs_vectorized_mad": mad(ratios) if ratios else None,
+        }
+
+    return {
+        "lane_counts": lane_counts,
+        "repeats": repeats,
+        "quick": quick,
+        "kernel": kernel_tier,
+        "points": points,
+    }
+
+
+def check_native_speedup(
+    record: dict, min_speedup: float, *, at_lanes: Optional[int] = None
+) -> tuple[bool, str]:
+    """Gate a native sweep record: ``speedup_vs_vectorized`` at the
+    largest measured lane count (or ``at_lanes``) must reach
+    ``min_speedup``.  Returns ``(ok, message)``."""
+    points = record.get("points") or {}
+    if not points:
+        return False, "native sweep has no measured points"
+    lanes = at_lanes if at_lanes is not None else max(int(k) for k in points)
+    entry = points.get(str(lanes))
+    if entry is None:
+        return False, f"no native point at n_lanes={lanes}"
+    speedup = entry.get("speedup_vs_vectorized")
+    if speedup is None:
+        return False, f"no speedup_vs_vectorized recorded at n_lanes={lanes}"
+    ok = speedup >= min_speedup
+    verdict = "ok" if ok else "FAIL"
+    return ok, (
+        f"native speedup vs vectorized at n_lanes={lanes} "
+        f"(kernel={record.get('kernel')}): {speedup:.2f}x "
+        f"(floor {min_speedup:g}x) {verdict}"
+    )
+
+
+def render_native_throughput(record: dict) -> str:
+    """Human-readable table of one native sweep record."""
+    out = [
+        f"native fleet throughput (fused {record.get('kernel')} kernel vs "
+        "vectorized, per update):"
+    ]
+    header = (
+        f"{'n_lanes':>8s} {'native up/s':>14s} {'vector up/s':>14s} {'speedup':>9s}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+
+    def _fmt(v):
+        return f"{v:,.0f}" if isinstance(v, (int, float)) else "-"
+
+    for lanes in sorted((record.get("points") or {}), key=int):
+        p = record["points"][lanes]
+        sp = p.get("speedup_vs_vectorized")
+        out.append(
+            f"{lanes:>8s} {_fmt((p.get('native') or {}).get('updates_per_sec')):>14s} "
+            f"{_fmt((p.get('vectorized') or {}).get('updates_per_sec')):>14s} "
+            f"{(f'{sp:.2f}x' if sp is not None else '-'):>9s}"
         )
     return "\n".join(out)
 

@@ -29,6 +29,10 @@ Schema (``qtaccel-bench/1``)::
       "sharded_throughput": {"n_lanes", "worker_counts",     # optional
                               "points": {"<workers>": {"sharded",
                                          "vectorized", "speedup_*"}}},
+      "native_throughput": {"lane_counts", "kernel",         # optional
+                             "points": {"<n_lanes>": {"native",
+                                        "vectorized",
+                                        "speedup_vs_vectorized"}}},
       "serve_throughput": {"engine", "lanes", "concurrency", # optional
                             "sessions_per_sec", "transitions_per_sec",
                             "act_latency_ms": {"p50", "p99", ...}},
@@ -104,6 +108,7 @@ def build_snapshot(
     fleet_throughput: Optional[dict] = None,
     sharded_throughput: Optional[dict] = None,
     rule_throughput: Optional[dict] = None,
+    native_throughput: Optional[dict] = None,
     serve_throughput: Optional[dict] = None,
     degraded_throughput: Optional[dict] = None,
 ) -> dict:
@@ -123,6 +128,8 @@ def build_snapshot(
         snap["sharded_throughput"] = sharded_throughput
     if rule_throughput is not None:
         snap["rule_throughput"] = rule_throughput
+    if native_throughput is not None:
+        snap["native_throughput"] = native_throughput
     if serve_throughput is not None:
         snap["serve_throughput"] = serve_throughput
     if degraded_throughput is not None:

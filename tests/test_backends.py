@@ -161,7 +161,7 @@ class TestCheckpointRoundTrip:
 
 class TestRegistryAndDispatch:
     def test_registry_names(self):
-        assert set(fleet_backends()) == {"scalar", "sharded", "vectorized"}
+        assert set(fleet_backends()) == {"native", "scalar", "sharded", "vectorized"}
 
     def test_resolve_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown fleet backend 'nope'"):

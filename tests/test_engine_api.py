@@ -26,7 +26,7 @@ CFG = QTAccelConfig.qlearning(seed=6, qmax_mode="follow")
 class TestMakeEngine:
     def test_kinds_registry(self):
         assert ENGINE_KINDS == (
-            "functional", "pipeline", "batch", "vectorized", "sharded"
+            "functional", "pipeline", "batch", "vectorized", "sharded", "native"
         )
 
     @pytest.mark.parametrize(

@@ -40,6 +40,12 @@ def _build(backend: str, config, k: int):
         )
     if backend == "scalar":
         return make_fleet_backend(WORLD, config, backend="scalar", num_agents=k)
+    if backend == "native":
+        from repro.backends.native import NativeFleetBackend
+
+        # Lane ops route through the shared vectorized path; the
+        # interpreted tier keeps this test independent of numba/cc.
+        return NativeFleetBackend(WORLD, config, num_agents=k, kernel="python")
     return VectorizedFleetBackend(WORLD, config, num_agents=k)
 
 
@@ -74,7 +80,7 @@ def _assert_tables_equal(fleet, sims) -> None:
         assert [int(v) for v in fleet.q[k]] == [int(v) for v in sim.tables.q.data]
 
 
-@pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+@pytest.mark.parametrize("backend", ["vectorized", "scalar", "native"])
 @pytest.mark.parametrize("preset", ["qlearning", "sarsa"])
 @pytest.mark.parametrize("qmax_mode", ["monotonic", "follow", "exact"])
 def test_lane_ops_match_functional(backend, preset, qmax_mode):
